@@ -1,0 +1,54 @@
+// Command eulerbench regenerates the paper's tables and figures as text
+// reports.  Each experiment builds its workload from scratch at the chosen
+// scale factor, runs the distributed algorithm on the BSP engine, and
+// prints the rows or series the paper plots.
+//
+// Usage:
+//
+//	eulerbench -experiment all            # everything, at 1/100 scale
+//	eulerbench -experiment fig8 -scale 0.02
+//	eulerbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment ID (see -list)")
+		scale      = flag.Float64("scale", 0.01, "fraction of the paper's graph sizes")
+		seed       = flag.Int64("seed", 42, "generator seed")
+		verifyRuns = flag.Bool("verify", false, "re-verify every produced circuit (slower)")
+		list       = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	o := bench.DefaultOptions()
+	o.ScaleFactor = *scale
+	o.Seed = *seed
+	o.Verify = *verifyRuns
+
+	start := time.Now()
+	out, err := bench.RunByID(*experiment, o)
+	if out != "" {
+		fmt.Print(out)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "eulerbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ncompleted %q at scale %.3f in %v\n", *experiment, *scale, time.Since(start).Round(time.Millisecond))
+}

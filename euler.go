@@ -1,0 +1,284 @@
+// Package euler is a Go reproduction of "A Partition-centric Distributed
+// Algorithm for Identifying Euler Circuits in Large Graphs" (Jaiswal &
+// Simmhan, IPDPS Workshops 2019).
+//
+// The package is a facade over the internal implementation:
+//
+//   - FindCircuit runs the paper's three-phase partition-centric algorithm
+//     over a goroutine-based BSP engine (one worker per partition) and
+//     returns the Euler circuit plus the full instrumentation report used
+//     by the paper's figures.
+//   - FindCircuitSeq is the sequential Hierholzer baseline.
+//   - Verify checks any claimed circuit independently.
+//   - NewEulerianRMAT / NewTorus / NewRingOfCliques build Eulerian inputs;
+//     Partition* assign them to parts.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured results; cmd/eulerbench regenerates every table and
+// figure.
+package euler
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"time"
+
+	"repro/internal/bsp"
+	"repro/internal/euler"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/postman"
+	"repro/internal/seq"
+	"repro/internal/spill"
+	"repro/internal/verify"
+)
+
+// Graph is an immutable undirected multigraph; build one with NewBuilder
+// or the generators below.
+type Graph = graph.Graph
+
+// Builder accumulates edges for a Graph.
+type Builder = graph.Builder
+
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(n int64, edgeHint int) *Builder { return graph.NewBuilder(n, edgeHint) }
+
+// Step is one oriented edge traversal of an Euler circuit.
+type Step = graph.Step
+
+// Mode selects the remote-edge strategy of the distributed algorithm.
+type Mode = euler.Mode
+
+// Remote-edge strategies: ModeCurrent is the paper's implemented design
+// (Sec. 3), ModeDedup adds remote-edge de-duplication, and ModeProposed is
+// the full Section 5 proposal (de-duplication plus deferred transfer).
+const (
+	ModeCurrent  = euler.ModeCurrent
+	ModeDedup    = euler.ModeDedup
+	ModeProposed = euler.ModeProposed
+)
+
+// Report is the per-run instrumentation record (timings, memory state,
+// BSP metrics) backing the paper's figures.
+type Report = euler.RunReport
+
+// Assignment maps vertices to partitions.
+type Assignment = partition.Assignment
+
+// Options configures FindCircuit.
+type Options struct {
+	parts    int32
+	mode     Mode
+	seed     int64
+	assign   *Assignment
+	spillDir string
+	cost     bsp.CostModel
+	validate bool
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithPartitions sets the partition count (default 4, or 1 for tiny
+// graphs); vertices are assigned with the LDG streaming partitioner unless
+// WithAssignment overrides it.
+func WithPartitions(k int32) Option { return func(o *Options) { o.parts = k } }
+
+// WithMode selects the remote-edge strategy (default ModeCurrent).
+func WithMode(m Mode) Option { return func(o *Options) { o.mode = m } }
+
+// WithSeed seeds the partitioner (default 1).
+func WithSeed(s int64) Option { return func(o *Options) { o.seed = s } }
+
+// WithAssignment supplies an explicit partition assignment, bypassing the
+// built-in partitioner.
+func WithAssignment(a Assignment) Option { return func(o *Options) { o.assign = &a } }
+
+// WithSpillDir spills path bodies to a log file in dir instead of keeping
+// them in memory, as the paper prescribes for large graphs.
+func WithSpillDir(dir string) Option { return func(o *Options) { o.spillDir = dir } }
+
+// WithCostModel installs a platform cost model so the report's modeled
+// times include network/scheduler overhead.  Passing all zeros models a
+// zero-overhead platform; WithCommodityCluster picks the calibration used
+// by the experiment harness.
+func WithCostModel(bytesPerSec float64, latency, task, barrier time.Duration) Option {
+	return func(o *Options) {
+		o.cost = bsp.CostModel{
+			BytesPerSecond:    bytesPerSec,
+			LatencyPerMessage: latency,
+			TaskOverhead:      task,
+			BarrierOverhead:   barrier,
+		}
+	}
+}
+
+// WithCommodityCluster models the paper's 8-VM Azure testbed (1 Gbps
+// shuffle bandwidth, 100 ms task scheduling, 250 ms barriers).
+func WithCommodityCluster() Option {
+	return func(o *Options) { o.cost = bsp.CommodityCluster() }
+}
+
+// WithValidation enables per-level invariant checking during the run.
+func WithValidation() Option { return func(o *Options) { o.validate = true } }
+
+// Circuit is the result of FindCircuit.
+type Circuit struct {
+	// Steps traverse every edge exactly once, forming a closed walk.
+	Steps []Step
+	// Report holds the run instrumentation (levels, memory, BSP metrics).
+	Report *Report
+}
+
+// FindCircuit computes an Euler circuit of g with the partition-centric
+// distributed algorithm.  The graph must be Eulerian (all degrees even)
+// and its edges connected; Verify-able failures return errors rather than
+// bad circuits.
+func FindCircuit(g *Graph, opts ...Option) (*Circuit, error) {
+	var c Circuit
+	report, err := findCircuit(g, func(s Step) error {
+		c.Steps = append(c.Steps, s)
+		return nil
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	c.Report = report
+	return &c, nil
+}
+
+// FindCircuitStream is FindCircuit with streaming emission: emit receives
+// each step in circuit order, so the circuit never needs to fit in the
+// caller's memory.
+func FindCircuitStream(g *Graph, emit func(Step) error, opts ...Option) (*Report, error) {
+	return findCircuit(g, emit, opts...)
+}
+
+func findCircuit(g *Graph, emit func(Step) error, opts ...Option) (*Report, error) {
+	o := Options{parts: 4, seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.parts < 1 {
+		return nil, fmt.Errorf("euler: partition count %d < 1", o.parts)
+	}
+	if int64(o.parts) > g.NumVertices() {
+		o.parts = int32(g.NumVertices())
+	}
+	var a Assignment
+	if o.assign != nil {
+		a = *o.assign
+	} else {
+		a = partition.LDG(g, o.parts, o.seed)
+	}
+
+	var store spill.Store
+	if o.spillDir != "" {
+		ds, err := spill.NewDiskStore(filepath.Join(o.spillDir, "euler-spill.log"))
+		if err != nil {
+			return nil, fmt.Errorf("euler: opening spill store: %w", err)
+		}
+		defer ds.Close()
+		store = ds
+	}
+
+	res, err := euler.Run(g, a, euler.Config{
+		Mode:     o.mode,
+		Store:    store,
+		Cost:     o.cost,
+		Validate: o.validate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Registry.Unroll(emit); err != nil {
+		return nil, err
+	}
+	return res.Report, nil
+}
+
+// FindCircuitSeq computes an Euler circuit with the sequential Hierholzer
+// baseline (O(|V|+|E|)), starting at the given vertex.
+func FindCircuitSeq(g *Graph, start int64) ([]Step, error) {
+	return seq.Hierholzer(g, start)
+}
+
+// Verify checks that steps form an Euler circuit of g: every edge exactly
+// once, consecutive steps share endpoints, and the walk is closed.
+func Verify(g *Graph, steps []Step) error { return verify.Circuit(g, steps) }
+
+// CheckInput verifies the algorithm's preconditions on g: even degrees
+// everywhere and one connected component of edges.
+func CheckInput(g *Graph) error { return verify.EulerianInput(g) }
+
+// NewEulerianRMAT generates a connected Eulerian power-law graph the way
+// the paper builds its inputs (Sec. 4.2): RMAT with Graph500 parameters at
+// the given vertex count and average degree, largest component, then
+// degree-preserving Eulerisation.  The returned percentage is the extra
+// edges the Eulerizer added (the paper reports ≈5%).
+func NewEulerianRMAT(vertices int64, avgDegree int, seed int64) (*Graph, float64) {
+	g, st := gen.EulerianRMAT(gen.RMATParams{
+		Vertices: vertices, AvgDegree: avgDegree,
+		A: 0.57, B: 0.19, C: 0.19, Seed: seed,
+	})
+	return g, st.ExtraPercent
+}
+
+// NewTorus returns the w×h toroidal grid, a 4-regular connected Eulerian
+// graph.
+func NewTorus(w, h int64) *Graph { return gen.Torus(w, h) }
+
+// NewRingOfCliques returns k odd cliques K_c chained in a ring through
+// shared vertices: connected, Eulerian, and nearly partition-local.
+func NewRingOfCliques(k, c int64) *Graph { return gen.RingOfCliques(k, c) }
+
+// NewRandomEulerian returns a random connected Eulerian multigraph built
+// from closed walks; useful for fuzzing downstream code.
+func NewRandomEulerian(n int64, extraWalks int, walkLen int64, rng *rand.Rand) *Graph {
+	return gen.RandomEulerian(n, extraWalks, walkLen, rng)
+}
+
+// PartitionLDG assigns vertices with the Linear Deterministic Greedy
+// streaming partitioner over a BFS order (the repo's stand-in for ParHIP).
+func PartitionLDG(g *Graph, k int32, seed int64) Assignment { return partition.LDG(g, k, seed) }
+
+// PartitionHash assigns vertices by hashing their IDs (quality floor).
+func PartitionHash(g *Graph, k int32) Assignment { return partition.Hash(g, k) }
+
+// FindEulerPath computes an open Euler path of a connected graph with
+// exactly two odd-degree vertices (the paper's circuit algorithm closed
+// with a virtual edge and rotated; see internal/postman).  The walk starts
+// at one odd vertex, ends at the other, and covers every edge once.
+func FindEulerPath(g *Graph, opts ...Option) ([]Step, error) {
+	o := Options{parts: 4, seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return postman.EulerPath(g, postman.Config{Parts: o.parts, Mode: o.mode, Seed: o.seed})
+}
+
+// CoveringTour solves the undirected route-inspection (Chinese postman)
+// problem on a connected graph of any degree parity, the generalisation the
+// paper's conclusion names as future work: odd vertices are paired along
+// short paths whose edges may be revisited, and the result is a closed tour
+// covering every edge at least once.  Tour.Revisits counts the deadheading
+// traversals.
+func CoveringTour(g *Graph, opts ...Option) (*postman.Tour, error) {
+	o := Options{parts: 4, seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return postman.CoveringTour(g, postman.Config{Parts: o.parts, Mode: o.mode, Seed: o.seed})
+}
+
+// VerifyTour checks a covering tour produced by CoveringTour.
+func VerifyTour(g *Graph, t *postman.Tour) error { return postman.VerifyTour(g, t) }
+
+// PartitionRefine improves an assignment with greedy local moves (the
+// stand-in for ParHIP's refinement phase) and returns the refined
+// assignment with the cut improvement in undirected edges.
+func PartitionRefine(g *Graph, a Assignment) (Assignment, int64) {
+	return partition.Refine(g, a, partition.RefineOptions{})
+}

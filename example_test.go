@@ -1,0 +1,47 @@
+package euler_test
+
+import (
+	"fmt"
+
+	euler "repro"
+)
+
+// ExampleFindCircuit finds and verifies an Euler circuit of a toroidal
+// grid with the partition-centric distributed algorithm.
+func ExampleFindCircuit() {
+	g := euler.NewTorus(8, 8) // 4-regular: Eulerian by construction
+	c, err := euler.FindCircuit(g, euler.WithPartitions(4))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("steps:", len(c.Steps))
+	fmt.Println("supersteps:", c.Report.BSP.Supersteps)
+	fmt.Println("verified:", euler.Verify(g, c.Steps) == nil)
+	// Output:
+	// steps: 128
+	// supersteps: 3
+	// verified: true
+}
+
+// ExampleCoveringTour covers a non-Eulerian street grid, the paper's
+// stated future-work generalisation.
+func ExampleCoveringTour() {
+	b := euler.NewBuilder(4, 4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 0)
+	b.AddEdge(0, 2) // diagonal makes 0 and 2 odd
+	g := b.Build()
+	tour, err := euler.CoveringTour(g, euler.WithPartitions(2))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("edges:", g.NumEdges())
+	fmt.Println("tour length:", len(tour.Steps))
+	fmt.Println("revisits:", tour.Revisits)
+	// Output:
+	// edges: 5
+	// tour length: 6
+	// revisits: 1
+}

@@ -1,0 +1,63 @@
+// Quickstart: generate an Eulerian power-law graph the way the paper does,
+// find its Euler circuit with the partition-centric distributed algorithm,
+// verify it, and print the run report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	euler "repro"
+)
+
+func main() {
+	// 1. Build an input: RMAT power law, largest component, Eulerised
+	//    (every vertex even degree) — the paper's Sec. 4.2 pipeline.
+	g, extra := euler.NewEulerianRMAT(100_000, 5, 42)
+	fmt.Printf("input: %d vertices, %d undirected edges (eulerizer added %.1f%%)\n",
+		g.NumVertices(), g.NumEdges(), extra)
+	if err := euler.CheckInput(g); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Find the circuit distributed across 8 partitions, with the
+	//    Section 5 memory heuristics and the commodity-cluster cost model.
+	start := time.Now()
+	c, err := euler.FindCircuit(g,
+		euler.WithPartitions(8),
+		euler.WithMode(euler.ModeProposed),
+		euler.WithCommodityCluster(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distributed: %d steps in %v wall (modeled cluster time %v, %d supersteps)\n",
+		len(c.Steps), time.Since(start).Round(time.Millisecond),
+		c.Report.BSP.ModeledTotal.Round(time.Millisecond),
+		c.Report.BSP.Supersteps)
+
+	// 3. Verify independently.
+	if err := euler.Verify(g, c.Steps); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("circuit verified: every edge exactly once, closed walk")
+
+	// 4. Compare with the sequential Hierholzer baseline.
+	start = time.Now()
+	seqSteps, err := euler.FindCircuitSeq(g, c.Steps[0].From)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential hierholzer: %d steps in %v\n",
+		len(seqSteps), time.Since(start).Round(time.Millisecond))
+
+	// 5. Peek at the per-level memory accounting behind the paper's Fig. 8.
+	fmt.Println("\nper-level memory state (Longs):")
+	for _, l := range c.Report.Levels {
+		fmt.Printf("  level %d: %d live partitions, cumulative %d, average %d, parked %d\n",
+			l.Level, l.Live, l.CumulativeLongs, l.AvgLongs, l.ParkedLongs)
+	}
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOptions shrink the paper configs far enough for unit-test speed.
+func tinyOptions() Options {
+	o := DefaultOptions()
+	o.ScaleFactor = 0.0005 // G50 → ~24k vertices
+	o.Verify = true
+	return o
+}
+
+func TestConfigByName(t *testing.T) {
+	c, err := ConfigByName("G50/P8")
+	if err != nil || c.Parts != 8 {
+		t.Fatalf("c=%+v err=%v", c, err)
+	}
+	if _, err := ConfigByName("nope"); err == nil {
+		t.Fatal("unknown config accepted")
+	}
+}
+
+func TestBuildConfig(t *testing.T) {
+	o := tinyOptions()
+	g, a, est := PaperConfigs[0].Build(o)
+	if g.NumVertices() < 1024 {
+		t.Fatalf("graph too small: %d", g.NumVertices())
+	}
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if est.ExtraPercent <= 0 || est.ExtraPercent > 30 {
+		t.Errorf("extra%% = %.1f implausible", est.ExtraPercent)
+	}
+	if !g.IsEulerian() {
+		t.Fatal("built graph not Eulerian")
+	}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	o := tinyOptions()
+	for _, e := range Experiments() {
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run(o)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if strings.TrimSpace(out) == "" {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestRunByIDUnknown(t *testing.T) {
+	if _, err := RunByID("bogus", tinyOptions()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	out, err := Table1(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"G20/P2", "G30/P3", "G40/P4", "G40/P8", "G50/P8"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("missing row %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig8ReportsReductions(t *testing.T) {
+	out, err := Fig8Memory(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "level-0 cumulative reduction") {
+		t.Fatalf("missing reduction summary:\n%s", out)
+	}
+	if !strings.Contains(out, "Avg.Proposed") {
+		t.Fatalf("missing proposed series:\n%s", out)
+	}
+}

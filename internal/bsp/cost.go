@@ -1,0 +1,74 @@
+package bsp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// CostModel converts observed superstep behaviour into a modeled wall-clock
+// time including the platform overheads that dominate the paper's Fig. 5:
+// shuffle data transfer over a commodity network, per-task scheduling, and
+// barrier coordination.  The zero value models a zero-overhead platform, in
+// which case the modeled time equals the real critical-path compute time.
+type CostModel struct {
+	// BytesPerSecond is the per-machine network bandwidth used for shuffle
+	// transfer; 0 means infinite bandwidth.
+	BytesPerSecond float64
+	// LatencyPerMessage is the fixed cost per message (connection setup,
+	// serialisation framing).
+	LatencyPerMessage time.Duration
+	// TaskOverhead is the scheduler cost to launch one worker task in a
+	// superstep (Spark's on-demand task scheduling).
+	TaskOverhead time.Duration
+	// BarrierOverhead is the per-superstep synchronisation cost.
+	BarrierOverhead time.Duration
+}
+
+// CommodityCluster returns a cost model loosely calibrated to the paper's
+// test bed: 8 Azure E8s v3 VMs on a commodity network.  1 Gbps effective
+// shuffle bandwidth per machine, 5 ms per message, 100 ms to schedule a
+// task, 250 ms per barrier.  The absolute values only need to be plausible;
+// the figures reproduce shapes, not seconds.
+func CommodityCluster() CostModel {
+	return CostModel{
+		BytesPerSecond:    125e6, // 1 Gbps
+		LatencyPerMessage: 5 * time.Millisecond,
+		TaskOverhead:      100 * time.Millisecond,
+		BarrierOverhead:   250 * time.Millisecond,
+	}
+}
+
+// StageTime models the wall time of one superstep: the barrier cost plus
+// the slowest worker's task-launch + compute + its share of shuffle
+// traffic.  Transfers of different machines proceed in parallel, so the
+// bound is per-worker bytes, not total bytes — the same reasoning the
+// paper applies to its per-level merge transfers (Sec. 3.5).
+func (c CostModel) StageTime(stage StageStat, active []int, compute []time.Duration, perWorkerBytes, perWorkerMsgs []int64) time.Duration {
+	slowest := time.Duration(0)
+	for i, w := range active {
+		t := c.TaskOverhead + compute[i]
+		if c.BytesPerSecond > 0 {
+			t += time.Duration(float64(perWorkerBytes[w]) / c.BytesPerSecond * float64(time.Second))
+		}
+		t += time.Duration(perWorkerMsgs[w]) * c.LatencyPerMessage
+		if t > slowest {
+			slowest = t
+		}
+	}
+	return c.BarrierOverhead + slowest
+}
+
+// FormatTrace renders the stage list as a textual DAG trace, the analogue
+// of the paper's Fig. 3 Spark UI screenshot.
+func FormatTrace(m Metrics) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "BSP trace: %d supersteps, %d messages, %d bytes\n",
+		m.Supersteps, m.Messages, m.Bytes)
+	for _, s := range m.Stages {
+		fmt.Fprintf(&b, "  stage %2d: workers=%2d msgs=%4d bytes=%10d compute(max)=%v modeled=%v\n",
+			s.Superstep, s.ActiveWorkers, s.Messages, s.Bytes,
+			s.MaxCompute.Round(time.Microsecond), s.Modeled.Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,250 @@
+// Package bsp is a hand-built Bulk Synchronous Parallel engine: the
+// substrate this reproduction uses in place of the paper's Apache Spark
+// deployment.  Workers (one per graph partition, each standing in for a
+// Spark executor on its own VM) execute supersteps concurrently as
+// goroutines; messages sent during superstep s are delivered in bulk after
+// a global barrier at the start of superstep s+1, exactly the Pregel/BSP
+// semantics of Valiant's model that the paper's algorithm assumes.
+//
+// The engine measures real per-worker compute time and byte-counts every
+// message.  A CostModel converts those observations into the
+// platform-overhead component (shuffle transfer, task scheduling, barrier
+// coordination) that the paper's Figs. 5–6 attribute to Spark, so the
+// "total vs user compute" split is reproducible on a single machine.
+package bsp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Message is a payload in flight between two workers.
+type Message struct {
+	From, To int
+	Payload  []byte
+}
+
+// Program is the per-worker compute function of one BSP job.  Compute is
+// invoked once per superstep for every active worker, concurrently with
+// other workers; it must only touch worker-local state plus the Context.
+type Program interface {
+	Compute(ctx *Context) error
+}
+
+// ProgramFunc adapts a function to the Program interface.
+type ProgramFunc func(ctx *Context) error
+
+// Compute implements Program.
+func (f ProgramFunc) Compute(ctx *Context) error { return f(ctx) }
+
+// Context is the per-worker, per-superstep view handed to Program.Compute.
+type Context struct {
+	worker    int
+	superstep int
+	inbox     []Message
+	outbox    []Message
+	halted    bool
+	nworkers  int
+}
+
+// Worker returns this worker's index in [0, NumWorkers).
+func (c *Context) Worker() int { return c.worker }
+
+// Superstep returns the current superstep number, starting at 0.
+func (c *Context) Superstep() int { return c.superstep }
+
+// NumWorkers returns the total worker count.
+func (c *Context) NumWorkers() int { return c.nworkers }
+
+// Received returns the messages delivered to this worker at the barrier
+// preceding this superstep.
+func (c *Context) Received() []Message { return c.inbox }
+
+// Send queues a message for delivery to worker `to` at the next barrier.
+func (c *Context) Send(to int, payload []byte) {
+	if to < 0 || to >= c.nworkers {
+		panic(fmt.Sprintf("bsp: send to out-of-range worker %d", to))
+	}
+	c.outbox = append(c.outbox, Message{From: c.worker, To: to, Payload: payload})
+}
+
+// VoteToHalt marks this worker inactive.  It is reactivated if a message
+// arrives; the job terminates when every worker has halted and no messages
+// are in flight.
+func (c *Context) VoteToHalt() { c.halted = true }
+
+// StageStat records one superstep for the engine trace (the textual
+// analogue of the paper's Fig. 3 Spark DAG).
+type StageStat struct {
+	Superstep     int
+	ActiveWorkers int
+	Messages      int64
+	Bytes         int64
+	MaxCompute    time.Duration // slowest worker's real compute time
+	SumCompute    time.Duration // total real compute across workers
+	Modeled       time.Duration // modeled wall time incl. platform overhead
+}
+
+// Metrics aggregates a full run.
+type Metrics struct {
+	Supersteps   int
+	Messages     int64
+	Bytes        int64
+	SumCompute   time.Duration // Σ real compute over all workers and steps
+	CriticalPath time.Duration // Σ over steps of slowest worker (ideal BSP time)
+	ModeledTotal time.Duration // CriticalPath + modeled platform overhead
+	Stages       []StageStat
+}
+
+// Engine executes Programs over a fixed set of workers.
+type Engine struct {
+	nworkers   int
+	cost       CostModel
+	maxSteps   int
+	sequential bool
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithCostModel installs a platform cost model; the zero model adds no
+// overhead.
+func WithCostModel(c CostModel) Option {
+	return func(e *Engine) { e.cost = c }
+}
+
+// WithMaxSupersteps bounds the run; exceeding it is reported as an error.
+// The default is 1<<20, a guard against non-terminating programs.
+func WithMaxSupersteps(n int) Option {
+	return func(e *Engine) { e.maxSteps = n }
+}
+
+// WithSequentialWorkers runs the workers of each superstep one at a time
+// instead of concurrently.  BSP semantics are unchanged (messages still
+// deliver at the barrier), but per-worker compute timings become free of
+// scheduler and memory-bandwidth interference — the configuration used for
+// the Fig. 7 complexity measurements, where each paper "worker" had a
+// dedicated VM.
+func WithSequentialWorkers() Option {
+	return func(e *Engine) { e.sequential = true }
+}
+
+// New returns an Engine with nworkers workers.
+func New(nworkers int, opts ...Option) *Engine {
+	if nworkers <= 0 {
+		panic("bsp: need at least one worker")
+	}
+	e := &Engine{nworkers: nworkers, maxSteps: 1 << 20}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// NumWorkers returns the engine's worker count.
+func (e *Engine) NumWorkers() int { return e.nworkers }
+
+// Run executes p to termination: all workers halted with no messages in
+// flight.  It returns the run metrics.  If any Compute call fails, Run
+// stops at that barrier and returns the first error by worker index.
+func (e *Engine) Run(p Program) (Metrics, error) {
+	var m Metrics
+	inboxes := make([][]Message, e.nworkers)
+	halted := make([]bool, e.nworkers)
+
+	for step := 0; ; step++ {
+		if step >= e.maxSteps {
+			return m, fmt.Errorf("bsp: exceeded %d supersteps", e.maxSteps)
+		}
+		// A worker is active in this superstep if it has not halted or has
+		// mail waiting (mail reactivates, per Pregel semantics).
+		var active []int
+		for w := 0; w < e.nworkers; w++ {
+			if !halted[w] || len(inboxes[w]) > 0 {
+				active = append(active, w)
+			}
+		}
+		if len(active) == 0 {
+			break
+		}
+
+		ctxs := make([]*Context, len(active))
+		compute := make([]time.Duration, len(active))
+		errs := make([]error, len(active))
+		runWorker := func(i int) {
+			start := time.Now()
+			defer func() {
+				compute[i] = time.Since(start)
+				if r := recover(); r != nil {
+					// A panicking worker is a failed task, not a
+					// crashed cluster: surface it as an error.
+					errs[i] = fmt.Errorf("worker %d panic: %v", ctxs[i].worker, r)
+				}
+			}()
+			errs[i] = p.Compute(ctxs[i])
+		}
+		for i, w := range active {
+			ctxs[i] = &Context{
+				worker:    w,
+				superstep: step,
+				inbox:     inboxes[w],
+				nworkers:  e.nworkers,
+			}
+		}
+		if e.sequential {
+			for i := range active {
+				runWorker(i)
+			}
+		} else {
+			var wg sync.WaitGroup
+			for i := range active {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					runWorker(i)
+				}(i)
+			}
+			wg.Wait()
+		}
+		for _, err := range errs {
+			if err != nil {
+				return m, fmt.Errorf("bsp: superstep %d: %w", step, err)
+			}
+		}
+
+		// Barrier: collect outboxes, update halt state, deliver.
+		stage := StageStat{Superstep: step, ActiveWorkers: len(active)}
+		for w := range inboxes {
+			inboxes[w] = nil
+		}
+		perWorkerBytes := make([]int64, e.nworkers)
+		perWorkerMsgs := make([]int64, e.nworkers)
+		for i, w := range active {
+			halted[w] = ctxs[i].halted
+			if compute[i] > stage.MaxCompute {
+				stage.MaxCompute = compute[i]
+			}
+			stage.SumCompute += compute[i]
+			for _, msg := range ctxs[i].outbox {
+				inboxes[msg.To] = append(inboxes[msg.To], msg)
+				b := int64(len(msg.Payload))
+				stage.Messages++
+				stage.Bytes += b
+				perWorkerBytes[msg.From] += b
+				perWorkerBytes[msg.To] += b
+				perWorkerMsgs[msg.From]++
+			}
+		}
+		stage.Modeled = e.cost.StageTime(stage, active, compute, perWorkerBytes, perWorkerMsgs)
+
+		m.Supersteps++
+		m.Messages += stage.Messages
+		m.Bytes += stage.Bytes
+		m.SumCompute += stage.SumCompute
+		m.CriticalPath += stage.MaxCompute
+		m.ModeledTotal += stage.Modeled
+		m.Stages = append(m.Stages, stage)
+	}
+	return m, nil
+}

@@ -1,0 +1,267 @@
+package bsp
+
+import (
+	"encoding/binary"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHaltImmediately: all workers halt in step 0 without sending; the run
+// takes exactly one superstep.
+func TestHaltImmediately(t *testing.T) {
+	e := New(4)
+	m, err := e.Run(ProgramFunc(func(ctx *Context) error {
+		ctx.VoteToHalt()
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Supersteps != 1 {
+		t.Fatalf("Supersteps = %d, want 1", m.Supersteps)
+	}
+	if m.Messages != 0 {
+		t.Fatalf("Messages = %d, want 0", m.Messages)
+	}
+}
+
+// TestTokenRing passes a counter token around a ring of workers; each hop
+// is one superstep, verifying delivery, reactivation, and termination.
+func TestTokenRing(t *testing.T) {
+	const workers, hops = 5, 12
+	e := New(workers)
+	var lastSeen int64 = -1
+	m, err := e.Run(ProgramFunc(func(ctx *Context) error {
+		ctx.VoteToHalt()
+		if ctx.Superstep() == 0 {
+			if ctx.Worker() == 0 {
+				var buf [8]byte
+				binary.LittleEndian.PutUint64(buf[:], 0)
+				ctx.Send(1%workers, buf[:])
+			}
+			return nil
+		}
+		for _, msg := range ctx.Received() {
+			count := int64(binary.LittleEndian.Uint64(msg.Payload))
+			atomic.StoreInt64(&lastSeen, count)
+			if count+1 < hops {
+				var buf [8]byte
+				binary.LittleEndian.PutUint64(buf[:], uint64(count+1))
+				ctx.Send((ctx.Worker()+1)%workers, buf[:])
+			}
+		}
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastSeen != hops-1 {
+		t.Fatalf("token count = %d, want %d", lastSeen, hops-1)
+	}
+	// 1 seed step + hops delivery steps.
+	if m.Supersteps != hops+1 {
+		t.Fatalf("Supersteps = %d, want %d", m.Supersteps, hops+1)
+	}
+	if m.Messages != hops {
+		t.Fatalf("Messages = %d, want %d", m.Messages, hops)
+	}
+}
+
+// TestAllToAll has every worker message every other worker once and halts.
+func TestAllToAll(t *testing.T) {
+	const workers = 6
+	e := New(workers)
+	var received int64
+	m, err := e.Run(ProgramFunc(func(ctx *Context) error {
+		switch ctx.Superstep() {
+		case 0:
+			for w := 0; w < workers; w++ {
+				if w != ctx.Worker() {
+					ctx.Send(w, []byte{byte(ctx.Worker())})
+				}
+			}
+		case 1:
+			atomic.AddInt64(&received, int64(len(ctx.Received())))
+		}
+		ctx.VoteToHalt()
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(workers * (workers - 1))
+	if received != want {
+		t.Fatalf("received = %d, want %d", received, want)
+	}
+	if m.Bytes != want {
+		t.Fatalf("Bytes = %d, want %d", m.Bytes, want)
+	}
+}
+
+// TestComputeError propagates worker errors.
+func TestComputeError(t *testing.T) {
+	e := New(3)
+	boom := errors.New("boom")
+	_, err := e.Run(ProgramFunc(func(ctx *Context) error {
+		if ctx.Worker() == 2 {
+			return boom
+		}
+		ctx.VoteToHalt()
+		return nil
+	}))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+// TestMaxSupersteps guards non-termination.
+func TestMaxSupersteps(t *testing.T) {
+	e := New(2, WithMaxSupersteps(5))
+	_, err := e.Run(ProgramFunc(func(ctx *Context) error {
+		ctx.Send(1-ctx.Worker(), []byte("ping")) // never halts
+		return nil
+	}))
+	if err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Fatalf("err = %v, want superstep bound error", err)
+	}
+}
+
+// TestSendOutOfRange: a worker panic (here from an out-of-range Send) is
+// reported as a failed-task error, not a process crash.
+func TestSendOutOfRange(t *testing.T) {
+	e := New(2)
+	_, err := e.Run(ProgramFunc(func(ctx *Context) error {
+		ctx.Send(7, nil)
+		return nil
+	}))
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("err = %v, want worker panic error", err)
+	}
+}
+
+// TestCostModelAddsOverhead verifies modeled time exceeds critical path
+// when a cost model is installed, and equals it otherwise.
+func TestCostModelAddsOverhead(t *testing.T) {
+	run := func(opts ...Option) Metrics {
+		e := New(3, opts...)
+		m, err := e.Run(ProgramFunc(func(ctx *Context) error {
+			if ctx.Superstep() == 0 {
+				ctx.Send((ctx.Worker()+1)%3, make([]byte, 1<<20))
+			}
+			ctx.VoteToHalt()
+			return nil
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	plain := run()
+	if plain.ModeledTotal != plain.CriticalPath {
+		t.Errorf("zero model: modeled %v != critical path %v",
+			plain.ModeledTotal, plain.CriticalPath)
+	}
+	modeled := run(WithCostModel(CommodityCluster()))
+	if modeled.ModeledTotal <= modeled.CriticalPath {
+		t.Errorf("cost model added no overhead: %v <= %v",
+			modeled.ModeledTotal, modeled.CriticalPath)
+	}
+	// 1 MiB at 125 MB/s ≈ 8.4 ms, plus 2 barriers ≥ 500 ms.
+	if modeled.ModeledTotal < 500*time.Millisecond {
+		t.Errorf("modeled total %v implausibly low", modeled.ModeledTotal)
+	}
+}
+
+// TestStageStats sanity-checks the per-stage trace.
+func TestStageStats(t *testing.T) {
+	e := New(2)
+	m, err := e.Run(ProgramFunc(func(ctx *Context) error {
+		if ctx.Superstep() == 0 && ctx.Worker() == 0 {
+			ctx.Send(1, []byte("abc"))
+		}
+		ctx.VoteToHalt()
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Stages) != m.Supersteps {
+		t.Fatalf("Stages len %d != Supersteps %d", len(m.Stages), m.Supersteps)
+	}
+	if m.Stages[0].Bytes != 3 {
+		t.Fatalf("stage 0 bytes = %d, want 3", m.Stages[0].Bytes)
+	}
+	if m.Stages[0].ActiveWorkers != 2 || m.Stages[1].ActiveWorkers != 1 {
+		t.Fatalf("active workers per stage: %d, %d; want 2, 1",
+			m.Stages[0].ActiveWorkers, m.Stages[1].ActiveWorkers)
+	}
+	trace := FormatTrace(m)
+	if !strings.Contains(trace, "stage  0") {
+		t.Errorf("trace missing stage line:\n%s", trace)
+	}
+}
+
+// TestWorkerIsolation ensures contexts do not leak between workers.
+func TestWorkerIsolation(t *testing.T) {
+	const workers = 8
+	e := New(workers)
+	seen := make([]int64, workers)
+	_, err := e.Run(ProgramFunc(func(ctx *Context) error {
+		atomic.AddInt64(&seen[ctx.Worker()], 1)
+		if ctx.NumWorkers() != workers {
+			t.Errorf("NumWorkers = %d", ctx.NumWorkers())
+		}
+		ctx.VoteToHalt()
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, n := range seen {
+		if n != 1 {
+			t.Errorf("worker %d ran %d times, want 1", w, n)
+		}
+	}
+}
+
+// TestSequentialWorkersSameResult checks that sequential execution is
+// behaviourally identical to concurrent execution.
+func TestSequentialWorkersSameResult(t *testing.T) {
+	run := func(opts ...Option) Metrics {
+		e := New(4, opts...)
+		m, err := e.Run(ProgramFunc(func(ctx *Context) error {
+			if ctx.Superstep() < 3 {
+				ctx.Send((ctx.Worker()+1)%4, []byte{byte(ctx.Superstep())})
+			}
+			ctx.VoteToHalt()
+			return nil
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	conc := run()
+	seq := run(WithSequentialWorkers())
+	if conc.Supersteps != seq.Supersteps || conc.Messages != seq.Messages || conc.Bytes != seq.Bytes {
+		t.Fatalf("sequential run diverged: %+v vs %+v", seq, conc)
+	}
+}
+
+// TestSequentialWorkerPanicSurfaces checks panic recovery in the serial path.
+func TestSequentialWorkerPanicSurfaces(t *testing.T) {
+	e := New(2, WithSequentialWorkers())
+	_, err := e.Run(ProgramFunc(func(ctx *Context) error {
+		if ctx.Worker() == 1 {
+			panic("kaboom")
+		}
+		ctx.VoteToHalt()
+		return nil
+	}))
+	if err == nil || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("err = %v, want panic error", err)
+	}
+}

@@ -1,0 +1,246 @@
+package euler
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/spill"
+)
+
+// Checkpoint format: the full Registry book-keeping the paper keeps on disk
+// between phases (pathMap metadata, anchored-cycle index, visited map,
+// master and seeds), so Phase 3 can run in a separate process against a
+// reopened spill store.
+//
+//	magic    [8]byte "EULREG01"
+//	master   varint
+//	seeds    uvarint count + varints
+//	recs     uvarint count + (id, type byte, src, dst, level, part, items)
+//	anchored uvarint count + (vertex, uvarint n, n path IDs)
+//	visited  uvarint |V| + bitset bytes
+
+var checkpointMagic = [8]byte{'E', 'U', 'L', 'R', 'E', 'G', '0', '1'}
+
+// Save serialises the registry's book-keeping to w.  Path bodies are NOT
+// included: they already live in the spill store, which must be a
+// DiskStore for a checkpoint to be useful across processes.
+func (r *Registry) Save(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(checkpointMagic[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 64)
+	flush := func() error {
+		_, err := bw.Write(buf)
+		buf = buf[:0]
+		return err
+	}
+	buf = binary.AppendVarint(buf, r.master)
+	buf = binary.AppendUvarint(buf, uint64(len(r.seeds)))
+	for _, s := range r.seeds {
+		buf = binary.AppendVarint(buf, s)
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
+	buf = binary.AppendUvarint(buf, uint64(len(r.recs)))
+	if err := flush(); err != nil {
+		return err
+	}
+	// Deterministic order is unnecessary for correctness but keeps
+	// checkpoints byte-comparable across runs of the same computation.
+	for _, id := range sortedRecIDs(r.recs) {
+		rec := r.recs[id]
+		buf = binary.AppendVarint(buf, rec.ID)
+		buf = append(buf, byte(rec.Type))
+		buf = binary.AppendVarint(buf, rec.Src)
+		buf = binary.AppendVarint(buf, rec.Dst)
+		buf = binary.AppendVarint(buf, int64(rec.Level))
+		buf = binary.AppendVarint(buf, int64(rec.Part))
+		buf = binary.AppendVarint(buf, rec.Items)
+		if err := flush(); err != nil {
+			return err
+		}
+	}
+
+	buf = binary.AppendUvarint(buf, uint64(len(r.anchored)))
+	if err := flush(); err != nil {
+		return err
+	}
+	for _, v := range sortedAnchorVertices(r.anchored) {
+		ids := r.anchored[v]
+		buf = binary.AppendVarint(buf, v)
+		buf = binary.AppendUvarint(buf, uint64(len(ids)))
+		for _, id := range ids {
+			buf = binary.AppendVarint(buf, id)
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+	}
+
+	buf = binary.AppendUvarint(buf, uint64(len(r.visited)))
+	if err := flush(); err != nil {
+		return err
+	}
+	bits := make([]byte, (len(r.visited)+7)/8)
+	for i, v := range r.visited {
+		if v {
+			bits[i/8] |= 1 << (i % 8)
+		}
+	}
+	if _, err := bw.Write(bits); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadRegistry reads a checkpoint written by Save, binding it to the given
+// spill store (typically spill.OpenDiskStore of the original body log).
+func LoadRegistry(rd io.Reader, store spill.Store) (*Registry, error) {
+	br := bufio.NewReaderSize(rd, 1<<20)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("euler: checkpoint header: %w", err)
+	}
+	if got != checkpointMagic {
+		return nil, fmt.Errorf("euler: bad checkpoint magic %q", got[:])
+	}
+	readV := func() (int64, error) { return binary.ReadVarint(br) }
+	readU := func() (uint64, error) { return binary.ReadUvarint(br) }
+
+	master, err := readV()
+	if err != nil {
+		return nil, err
+	}
+	nSeeds, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	seeds := make([]PathID, 0, nSeeds)
+	for i := uint64(0); i < nSeeds; i++ {
+		s, err := readV()
+		if err != nil {
+			return nil, err
+		}
+		seeds = append(seeds, s)
+	}
+
+	nRecs, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	recs := make(map[PathID]PathRec, nRecs)
+	for i := uint64(0); i < nRecs; i++ {
+		id, err := readV()
+		if err != nil {
+			return nil, err
+		}
+		tb, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		src, err := readV()
+		if err != nil {
+			return nil, err
+		}
+		dst, err := readV()
+		if err != nil {
+			return nil, err
+		}
+		level, err := readV()
+		if err != nil {
+			return nil, err
+		}
+		part, err := readV()
+		if err != nil {
+			return nil, err
+		}
+		items, err := readV()
+		if err != nil {
+			return nil, err
+		}
+		recs[id] = PathRec{
+			ID: id, Type: PathType(tb), Src: src, Dst: dst,
+			Level: int(level), Part: int(part), Items: items,
+		}
+	}
+
+	nAnch, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	anchored := make(map[graph.VertexID][]PathID, nAnch)
+	for i := uint64(0); i < nAnch; i++ {
+		v, err := readV()
+		if err != nil {
+			return nil, err
+		}
+		n, err := readU()
+		if err != nil {
+			return nil, err
+		}
+		ids := make([]PathID, 0, n)
+		for j := uint64(0); j < n; j++ {
+			id, err := readV()
+			if err != nil {
+				return nil, err
+			}
+			ids = append(ids, id)
+		}
+		anchored[v] = ids
+	}
+
+	nVerts, err := readU()
+	if err != nil {
+		return nil, err
+	}
+	bits := make([]byte, (nVerts+7)/8)
+	if _, err := io.ReadFull(br, bits); err != nil {
+		return nil, fmt.Errorf("euler: checkpoint visited bitmap: %w", err)
+	}
+	visited := make([]bool, nVerts)
+	for i := range visited {
+		visited[i] = bits[i/8]&(1<<(i%8)) != 0
+	}
+
+	return &Registry{
+		store:    store,
+		recs:     recs,
+		anchored: anchored,
+		visited:  visited,
+		master:   master,
+		seeds:    seeds,
+	}, nil
+}
+
+func sortedRecIDs(m map[PathID]PathRec) []PathID {
+	ids := make([]PathID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sortPathIDs(ids)
+	return ids
+}
+
+func sortedAnchorVertices(m map[graph.VertexID][]PathID) []graph.VertexID {
+	vs := make([]graph.VertexID, 0, len(m))
+	for v := range m {
+		vs = append(vs, v)
+	}
+	sortPathIDs(vs)
+	return vs
+}
+
+// sortPathIDs sorts a slice of int64 in place (PathID and VertexID are both
+// int64 aliases).
+func sortPathIDs(xs []int64) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

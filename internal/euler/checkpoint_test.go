@@ -1,0 +1,140 @@
+package euler
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/partition"
+	"repro/internal/spill"
+	"repro/internal/verify"
+)
+
+// TestCheckpointTwoProcessPhase3 simulates the paper's disk-persisted
+// workflow: run Phases 1–2 with a disk spill store, save the registry
+// checkpoint, then "restart" (fresh store handle + loaded registry) and
+// run Phase 3 alone.
+func TestCheckpointTwoProcessPhase3(t *testing.T) {
+	dir := t.TempDir()
+	g, _ := gen.EulerianRMAT(gen.DefaultRMAT(9, 51))
+	a := partition.LDG(g, 4, 1)
+
+	spillPath := filepath.Join(dir, "bodies.log")
+	ds, err := spill.NewDiskStore(spillPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, a, Config{Store: ds, Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckpt bytes.Buffer
+	if err := res.Registry.Save(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Second process": reopen everything from disk.
+	ds2, err := spill.OpenDiskStore(spillPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds2.Close()
+	reg, err := LoadRegistry(bytes.NewReader(ckpt.Bytes()), ds2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Master() != res.Registry.Master() {
+		t.Fatalf("master %d != %d", reg.Master(), res.Registry.Master())
+	}
+	if reg.NumPaths() != res.Registry.NumPaths() {
+		t.Fatalf("paths %d != %d", reg.NumPaths(), res.Registry.NumPaths())
+	}
+	steps, err := reg.CollectCircuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Circuit(g, steps); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointDeterministic(t *testing.T) {
+	g := gen.Torus(8, 8)
+	a := partition.LDG(g, 2, 1)
+	save := func() []byte {
+		res, err := Run(g, a, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.Registry.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(save(), save()) {
+		t.Fatal("checkpoints differ across identical runs")
+	}
+}
+
+func TestLoadRegistryBadMagic(t *testing.T) {
+	if _, err := LoadRegistry(strings.NewReader("NOTACHECKPOINT!!"), spill.NewMemStore()); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestLoadRegistryTruncated(t *testing.T) {
+	g := gen.Torus(6, 6)
+	a := partition.LDG(g, 2, 1)
+	res, err := Run(g, a, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Registry.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{9, len(full) / 2, len(full) - 1} {
+		if _, err := LoadRegistry(bytes.NewReader(full[:cut]), spill.NewMemStore()); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestCheckpointPreservesSeeds(t *testing.T) {
+	// Torus/2 runs produce floating seeds (coarse-graph disconnection);
+	// the checkpoint must carry them for stitch to work after reload.
+	g := gen.Torus(12, 12)
+	a := partition.LDG(g, 2, 1)
+	res, err := Run(g, a, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Registry.Seeds()) == 0 {
+		t.Skip("this configuration produced no floating seeds")
+	}
+	var buf bytes.Buffer
+	if err := res.Registry.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := LoadRegistry(bytes.NewReader(buf.Bytes()), res.Registry.Store())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reg.Seeds()) != len(res.Registry.Seeds()) {
+		t.Fatalf("seeds %d != %d", len(reg.Seeds()), len(res.Registry.Seeds()))
+	}
+	steps, err := reg.CollectCircuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Circuit(g, steps); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,295 @@
+package euler
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bsp"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/spill"
+)
+
+// Config configures a distributed run.
+type Config struct {
+	// Mode selects the remote-edge strategy (ModeCurrent reproduces the
+	// paper's implementation; ModeProposed its Section 5 heuristics).
+	Mode Mode
+	// Strategy picks merge pairs; nil means GreedyMaxWeight (the paper's).
+	Strategy MatchStrategy
+	// Store receives path bodies; nil means an in-memory store.
+	Store spill.Store
+	// Cost models platform overhead; the zero model adds none.
+	Cost bsp.CostModel
+	// Validate enables per-level invariant checking (parity, Lemma 1
+	// counts); it roughly doubles merge cost and is meant for tests.
+	Validate bool
+	// Sequential runs the BSP workers of each superstep one at a time, for
+	// interference-free per-partition timing (Fig. 7).
+	Sequential bool
+}
+
+// Result is the outcome of Phases 1 and 2: a Registry ready for Phase 3's
+// Unroll, plus the full instrumentation report.
+type Result struct {
+	Registry *Registry
+	Tree     *MergeTree
+	Report   *RunReport
+}
+
+// message type tags for BSP payloads.
+const (
+	msgState  byte = 'S' // serialised PartState from a merging child
+	msgParked byte = 'P' // parked remote-edge batch from a leaf host
+)
+
+// Run executes the partition-centric algorithm (Phases 1 and 2) over the
+// BSP engine: one worker per leaf partition, one superstep per merge-tree
+// level plus one, exactly the dlog(n)e+1 coordination complexity of
+// Sec. 3.5.  The returned Registry holds everything Phase 3 needs.
+func Run(g *graph.Graph, a partition.Assignment, cfg Config) (*Result, error) {
+	if err := a.Validate(g); err != nil {
+		return nil, err
+	}
+	if g.NumEdges() == 0 {
+		return nil, fmt.Errorf("euler: graph has no edges")
+	}
+	if !g.IsEulerian() {
+		odd := g.OddVertices()
+		return nil, fmt.Errorf("euler: graph is not Eulerian: %d odd-degree vertices (first: %d)", len(odd), odd[0])
+	}
+	strat := cfg.Strategy
+	if strat == nil {
+		strat = GreedyMaxWeight
+	}
+	store := cfg.Store
+	if store == nil {
+		store = spill.NewMemStore()
+	}
+
+	n := int(a.Parts)
+	meta := BuildMetaGraph(g, a)
+	tree := BuildMergeTree(meta, strat)
+	height := tree.Height()
+	states, parkedPools := BuildLeafStates(g, a, tree, cfg.Mode)
+
+	// Pre-encode leaf states: decoding them at superstep 0 is the paper's
+	// "create partition object from its storage format".
+	encodedInit := make([][]byte, n)
+	for i, s := range states {
+		encodedInit[i] = EncodeState(s)
+	}
+
+	// Static parked-volume series for the Fig. 8 report: parked[l] leaves
+	// leaf memory during superstep l.
+	parkedLongsAt := make([]int64, height+1)
+	for _, pool := range parkedPools {
+		for lvl, edges := range pool {
+			for s := 0; int32(s) <= lvl && s <= height; s++ {
+				parkedLongsAt[s] += 2 * int64(len(edges))
+			}
+		}
+	}
+
+	registry := NewRegistry(store, g.NumVertices())
+
+	// Per-level schedule lookups.
+	childTarget := make([]map[int]int, height) // level → child rep → parent rep
+	isParent := make([]map[int]bool, height)   // level → parent rep set
+	for l := 0; l < height; l++ {
+		childTarget[l] = tree.MergeTargets(l)
+		isParent[l] = make(map[int]bool, len(tree.Levels[l]))
+		for _, p := range tree.Levels[l] {
+			isParent[l][p.Parent] = true
+		}
+	}
+
+	type workerState struct {
+		state   *PartState
+		parked  map[int32][]RemoteEdge
+		reports []PartReport
+	}
+	workers := make([]*workerState, n)
+	for i := range workers {
+		workers[i] = &workerState{parked: parkedPools[i]}
+	}
+	// liveLongs[w][s] is worker w's state size while superstep s ran:
+	// Phase 1 input size for computing partitions, the carried state for
+	// idle ones.  Fig. 8's per-level memory accounting needs both.
+	liveLongs := make([][]int64, n)
+	for i := range liveLongs {
+		liveLongs[i] = make([]int64, height+1)
+	}
+
+	program := bsp.ProgramFunc(func(ctx *bsp.Context) error {
+		w, s := ctx.Worker(), ctx.Superstep()
+		wc := workers[w]
+		var pr PartReport
+		computing := false
+
+		if s == 0 {
+			t0 := time.Now()
+			st, err := DecodeState(encodedInit[w])
+			if err != nil {
+				return fmt.Errorf("loading leaf state %d: %w", w, err)
+			}
+			pr.CreateObj = time.Since(t0)
+			wc.state = st
+			computing = true
+		} else {
+			var child *PartState
+			var delivered []RemoteEdge
+			for _, msg := range ctx.Received() {
+				if len(msg.Payload) == 0 {
+					return fmt.Errorf("worker %d: empty message from %d", w, msg.From)
+				}
+				switch msg.Payload[0] {
+				case msgState:
+					t0 := time.Now()
+					st, err := DecodeState(msg.Payload[1:])
+					if err != nil {
+						return fmt.Errorf("worker %d: decoding child state from %d: %w", w, msg.From, err)
+					}
+					pr.CopySrc += time.Since(t0)
+					if child != nil {
+						return fmt.Errorf("worker %d superstep %d: two child states", w, s)
+					}
+					child = st
+				case msgParked:
+					t0 := time.Now()
+					batch, err := DecodeRemoteBatch(msg.Payload[1:])
+					if err != nil {
+						return fmt.Errorf("worker %d: decoding parked batch from %d: %w", w, msg.From, err)
+					}
+					pr.CopySrc += time.Since(t0)
+					delivered = append(delivered, batch...)
+				default:
+					return fmt.Errorf("worker %d: unknown message tag %q", w, msg.Payload[0])
+				}
+			}
+			if isParent[s-1][w] {
+				if child == nil {
+					return fmt.Errorf("worker %d superstep %d: parent missing child state", w, s)
+				}
+				// Materialise own state into the new level's RDD, the
+				// paper's "copy sink partition" cost.
+				t0 := time.Now()
+				own, err := DecodeState(EncodeState(wc.state))
+				if err != nil {
+					return fmt.Errorf("worker %d: rematerialising own state: %w", w, err)
+				}
+				pr.CopySink = time.Since(t0)
+				merged, err := MergeStates(own, child, s-1, cfg.Mode, delivered)
+				if err != nil {
+					return fmt.Errorf("worker %d superstep %d: %w", w, s, err)
+				}
+				wc.state = merged
+				computing = true
+			} else if child != nil || len(delivered) > 0 {
+				return fmt.Errorf("worker %d superstep %d: unexpected merge input", w, s)
+			}
+		}
+
+		if computing {
+			pr.Level, pr.Part = s, w
+			pr.LongsAtStart = wc.state.Longs()
+			pr.RemoteEdges = int64(len(wc.state.Remote))
+			pr.StubGroups = int64(len(wc.state.Stubs))
+			if cfg.Validate {
+				if err := wc.state.CheckParity(); err != nil {
+					return fmt.Errorf("worker %d superstep %d: %w", w, s, err)
+				}
+			}
+			res, err := phase1(wc.state, s, store, registry.IsVisited)
+			if err != nil {
+				return err
+			}
+			pr.CreateObj += res.Prep
+			pr.Phase1 = res.Tour
+			pr.Stats = res.Stats
+			if cfg.Validate && res.Stats.Paths*2 != res.Stats.OB {
+				return fmt.Errorf("worker %d superstep %d: %d OB paths for %d OBs (Lemma 1 count violated)",
+					w, s, res.Stats.Paths, res.Stats.OB)
+			}
+			wc.state.Local = res.OBPairs
+			isRoot := s == height && w == tree.Root()
+			if err := registry.Absorb(res, isRoot); err != nil {
+				return err
+			}
+			wc.reports = append(wc.reports, pr)
+		}
+		if computing {
+			liveLongs[w][s] = pr.LongsAtStart
+		} else if wc.state != nil {
+			liveLongs[w][s] = wc.state.Longs()
+		}
+
+		if s < height {
+			if target, ok := childTarget[s][w]; ok && wc.state != nil {
+				payload := append([]byte{msgState}, EncodeState(wc.state)...)
+				ctx.Send(target, payload)
+				wc.state = nil // ownership transfers to the parent
+			}
+			if batch, ok := wc.parked[int32(s)]; ok && len(batch) > 0 {
+				// Deferred transfer: parked edges converting at level s go
+				// straight to the ancestor that merges at superstep s+1.
+				target := tree.RepAt(s+1, w)
+				payload := append([]byte{msgParked}, EncodeRemoteBatch(batch)...)
+				ctx.Send(target, payload)
+				delete(wc.parked, int32(s))
+			}
+		}
+		if s >= height {
+			ctx.VoteToHalt()
+		}
+		return nil
+	})
+
+	engineOpts := []bsp.Option{bsp.WithCostModel(cfg.Cost)}
+	if cfg.Sequential {
+		engineOpts = append(engineOpts, bsp.WithSequentialWorkers())
+	}
+	engine := bsp.New(n, engineOpts...)
+	wallStart := time.Now()
+	metrics, err := engine.Run(program)
+	wall := time.Since(wallStart)
+	if err != nil {
+		return nil, err
+	}
+	if !registry.PromoteFirstSeed() {
+		return nil, fmt.Errorf("euler: run completed without a master cycle")
+	}
+
+	report := &RunReport{
+		Mode:       cfg.Mode,
+		TreeHeight: height,
+		BSP:        metrics,
+		Wall:       wall,
+	}
+	for _, wc := range workers {
+		report.Parts = append(report.Parts, wc.reports...)
+	}
+	sort.Slice(report.Parts, func(i, j int) bool {
+		if report.Parts[i].Level != report.Parts[j].Level {
+			return report.Parts[i].Level < report.Parts[j].Level
+		}
+		return report.Parts[i].Part < report.Parts[j].Part
+	})
+	for l := 0; l <= height; l++ {
+		lr := LevelReport{Level: l, ParkedLongs: parkedLongsAt[l]}
+		lr.Active = len(report.PartsAt(l))
+		for w := 0; w < n; w++ {
+			if liveLongs[w][l] > 0 {
+				lr.Live++
+				lr.CumulativeLongs += liveLongs[w][l]
+			}
+		}
+		if lr.Live > 0 {
+			lr.AvgLongs = lr.CumulativeLongs / int64(lr.Live)
+		}
+		report.Levels = append(report.Levels, lr)
+	}
+
+	return &Result{Registry: registry, Tree: tree, Report: report}, nil
+}

@@ -1,0 +1,271 @@
+package euler
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary encodings for path bodies (spill store payloads) and partition
+// states (BSP merge transfers).  Varint framing keeps transfer byte counts
+// proportional to the state's Long count, which is what the cost model
+// charges for shuffle time.
+
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("euler: truncated varint at offset %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) varint() (int64, error) {
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("euler: truncated varint at offset %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) done() error {
+	if d.off != len(d.buf) {
+		return fmt.Errorf("euler: %d trailing bytes", len(d.buf)-d.off)
+	}
+	return nil
+}
+
+// EncodeBody serialises a path/cycle body for the spill store.
+func EncodeBody(items []Item) []byte {
+	buf := make([]byte, 0, 1+4*len(items)*2)
+	buf = binary.AppendUvarint(buf, uint64(len(items)))
+	for _, it := range items {
+		buf = append(buf, byte(it.Kind))
+		buf = binary.AppendVarint(buf, it.Ref)
+		buf = binary.AppendVarint(buf, it.From)
+		buf = binary.AppendVarint(buf, it.To)
+	}
+	return buf
+}
+
+// DecodeBody parses a body written by EncodeBody.
+func DecodeBody(buf []byte) ([]Item, error) {
+	d := &decoder{buf: buf}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	items := make([]Item, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if d.off >= len(d.buf) {
+			return nil, fmt.Errorf("euler: truncated item %d", i)
+		}
+		kind := ItemKind(d.buf[d.off])
+		d.off++
+		if kind != ItemEdge && kind != ItemPath {
+			return nil, fmt.Errorf("euler: bad item kind %d", kind)
+		}
+		ref, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		from, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		to, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, Item{Kind: kind, Ref: ref, From: from, To: to})
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+// EncodeState serialises a PartState for transfer to a merge parent.
+func EncodeState(s *PartState) []byte {
+	buf := make([]byte, 0, 16+8*(len(s.Local)+len(s.Remote)+len(s.Stubs)))
+	buf = binary.AppendUvarint(buf, uint64(s.Parent))
+	buf = binary.AppendUvarint(buf, uint64(len(s.Leaves)))
+	for _, l := range s.Leaves {
+		buf = binary.AppendUvarint(buf, uint64(l))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.Local)))
+	for _, e := range s.Local {
+		buf = append(buf, byte(e.Kind))
+		buf = binary.AppendVarint(buf, e.U)
+		buf = binary.AppendVarint(buf, e.V)
+		buf = binary.AppendVarint(buf, e.Ref)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.Remote)))
+	for _, r := range s.Remote {
+		buf = binary.AppendVarint(buf, r.Local)
+		buf = binary.AppendVarint(buf, r.Remote)
+		buf = binary.AppendVarint(buf, r.Edge)
+		buf = binary.AppendVarint(buf, int64(r.ConvertLevel))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.Stubs)))
+	for _, st := range s.Stubs {
+		buf = binary.AppendVarint(buf, st.Vertex)
+		buf = binary.AppendVarint(buf, int64(st.ConvertLevel))
+		buf = binary.AppendVarint(buf, st.Count)
+	}
+	return buf
+}
+
+// DecodeState parses a PartState written by EncodeState.
+func DecodeState(buf []byte) (*PartState, error) {
+	d := &decoder{buf: buf}
+	s := &PartState{}
+	parent, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	s.Parent = int(parent)
+	nl, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nl; i++ {
+		l, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		s.Leaves = append(s.Leaves, int(l))
+	}
+	ne, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ne > 0 {
+		s.Local = make([]CoarseEdge, 0, ne)
+	}
+	for i := uint64(0); i < ne; i++ {
+		if d.off >= len(d.buf) {
+			return nil, fmt.Errorf("euler: truncated local edge %d", i)
+		}
+		kind := ItemKind(d.buf[d.off])
+		d.off++
+		u, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		ref, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		s.Local = append(s.Local, CoarseEdge{U: u, V: v, Kind: kind, Ref: ref})
+	}
+	nr, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nr > 0 {
+		s.Remote = make([]RemoteEdge, 0, nr)
+	}
+	for i := uint64(0); i < nr; i++ {
+		local, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		remote, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		edge, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		lvl, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		s.Remote = append(s.Remote, RemoteEdge{
+			Local: local, Remote: remote, Edge: edge, ConvertLevel: int32(lvl),
+		})
+	}
+	ns, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < ns; i++ {
+		v, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		lvl, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		count, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		s.Stubs = append(s.Stubs, Stub{Vertex: v, ConvertLevel: int32(lvl), Count: count})
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// EncodeRemoteBatch serialises a parked remote-edge delivery (deferred
+// transfer mode).
+func EncodeRemoteBatch(edges []RemoteEdge) []byte {
+	buf := make([]byte, 0, 4+8*len(edges))
+	buf = binary.AppendUvarint(buf, uint64(len(edges)))
+	for _, r := range edges {
+		buf = binary.AppendVarint(buf, r.Local)
+		buf = binary.AppendVarint(buf, r.Remote)
+		buf = binary.AppendVarint(buf, r.Edge)
+		buf = binary.AppendVarint(buf, int64(r.ConvertLevel))
+	}
+	return buf
+}
+
+// DecodeRemoteBatch parses a batch written by EncodeRemoteBatch.
+func DecodeRemoteBatch(buf []byte) ([]RemoteEdge, error) {
+	d := &decoder{buf: buf}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	edges := make([]RemoteEdge, 0, n)
+	for i := uint64(0); i < n; i++ {
+		local, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		remote, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		edge, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		lvl, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		edges = append(edges, RemoteEdge{
+			Local: local, Remote: remote, Edge: edge, ConvertLevel: int32(lvl),
+		})
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return edges, nil
+}

@@ -1,0 +1,177 @@
+package euler
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBodyRoundTrip(t *testing.T) {
+	items := []Item{
+		{Kind: ItemEdge, Ref: 42, From: 1, To: 2},
+		{Kind: ItemPath, Ref: MakePathID(1, 2, 3), From: 2, To: 9},
+		{Kind: ItemEdge, Ref: 0, From: 9, To: 1},
+	}
+	got, err := DecodeBody(EncodeBody(items))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, items) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, items)
+	}
+}
+
+func TestBodyEmpty(t *testing.T) {
+	got, err := DecodeBody(EncodeBody(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestBodyCorruption(t *testing.T) {
+	buf := EncodeBody([]Item{{Kind: ItemEdge, Ref: 1, From: 2, To: 3}})
+	if _, err := DecodeBody(buf[:len(buf)-1]); err == nil {
+		t.Error("truncated body should fail")
+	}
+	bad := append([]byte{}, buf...)
+	bad[1] = 0xFF // invalid item kind
+	if _, err := DecodeBody(bad); err == nil {
+		t.Error("bad kind should fail")
+	}
+	if _, err := DecodeBody(append(buf, 0)); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	s := &PartState{
+		Parent: 3,
+		Leaves: []int{1, 3},
+		Local: []CoarseEdge{
+			{U: 5, V: 9, Kind: ItemEdge, Ref: 17},
+			{U: 9, V: 2, Kind: ItemPath, Ref: MakePathID(0, 1, 0)},
+		},
+		Remote: []RemoteEdge{
+			{Local: 5, Remote: 100, Edge: 3, ConvertLevel: 2},
+		},
+		Stubs: []Stub{
+			{Vertex: 9, ConvertLevel: 1, Count: 4},
+		},
+	}
+	got, err := DecodeState(EncodeState(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, s)
+	}
+}
+
+func TestStateEmpty(t *testing.T) {
+	s := &PartState{Parent: 0, Leaves: []int{0}}
+	got, err := DecodeState(EncodeState(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Parent != 0 || len(got.Leaves) != 1 || len(got.Local) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestStateCorruption(t *testing.T) {
+	buf := EncodeState(&PartState{Parent: 1, Leaves: []int{1},
+		Local: []CoarseEdge{{U: 1, V: 2, Kind: ItemEdge, Ref: 5}}})
+	for cut := 1; cut < len(buf); cut++ {
+		if _, err := DecodeState(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestRemoteBatchRoundTrip(t *testing.T) {
+	batch := []RemoteEdge{
+		{Local: 1, Remote: 2, Edge: 3, ConvertLevel: 1},
+		{Local: 4, Remote: 5, Edge: 6, ConvertLevel: 2},
+	}
+	got, err := DecodeRemoteBatch(EncodeRemoteBatch(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, batch) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	empty, err := DecodeRemoteBatch(EncodeRemoteBatch(nil))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty batch: %v %v", empty, err)
+	}
+}
+
+func TestQuickBodyRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 64)
+		items := make([]Item, n)
+		for i := range items {
+			kind := ItemEdge
+			if rng.Intn(2) == 1 {
+				kind = ItemPath
+			}
+			items[i] = Item{
+				Kind: kind,
+				Ref:  rng.Int63() - rng.Int63(),
+				From: rng.Int63n(1 << 30),
+				To:   rng.Int63n(1 << 30),
+			}
+		}
+		got, err := DecodeBody(EncodeBody(items))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(items) {
+			return false
+		}
+		for i := range items {
+			if got[i] != items[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickStateRoundTrip(t *testing.T) {
+	f := func(seed int64, nl, nr, ns uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := &PartState{Parent: int(nl % 16), Leaves: []int{int(nl % 16)}}
+		for i := 0; i < int(nl%20); i++ {
+			s.Local = append(s.Local, CoarseEdge{
+				U: rng.Int63n(1000), V: rng.Int63n(1000),
+				Kind: ItemKind(rng.Intn(2)), Ref: rng.Int63n(1 << 40),
+			})
+		}
+		for i := 0; i < int(nr%20); i++ {
+			s.Remote = append(s.Remote, RemoteEdge{
+				Local: rng.Int63n(1000), Remote: rng.Int63n(1000),
+				Edge: rng.Int63n(1 << 30), ConvertLevel: int32(rng.Intn(8)),
+			})
+		}
+		for i := 0; i < int(ns%10); i++ {
+			s.Stubs = append(s.Stubs, Stub{
+				Vertex: rng.Int63n(1000), ConvertLevel: int32(rng.Intn(8)),
+				Count: rng.Int63n(100) + 1,
+			})
+		}
+		got, err := DecodeState(EncodeState(s))
+		return err == nil && reflect.DeepEqual(got, s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

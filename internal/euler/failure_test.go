@@ -1,0 +1,111 @@
+package euler
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/partition"
+	"repro/internal/spill"
+)
+
+// failingStore wraps a Store and fails operations after a countdown, for
+// injecting storage faults into Phase 1 (Put) and Phase 3 (Get).
+type failingStore struct {
+	inner    spill.Store
+	putsLeft int64 // fail Put when it reaches zero; negative disables
+	getsLeft int64 // fail Get when it reaches zero; negative disables
+}
+
+func (f *failingStore) Put(id int64, data []byte) error {
+	if atomic.AddInt64(&f.putsLeft, -1) == -1 {
+		return fmt.Errorf("injected put failure at record %d", id)
+	}
+	return f.inner.Put(id, data)
+}
+
+func (f *failingStore) Get(id int64) ([]byte, error) {
+	if atomic.AddInt64(&f.getsLeft, -1) == -1 {
+		return nil, fmt.Errorf("injected get failure at record %d", id)
+	}
+	return f.inner.Get(id)
+}
+
+func (f *failingStore) Len() int     { return f.inner.Len() }
+func (f *failingStore) Close() error { return f.inner.Close() }
+
+func TestPhase1SpillFailureSurfaces(t *testing.T) {
+	g, _ := gen.EulerianRMAT(gen.DefaultRMAT(8, 61))
+	a := partition.LDG(g, 2, 1)
+	store := &failingStore{inner: spill.NewMemStore(), putsLeft: 2, getsLeft: -1 << 40}
+	_, err := Run(g, a, Config{Store: store})
+	if err == nil || !strings.Contains(err.Error(), "injected put failure") {
+		t.Fatalf("err = %v, want injected put failure", err)
+	}
+}
+
+func TestPhase3ReadFailureSurfaces(t *testing.T) {
+	g, _ := gen.EulerianRMAT(gen.DefaultRMAT(8, 61))
+	a := partition.LDG(g, 2, 1)
+	store := &failingStore{inner: spill.NewMemStore(), putsLeft: -1 << 40, getsLeft: -1 << 40}
+	res, err := Run(g, a, Config{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arm the Get failure for the unroll only.
+	atomic.StoreInt64(&store.getsLeft, 3)
+	_, err = res.Registry.CollectCircuit()
+	if err == nil || !strings.Contains(err.Error(), "injected get failure") {
+		t.Fatalf("err = %v, want injected get failure", err)
+	}
+}
+
+func TestUnrollBeforeRun(t *testing.T) {
+	reg := NewRegistry(spill.NewMemStore(), 10)
+	if err := reg.Unroll(func(Step) error { return nil }); err == nil {
+		t.Fatal("Unroll without a run should fail")
+	}
+}
+
+func TestUnrollEmitError(t *testing.T) {
+	g := gen.Torus(6, 6)
+	a := partition.LDG(g, 2, 1)
+	res, err := Run(g, a, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := fmt.Errorf("emit rejected")
+	count := 0
+	err = res.Registry.Unroll(func(Step) error {
+		count++
+		if count > 5 {
+			return boom
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "emit rejected") {
+		t.Fatalf("err = %v, want emit error", err)
+	}
+}
+
+func TestCorruptedBodySurfaces(t *testing.T) {
+	// A registry pointing at garbage bodies must fail decoding, not emit a
+	// wrong circuit.
+	store := spill.NewMemStore()
+	if err := store.Put(1, []byte{0xFF, 0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	reg := &Registry{
+		store:   store,
+		recs:    map[PathID]PathRec{1: {ID: 1, Type: IVCycle, Src: 0, Dst: 0}},
+		visited: make([]bool, 4),
+		master:  1,
+	}
+	reg.anchored = map[int64][]PathID{}
+	_, err := reg.CollectCircuit()
+	if err == nil {
+		t.Fatal("corrupted body accepted")
+	}
+}

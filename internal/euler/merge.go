@@ -1,0 +1,187 @@
+package euler
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// BuildLeafStates constructs the level-0 partition states from the
+// partitioned graph, applying the mode's remote-edge storage policy:
+//
+//   - ModeCurrent: every cut edge is stored by both partitions (the
+//     directed-pair duplication of Sec. 3.1).
+//   - ModeDedup / ModeProposed: only the "lighter" partition of each pair
+//     (fewer total cut edges, Sec. 5) stores the edge; the other side
+//     holds stubs that preserve remote-degree classification.
+//
+// In ModeProposed the keeper's edges that convert at level ≥ 1 are
+// additionally moved out of the state into the returned parked pools
+// (keyed by convert level), to be shipped from the leaf host directly to
+// the merging ancestor at the right superstep (deferred transfer).
+// Parked edges are likewise stub-covered in the state.
+func BuildLeafStates(g *graph.Graph, a partition.Assignment, tree *MergeTree, mode Mode) ([]*PartState, []map[int32][]RemoteEdge) {
+	n := int(a.Parts)
+	states := make([]*PartState, n)
+	parked := make([]map[int32][]RemoteEdge, n)
+	for i := 0; i < n; i++ {
+		states[i] = &PartState{Parent: i, Leaves: []int{i}}
+		parked[i] = make(map[int32][]RemoteEdge)
+	}
+
+	// Cut-edge loads decide the keeper side per partition pair (Sec. 5:
+	// the heavier partition drops its copies).
+	load := make([]int64, n)
+	for _, e := range g.Edges() {
+		if a.Of[e.U] != a.Of[e.V] {
+			load[a.Of[e.U]]++
+			load[a.Of[e.V]]++
+		}
+	}
+	keeperOf := func(pu, pv int32) int32 {
+		if load[pu] != load[pv] {
+			if load[pu] < load[pv] {
+				return pu
+			}
+			return pv
+		}
+		if pu < pv {
+			return pu
+		}
+		return pv
+	}
+
+	stubCount := make([]map[[2]int64]int64, n) // (vertex, level) → count
+	for i := range stubCount {
+		stubCount[i] = make(map[[2]int64]int64)
+	}
+
+	for _, e := range g.Edges() {
+		pu, pv := a.Of[e.U], a.Of[e.V]
+		if pu == pv {
+			states[pu].Local = append(states[pu].Local,
+				CoarseEdge{U: e.U, V: e.V, Kind: ItemEdge, Ref: e.ID})
+			continue
+		}
+		lvl := tree.ConvertLevel(int(pu), int(pv))
+		if mode == ModeCurrent {
+			states[pu].Remote = append(states[pu].Remote,
+				RemoteEdge{Local: e.U, Remote: e.V, Edge: e.ID, ConvertLevel: lvl})
+			states[pv].Remote = append(states[pv].Remote,
+				RemoteEdge{Local: e.V, Remote: e.U, Edge: e.ID, ConvertLevel: lvl})
+			continue
+		}
+		keeper := keeperOf(pu, pv)
+		kLocal, kRemote, other, oLocal := e.U, e.V, pv, e.V
+		if keeper == pv {
+			kLocal, kRemote, other, oLocal = e.V, e.U, pu, e.U
+		}
+		re := RemoteEdge{Local: kLocal, Remote: kRemote, Edge: e.ID, ConvertLevel: lvl}
+		if mode == ModeProposed && lvl >= 1 {
+			parked[keeper][lvl] = append(parked[keeper][lvl], re)
+			stubCount[keeper][[2]int64{kLocal, int64(lvl)}]++
+		} else {
+			states[keeper].Remote = append(states[keeper].Remote, re)
+		}
+		stubCount[other][[2]int64{oLocal, int64(lvl)}]++
+	}
+
+	for i := 0; i < n; i++ {
+		states[i].Stubs = stubsFromMap(stubCount[i])
+	}
+	return states, parked
+}
+
+func stubsFromMap(m map[[2]int64]int64) []Stub {
+	if len(m) == 0 {
+		return nil
+	}
+	stubs := make([]Stub, 0, len(m))
+	for k, c := range m {
+		stubs = append(stubs, Stub{Vertex: k[0], ConvertLevel: int32(k[1]), Count: c})
+	}
+	sort.Slice(stubs, func(i, j int) bool {
+		if stubs[i].Vertex != stubs[j].Vertex {
+			return stubs[i].Vertex < stubs[j].Vertex
+		}
+		return stubs[i].ConvertLevel < stubs[j].ConvertLevel
+	})
+	return stubs
+}
+
+// MergeStates merges a child partition state into its parent at the given
+// level (Phase 2): remote edges whose ConvertLevel equals level become
+// local coarse edges, stubs at that level are retired, and everything else
+// is carried.  delivered carries parked remote edges shipped from leaf
+// hosts in ModeProposed.  Both input states must already have had Phase 1
+// applied (their Local sets are OB-pair edges only).
+func MergeStates(parent, child *PartState, level int, mode Mode, delivered []RemoteEdge) (*PartState, error) {
+	merged := &PartState{Parent: parent.Parent}
+	merged.Leaves = mergeSortedLeaves(parent.Leaves, child.Leaves)
+	merged.Local = append(append([]CoarseEdge{}, parent.Local...), child.Local...)
+
+	all := make([]RemoteEdge, 0, len(parent.Remote)+len(child.Remote)+len(delivered))
+	all = append(all, parent.Remote...)
+	all = append(all, child.Remote...)
+	all = append(all, delivered...)
+
+	seen := make(map[graph.EdgeID]int8)
+	for _, r := range all {
+		if int(r.ConvertLevel) == level {
+			seen[r.Edge]++
+			continue
+		}
+		if int(r.ConvertLevel) < level {
+			return nil, fmt.Errorf("euler: merge at level %d found stale remote edge %d (convert level %d)",
+				level, r.Edge, r.ConvertLevel)
+		}
+		merged.Remote = append(merged.Remote, r)
+	}
+	wantCopies := int8(1)
+	if mode == ModeCurrent {
+		wantCopies = 2 // the directed-pair duplication stores both sides
+	}
+	for _, r := range all {
+		if int(r.ConvertLevel) != level {
+			continue
+		}
+		c := seen[r.Edge]
+		if c == -1 {
+			continue // duplicate copy of an already-converted edge
+		}
+		if c != wantCopies {
+			return nil, fmt.Errorf("euler: merge at level %d: edge %d has %d stored copies, want %d (mode %v)",
+				level, r.Edge, c, wantCopies, mode)
+		}
+		seen[r.Edge] = -1 // convert each undirected edge exactly once
+		merged.Local = append(merged.Local,
+			CoarseEdge{U: r.Local, V: r.Remote, Kind: ItemEdge, Ref: r.Edge})
+	}
+
+	// Retire stubs for this level; coalesce the rest.
+	stubs := make(map[[2]int64]int64)
+	for _, src := range [][]Stub{parent.Stubs, child.Stubs} {
+		for _, st := range src {
+			if int(st.ConvertLevel) == level {
+				continue
+			}
+			if int(st.ConvertLevel) < level {
+				return nil, fmt.Errorf("euler: merge at level %d found stale stub at vertex %d (convert level %d)",
+					level, st.Vertex, st.ConvertLevel)
+			}
+			stubs[[2]int64{st.Vertex, int64(st.ConvertLevel)}] += st.Count
+		}
+	}
+	merged.Stubs = stubsFromMap(stubs)
+	return merged, nil
+}
+
+func mergeSortedLeaves(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,202 @@
+package euler
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/partition"
+)
+
+// figure1Setup builds the paper's Fig. 1 leaf states under a mode.
+func figure1Setup(t *testing.T, mode Mode) ([]*PartState, *MergeTree, []map[int32][]RemoteEdge) {
+	t.Helper()
+	g, part := gen.PaperFigure1()
+	a := partition.Assignment{Parts: 4, Of: part}
+	meta := BuildMetaGraph(g, a)
+	tree := BuildMergeTree(meta, GreedyMaxWeight)
+	states, parked := BuildLeafStates(g, a, tree, mode)
+	return states, tree, parked
+}
+
+func TestBuildLeafStatesCurrent(t *testing.T) {
+	states, _, parked := figure1Setup(t, ModeCurrent)
+	// Fig. 1a has 5 cut edges; each is stored by both sides: 10 copies.
+	var copies int
+	for _, s := range states {
+		copies += len(s.Remote)
+		if len(s.Stubs) != 0 {
+			t.Errorf("partition %d has stubs in current mode", s.Parent)
+		}
+		if err := s.CheckParity(); err != nil {
+			t.Errorf("partition %d: %v", s.Parent, err)
+		}
+	}
+	if copies != 10 {
+		t.Fatalf("remote copies = %d, want 10", copies)
+	}
+	// Local edges: 16 total - 5 cut = 11, spread over partitions.
+	var locals int
+	for _, s := range states {
+		locals += len(s.Local)
+	}
+	if locals != 11 {
+		t.Fatalf("local edges = %d, want 11", locals)
+	}
+	for _, p := range parked {
+		if len(p) != 0 {
+			t.Error("current mode must not park edges")
+		}
+	}
+}
+
+func TestBuildLeafStatesDedup(t *testing.T) {
+	states, _, parked := figure1Setup(t, ModeDedup)
+	var copies, stubbed int64
+	for _, s := range states {
+		copies += int64(len(s.Remote))
+		for _, st := range s.Stubs {
+			stubbed += st.Count
+		}
+		if err := s.CheckParity(); err != nil {
+			t.Errorf("partition %d: %v", s.Parent, err)
+		}
+	}
+	// Exactly one stored copy and one stub side per cut edge.
+	if copies != 5 || stubbed != 5 {
+		t.Fatalf("copies=%d stubbed=%d, want 5/5", copies, stubbed)
+	}
+	for _, p := range parked {
+		if len(p) != 0 {
+			t.Error("dedup mode must not park edges")
+		}
+	}
+}
+
+func TestBuildLeafStatesProposedParks(t *testing.T) {
+	states, tree, parked := figure1Setup(t, ModeProposed)
+	var inState, parkedCount int
+	for i, s := range states {
+		inState += len(s.Remote)
+		for lvl, batch := range parked[i] {
+			parkedCount += len(batch)
+			if lvl < 1 {
+				t.Errorf("parked batch at level %d, want >= 1", lvl)
+			}
+			for _, r := range batch {
+				if r.ConvertLevel != lvl {
+					t.Errorf("parked edge %+v under level %d", r, lvl)
+				}
+			}
+		}
+		if err := s.CheckParity(); err != nil {
+			t.Errorf("partition %d: %v", s.Parent, err)
+		}
+	}
+	if inState+parkedCount != 5 {
+		t.Fatalf("stored %d + parked %d copies, want 5 total", inState, parkedCount)
+	}
+	// Fig. 2: level 1 merges P2 and P4; the single P1–P4 edge (e1,14) and
+	// P2–P4 edge (e3,13) convert at level 1 and must be parked.
+	if tree.ConvertLevel(0, 3) != 1 {
+		t.Fatalf("ConvertLevel(P1,P4) = %d, want 1", tree.ConvertLevel(0, 3))
+	}
+	if parkedCount == 0 {
+		t.Fatal("no edges parked despite level-1 conversions")
+	}
+}
+
+func TestMergeStatesFigure1Level0(t *testing.T) {
+	// Merge P3 into P4 at level 0 (current mode) after Phase 1 — here we
+	// merge the raw leaf states (their locals are original edges, which is
+	// fine for MergeStates: it only touches Remote/Stubs).
+	states, _, _ := figure1Setup(t, ModeCurrent)
+	merged, err := MergeStates(states[3], states[2], 0, ModeCurrent, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P3–P4 cut edges e6,11 and e9,10 become local.
+	var converted int
+	for _, e := range merged.Local {
+		if e.Kind == ItemEdge {
+			converted++
+		}
+	}
+	wantLocals := len(states[3].Local) + len(states[2].Local) + 2
+	if len(merged.Local) != wantLocals {
+		t.Fatalf("merged locals = %d, want %d", len(merged.Local), wantLocals)
+	}
+	// Remaining remote edges: P4's e1,14 and e3,13 sides (2 copies).
+	if len(merged.Remote) != 2 {
+		t.Fatalf("merged remotes = %d, want 2", len(merged.Remote))
+	}
+	if err := merged.CheckParity(); err != nil {
+		t.Fatal(err)
+	}
+	if got := merged.Leaves; len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("leaves = %v, want [2 3]", got)
+	}
+}
+
+func TestMergeStatesRejectsStale(t *testing.T) {
+	parent := &PartState{Parent: 1, Leaves: []int{1},
+		Remote: []RemoteEdge{{Local: 1, Remote: 2, Edge: 0, ConvertLevel: 0}}}
+	child := &PartState{Parent: 0, Leaves: []int{0},
+		Remote: []RemoteEdge{{Local: 2, Remote: 1, Edge: 0, ConvertLevel: 0}}}
+	if _, err := MergeStates(parent, child, 1, ModeCurrent, nil); err == nil {
+		t.Fatal("stale remote edge should be rejected")
+	}
+}
+
+func TestMergeStatesRejectsMissingCopy(t *testing.T) {
+	// Current mode expects both copies of a converting edge.
+	parent := &PartState{Parent: 1, Leaves: []int{1},
+		Remote: []RemoteEdge{{Local: 1, Remote: 2, Edge: 0, ConvertLevel: 0}}}
+	child := &PartState{Parent: 0, Leaves: []int{0}}
+	if _, err := MergeStates(parent, child, 0, ModeCurrent, nil); err == nil {
+		t.Fatal("single copy in current mode should be rejected")
+	}
+}
+
+func TestMergeStatesDelivered(t *testing.T) {
+	// Proposed mode: the converting edge arrives via a parked delivery.
+	parent := &PartState{Parent: 1, Leaves: []int{1},
+		Stubs: []Stub{{Vertex: 1, ConvertLevel: 0, Count: 1}}}
+	child := &PartState{Parent: 0, Leaves: []int{0},
+		Stubs: []Stub{{Vertex: 2, ConvertLevel: 0, Count: 1}}}
+	delivered := []RemoteEdge{{Local: 2, Remote: 1, Edge: 7, ConvertLevel: 0}}
+	merged, err := MergeStates(parent, child, 0, ModeProposed, delivered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Local) != 1 || merged.Local[0].Ref != 7 {
+		t.Fatalf("merged locals = %+v", merged.Local)
+	}
+	if len(merged.Stubs) != 0 {
+		t.Fatalf("stubs not retired: %+v", merged.Stubs)
+	}
+}
+
+func TestStateLongsAccounting(t *testing.T) {
+	s := &PartState{
+		Parent: 0,
+		Leaves: []int{0},
+		Local:  []CoarseEdge{{U: 1, V: 2, Kind: ItemEdge, Ref: 0}},
+		Remote: []RemoteEdge{{Local: 1, Remote: 5, Edge: 1, ConvertLevel: 0}},
+		Stubs:  []Stub{{Vertex: 2, ConvertLevel: 1, Count: 1}},
+	}
+	// Vertices {1,2}: 4 longs; 1 local edge: 3; 1 remote: 2; 1 stub: 3.
+	if got := s.Longs(); got != 12 {
+		t.Fatalf("Longs = %d, want 12", got)
+	}
+}
+
+func TestStateClone(t *testing.T) {
+	s := &PartState{Parent: 1, Leaves: []int{1},
+		Local: []CoarseEdge{{U: 1, V: 2, Kind: ItemEdge, Ref: 0}}}
+	c := s.Clone()
+	c.Local[0].U = 99
+	c.Leaves[0] = 7
+	if s.Local[0].U != 1 || s.Leaves[0] != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+}

@@ -1,0 +1,200 @@
+package euler
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// chainMeta builds a meta-graph where consecutive partitions share
+// decreasing weights: w(i,i+1) = n-i.
+func chainMeta(n int) *MetaGraph {
+	m := NewMetaGraph(n)
+	for i := 0; i < n-1; i++ {
+		m.AddWeight(i, i+1, int64(n-i))
+	}
+	return m
+}
+
+func TestMergeTreeHeights(t *testing.T) {
+	for n := 1; n <= 20; n++ {
+		tree := BuildMergeTree(chainMeta(n), GreedyMaxWeight)
+		want := 0
+		if n > 1 {
+			want = int(math.Ceil(math.Log2(float64(n))))
+		}
+		if tree.Height() != want {
+			t.Errorf("n=%d: height = %d, want %d", n, tree.Height(), want)
+		}
+	}
+}
+
+func TestMergeTreeParentIsLargerID(t *testing.T) {
+	tree := BuildMergeTree(chainMeta(8), GreedyMaxWeight)
+	for l, pairs := range tree.Levels {
+		for _, p := range pairs {
+			if p.Parent <= p.Child {
+				t.Errorf("level %d: parent %d not larger than child %d", l, p.Parent, p.Child)
+			}
+		}
+	}
+}
+
+func TestMergeTreeRootAndReps(t *testing.T) {
+	tree := BuildMergeTree(chainMeta(4), GreedyMaxWeight)
+	root := tree.Root()
+	for leaf := 0; leaf < 4; leaf++ {
+		if got := tree.RepAt(tree.Height(), leaf); got != root {
+			t.Errorf("RepAt(height, %d) = %d, want root %d", leaf, got, root)
+		}
+		if got := tree.RepAt(0, leaf); got != leaf {
+			t.Errorf("RepAt(0, %d) = %d, want itself", leaf, got)
+		}
+	}
+}
+
+func TestConvertLevelSymmetric(t *testing.T) {
+	tree := BuildMergeTree(chainMeta(8), GreedyMaxWeight)
+	for a := 0; a < 8; a++ {
+		for b := 0; b < 8; b++ {
+			if a == b {
+				continue
+			}
+			la, lb := tree.ConvertLevel(a, b), tree.ConvertLevel(b, a)
+			if la != lb {
+				t.Errorf("ConvertLevel(%d,%d)=%d != ConvertLevel(%d,%d)=%d", a, b, la, b, a, lb)
+			}
+			if la < 0 || int(la) >= tree.Height() {
+				t.Errorf("ConvertLevel(%d,%d)=%d out of range", a, b, la)
+			}
+		}
+	}
+}
+
+func TestConvertLevelMatchesReps(t *testing.T) {
+	tree := BuildMergeTree(chainMeta(7), GreedyMaxWeight)
+	for a := 0; a < 7; a++ {
+		for b := a + 1; b < 7; b++ {
+			l := int(tree.ConvertLevel(a, b))
+			if tree.RepAt(l, a) == tree.RepAt(l, b) {
+				t.Errorf("leaves %d,%d share a rep before their convert level %d", a, b, l)
+			}
+			if tree.RepAt(l+1, a) != tree.RepAt(l+1, b) {
+				t.Errorf("leaves %d,%d not merged after convert level %d", a, b, l)
+			}
+		}
+	}
+}
+
+func TestGreedyMaxWeightPrefersHeavy(t *testing.T) {
+	m := NewMetaGraph(4)
+	m.AddWeight(0, 1, 1)
+	m.AddWeight(2, 3, 10)
+	m.AddWeight(1, 2, 5)
+	pairs := GreedyMaxWeight([]int{0, 1, 2, 3}, m.Weight)
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if pairs[0] != [2]int{2, 3} {
+		t.Errorf("heaviest pair first: got %v", pairs[0])
+	}
+}
+
+func TestGreedyMinWeightPrefersLight(t *testing.T) {
+	m := NewMetaGraph(4)
+	m.AddWeight(0, 1, 1)
+	m.AddWeight(2, 3, 10)
+	m.AddWeight(1, 2, 5)
+	pairs := GreedyMinWeight([]int{0, 1, 2, 3}, m.Weight)
+	if pairs[0] != [2]int{0, 1} {
+		t.Errorf("lightest pair first: got %v", pairs[0])
+	}
+}
+
+func TestMatchingPairsLeftovers(t *testing.T) {
+	// No positive weights at all: everything pairs arbitrarily.
+	m := NewMetaGraph(5)
+	pairs := GreedyMaxWeight([]int{0, 1, 2, 3, 4}, m.Weight)
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v, want 2 (one leftover)", pairs)
+	}
+	seen := map[int]bool{}
+	for _, p := range pairs {
+		if seen[p[0]] || seen[p[1]] {
+			t.Fatalf("overlapping pairs: %v", pairs)
+		}
+		seen[p[0]], seen[p[1]] = true, true
+	}
+}
+
+func TestRandomMatchDeterministic(t *testing.T) {
+	m := chainMeta(6)
+	s := RandomMatch(7)
+	a := s([]int{0, 1, 2, 3, 4, 5}, m.Weight)
+	b := s([]int{0, 1, 2, 3, 4, 5}, m.Weight)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic pair count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic pairing")
+		}
+	}
+}
+
+func TestQuickMergeTreeInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%14) + 1
+		m := NewMetaGraph(n)
+		rng := seed
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				if rng%3 == 0 {
+					w := (rng >> 33) % 50
+					if w < 0 {
+						w = -w
+					}
+					m.AddWeight(i, j, w+1)
+				}
+			}
+		}
+		tree := BuildMergeTree(m, GreedyMaxWeight)
+		// Every leaf pair must have a convert level within the height, and
+		// each level's pairs must be disjoint.
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				l := tree.ConvertLevel(a, b)
+				if l < 0 || int(l) >= tree.Height() {
+					return false
+				}
+			}
+		}
+		for _, pairs := range tree.Levels {
+			seen := map[int]bool{}
+			for _, p := range pairs {
+				if seen[p.Child] || seen[p.Parent] || p.Child == p.Parent {
+					return false
+				}
+				seen[p.Child], seen[p.Parent] = true, true
+			}
+		}
+		// Height is logarithmic.
+		if n > 1 && tree.Height() > int(math.Ceil(math.Log2(float64(n))))+1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetaGraphSelfEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMetaGraph(3).AddWeight(1, 1, 5)
+}

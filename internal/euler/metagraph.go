@@ -1,0 +1,143 @@
+package euler
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// MetaGraph is the partition-level summary graph of Sec. 3.1: meta-vertices
+// are partitions, and the weight ω(m_ij) of a meta-edge counts the cut
+// edges between the boundary vertices of partitions i and j.  At n
+// partitions it occupies O(n²) and is built on one machine, as the paper
+// prescribes for Alg. 2.
+type MetaGraph struct {
+	N int
+	w [][]int64 // symmetric; w[i][j] = undirected cut edges between i and j
+}
+
+// NewMetaGraph returns an empty meta-graph over n partitions.
+func NewMetaGraph(n int) *MetaGraph {
+	w := make([][]int64, n)
+	for i := range w {
+		w[i] = make([]int64, n)
+	}
+	return &MetaGraph{N: n, w: w}
+}
+
+// BuildMetaGraph counts cut edges between every partition pair.
+func BuildMetaGraph(g *graph.Graph, a partition.Assignment) *MetaGraph {
+	m := NewMetaGraph(int(a.Parts))
+	for _, e := range g.Edges() {
+		pu, pv := a.Of[e.U], a.Of[e.V]
+		if pu != pv {
+			m.w[pu][pv]++
+			m.w[pv][pu]++
+		}
+	}
+	return m
+}
+
+// Weight returns ω(m_ij).
+func (m *MetaGraph) Weight(i, j int) int64 { return m.w[i][j] }
+
+// AddWeight adds to the symmetric weight between i and j.
+func (m *MetaGraph) AddWeight(i, j int, delta int64) {
+	if i == j {
+		panic(fmt.Sprintf("euler: meta self edge %d", i))
+	}
+	m.w[i][j] += delta
+	m.w[j][i] += delta
+}
+
+// metaEdge is a candidate pair for the matching strategies.
+type metaEdge struct {
+	a, b   int
+	weight int64
+}
+
+// MatchStrategy selects disjoint pairs from the active meta-vertices given
+// a weight oracle.  Unpaired vertices are carried to the next level by the
+// merge-tree builder.  Strategies must be deterministic for a given input.
+type MatchStrategy func(active []int, weight func(a, b int) int64) [][2]int
+
+// GreedyMaxWeight is the paper's maximalMatching (Alg. 2): sort meta-edges
+// by descending weight and greedily select non-conflicting pairs, then pair
+// any remaining vertices arbitrarily (zero-weight merges) so the tree stays
+// logarithmic even on sparse meta-graphs.
+func GreedyMaxWeight(active []int, weight func(a, b int) int64) [][2]int {
+	return greedyByOrder(active, weight, func(e1, e2 metaEdge) bool {
+		if e1.weight != e2.weight {
+			return e1.weight > e2.weight
+		}
+		if e1.a != e2.a {
+			return e1.a < e2.a
+		}
+		return e1.b < e2.b
+	})
+}
+
+// GreedyMinWeight is an ablation strategy that merges the *least*
+// connected pairs first, the pessimal ordering for local-edge consumption.
+func GreedyMinWeight(active []int, weight func(a, b int) int64) [][2]int {
+	return greedyByOrder(active, weight, func(e1, e2 metaEdge) bool {
+		if e1.weight != e2.weight {
+			return e1.weight < e2.weight
+		}
+		if e1.a != e2.a {
+			return e1.a < e2.a
+		}
+		return e1.b < e2.b
+	})
+}
+
+// RandomMatch is an ablation strategy pairing partitions uniformly at
+// random (deterministically from seed).
+func RandomMatch(seed int64) MatchStrategy {
+	return func(active []int, weight func(a, b int) int64) [][2]int {
+		rng := rand.New(rand.NewSource(seed + int64(len(active))))
+		perm := rng.Perm(len(active))
+		var pairs [][2]int
+		for i := 0; i+1 < len(perm); i += 2 {
+			pairs = append(pairs, [2]int{active[perm[i]], active[perm[i+1]]})
+		}
+		return pairs
+	}
+}
+
+func greedyByOrder(active []int, weight func(a, b int) int64, less func(metaEdge, metaEdge) bool) [][2]int {
+	var edges []metaEdge
+	for i := 0; i < len(active); i++ {
+		for j := i + 1; j < len(active); j++ {
+			if w := weight(active[i], active[j]); w > 0 {
+				edges = append(edges, metaEdge{a: active[i], b: active[j], weight: w})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return less(edges[i], edges[j]) })
+	used := make(map[int]bool, len(active))
+	var pairs [][2]int
+	for _, e := range edges {
+		if used[e.a] || used[e.b] {
+			continue
+		}
+		used[e.a] = true
+		used[e.b] = true
+		pairs = append(pairs, [2]int{e.a, e.b})
+	}
+	// Pair leftovers (no positive-weight edge available) in sorted order.
+	var rest []int
+	for _, v := range active {
+		if !used[v] {
+			rest = append(rest, v)
+		}
+	}
+	sort.Ints(rest)
+	for i := 0; i+1 < len(rest); i += 2 {
+		pairs = append(pairs, [2]int{rest[i], rest[i+1]})
+	}
+	return pairs
+}

@@ -1,0 +1,330 @@
+package euler
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/spill"
+)
+
+// Phase1Stats records what one Phase 1 execution saw and did; the expected
+// time complexity O(|B|+|I|+|L|) of Fig. 7 is derived from it.
+type Phase1Stats struct {
+	Boundary int64 // |B|: vertices with remote edges (stored or stubbed)
+	Internal int64 // |I|: local vertices without remote edges
+	Local    int64 // |L|: coarse local edges at Phase 1 start
+	OB       int64 // odd-degree boundary vertices
+	EB       int64 // even-degree boundary vertices
+	Paths    int64 // OB-pair paths found
+	Cycles   int64 // EB + IV cycles found (non-trivial)
+	Trivial  int64 // trivial EB singletons (no unvisited local edges)
+	Items    int64 // total body items emitted
+}
+
+// Expected returns the Fig. 7 complexity measure |B|+|I|+|L|.
+func (s Phase1Stats) Expected() int64 { return s.Boundary + s.Internal + s.Local }
+
+// Phase1Result is the output of one Phase 1 execution on a partition.
+type Phase1Result struct {
+	// OBPairs are the coarse OB-pair edges replacing the consumed local
+	// edges; they become the partition's Local set for the next level.
+	OBPairs []CoarseEdge
+	// Recs is the pathMap metadata for every path/cycle found, in
+	// deterministic discovery order.
+	Recs []PathRec
+	// Seeds are cycles that had to be started at a vertex not reachable
+	// from any boundary vertex or prior walk of this run: the master cycle
+	// at the merge-tree root, or evidence of a disconnected input.
+	Seeds []PathID
+	// Visited lists the global vertex IDs touched by walks, for the
+	// registry's global visited map.
+	Visited []graph.VertexID
+	Stats   Phase1Stats
+	// Prep is the time spent building the partition object (vertex index,
+	// CSR, classification); Tour is the walk time.  Together they provide
+	// the "Create Partition Object" and "Phase 1 Tour" splits of Fig. 6.
+	Prep, Tour time.Duration
+}
+
+// half is one direction of a coarse local edge in the partition-local CSR.
+type half struct {
+	to   int32 // local vertex index
+	edge int32 // index into the local edge slice
+}
+
+// phase1 executes Alg. 1 on a partition state: OB paths first, then EB
+// cycles, then internal-vertex cycles started from previously visited
+// vertices (the constructive form of Lemma 3).  Bodies are spilled to
+// store under deterministic PathIDs; state.Local is consumed and replaced
+// by the returned OBPairs by the caller.
+//
+// globallyVisited reports whether a vertex was absorbed into any body at an
+// earlier level; seed cycles prefer such vertices so that Phase 3 can
+// always splice them (see DESIGN.md).  It may be nil at level 0.
+func phase1(state *PartState, level int, store spill.Store, globallyVisited func(graph.VertexID) bool) (*Phase1Result, error) {
+	prepStart := time.Now()
+	res := &Phase1Result{}
+	remoteDeg := state.RemoteDegree()
+
+	// Local vertex index: all endpoints of local edges plus remote-only
+	// boundary vertices, sorted for determinism.
+	vset := make(map[graph.VertexID]struct{})
+	for _, e := range state.Local {
+		vset[e.U] = struct{}{}
+		vset[e.V] = struct{}{}
+	}
+	for v := range remoteDeg {
+		vset[v] = struct{}{}
+	}
+	verts := make([]graph.VertexID, 0, len(vset))
+	for v := range vset {
+		verts = append(verts, v)
+	}
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+	vidx := make(map[graph.VertexID]int32, len(verts))
+	for i, v := range verts {
+		vidx[v] = int32(i)
+	}
+	nv := int32(len(verts))
+
+	// CSR over the coarse local multigraph.
+	deg := make([]int32, nv+1)
+	for _, e := range state.Local {
+		deg[vidx[e.U]+1]++
+		deg[vidx[e.V]+1]++
+	}
+	adjOff := make([]int32, nv+1)
+	for i := int32(1); i <= nv; i++ {
+		adjOff[i] = adjOff[i-1] + deg[i]
+	}
+	adjHalf := make([]half, 2*len(state.Local))
+	cursorInit := make([]int32, nv)
+	copy(cursorInit, adjOff[:nv])
+	for ei, e := range state.Local {
+		u, v := vidx[e.U], vidx[e.V]
+		adjHalf[cursorInit[u]] = half{to: v, edge: int32(ei)}
+		cursorInit[u]++
+		adjHalf[cursorInit[v]] = half{to: u, edge: int32(ei)}
+		cursorInit[v]++
+	}
+
+	unvis := make([]int32, nv)
+	for i := int32(0); i < nv; i++ {
+		unvis[i] = adjOff[i+1] - adjOff[i]
+	}
+	cursor := make([]int32, nv)
+	copy(cursor, adjOff[:nv])
+	edgeVisited := make([]bool, len(state.Local))
+	localVisited := make([]bool, nv) // touched by a walk in this run
+	var pending []int32              // visited vertices that kept unvisited edges
+	inPending := make([]bool, nv)
+
+	// Classification and stats.
+	isBoundary := make([]bool, nv)
+	for i, v := range verts {
+		if remoteDeg[v] > 0 {
+			isBoundary[i] = true
+			res.Stats.Boundary++
+		} else {
+			res.Stats.Internal++
+		}
+	}
+	res.Stats.Local = int64(len(state.Local))
+	for i := int32(0); i < nv; i++ {
+		localDeg := adjOff[i+1] - adjOff[i]
+		if localDeg%2 == 1 {
+			if !isBoundary[i] {
+				return nil, fmt.Errorf("euler: partition %d level %d: vertex %d has odd local degree %d but no remote edges (parity invariant broken)",
+					state.Parent, level, verts[i], localDeg)
+			}
+			res.Stats.OB++
+		} else if isBoundary[i] {
+			res.Stats.EB++
+		}
+	}
+
+	res.Prep = time.Since(prepStart)
+	tourStart := time.Now()
+	defer func() { res.Tour = time.Since(tourStart) }()
+
+	next := func(v int32) (half, bool) {
+		for cursor[v] < adjOff[v+1] {
+			h := adjHalf[cursor[v]]
+			if !edgeVisited[h.edge] {
+				return h, true
+			}
+			cursor[v]++
+		}
+		return half{}, false
+	}
+
+	touch := func(v int32) {
+		if !localVisited[v] {
+			localVisited[v] = true
+			res.Visited = append(res.Visited, verts[v])
+		}
+	}
+
+	// walk traverses a maximal trail from start, consuming unvisited local
+	// edges, and returns the oriented body items and the end vertex.
+	walk := func(start int32) ([]Item, int32) {
+		var items []Item
+		cur := start
+		touch(cur)
+		for {
+			h, ok := next(cur)
+			if !ok {
+				return items, cur
+			}
+			e := state.Local[h.edge]
+			edgeVisited[h.edge] = true
+			unvis[cur]--
+			unvis[h.to]--
+			items = append(items, Item{
+				Kind: e.Kind, Ref: e.Ref,
+				From: verts[cur], To: verts[h.to],
+			})
+			if unvis[cur] > 0 && !inPending[cur] {
+				inPending[cur] = true
+				pending = append(pending, cur)
+			}
+			cur = h.to
+			touch(cur)
+		}
+	}
+
+	var seq int64
+	record := func(t PathType, src, dst graph.VertexID, items []Item) (PathID, error) {
+		id := MakePathID(level, state.Parent, seq)
+		seq++
+		if err := store.Put(id, EncodeBody(items)); err != nil {
+			return 0, fmt.Errorf("euler: spilling path %d: %w", id, err)
+		}
+		res.Recs = append(res.Recs, PathRec{
+			ID: id, Type: t, Src: src, Dst: dst,
+			Level: level, Part: state.Parent, Items: int64(len(items)),
+		})
+		res.Stats.Items += int64(len(items))
+		return id, nil
+	}
+
+	// --- OB phase (Alg. 1 lines 7–8): maximal paths between odd vertices.
+	// A vertex's unvisited-degree parity equals its original parity until
+	// it serves as a walk endpoint, so "odd unvisited degree" selects
+	// exactly the OBs that have not yet been paired (Lemma 1).
+	for i := int32(0); i < nv; i++ {
+		if unvis[i]%2 != 1 {
+			continue
+		}
+		items, end := walk(i)
+		if end == i {
+			return nil, fmt.Errorf("euler: partition %d level %d: OB walk from %d returned to start (parity bug)",
+				state.Parent, level, verts[i])
+		}
+		if !isBoundary[end] {
+			return nil, fmt.Errorf("euler: partition %d level %d: OB walk from %d ended at internal vertex %d (Lemma 1 violated)",
+				state.Parent, level, verts[i], verts[end])
+		}
+		id, err := record(OBPath, verts[i], verts[end], items)
+		if err != nil {
+			return nil, err
+		}
+		res.OBPairs = append(res.OBPairs, CoarseEdge{
+			U: verts[i], V: verts[end], Kind: ItemPath, Ref: id,
+		})
+		res.Stats.Paths++
+	}
+
+	// --- EB phase (lines 9–10): one traversal from every even-degree
+	// boundary vertex; after the OB phase every vertex has even unvisited
+	// degree, so a maximal trail closes into a cycle (Lemma 2).  EBs with
+	// no unvisited edges are the paper's trivial singleton tours.
+	for i := int32(0); i < nv; i++ {
+		if !isBoundary[i] || (adjOff[i+1]-adjOff[i])%2 != 0 {
+			continue // internal, or an OB already handled above
+		}
+		if unvis[i] == 0 {
+			res.Stats.Trivial++
+			continue
+		}
+		items, end := walk(i)
+		if end != i {
+			return nil, fmt.Errorf("euler: partition %d level %d: EB walk from %d ended at %d (Lemma 2 violated)",
+				state.Parent, level, verts[i], verts[end])
+		}
+		if _, err := record(EBCycle, verts[i], verts[i], items); err != nil {
+			return nil, err
+		}
+		res.Stats.Cycles++
+	}
+
+	// --- IV phase (lines 11–13): cycles from vertices already on a prior
+	// walk (Lemma 3 made constructive by the pending stack), with seeding
+	// for components no walk of this run has touched.
+	remaining := int64(0)
+	for _, v := range edgeVisited {
+		if !v {
+			remaining++
+		}
+	}
+	for remaining > 0 {
+		start := int32(-1)
+		for len(pending) > 0 {
+			cand := pending[len(pending)-1]
+			pending = pending[:len(pending)-1]
+			inPending[cand] = false
+			if unvis[cand] > 0 {
+				start = cand
+				break
+			}
+		}
+		seeded := false
+		if start < 0 {
+			// No walk of this run touches the remaining edges.  Seed at a
+			// globally visited vertex if one exists, so that Phase 3 can
+			// splice the resulting cycle into an earlier body; otherwise
+			// fall back to the first vertex with unvisited edges (legal
+			// only for the first body of the whole run — the future master
+			// cycle — which the driver validates via Seeds).
+			seeded = true
+			fallback := int32(-1)
+			for i := int32(0); i < nv; i++ {
+				if unvis[i] == 0 {
+					continue
+				}
+				if fallback < 0 {
+					fallback = i
+				}
+				if globallyVisited != nil && globallyVisited(verts[i]) {
+					start = i
+					break
+				}
+			}
+			if start < 0 {
+				start = fallback
+			}
+			if start < 0 {
+				return nil, fmt.Errorf("euler: partition %d level %d: %d unvisited edges but no start vertex (internal inconsistency)",
+					state.Parent, level, remaining)
+			}
+		}
+		items, end := walk(start)
+		if end != start {
+			return nil, fmt.Errorf("euler: partition %d level %d: IV walk from %d ended at %d (Lemma 2 violated)",
+				state.Parent, level, verts[start], verts[end])
+		}
+		id, err := record(IVCycle, verts[start], verts[start], items)
+		if err != nil {
+			return nil, err
+		}
+		if seeded {
+			res.Seeds = append(res.Seeds, id)
+		}
+		res.Stats.Cycles++
+		remaining -= int64(len(items))
+	}
+
+	return res, nil
+}

@@ -1,0 +1,224 @@
+package euler
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Step is one edge traversal of the final Euler circuit, oriented in walk
+// order.  It aliases graph.Step so that verifiers and baselines share the
+// representation.
+type Step = graph.Step
+
+// Unroll performs Phase 3: starting from the master cycle at the root of
+// the merge tree, it recursively expands OB-pair path references through
+// the spilled bodies, splices anchored cycles at their pivot vertices, and
+// emits the complete Euler circuit (Sec. 3.2, Phase 3).
+//
+// Beyond the paper: the paper's Lemma 3 assumes each (merged) partition's
+// local graph is connected, but after Phase 1 the *coarse* graph can
+// disconnect even for a connected input — EB cycles absorb edges without
+// contributing coarse edges, so a merged partition may fall apart into
+// components whose only attachments to the rest of the circuit lie inside
+// already-spilled path bodies.  Phase 1 seeds such components as floating
+// cycles; Unroll expands every floating cycle into its own closed walk and
+// then stitches the edge-disjoint walks together at shared vertices,
+// exactly as sequential Hierholzer merges its cycles.  See DESIGN.md.
+//
+// Unroll verifies completeness: every registered path and cycle must be
+// consumed exactly once and the stitched walk must be a single closed
+// circuit; otherwise the input graph was disconnected (or the registry is
+// corrupt) and an error is returned.
+func (r *Registry) Unroll(emit func(Step) error) error {
+	master := r.Master()
+	if master == 0 {
+		return fmt.Errorf("euler: no master cycle registered (run the driver first)")
+	}
+	u := &unroller{reg: r, emitted: make(map[PathID]bool)}
+
+	// Expand each root (the master, plus any floating seed not already
+	// spliced into an earlier stream) into a closed walk of original edges.
+	roots := append([]PathID{master}, r.Seeds()...)
+	var streams [][]Step
+	for _, root := range roots {
+		if u.emitted[root] {
+			continue
+		}
+		u.emitted[root] = true
+		u.consumed++
+		u.cur = u.cur[:0:0]
+		if err := u.walk(root, true); err != nil {
+			return err
+		}
+		if len(u.cur) == 0 {
+			return fmt.Errorf("euler: root cycle %d expanded to an empty walk", root)
+		}
+		if u.cur[0].From != u.cur[len(u.cur)-1].To {
+			return fmt.Errorf("euler: root cycle %d expansion is not closed (%d → %d)",
+				root, u.cur[0].From, u.cur[len(u.cur)-1].To)
+		}
+		streams = append(streams, u.cur)
+	}
+	if u.consumed != r.NumPaths() {
+		return fmt.Errorf("euler: circuit incomplete: %d of %d paths/cycles unrolled (registry corruption)",
+			u.consumed, r.NumPaths())
+	}
+
+	circuit, err := stitch(streams)
+	if err != nil {
+		return err
+	}
+	for _, s := range circuit {
+		if err := emit(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stitch merges edge-disjoint closed walks into one closed walk by
+// inserting each pool walk, rotated appropriately, at the first shared
+// vertex encountered along the growing circuit.
+func stitch(streams [][]Step) ([]Step, error) {
+	merged := streams[0]
+	pool := streams[1:]
+	if len(pool) == 0 {
+		return merged, nil
+	}
+	// Index every pool walk by the vertices it passes through.
+	type ref struct{ stream, pos int }
+	index := make(map[graph.VertexID][]ref)
+	for si, s := range pool {
+		for pos, step := range s {
+			index[step.From] = append(index[step.From], ref{stream: si, pos: pos})
+		}
+	}
+	used := make([]bool, len(pool))
+	remaining := len(pool)
+	for i := 0; i < len(merged) && remaining > 0; i++ {
+		v := merged[i].From
+		refs := index[v]
+		if len(refs) == 0 {
+			continue
+		}
+		for _, rf := range refs {
+			if used[rf.stream] {
+				continue
+			}
+			used[rf.stream] = true
+			remaining--
+			s := pool[rf.stream]
+			// Rotate the closed walk to start at its occurrence of v and
+			// splice it in before position i; the inserted steps are
+			// scanned in later iterations, so chains of walks that only
+			// touch each other transitively still merge.
+			rotated := make([]Step, 0, len(s)+len(merged))
+			rotated = append(rotated, merged[:i]...)
+			rotated = append(rotated, s[rf.pos:]...)
+			rotated = append(rotated, s[:rf.pos]...)
+			rotated = append(rotated, merged[i:]...)
+			merged = rotated
+		}
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("euler: %d closed walks share no vertex with the circuit: input graph is disconnected", remaining)
+	}
+	return merged, nil
+}
+
+type unroller struct {
+	reg      *Registry
+	emitted  map[PathID]bool
+	consumed int
+	cur      []Step
+	// anchorPos tracks how many anchored cycles at a vertex have already
+	// been spliced, so re-visits continue where the last splice stopped.
+	anchorPos map[graph.VertexID]int
+}
+
+// splice unrolls every not-yet-consumed cycle anchored at v.  Splicing may
+// recursively pass v again; the position index makes that re-entrant.
+func (u *unroller) splice(v graph.VertexID) error {
+	if u.anchorPos == nil {
+		u.anchorPos = make(map[graph.VertexID]int)
+	}
+	for {
+		cycles := u.reg.AnchoredAt(v)
+		pos := u.anchorPos[v]
+		if pos >= len(cycles) {
+			return nil
+		}
+		u.anchorPos[v] = pos + 1
+		id := cycles[pos]
+		if u.emitted[id] {
+			continue
+		}
+		u.emitted[id] = true
+		u.consumed++
+		if err := u.walk(id, true); err != nil {
+			return err
+		}
+	}
+}
+
+// walk expands one body into u.cur.  forward selects the traversal
+// direction: an OB-pair edge traversed Dst→Src unrolls its body reversed
+// with each item's endpoints swapped.
+func (u *unroller) walk(id PathID, forward bool) error {
+	body, err := u.reg.Store().Get(id)
+	if err != nil {
+		return fmt.Errorf("euler: loading body %d: %w", id, err)
+	}
+	items, err := DecodeBody(body)
+	if err != nil {
+		return fmt.Errorf("euler: decoding body %d: %w", id, err)
+	}
+	for i := range items {
+		it := items[i]
+		if !forward {
+			it = items[len(items)-1-i]
+			it.From, it.To = it.To, it.From
+		}
+		// The walk is now at it.From: consume any cycles pivoting here.
+		if err := u.splice(it.From); err != nil {
+			return err
+		}
+		switch it.Kind {
+		case ItemEdge:
+			u.cur = append(u.cur, Step{Edge: it.Ref, From: it.From, To: it.To})
+		case ItemPath:
+			sub, ok := u.reg.Rec(it.Ref)
+			if !ok {
+				return fmt.Errorf("euler: body %d references unknown path %d", id, it.Ref)
+			}
+			if u.emitted[it.Ref] {
+				return fmt.Errorf("euler: path %d referenced twice", it.Ref)
+			}
+			u.emitted[it.Ref] = true
+			u.consumed++
+			subForward := it.From == sub.Src
+			if !subForward && it.From != sub.Dst {
+				return fmt.Errorf("euler: body %d enters path %d at %d, which is neither endpoint (%d,%d)",
+					id, it.Ref, it.From, sub.Src, sub.Dst)
+			}
+			if err := u.walk(it.Ref, subForward); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("euler: body %d has bad item kind %d", id, it.Kind)
+		}
+	}
+	return nil
+}
+
+// CollectCircuit runs Unroll and gathers the steps in memory.  Intended
+// for tests and small graphs; large runs should stream via Unroll.
+func (r *Registry) CollectCircuit() ([]Step, error) {
+	var steps []Step
+	err := r.Unroll(func(s Step) error {
+		steps = append(steps, s)
+		return nil
+	})
+	return steps, err
+}

@@ -1,0 +1,122 @@
+package euler
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// mkWalk builds a closed walk over synthetic edge IDs following the vertex
+// sequence (closing back to the first vertex).
+func mkWalk(firstEdge graph.EdgeID, verts ...graph.VertexID) []Step {
+	steps := make([]Step, 0, len(verts))
+	for i := range verts {
+		steps = append(steps, Step{
+			Edge: firstEdge + graph.EdgeID(i),
+			From: verts[i],
+			To:   verts[(i+1)%len(verts)],
+		})
+	}
+	return steps
+}
+
+func checkClosedWalk(t *testing.T, steps []Step, wantLen int) {
+	t.Helper()
+	if len(steps) != wantLen {
+		t.Fatalf("walk has %d steps, want %d", len(steps), wantLen)
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i-1].To != steps[i].From {
+			t.Fatalf("walk breaks at %d: %+v -> %+v", i, steps[i-1], steps[i])
+		}
+	}
+	if steps[0].From != steps[len(steps)-1].To {
+		t.Fatal("walk not closed")
+	}
+	seen := map[graph.EdgeID]bool{}
+	for _, s := range steps {
+		if seen[s.Edge] {
+			t.Fatalf("edge %d twice", s.Edge)
+		}
+		seen[s.Edge] = true
+	}
+}
+
+func TestStitchSingle(t *testing.T) {
+	w := mkWalk(0, 1, 2, 3)
+	out, err := stitch([][]Step{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClosedWalk(t, out, 3)
+}
+
+func TestStitchSharedVertex(t *testing.T) {
+	// Two triangles sharing vertex 2.
+	a := mkWalk(0, 1, 2, 3)
+	b := mkWalk(10, 2, 5, 6)
+	out, err := stitch([][]Step{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClosedWalk(t, out, 6)
+}
+
+func TestStitchRotation(t *testing.T) {
+	// The pool walk's shared vertex is mid-walk: rotation required.
+	a := mkWalk(0, 1, 2, 3)
+	b := mkWalk(10, 7, 8, 3, 9) // shares vertex 3 at position 2
+	out, err := stitch([][]Step{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClosedWalk(t, out, 7)
+}
+
+func TestStitchTransitiveChain(t *testing.T) {
+	// C touches only B, which touches only A: insertion of B must make C
+	// reachable in the same pass.
+	a := mkWalk(0, 1, 2, 3)
+	b := mkWalk(10, 3, 20, 21)
+	c := mkWalk(20, 21, 30, 31)
+	out, err := stitch([][]Step{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClosedWalk(t, out, 9)
+}
+
+func TestStitchChainRegardlessOfOrder(t *testing.T) {
+	a := mkWalk(0, 1, 2, 3)
+	b := mkWalk(10, 3, 20, 21)
+	c := mkWalk(20, 21, 30, 31)
+	// C listed before B: its attachment vertex (21) enters the merged walk
+	// only after B is inserted.
+	out, err := stitch([][]Step{a, c, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClosedWalk(t, out, 9)
+}
+
+func TestStitchDisconnected(t *testing.T) {
+	a := mkWalk(0, 1, 2, 3)
+	b := mkWalk(10, 7, 8, 9)
+	_, err := stitch([][]Step{a, b})
+	if err == nil || !strings.Contains(err.Error(), "disconnected") {
+		t.Fatalf("err = %v, want disconnected", err)
+	}
+}
+
+func TestStitchManyAtSameVertex(t *testing.T) {
+	a := mkWalk(0, 1, 2, 3)
+	b := mkWalk(10, 2, 5, 6)
+	c := mkWalk(20, 2, 7, 8)
+	d := mkWalk(30, 2, 9, 11)
+	out, err := stitch([][]Step{a, b, c, d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClosedWalk(t, out, 12)
+}

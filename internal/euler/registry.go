@@ -1,0 +1,157 @@
+package euler
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/spill"
+)
+
+// Registry is the run-wide book-keeping the paper persists to disk between
+// phases: the pathMap metadata of every path and cycle, the anchored-cycle
+// index used by Phase 3's pivot-vertex splicing, and the global
+// visited-vertex map that keeps seed cycles splicable.  Path bodies
+// themselves live in the spill store; the Registry only holds fixed-size
+// metadata per entry.
+//
+// Workers absorb their Phase 1 results concurrently within a superstep;
+// their active vertex sets are disjoint (a vertex belongs to exactly one
+// partition per level), so the mutex only guards map structure, not
+// algorithmic ordering.
+type Registry struct {
+	mu       sync.RWMutex
+	store    spill.Store
+	recs     map[PathID]PathRec
+	anchored map[graph.VertexID][]PathID
+	visited  []bool
+	master   PathID
+	seeds    []PathID // floating seed cycles, in absorption order
+}
+
+// NewRegistry creates a Registry over a graph with numVertices vertices,
+// spilling bodies to store.
+func NewRegistry(store spill.Store, numVertices int64) *Registry {
+	return &Registry{
+		store:    store,
+		recs:     make(map[PathID]PathRec),
+		anchored: make(map[graph.VertexID][]PathID),
+		visited:  make([]bool, numVertices),
+	}
+}
+
+// Store returns the spill store holding path bodies.
+func (r *Registry) Store() spill.Store { return r.store }
+
+// IsVisited reports whether v has been absorbed into any body so far.
+func (r *Registry) IsVisited(v graph.VertexID) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.visited[v]
+}
+
+// Rec returns the metadata for a path ID.
+func (r *Registry) Rec(id PathID) (PathRec, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rec, ok := r.recs[id]
+	return rec, ok
+}
+
+// NumPaths returns the number of registered paths and cycles.
+func (r *Registry) NumPaths() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.recs)
+}
+
+// Master returns the root master cycle's ID, or 0 before the root level
+// has been absorbed.
+func (r *Registry) Master() PathID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.master
+}
+
+// Absorb registers a Phase 1 result: pathMap metadata, anchored cycles,
+// seed cycles, and visited vertices.  isRoot marks the final (root
+// partition) result, whose first cycle becomes the master cycle that
+// Phase 3 unrolls first.
+//
+// Seed cycles (components not reachable from any walk of their own Phase 1
+// run) are recorded as floating roots: Phase 3 expands each into its own
+// closed walk and stitches the walks at shared vertices, so seeds are
+// legal at any level (see phase3.go).
+func (r *Registry) Absorb(res *Phase1Result, isRoot bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	if isRoot && r.master == 0 {
+		if len(res.Seeds) > 0 {
+			r.master = res.Seeds[0]
+		} else if len(res.Recs) > 0 {
+			r.master = res.Recs[0].ID
+		}
+	}
+	for _, id := range res.Seeds {
+		if id != r.master {
+			r.seeds = append(r.seeds, id)
+		}
+	}
+
+	for _, rec := range res.Recs {
+		if _, dup := r.recs[rec.ID]; dup {
+			return fmt.Errorf("euler: duplicate path ID %d", rec.ID)
+		}
+		r.recs[rec.ID] = rec
+		// Cycles are anchored at their pivot vertex for Phase 3 splicing;
+		// the master itself is unrolled directly, and OB paths are
+		// referenced by the coarse edges that consumed them.
+		if rec.Type != OBPath && rec.ID != r.master {
+			r.anchored[rec.Src] = append(r.anchored[rec.Src], rec.ID)
+		}
+	}
+	for _, v := range res.Visited {
+		r.visited[v] = true
+	}
+	return nil
+}
+
+// PromoteFirstSeed makes the earliest seed cycle the master when the root
+// partition produced no bodies of its own (possible only when the input's
+// edges do not all reach the root, i.e. a disconnected input); Phase 3 then
+// reports the disconnection precisely.  It returns false if there are no
+// seeds either.
+func (r *Registry) PromoteFirstSeed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.master != 0 {
+		return true
+	}
+	if len(r.seeds) == 0 {
+		return false
+	}
+	sort.Slice(r.seeds, func(i, j int) bool { return r.seeds[i] < r.seeds[j] })
+	r.master = r.seeds[0]
+	r.seeds = r.seeds[1:]
+	return true
+}
+
+// Seeds returns the floating seed cycles absorbed so far (excluding the
+// master), sorted by ID so Phase 3's stitching order is deterministic.
+func (r *Registry) Seeds() []PathID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := append([]PathID(nil), r.seeds...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AnchoredAt returns the IDs of cycles anchored at v, in discovery order.
+// The returned slice is shared; callers must not modify it.
+func (r *Registry) AnchoredAt(v graph.VertexID) []PathID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.anchored[v]
+}

@@ -1,0 +1,95 @@
+package euler
+
+import (
+	"time"
+
+	"repro/internal/bsp"
+)
+
+// PartReport records one partition's activity at one level: the user-time
+// split of Fig. 6, the complexity inputs of Fig. 7, the memory state of
+// Fig. 8 and the vertex/edge composition of Fig. 9.
+type PartReport struct {
+	Level int
+	Part  int // parent leaf ID naming the (merged) partition
+
+	// User compute time split (Fig. 6).
+	CopySrc   time.Duration // deserialising received child states
+	CopySink  time.Duration // materialising own state into the new level
+	CreateObj time.Duration // building the partition object (index + CSR)
+	Phase1    time.Duration // the tour itself
+
+	Stats Phase1Stats // includes |B|, |I|, |L| for Fig. 7
+
+	LongsAtStart int64 // in-memory state size when Phase 1 begins (Fig. 8)
+	RemoteEdges  int64 // stored remote-edge copies (Fig. 9)
+	StubGroups   int64 // stub entries carried (Sec. 5 modes)
+}
+
+// UserTime returns the total user compute time for the Fig. 5/6 split.
+func (p PartReport) UserTime() time.Duration {
+	return p.CopySrc + p.CopySink + p.CreateObj + p.Phase1
+}
+
+// LevelReport aggregates the partitions live at one level (Fig. 8).
+type LevelReport struct {
+	Level           int
+	Active          int   // partitions that ran Phase 1 at this level
+	Live            int   // partitions holding state (active + carried)
+	CumulativeLongs int64 // Σ state size across live partitions
+	AvgLongs        int64 // per-live-partition average
+	ParkedLongs     int64 // remote edges parked on leaf hosts (ModeProposed)
+}
+
+// RunReport is the full instrumentation record of one distributed run.
+type RunReport struct {
+	Mode       Mode
+	TreeHeight int
+	Parts      []PartReport // ordered by (level, part)
+	Levels     []LevelReport
+	BSP        bsp.Metrics
+	Wall       time.Duration // wall-clock time of the BSP run
+}
+
+// PartsAt returns the part reports for one level.
+func (r *RunReport) PartsAt(level int) []PartReport {
+	var out []PartReport
+	for _, p := range r.Parts {
+		if p.Level == level {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// UserComputeTotal sums user compute time over all partitions and levels,
+// the red line of Fig. 5.
+func (r *RunReport) UserComputeTotal() time.Duration {
+	var total time.Duration
+	for _, p := range r.Parts {
+		total += p.UserTime()
+	}
+	return total
+}
+
+// IdealSeries produces the paper's synthetic "ideal" memory line for
+// Fig. 8: the average partition state stays at the level-0 average, and
+// the cumulative is that average times the live partition count at each
+// level.
+func IdealSeries(levels []LevelReport) []LevelReport {
+	if len(levels) == 0 {
+		return nil
+	}
+	base := levels[0].AvgLongs
+	out := make([]LevelReport, len(levels))
+	for i, l := range levels {
+		out[i] = LevelReport{
+			Level:           l.Level,
+			Active:          l.Active,
+			Live:            l.Live,
+			AvgLongs:        base,
+			CumulativeLongs: base * int64(l.Live),
+		}
+	}
+	return out
+}

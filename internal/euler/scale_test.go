@@ -1,0 +1,49 @@
+package euler
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/partition"
+	"repro/internal/verify"
+)
+
+// TestLargeScaleEndToEnd runs the full pipeline at roughly 1/40 of the
+// paper's G50 input (~1.2M vertices, ~6.5M directed edges) in every mode.
+// Skipped under -short; the regular suite covers the same paths at small
+// scale.
+func TestLargeScaleEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale run skipped with -short")
+	}
+	g, _ := gen.EulerianRMAT(gen.RMATParams{
+		Vertices: 1_200_000, AvgDegree: 5,
+		A: 0.57, B: 0.19, C: 0.19, Seed: 77,
+	})
+	a := partition.LDG(g, 8, 1)
+	for _, mode := range allModes {
+		res, err := Run(g, a, Config{Mode: mode})
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		var n int64
+		if err := res.Registry.Unroll(func(Step) error { n++; return nil }); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if n != g.NumEdges() {
+			t.Fatalf("mode %v: %d steps for %d edges", mode, n, g.NumEdges())
+		}
+	}
+	// Full verification once, in the paper's implemented mode.
+	res, err := Run(g, a, Config{Mode: ModeCurrent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, err := res.Registry.CollectCircuit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Circuit(g, steps); err != nil {
+		t.Fatal(err)
+	}
+}

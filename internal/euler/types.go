@@ -1,0 +1,256 @@
+// Package euler implements the paper's partition-centric distributed
+// algorithm for identifying Euler circuits (Jaiswal & Simmhan, IPDPS
+// Workshops 2019).
+//
+// The algorithm runs in three phases over a partitioned Eulerian graph:
+//
+//   - Phase 1 finds edge-disjoint maximal local paths between odd-degree
+//     boundary vertices (OB), then maximal local cycles from even-degree
+//     boundary vertices (EB) and internal vertices, concurrently in every
+//     partition.  Each path is replaced by a single coarse "OB-pair" edge
+//     and its body is spilled to disk, shrinking the in-memory state.
+//   - Phase 2 merges partition pairs level by level along a merge tree
+//     built by greedy maximum-weight matching over the partition
+//     meta-graph; remote edges between a merged pair become local edges and
+//     Phase 1 re-runs on the merged partition.
+//   - Phase 3 unrolls the root cycle through the spilled bodies and the
+//     anchored-cycle registry into the final Euler circuit.
+//
+// The package also implements the paper's Section 5 memory heuristics
+// (remote-edge de-duplication and deferred remote-edge transfer) as
+// selectable execution modes, with the Long-count memory accounting used by
+// Fig. 8 and Fig. 9.
+package euler
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// PathID identifies a path or cycle found by Phase 1.  IDs are allocated
+// deterministically as level<<40 | partition<<28 | (sequence+1), so runs
+// are reproducible regardless of goroutine scheduling.  Zero is reserved as
+// the "no path" sentinel.
+type PathID = int64
+
+// MakePathID composes a deterministic PathID; seq counts from 0 within one
+// Phase 1 execution.
+func MakePathID(level, part int, seq int64) PathID {
+	return int64(level)<<40 | int64(part)<<28 | (seq + 1)
+}
+
+// ItemKind distinguishes the two element types of a path/cycle body.
+type ItemKind uint8
+
+const (
+	// ItemEdge is an original graph edge.
+	ItemEdge ItemKind = iota
+	// ItemPath is a reference to a lower-level path (an OB-pair edge that
+	// was traversed as a single coarse edge).
+	ItemPath
+)
+
+// Item is one oriented element of a path or cycle body: traversal runs
+// From → To.  For ItemEdge, Ref is the graph.EdgeID; for ItemPath it is the
+// referenced PathID, whose own body runs Src→Dst and is unrolled reversed
+// when From equals its Dst.
+type Item struct {
+	Kind     ItemKind
+	Ref      int64
+	From, To graph.VertexID
+}
+
+// PathType classifies pathMap entries, mirroring the paper's OB path / EB
+// cycle / internal-vertex cycle taxonomy.
+type PathType uint8
+
+const (
+	// OBPath is a maximal local path between two odd-degree boundary
+	// vertices; it becomes a coarse OB-pair edge at the next level.
+	OBPath PathType = iota
+	// EBCycle is a maximal local cycle anchored at an even-degree boundary
+	// vertex.
+	EBCycle
+	// IVCycle is a maximal local cycle anchored at an internal (or
+	// previously visited) vertex; the paper merges these into a host entry
+	// at a pivot vertex, which we realise by anchoring them at that pivot
+	// and splicing during Phase 3 (see DESIGN.md).
+	IVCycle
+)
+
+func (t PathType) String() string {
+	switch t {
+	case OBPath:
+		return "OBPath"
+	case EBCycle:
+		return "EBCycle"
+	case IVCycle:
+		return "IVCycle"
+	}
+	return fmt.Sprintf("PathType(%d)", uint8(t))
+}
+
+// PathRec is the in-memory pathMap metadata for one path or cycle; the body
+// lives in the spill store.  For cycles Src == Dst (the anchor).
+type PathRec struct {
+	ID       PathID
+	Type     PathType
+	Src, Dst graph.VertexID
+	Level    int   // merge-tree level at which it was found
+	Part     int   // partition (parent leaf ID) that found it
+	Items    int64 // body length, for accounting
+}
+
+// CoarseEdge is a local edge of a (possibly merged) partition's coarse
+// multigraph: either an original graph edge (Kind==ItemEdge, Ref==EdgeID)
+// or an OB-pair edge standing for a lower-level path (Kind==ItemPath,
+// Ref==PathID).
+type CoarseEdge struct {
+	U, V graph.VertexID
+	Kind ItemKind
+	Ref  int64
+}
+
+// RemoteEdge is a stored copy of a cut edge: Local is the endpoint inside
+// the owning partition, Remote the endpoint elsewhere.  ConvertLevel is the
+// merge-tree level at which the two sides' partition groups merge and the
+// edge becomes local.
+type RemoteEdge struct {
+	Local, Remote graph.VertexID
+	Edge          graph.EdgeID
+	ConvertLevel  int32
+}
+
+// Stub records remote-degree owed to a vertex by edges this partition does
+// not store (the de-duplicated copy lives in the other partition, or the
+// edge is parked on a leaf host under the deferred-transfer heuristic).
+// Stubs keep boundary/parity classification correct in the Section 5 modes
+// at 3 Longs per (vertex, level) group instead of 2 Longs per edge.
+type Stub struct {
+	Vertex       graph.VertexID
+	ConvertLevel int32
+	Count        int64
+}
+
+// Mode selects the remote-edge management strategy.
+type Mode uint8
+
+const (
+	// ModeCurrent is the paper's implemented design: every cut edge is
+	// stored by both partitions and full state transfers at each merge.
+	ModeCurrent Mode = iota
+	// ModeDedup adds Section 5's "avoid remote edge duplication": only the
+	// lighter partition of a future-merge pair stores the edge; the other
+	// side holds a Stub.
+	ModeDedup
+	// ModeProposed is Section 5 in full: de-duplication plus deferred
+	// transfer, where remote edges converting at level l stay parked on
+	// their leaf host machine until superstep l.
+	ModeProposed
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeCurrent:
+		return "current"
+	case ModeDedup:
+		return "dedup"
+	case ModeProposed:
+		return "proposed"
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// PartState is the in-memory state of one (possibly merged) partition
+// between levels: the coarse local multigraph plus its stored remote edges
+// and stubs.  Vertex sets are implicit in the edges.
+type PartState struct {
+	// Parent is the leaf partition ID that names this (merged) partition.
+	Parent int
+	// Leaves are the leaf partitions merged into this state, sorted.
+	Leaves []int
+	// Local is the coarse local multigraph: OB-pair edges from prior
+	// Phase 1 runs plus remote edges converted by merges.
+	Local []CoarseEdge
+	// Remote holds this partition's stored remote-edge copies.
+	Remote []RemoteEdge
+	// Stubs holds remote-degree owed by unstored edges (Section 5 modes).
+	Stubs []Stub
+}
+
+// Clone returns a deep copy of s.
+func (s *PartState) Clone() *PartState {
+	c := &PartState{Parent: s.Parent}
+	c.Leaves = append([]int(nil), s.Leaves...)
+	c.Local = append([]CoarseEdge(nil), s.Local...)
+	c.Remote = append([]RemoteEdge(nil), s.Remote...)
+	c.Stubs = append([]Stub(nil), s.Stubs...)
+	return c
+}
+
+// RemoteDegree returns the per-vertex remote degree implied by stored
+// remote edges plus stubs.
+func (s *PartState) RemoteDegree() map[graph.VertexID]int64 {
+	deg := make(map[graph.VertexID]int64)
+	for _, r := range s.Remote {
+		deg[r.Local]++
+	}
+	for _, st := range s.Stubs {
+		deg[st.Vertex] += st.Count
+	}
+	return deg
+}
+
+// LocalDegree returns the per-vertex coarse local degree.
+func (s *PartState) LocalDegree() map[graph.VertexID]int64 {
+	deg := make(map[graph.VertexID]int64)
+	for _, e := range s.Local {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	return deg
+}
+
+// Longs returns the number of 8-byte Long values this state occupies under
+// the paper's platform-independent memory metric (Sec. 4.3): 2 per vertex
+// (ID and classification flags), 3 per coarse local edge (endpoints and
+// body reference), 2 per stored remote-edge copy (endpoints), 3 per stub
+// group.
+func (s *PartState) Longs() int64 {
+	verts := make(map[graph.VertexID]struct{})
+	for _, e := range s.Local {
+		verts[e.U] = struct{}{}
+		verts[e.V] = struct{}{}
+	}
+	for _, r := range s.Remote {
+		verts[r.Local] = struct{}{}
+	}
+	for _, st := range s.Stubs {
+		verts[st.Vertex] = struct{}{}
+	}
+	return 2*int64(len(verts)) + 3*int64(len(s.Local)) +
+		2*int64(len(s.Remote)) + 3*int64(len(s.Stubs))
+}
+
+// CheckParity verifies the Eulerian partition invariant δL(v)+δR(v) ≡ 0
+// (mod 2) for every vertex of the state (Sec. 3.1).  It returns the first
+// violation found.
+func (s *PartState) CheckParity() error {
+	local := s.LocalDegree()
+	remote := s.RemoteDegree()
+	verts := make(map[graph.VertexID]struct{}, len(local)+len(remote))
+	for v := range local {
+		verts[v] = struct{}{}
+	}
+	for v := range remote {
+		verts[v] = struct{}{}
+	}
+	for v := range verts {
+		if (local[v]+remote[v])%2 != 0 {
+			return fmt.Errorf("euler: vertex %d has odd total degree %d local + %d remote",
+				v, local[v], remote[v])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package gen
+
+import (
+	"repro/internal/graph"
+)
+
+// Hypercube returns the d-dimensional hypercube graph Q_d.  Q_d is
+// d-regular, so it is Eulerian exactly when d is even; it panics for odd d
+// since the package only builds Eulerian families directly.
+func Hypercube(d int) *graph.Graph {
+	if d < 2 || d%2 != 0 {
+		panic("gen: Hypercube requires even d >= 2")
+	}
+	n := int64(1) << d
+	b := graph.NewBuilder(n, int(n)*d/2)
+	for v := int64(0); v < n; v++ {
+		for bit := 0; bit < d; bit++ {
+			u := v ^ (1 << bit)
+			if v < u {
+				b.AddEdge(v, u)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// CompleteBipartite returns K_{m,n}.  Vertices 0..m-1 form one side with
+// degree n, m..m+n-1 the other with degree m; the graph is Eulerian when
+// both m and n are even, which the constructor enforces.
+func CompleteBipartite(m, n int64) *graph.Graph {
+	if m < 2 || n < 2 || m%2 != 0 || n%2 != 0 {
+		panic("gen: CompleteBipartite requires even m, n >= 2")
+	}
+	b := graph.NewBuilder(m+n, int(m*n))
+	for i := int64(0); i < m; i++ {
+		for j := int64(0); j < n; j++ {
+			b.AddEdge(i, m+j)
+		}
+	}
+	return b.Build()
+}
+
+// Connect returns a copy of g in which every connected component that
+// contains edges is joined to the largest such component, preserving the
+// parity of every vertex degree: components are connected by a *pair* of
+// parallel edges between one vertex of each, so an Eulerian input stays
+// Eulerian.  Isolated vertices are left untouched.  It reports the number
+// of component links added.
+func Connect(g *graph.Graph) (*graph.Graph, int) {
+	labels, count := graph.Components(g)
+	if count <= 1 {
+		return g, 0
+	}
+	// Representative vertex per component with edges, plus edge counts.
+	rep := make([]graph.VertexID, count)
+	for i := range rep {
+		rep[i] = -1
+	}
+	edgesIn := make([]int64, count)
+	for _, e := range g.Edges() {
+		c := labels[e.U]
+		edgesIn[c]++
+		if rep[c] < 0 {
+			rep[c] = e.U
+		}
+	}
+	largest := int32(-1)
+	for c := int32(0); c < count; c++ {
+		if rep[c] < 0 {
+			continue
+		}
+		if largest < 0 || edgesIn[c] > edgesIn[largest] {
+			largest = c
+		}
+	}
+	if largest < 0 {
+		return g, 0 // no edges anywhere
+	}
+	links := 0
+	b := graph.NewBuilder(g.NumVertices(), int(g.NumEdges())+int(count)*2)
+	for _, e := range g.Edges() {
+		b.AddEdge(e.U, e.V)
+	}
+	hub := rep[largest]
+	for c := int32(0); c < count; c++ {
+		if c == largest || rep[c] < 0 {
+			continue
+		}
+		b.AddEdge(rep[c], hub)
+		b.AddEdge(rep[c], hub)
+		links++
+	}
+	return b.Build(), links
+}

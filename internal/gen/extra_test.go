@@ -1,0 +1,97 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(4)
+	if g.NumVertices() != 16 || g.NumEdges() != 32 {
+		t.Fatalf("shape %d/%d, want 16/32", g.NumVertices(), g.NumEdges())
+	}
+	for v := int64(0); v < g.NumVertices(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("Degree(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+	if !g.IsEulerian() || !graph.IsConnected(g) {
+		t.Fatal("Q4 should be connected Eulerian")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd dimension should panic")
+		}
+	}()
+	Hypercube(3)
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g := CompleteBipartite(4, 6)
+	if g.NumVertices() != 10 || g.NumEdges() != 24 {
+		t.Fatalf("shape %d/%d, want 10/24", g.NumVertices(), g.NumEdges())
+	}
+	if !g.IsEulerian() || !graph.IsConnected(g) {
+		t.Fatal("K4,6 should be connected Eulerian")
+	}
+	for i := int64(0); i < 4; i++ {
+		if g.Degree(i) != 6 {
+			t.Fatalf("left degree = %d, want 6", g.Degree(i))
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd side should panic")
+		}
+	}()
+	CompleteBipartite(3, 4)
+}
+
+func TestConnectJoinsComponents(t *testing.T) {
+	// Two disjoint triangles plus an isolated vertex.
+	g := graph.FromEdges(7, [][2]graph.VertexID{
+		{0, 1}, {1, 2}, {2, 0},
+		{3, 4}, {4, 5}, {5, 3},
+	})
+	joined, links := Connect(g)
+	if links != 1 {
+		t.Fatalf("links = %d, want 1", links)
+	}
+	if !graph.IsConnected(joined) {
+		t.Fatal("components not joined")
+	}
+	if !joined.IsEulerian() {
+		t.Fatal("parity broken by Connect")
+	}
+	if joined.NumEdges() != g.NumEdges()+2 {
+		t.Fatalf("edges = %d, want %d", joined.NumEdges(), g.NumEdges()+2)
+	}
+}
+
+func TestConnectNoOp(t *testing.T) {
+	g := Torus(4, 4)
+	joined, links := Connect(g)
+	if links != 0 || joined != g {
+		t.Fatal("connected graph should pass through unchanged")
+	}
+}
+
+func TestConnectManyComponents(t *testing.T) {
+	// Five disjoint 4-cycles.
+	var edges [][2]graph.VertexID
+	for c := int64(0); c < 5; c++ {
+		base := 4 * c
+		for i := int64(0); i < 4; i++ {
+			edges = append(edges, [2]graph.VertexID{base + i, base + (i+1)%4})
+		}
+	}
+	g := graph.FromEdges(20, edges)
+	joined, links := Connect(g)
+	if links != 4 {
+		t.Fatalf("links = %d, want 4", links)
+	}
+	if !graph.IsConnected(joined) || !joined.IsEulerian() {
+		t.Fatal("Connect failed on many components")
+	}
+}

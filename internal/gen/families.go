@@ -1,0 +1,154 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Torus returns the w×h toroidal grid: every vertex has degree 4, so the
+// graph is Eulerian and connected.  Vertex (x,y) has ID y*w+x.  Requires
+// w, h ≥ 3 so that wrap-around edges are not parallel duplicates of grid
+// edges.
+func Torus(w, h int64) *graph.Graph {
+	if w < 3 || h < 3 {
+		panic("gen: torus requires w, h >= 3")
+	}
+	b := graph.NewBuilder(w*h, int(2*w*h))
+	id := func(x, y int64) graph.VertexID { return y*w + x }
+	for y := int64(0); y < h; y++ {
+		for x := int64(0); x < w; x++ {
+			b.AddEdge(id(x, y), id((x+1)%w, y))
+			b.AddEdge(id(x, y), id(x, (y+1)%h))
+		}
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph C_n (n ≥ 3): the minimal connected Eulerian
+// graph, useful as a base case in tests.
+func Cycle(n int64) *graph.Graph {
+	if n < 3 {
+		panic("gen: cycle requires n >= 3")
+	}
+	b := graph.NewBuilder(n, int(n))
+	for i := int64(0); i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+// CompleteOdd returns the complete graph K_n for odd n ≥ 3, which is
+// Eulerian (every vertex has even degree n-1).
+func CompleteOdd(n int64) *graph.Graph {
+	if n < 3 || n%2 == 0 {
+		panic("gen: CompleteOdd requires odd n >= 3")
+	}
+	b := graph.NewBuilder(n, int(n*(n-1)/2))
+	for i := int64(0); i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	return b.Build()
+}
+
+// RingOfCliques returns k copies of K_c (c odd, ≥ 3) arranged in a ring
+// where consecutive cliques share one vertex.  Shared vertices have degree
+// 2(c-1); all others have degree c-1; both even, so the graph is Eulerian
+// and connected.  This family produces partitions with very few boundary
+// vertices, the opposite extreme from RMAT graphs, and exercises the
+// algorithm's behaviour when edge cuts are tiny.
+//
+// Vertex count is k*(c-1).
+func RingOfCliques(k, c int64) *graph.Graph {
+	if k < 2 || c < 3 || c%2 == 0 {
+		panic("gen: RingOfCliques requires k >= 2 and odd c >= 3")
+	}
+	n := k * (c - 1)
+	b := graph.NewBuilder(n, int(k*c*(c-1)/2))
+	// Clique i occupies the vertex block [i*(c-1), (i+1)*(c-1)) plus the
+	// first vertex of the next block as its shared vertex.
+	for i := int64(0); i < k; i++ {
+		members := make([]graph.VertexID, 0, c)
+		base := i * (c - 1)
+		for j := int64(0); j < c-1; j++ {
+			members = append(members, base+j)
+		}
+		members = append(members, ((i+1)*(c-1))%n) // shared with next clique
+		for a := 0; a < len(members); a++ {
+			for bidx := a + 1; bidx < len(members); bidx++ {
+				b.AddEdge(members[a], members[bidx])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RandomEulerian returns a connected Eulerian multigraph on n vertices,
+// built as a union of closed walks: one spanning walk over a random
+// permutation (guaranteeing connectivity and even degrees) plus extra
+// random closed walks of the given length.  Union of closed walks always
+// has even degrees, so the result is Eulerian by construction.  This is the
+// workhorse input for the property-based end-to-end tests.
+func RandomEulerian(n int64, extraWalks int, walkLen int64, rng *rand.Rand) *graph.Graph {
+	if n < 3 {
+		panic("gen: RandomEulerian requires n >= 3")
+	}
+	if walkLen < 3 {
+		walkLen = 3
+	}
+	b := graph.NewBuilder(n, int(n)+extraWalks*int(walkLen))
+	// Spanning closed walk: a random permutation cycle.
+	perm := rng.Perm(int(n))
+	for i := 0; i < len(perm); i++ {
+		u := graph.VertexID(perm[i])
+		v := graph.VertexID(perm[(i+1)%len(perm)])
+		b.AddEdge(u, v)
+	}
+	// Extra closed walks add parallel structure and high-degree vertices.
+	for w := 0; w < extraWalks; w++ {
+		start := rng.Int63n(n)
+		prev := start
+		for s := int64(1); s < walkLen; s++ {
+			next := rng.Int63n(n)
+			for next == prev {
+				next = rng.Int63n(n)
+			}
+			b.AddEdge(prev, next)
+			prev = next
+		}
+		if prev != start {
+			b.AddEdge(prev, start)
+		} else {
+			// Walk already closed; add a detour to keep parity intact.
+			detour := (start + 1) % n
+			b.AddEdge(start, detour)
+			b.AddEdge(detour, start)
+		}
+	}
+	return b.Build()
+}
+
+// PaperFigure1 returns the 14-vertex example graph of the paper's Fig. 1a,
+// with vertices renumbered 0-based (paper vertex v_i is ID i-1).  Every
+// vertex has even degree and the graph is connected.  The second return
+// value gives the paper's 4-way partition assignment (P1..P4 as 0..3),
+// matching the figure.
+func PaperFigure1() (*graph.Graph, []int32) {
+	// Edges from Fig. 1a: e1,2 e2,3 e3,4 e4,5 e3,5 e3,13 e1,14 e12,13
+	// e11,12 e6,11 e6,7 e7,8 e8,9 e9,10 e10,12 e12,14.
+	pairs := [][2]graph.VertexID{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {2, 4}, {2, 12}, {0, 13}, {11, 12},
+		{10, 11}, {5, 10}, {5, 6}, {6, 7}, {7, 8}, {8, 9}, {9, 11}, {11, 13},
+	}
+	g := graph.FromEdges(14, pairs)
+	// P1 = {v1, v2}, P2 = {v3, v4, v5}, P3 = {v6..v9}, P4 = {v10..v14}.
+	part := []int32{
+		0, 0, // v1, v2
+		1, 1, 1, // v3, v4, v5
+		2, 2, 2, 2, // v6..v9
+		3, 3, 3, 3, 3, // v10..v14
+	}
+	return g, part
+}

@@ -1,0 +1,150 @@
+// Package gen provides the synthetic-graph generators used by the
+// evaluation: a parallel RMAT power-law generator, the Eulerizer that adds
+// edges between odd-degree vertices while preserving the degree
+// distribution (the paper's custom tool, Sec. 4.2), and several
+// deterministic Eulerian graph families used by the tests and examples.
+package gen
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// RMATParams configures the recursive-matrix generator.  The defaults
+// (Graph500 parameters a=0.57, b=0.19, c=0.19, d=0.05) match the "default
+// settings" the paper uses for its RMAT tool.
+type RMATParams struct {
+	// Scale is log2 of the vertex count; NumVertices = 1 << Scale unless
+	// Vertices overrides it.
+	Scale int
+	// Vertices, if positive, sets an exact vertex count that need not be a
+	// power of two (the paper's G20..G50 graphs are not).  Edges landing
+	// outside [0, Vertices) during quadrant descent are redrawn.
+	Vertices int64
+	// AvgDegree is the average undirected edge degree; the paper uses 5.
+	// NumEdges = NumVertices * AvgDegree / 2.
+	AvgDegree int
+	// A, B, C are the recursive quadrant probabilities; D = 1-A-B-C.
+	A, B, C float64
+	// Seed seeds the deterministic edge stream.
+	Seed int64
+	// Workers bounds the generation goroutines; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultRMAT returns the paper's configuration at the given scale.
+func DefaultRMAT(scale int, seed int64) RMATParams {
+	return RMATParams{Scale: scale, AvgDegree: 5, A: 0.57, B: 0.19, C: 0.19, Seed: seed}
+}
+
+// RMAT generates a power-law multigraph with 2^Scale vertices using the
+// recursive-matrix method.  Self loops are re-drawn; duplicate edges are
+// kept (the multigraph substrate supports them, and the Eulerizer corrects
+// parity later).  Generation is parallelised across Workers goroutines,
+// each drawing an independent slice of the edge stream from a derived seed,
+// so the output is deterministic for a given (params) regardless of
+// GOMAXPROCS.
+func RMAT(p RMATParams) *graph.Graph {
+	if p.Scale <= 0 && p.Vertices <= 0 {
+		panic("gen: RMAT needs a positive Scale or Vertices")
+	}
+	if p.AvgDegree <= 0 {
+		p.AvgDegree = 5
+	}
+	n := int64(1) << p.Scale
+	if p.Vertices > 0 {
+		n = p.Vertices
+		p.Scale = bitsFor(n)
+	}
+	p.Vertices = n
+	m := n * int64(p.AvgDegree) / 2
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Deterministic split: the edge stream is cut into fixed-size blocks,
+	// block i seeded from Seed+i.  Workers pull blocks from a shared
+	// counter, so the concatenated output is identical for any worker
+	// count or scheduling order.
+	const blockSize = 1 << 14
+	nBlocks := int((m + blockSize - 1) / blockSize)
+	chunks := make([][][2]graph.VertexID, nBlocks)
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= nBlocks {
+					return
+				}
+				lo := int64(i) * blockSize
+				hi := lo + blockSize
+				if hi > m {
+					hi = m
+				}
+				rng := rand.New(rand.NewSource(p.Seed + int64(i)*0x9e3779b9))
+				out := make([][2]graph.VertexID, 0, hi-lo)
+				for j := lo; j < hi; j++ {
+					u, v := rmatEdge(rng, p)
+					out = append(out, [2]graph.VertexID{u, v})
+				}
+				chunks[i] = out
+			}
+		}()
+	}
+	wg.Wait()
+
+	b := graph.NewBuilder(n, int(m))
+	for _, chunk := range chunks {
+		for _, e := range chunk {
+			b.AddEdge(e[0], e[1])
+		}
+	}
+	return b.Build()
+}
+
+// rmatEdge draws one non-self-loop edge via recursive quadrant descent,
+// redrawing edges whose endpoints land outside the vertex range (only
+// possible when Vertices is not a power of two).
+func rmatEdge(rng *rand.Rand, p RMATParams) (graph.VertexID, graph.VertexID) {
+	for {
+		var u, v int64
+		for bit := p.Scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < p.A:
+				// top-left: no bits set
+			case r < p.A+p.B:
+				v |= 1 << bit
+			case r < p.A+p.B+p.C:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u != v && u < p.Vertices && v < p.Vertices {
+			return u, v
+		}
+	}
+}
+
+// bitsFor returns the number of bits needed to address n values.
+func bitsFor(n int64) int {
+	bits := 0
+	for int64(1)<<bits < n {
+		bits++
+	}
+	return bits
+}

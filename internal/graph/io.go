@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary graph format:
+//
+//	magic   [8]byte  "EULGRPH1"
+//	n       varint   vertex count
+//	m       varint   edge count
+//	edges   m × (varint u, varint v)   in EdgeID order
+//
+// The format is deliberately simple: it only needs to round-trip the graphs
+// produced by the generators between the cmd tools, and the varint delta is
+// not worth the complexity at the scales involved.
+
+var magic = [8]byte{'E', 'U', 'L', 'G', 'R', 'P', 'H', '1'}
+
+// ErrBadFormat is returned when a graph file does not carry the expected
+// magic header or is truncated.
+var ErrBadFormat = errors.New("graph: bad file format")
+
+// Write serialises g to w in the binary graph format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(x uint64) error {
+		n := binary.PutUvarint(buf[:], x)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(g.NumVertices())); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(g.NumEdges())); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if err := putUvarint(uint64(e.U)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(e.V)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserialises a graph written by Write.
+func Read(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, got[:])
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: vertex count: %v", ErrBadFormat, err)
+	}
+	m, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: edge count: %v", ErrBadFormat, err)
+	}
+	b := NewBuilder(int64(n), int(m))
+	for i := uint64(0); i < m; i++ {
+		u, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: edge %d: %v", ErrBadFormat, i, err)
+		}
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: edge %d: %v", ErrBadFormat, i, err)
+		}
+		b.AddEdge(int64(u), int64(v))
+	}
+	return b.Build(), nil
+}
+
+// WriteFile writes g to the named file, creating or truncating it.
+func WriteFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a graph from the named file.
+func ReadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,130 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomEdges generates a random edge list over n vertices for the
+// property-based tests below.
+func randomEdges(rng *rand.Rand, n int64, m int) [][2]VertexID {
+	edges := make([][2]VertexID, 0, m)
+	for i := 0; i < m; i++ {
+		u := rng.Int63n(n)
+		v := rng.Int63n(n)
+		if u == v {
+			v = (v + 1) % n
+		}
+		edges = append(edges, [2]VertexID{u, v})
+	}
+	return edges
+}
+
+// TestQuickCSRConsistency checks that for arbitrary multigraphs every edge
+// appears exactly twice across all adjacency lists (once per endpoint) and
+// the degree sums to twice the edge count.
+func TestQuickCSRConsistency(t *testing.T) {
+	f := func(seed int64, nRaw uint8, mRaw uint16) bool {
+		n := int64(nRaw%60) + 2
+		m := int(mRaw % 500)
+		rng := rand.New(rand.NewSource(seed))
+		g := FromEdges(n, randomEdges(rng, n, m))
+
+		var degSum int64
+		halfCount := make(map[EdgeID]int)
+		for v := int64(0); v < n; v++ {
+			degSum += g.Degree(v)
+			for _, h := range g.Adj(v) {
+				halfCount[h.Edge]++
+				if g.Edge(h.Edge).Other(v) != h.To {
+					return false
+				}
+			}
+		}
+		if degSum != 2*g.NumEdges() {
+			return false
+		}
+		for id := EdgeID(0); id < g.NumEdges(); id++ {
+			if halfCount[id] != 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHandshakeParity checks the Handshaking Lemma: the number of
+// odd-degree vertices is always even.
+func TestQuickHandshakeParity(t *testing.T) {
+	f := func(seed int64, nRaw uint8, mRaw uint16) bool {
+		n := int64(nRaw%100) + 2
+		m := int(mRaw % 800)
+		rng := rand.New(rand.NewSource(seed))
+		g := FromEdges(n, randomEdges(rng, n, m))
+		return len(g.OddVertices())%2 == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIORoundTrip checks Write/Read round-trips arbitrary graphs.
+func TestQuickIORoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8, mRaw uint16) bool {
+		n := int64(nRaw%50) + 2
+		m := int(mRaw % 300)
+		rng := rand.New(rand.NewSource(seed))
+		g := FromEdges(n, randomEdges(rng, n, m))
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for i := range g.Edges() {
+			if g.Edges()[i] != got.Edges()[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickComponentsPartition checks Components assigns every vertex
+// exactly one label in range and endpoints of each edge share labels.
+func TestQuickComponentsPartition(t *testing.T) {
+	f := func(seed int64, nRaw uint8, mRaw uint16) bool {
+		n := int64(nRaw%80) + 2
+		m := int(mRaw % 400)
+		rng := rand.New(rand.NewSource(seed))
+		g := FromEdges(n, randomEdges(rng, n, m))
+		labels, count := Components(g)
+		for _, l := range labels {
+			if l < 0 || l >= count {
+				return false
+			}
+		}
+		for _, e := range g.Edges() {
+			if labels[e.U] != labels[e.V] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

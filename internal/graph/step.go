@@ -1,0 +1,8 @@
+package graph
+
+// Step is one oriented traversal of an undirected edge, as emitted by an
+// Euler circuit or path: the walk goes From → To along Edge.
+type Step struct {
+	Edge     EdgeID
+	From, To VertexID
+}

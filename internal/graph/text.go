@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g in the SNAP-style plain-text interchange format:
+// a header comment, then one "u v" pair per line in EdgeID order.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "# euler graph: %d vertices, %d undirected edges\n",
+		g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the plain-text edge-list format: whitespace-separated
+// "u v" pairs, one per line, with '#' comment lines ignored.  The vertex
+// count is one past the largest ID seen unless a larger minVertices is
+// given (to preserve isolated trailing vertices).
+func ReadEdgeList(r io.Reader, minVertices int64) (*Graph, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges [][2]VertexID
+	maxID := minVertices - 1
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'u v', got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex ID", lineNo)
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		edges = append(edges, [2]VertexID{u, v})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return FromEdges(maxID+1, edges), nil
+}
+
+// WriteDOT renders g in Graphviz DOT format, optionally colouring vertices
+// by a partition assignment (nil for uncoloured).  Intended for small
+// graphs — worked examples and documentation figures, not the evaluation
+// inputs.
+func WriteDOT(w io.Writer, g *Graph, part []int32) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph euler {")
+	fmt.Fprintln(bw, "  node [shape=circle];")
+	palette := []string{"lightblue", "lightgreen", "lightsalmon", "khaki",
+		"plum", "lightcyan", "wheat", "lightpink"}
+	for v := int64(0); v < g.NumVertices(); v++ {
+		if part != nil && v < int64(len(part)) {
+			color := palette[int(part[v])%len(palette)]
+			fmt.Fprintf(bw, "  %d [style=filled, fillcolor=%s];\n", v, color)
+		} else {
+			fmt.Fprintf(bw, "  %d;\n", v)
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "  %d -- %d;\n", e.U, e.V)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

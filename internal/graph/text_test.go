@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := FromEdges(5, [][2]VertexID{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {0, 1}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != 5 || got.NumEdges() != 5 {
+		t.Fatalf("shape %d/%d, want 5/5", got.NumVertices(), got.NumEdges())
+	}
+	for i, e := range g.Edges() {
+		if got.Edges()[i] != e {
+			t.Fatalf("edge %d: %+v vs %+v", i, got.Edges()[i], e)
+		}
+	}
+}
+
+func TestReadEdgeListCommentsAndBlank(t *testing.T) {
+	in := "# header\n\n0 1\n # indented comment is a parse error? no: trimmed\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", g.NumEdges())
+	}
+}
+
+func TestReadEdgeListMinVertices(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 10 {
+		t.Fatalf("vertices = %d, want 10", g.NumVertices())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, bad := range []string{"0\n", "a b\n", "0 x\n", "-1 2\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(bad), 0); err == nil {
+			t.Errorf("input %q accepted", bad)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := FromEdges(3, [][2]VertexID{{0, 1}, {1, 2}, {2, 0}})
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, []int32{0, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph euler {", "0 -- 1", "fillcolor=lightblue", "fillcolor=lightgreen"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := WriteDOT(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "fillcolor") {
+		t.Error("uncoloured DOT should not set fillcolor")
+	}
+}

@@ -1,0 +1,77 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Metrics are the per-graph partition statistics of the paper's Table 1.
+// Edge counts are bi-directed (twice the undirected count) to match the
+// paper's reporting convention.
+type Metrics struct {
+	Vertices         int64   // |V|
+	DirectedEdges    int64   // |E| (bi-directed)
+	BoundaryVertices int64   // Σ_i |B_i|
+	Parts            int32   // n
+	RemoteFraction   float64 // Σ|R_i| / |E|, both bi-directed
+	Imbalance        float64 // max_i |(|V| - n·|V_i|) / |V||
+}
+
+// ComputeMetrics derives the Table 1 row for the given assignment.
+func ComputeMetrics(g *graph.Graph, a Assignment) Metrics {
+	m := Metrics{
+		Vertices:      g.NumVertices(),
+		DirectedEdges: g.NumDirectedEdges(),
+		Parts:         a.Parts,
+	}
+	boundary := make([]bool, g.NumVertices())
+	var cut int64
+	for _, e := range g.Edges() {
+		if a.Of[e.U] != a.Of[e.V] {
+			cut++
+			boundary[e.U] = true
+			boundary[e.V] = true
+		}
+	}
+	for _, b := range boundary {
+		if b {
+			m.BoundaryVertices++
+		}
+	}
+	// Each cut undirected edge is one remote edge in each of its two
+	// partitions, i.e. 2 directed remote edges; |E| bi-directed is 2×
+	// undirected, so the fraction reduces to cut / undirected.
+	if g.NumEdges() > 0 {
+		m.RemoteFraction = float64(cut) / float64(g.NumEdges())
+	}
+	for _, size := range a.Sizes() {
+		dev := float64(m.Vertices - int64(a.Parts)*size)
+		if dev < 0 {
+			dev = -dev
+		}
+		if frac := dev / float64(m.Vertices); frac > m.Imbalance {
+			m.Imbalance = frac
+		}
+	}
+	return m
+}
+
+// String renders the metrics as a Table 1 row.
+func (m Metrics) String() string {
+	return fmt.Sprintf("|V|=%d |E|=%d ΣB=%d n=%d remote=%.0f%% imbal=%.0f%%",
+		m.Vertices, m.DirectedEdges, m.BoundaryVertices, m.Parts,
+		100*m.RemoteFraction, 100*m.Imbalance)
+}
+
+// EdgeCut returns the number of undirected edges whose endpoints lie in
+// different partitions.
+func EdgeCut(g *graph.Graph, a Assignment) int64 {
+	var cut int64
+	for _, e := range g.Edges() {
+		if a.Of[e.U] != a.Of[e.V] {
+			cut++
+		}
+	}
+	return cut
+}

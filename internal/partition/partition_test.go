@@ -1,0 +1,135 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func testGraph() *graph.Graph {
+	g, _ := gen.EulerianRMAT(gen.DefaultRMAT(10, 11))
+	return g
+}
+
+func TestHashValidates(t *testing.T) {
+	g := testGraph()
+	a := Hash(g, 4)
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeValidates(t *testing.T) {
+	g := testGraph()
+	a := Range(g, 5)
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// Range must be monotone in vertex ID.
+	prev := int32(0)
+	for _, p := range a.Of {
+		if p < prev {
+			t.Fatal("range assignment not monotone")
+		}
+		prev = p
+	}
+}
+
+func TestLDGValidates(t *testing.T) {
+	g := testGraph()
+	for _, k := range []int32{2, 3, 4, 8} {
+		a := LDG(g, k, 1)
+		if err := a.Validate(g); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestLDGBeatsHashOnCut(t *testing.T) {
+	g := testGraph()
+	ldg := EdgeCut(g, LDG(g, 4, 1))
+	hash := EdgeCut(g, Hash(g, 4))
+	if ldg >= hash {
+		t.Errorf("LDG cut %d not better than hash cut %d", ldg, hash)
+	}
+}
+
+func TestLDGBalanced(t *testing.T) {
+	g := testGraph()
+	a := LDG(g, 4, 1)
+	m := ComputeMetrics(g, a)
+	if m.Imbalance > 0.9 {
+		t.Errorf("LDG imbalance %.2f is degenerate", m.Imbalance)
+	}
+}
+
+func TestRangeOnTorusLowCut(t *testing.T) {
+	g := gen.Torus(16, 16)
+	a := Range(g, 4)
+	m := ComputeMetrics(g, a)
+	// Contiguous row blocks of a torus cut only the horizontal seams.
+	if m.RemoteFraction > 0.3 {
+		t.Errorf("range cut fraction %.2f too high on torus", m.RemoteFraction)
+	}
+}
+
+func TestMetricsTinyGraph(t *testing.T) {
+	g, part := gen.PaperFigure1()
+	a := Assignment{Parts: 4, Of: part}
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	m := ComputeMetrics(g, a)
+	if m.Vertices != 14 || m.DirectedEdges != 32 {
+		t.Fatalf("V=%d E=%d, want 14/32", m.Vertices, m.DirectedEdges)
+	}
+	// Fig. 1a has 7 remote (undirected) edges: e2,3 e3,13 e1,14 e6,11 e9,10.
+	// Recount: cut edges are {1,2},{2,12},{0,13},{5,10},{8,9} → 5.
+	if cut := EdgeCut(g, a); cut != 5 {
+		t.Fatalf("edge cut = %d, want 5", cut)
+	}
+	// Boundary vertices: v1,v2,v3,v6,v9,v10,v11,v13,v14 per Fig. 1a (yellow).
+	if m.BoundaryVertices != 9 {
+		t.Fatalf("boundary vertices = %d, want 9", m.BoundaryVertices)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	g := gen.Cycle(6)
+	if err := (Assignment{Parts: 2, Of: []int32{0, 1}}).Validate(g); err == nil {
+		t.Error("short assignment should fail")
+	}
+	if err := (Assignment{Parts: 2, Of: []int32{0, 1, 2, 0, 1, 0}}).Validate(g); err == nil {
+		t.Error("out-of-range part should fail")
+	}
+	if err := (Assignment{Parts: 3, Of: []int32{0, 1, 0, 1, 0, 1}}).Validate(g); err == nil {
+		t.Error("empty part should fail")
+	}
+}
+
+func TestSizes(t *testing.T) {
+	a := Assignment{Parts: 3, Of: []int32{0, 1, 1, 2, 2, 2}}
+	s := a.Sizes()
+	if s[0] != 1 || s[1] != 2 || s[2] != 3 {
+		t.Fatalf("Sizes = %v", s)
+	}
+}
+
+func TestFixEmpty(t *testing.T) {
+	// k larger than distinct hash buckets on a tiny graph can leave empty
+	// parts; fixEmpty must repair them.
+	g := gen.Cycle(8)
+	a := Hash(g, 8)
+	if err := a.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	g := gen.Cycle(6)
+	a := Range(g, 2)
+	if s := ComputeMetrics(g, a).String(); s == "" {
+		t.Fatal("empty string rendering")
+	}
+}

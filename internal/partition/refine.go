@@ -1,0 +1,89 @@
+package partition
+
+import (
+	"repro/internal/graph"
+)
+
+// RefineOptions controls the local-move refinement pass.
+type RefineOptions struct {
+	// MaxPasses bounds the sweeps over boundary vertices; 0 means 8.
+	MaxPasses int
+	// BalanceSlack is the allowed overload factor per partition relative
+	// to the perfectly balanced size; 0 means 1.05 (5% slack, the usual
+	// multilevel-partitioner default).
+	BalanceSlack float64
+}
+
+// Refine improves an assignment with greedy Kernighan–Lin-style single
+// vertex moves: each pass sweeps the current boundary vertices in ID order
+// and moves a vertex to the neighbouring partition with the largest
+// positive cut gain, subject to a balance constraint.  It returns the
+// refined assignment (the input is not modified) and the total cut
+// improvement in undirected edges.
+//
+// This is the light-weight stand-in for the refinement phase of the
+// paper's ParHIP partitioner; the ablation benchmarks quantify how much
+// cut quality it buys over plain LDG.
+func Refine(g *graph.Graph, a Assignment, opt RefineOptions) (Assignment, int64) {
+	if opt.MaxPasses <= 0 {
+		opt.MaxPasses = 8
+	}
+	if opt.BalanceSlack <= 0 {
+		opt.BalanceSlack = 1.05
+	}
+	out := Assignment{Parts: a.Parts, Of: append([]int32(nil), a.Of...)}
+	n := g.NumVertices()
+	if n == 0 || a.Parts < 2 {
+		return out, 0
+	}
+	maxSize := int64(float64(n)/float64(a.Parts)*opt.BalanceSlack) + 1
+	sizes := out.Sizes()
+
+	neigh := make([]int64, a.Parts) // scratch: edges into each partition
+	var totalGain int64
+	for pass := 0; pass < opt.MaxPasses; pass++ {
+		var passGain int64
+		for v := int64(0); v < n; v++ {
+			home := out.Of[v]
+			if sizes[home] <= 1 {
+				continue // never empty a partition
+			}
+			for i := range neigh {
+				neigh[i] = 0
+			}
+			boundary := false
+			for _, h := range g.Adj(v) {
+				p := out.Of[h.To]
+				neigh[p]++
+				if p != home {
+					boundary = true
+				}
+			}
+			if !boundary {
+				continue
+			}
+			best := home
+			bestGain := int64(0)
+			for p := int32(0); p < a.Parts; p++ {
+				if p == home || sizes[p] >= maxSize {
+					continue
+				}
+				gain := neigh[p] - neigh[home]
+				if gain > bestGain || (gain == bestGain && gain > 0 && p < best) {
+					best, bestGain = p, gain
+				}
+			}
+			if best != home && bestGain > 0 {
+				out.Of[v] = best
+				sizes[home]--
+				sizes[best]++
+				passGain += bestGain
+			}
+		}
+		totalGain += passGain
+		if passGain == 0 {
+			break
+		}
+	}
+	return out, totalGain
+}

@@ -1,0 +1,96 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+)
+
+func TestRefineImprovesHash(t *testing.T) {
+	g, _ := gen.EulerianRMAT(gen.DefaultRMAT(11, 3))
+	a := Hash(g, 4)
+	before := EdgeCut(g, a)
+	refined, gain := Refine(g, a, RefineOptions{})
+	if err := refined.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	after := EdgeCut(g, refined)
+	if gain <= 0 {
+		t.Fatalf("gain = %d, want positive on a hash partition", gain)
+	}
+	if after != before-gain {
+		t.Fatalf("cut %d -> %d but gain %d", before, after, gain)
+	}
+	if after >= before {
+		t.Fatalf("cut did not improve: %d -> %d", before, after)
+	}
+}
+
+func TestRefineRespectsBalance(t *testing.T) {
+	g := gen.Torus(16, 16)
+	a := Hash(g, 4)
+	refined, _ := Refine(g, a, RefineOptions{BalanceSlack: 1.05})
+	maxSize := int64(float64(g.NumVertices())/4*1.05) + 1
+	for p, size := range refined.Sizes() {
+		if size > maxSize {
+			t.Errorf("partition %d overflows: %d > %d", p, size, maxSize)
+		}
+		if size == 0 {
+			t.Errorf("partition %d emptied", p)
+		}
+	}
+}
+
+func TestRefineDoesNotModifyInput(t *testing.T) {
+	g := gen.Torus(8, 8)
+	a := Hash(g, 4)
+	orig := append([]int32(nil), a.Of...)
+	Refine(g, a, RefineOptions{})
+	for i := range orig {
+		if a.Of[i] != orig[i] {
+			t.Fatal("input assignment was modified")
+		}
+	}
+}
+
+func TestRefineNoOpCases(t *testing.T) {
+	g := gen.Cycle(6)
+	single := Assignment{Parts: 1, Of: make([]int32, 6)}
+	out, gain := Refine(g, single, RefineOptions{})
+	if gain != 0 {
+		t.Fatalf("gain = %d on single partition", gain)
+	}
+	if err := out.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineConverges(t *testing.T) {
+	// A second refinement of an already-refined assignment should gain ~0.
+	g, _ := gen.EulerianRMAT(gen.DefaultRMAT(10, 5))
+	a := Hash(g, 4)
+	r1, _ := Refine(g, a, RefineOptions{})
+	_, gain2 := Refine(g, r1, RefineOptions{MaxPasses: 2})
+	if gain2 != 0 {
+		t.Fatalf("second refinement still gained %d", gain2)
+	}
+}
+
+func TestQuickRefineNeverWorsens(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		g, _ := gen.EulerianRMAT(gen.DefaultRMAT(9, seed))
+		k := int32(kRaw%6) + 2
+		a := LDG(g, k, seed)
+		before := EdgeCut(g, a)
+		refined, gain := Refine(g, a, RefineOptions{})
+		if refined.Validate(g) != nil {
+			return false
+		}
+		after := EdgeCut(g, refined)
+		return after <= before && after == before-gain
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package seq
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Digraph is a minimal directed multigraph for Euler paths over directed
+// edges, as needed by de Bruijn sequence assembly (the DNA fragment
+// assembly application the paper's introduction motivates, Sec. 1).
+// Vertices are arbitrary int64 IDs; edges carry an opaque label so callers
+// can map the traversal back to domain objects (k-mers, reads).
+type Digraph struct {
+	adj   map[int64][]DirEdge
+	inDeg map[int64]int64
+	edges int64
+}
+
+// DirEdge is one directed edge of a Digraph.
+type DirEdge struct {
+	To    int64
+	Label string
+}
+
+// NewDigraph returns an empty directed multigraph.
+func NewDigraph() *Digraph {
+	return &Digraph{adj: make(map[int64][]DirEdge), inDeg: make(map[int64]int64)}
+}
+
+// AddEdge appends a directed edge from u to v with a label.
+func (d *Digraph) AddEdge(u, v int64, label string) {
+	d.adj[u] = append(d.adj[u], DirEdge{To: v, Label: label})
+	d.inDeg[v]++
+	if _, ok := d.adj[v]; !ok {
+		d.adj[v] = nil
+	}
+	if _, ok := d.inDeg[u]; !ok {
+		d.inDeg[u] = 0
+	}
+	d.edges++
+}
+
+// NumEdges returns the directed edge count.
+func (d *Digraph) NumEdges() int64 { return d.edges }
+
+// EulerPath returns an Euler path (or circuit) over the directed edges as
+// a sequence of edge labels, using Hierholzer's algorithm.  A directed
+// graph has an Euler path iff at most one vertex has out-in = +1 (the
+// start), at most one has in-out = +1 (the end), all others are balanced,
+// and the edges are connected.
+func (d *Digraph) EulerPath() ([]string, error) {
+	if d.edges == 0 {
+		return nil, nil
+	}
+	var start int64
+	haveStart := false
+	starts, ends := 0, 0
+	vertices := make([]int64, 0, len(d.adj))
+	for v := range d.adj {
+		vertices = append(vertices, v)
+	}
+	sort.Slice(vertices, func(i, j int) bool { return vertices[i] < vertices[j] })
+	for _, v := range vertices {
+		out := int64(len(d.adj[v]))
+		in := d.inDeg[v]
+		switch {
+		case out-in == 1:
+			starts++
+			start, haveStart = v, true
+		case in-out == 1:
+			ends++
+		case in != out:
+			return nil, fmt.Errorf("seq: vertex %d unbalanced (in %d, out %d)", v, in, out)
+		}
+	}
+	if starts > 1 || ends > 1 || starts != ends {
+		return nil, fmt.Errorf("seq: %d start and %d end candidates; no Euler path", starts, ends)
+	}
+	if !haveStart {
+		// Circuit case: start anywhere with an out-edge.
+		for _, v := range vertices {
+			if len(d.adj[v]) > 0 {
+				start, haveStart = v, true
+				break
+			}
+		}
+	}
+	if !haveStart {
+		return nil, fmt.Errorf("seq: no start vertex with out-edges")
+	}
+
+	cursor := make(map[int64]int, len(d.adj))
+	type frame struct {
+		vertex int64
+		label  string
+	}
+	stack := []frame{{vertex: start}}
+	labels := make([]string, 0, d.edges)
+	for len(stack) > 0 {
+		top := stack[len(stack)-1]
+		v := top.vertex
+		if cursor[v] < len(d.adj[v]) {
+			e := d.adj[v][cursor[v]]
+			cursor[v]++
+			stack = append(stack, frame{vertex: e.To, label: e.Label})
+			continue
+		}
+		if len(stack) > 1 {
+			labels = append(labels, top.label)
+		}
+		stack = stack[:len(stack)-1]
+	}
+	if int64(len(labels)) != d.edges {
+		return nil, fmt.Errorf("seq: directed graph disconnected: %d of %d edges reached", len(labels), d.edges)
+	}
+	for i, j := 0, len(labels)-1; i < j; i, j = i+1, j-1 {
+		labels[i], labels[j] = labels[j], labels[i]
+	}
+	return labels, nil
+}

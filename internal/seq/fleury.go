@@ -1,0 +1,96 @@
+package seq
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Fleury computes an Euler circuit with Fleury's 1883 algorithm (Sec. 2.2):
+// at each step take a non-bridge edge unless no alternative exists.  Its
+// O(|E|²) bridge checks make it the slow oracle for cross-validating the
+// other implementations on small graphs; do not use it beyond a few
+// thousand edges.
+func Fleury(g *graph.Graph, start graph.VertexID) ([]graph.Step, error) {
+	if g.NumEdges() == 0 {
+		return nil, nil
+	}
+	if !g.IsEulerian() {
+		return nil, fmt.Errorf("seq: graph is not Eulerian")
+	}
+	if g.Degree(start) == 0 {
+		return nil, fmt.Errorf("seq: start vertex %d has no edges", start)
+	}
+	visited := make([]bool, g.NumEdges())
+	remaining := g.NumEdges()
+	steps := make([]graph.Step, 0, remaining)
+	cur := start
+	for remaining > 0 {
+		var chosen graph.Half
+		found := false
+		var fallback graph.Half
+		haveFallback := false
+		for _, h := range g.Adj(cur) {
+			if visited[h.Edge] {
+				continue
+			}
+			if !haveFallback {
+				fallback, haveFallback = h, true
+			}
+			if !isBridge(g, visited, cur, h) {
+				chosen, found = h, true
+				break
+			}
+		}
+		if !found {
+			if !haveFallback {
+				return nil, fmt.Errorf("seq: stuck at vertex %d with %d edges remaining (graph disconnected)", cur, remaining)
+			}
+			chosen = fallback // bridges are allowed when forced
+		}
+		visited[chosen.Edge] = true
+		remaining--
+		steps = append(steps, graph.Step{Edge: chosen.Edge, From: cur, To: chosen.To})
+		cur = chosen.To
+	}
+	if cur != start {
+		return nil, fmt.Errorf("seq: walk ended at %d, not start %d", cur, start)
+	}
+	return steps, nil
+}
+
+// isBridge reports whether taking h from cur would disconnect the
+// remaining unvisited subgraph: it removes the edge and checks whether
+// cur can still reach h.To.
+func isBridge(g *graph.Graph, visited []bool, cur graph.VertexID, h graph.Half) bool {
+	// If cur has only this unvisited edge, taking it cannot strand cur.
+	unvis := 0
+	for _, x := range g.Adj(cur) {
+		if !visited[x.Edge] {
+			unvis++
+		}
+	}
+	if unvis == 1 {
+		return false
+	}
+	visited[h.Edge] = true
+	defer func() { visited[h.Edge] = false }()
+	// BFS from cur over unvisited edges looking for h.To.
+	seen := map[graph.VertexID]bool{cur: true}
+	queue := []graph.VertexID{cur}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, x := range g.Adj(v) {
+			if visited[x.Edge] || seen[x.To] {
+				continue
+			}
+			if x.To == h.To {
+				return false
+			}
+			seen[x.To] = true
+			queue = append(queue, x.To)
+		}
+	}
+	return true
+}

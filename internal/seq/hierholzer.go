@@ -1,0 +1,81 @@
+// Package seq provides the baseline Euler-circuit algorithms the paper
+// compares against or builds upon: Hierholzer's sequential O(|E|) algorithm
+// (the starting point of Sec. 2.2), Fleury's O(|E|²) algorithm (used as a
+// slow oracle in tests), a directed-graph Hierholzer for the DNA-assembly
+// example, and Makki's vertex-centric distributed walker (Sec. 2.2), whose
+// O(|E|) superstep count motivates the partition-centric design.
+package seq
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Hierholzer computes an Euler circuit of g starting at the given vertex
+// using the classic stack-based formulation: follow unvisited edges until
+// stuck, then backtrack, emitting edges in reverse completion order.  It
+// runs in O(|V|+|E|) time and requires g to be Eulerian and connected.
+func Hierholzer(g *graph.Graph, start graph.VertexID) ([]graph.Step, error) {
+	if g.NumEdges() == 0 {
+		return nil, nil
+	}
+	if !g.IsEulerian() {
+		odd := g.OddVertices()
+		return nil, fmt.Errorf("seq: graph is not Eulerian: %d odd vertices", len(odd))
+	}
+	if start < 0 || start >= g.NumVertices() {
+		return nil, fmt.Errorf("seq: start vertex %d out of range", start)
+	}
+	if g.Degree(start) == 0 {
+		return nil, fmt.Errorf("seq: start vertex %d has no edges", start)
+	}
+
+	visited := make([]bool, g.NumEdges())
+	cursor := make([]int, g.NumVertices())
+	type frame struct {
+		vertex graph.VertexID
+		edge   graph.EdgeID // edge taken to reach vertex; -1 for the root
+	}
+	stack := []frame{{vertex: start, edge: -1}}
+	steps := make([]graph.Step, 0, g.NumEdges())
+
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		v := top.vertex
+		adj := g.Adj(v)
+		advanced := false
+		for cursor[v] < len(adj) {
+			h := adj[cursor[v]]
+			cursor[v]++
+			if !visited[h.Edge] {
+				visited[h.Edge] = true
+				stack = append(stack, frame{vertex: h.To, edge: h.Edge})
+				advanced = true
+				break
+			}
+		}
+		if advanced {
+			continue
+		}
+		// Dead end: emit the edge that reached v (post-order), pop.
+		if top.edge >= 0 {
+			prev := stack[len(stack)-2].vertex
+			steps = append(steps, graph.Step{Edge: top.edge, From: v, To: prev})
+		}
+		stack = stack[:len(stack)-1]
+	}
+	if int64(len(steps)) != g.NumEdges() {
+		return nil, fmt.Errorf("seq: graph is disconnected: reached %d of %d edges from vertex %d",
+			len(steps), g.NumEdges(), start)
+	}
+	// Post-order emission yields the circuit reversed end-to-start; reverse
+	// in place to obtain the forward walk from start.
+	for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+		steps[i], steps[j] = steps[j], steps[i]
+	}
+	for i := range steps {
+		steps[i].From, steps[i].To = steps[i].To, steps[i].From
+	}
+	return steps, nil
+}

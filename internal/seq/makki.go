@@ -1,0 +1,164 @@
+package seq
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/bsp"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Makki implements the vertex-centric distributed baseline of Sec. 2.2
+// (Makki 1997, adapted to the Pregel model): a single token walks the
+// graph one edge per superstep, performing a distributed depth-first
+// Hierholzer traversal with backtracking.  Only the token holder computes
+// in any superstep — the paper's criticism that "all but one machine are
+// idle at a time" — and the superstep count is O(|E|), versus the
+// partition-centric algorithm's ⌈log n⌉+1.  The returned metrics expose
+// exactly that coordination cost for the comparison benchmarks.
+func Makki(g *graph.Graph, a partition.Assignment, cost bsp.CostModel) ([]graph.Step, bsp.Metrics, error) {
+	if err := a.Validate(g); err != nil {
+		return nil, bsp.Metrics{}, err
+	}
+	if !g.IsEulerian() {
+		return nil, bsp.Metrics{}, fmt.Errorf("seq: graph is not Eulerian")
+	}
+	start := graph.VertexID(-1)
+	for v := int64(0); v < g.NumVertices(); v++ {
+		if g.Degree(v) > 0 {
+			start = v
+			break
+		}
+	}
+	if start < 0 {
+		return nil, bsp.Metrics{}, nil // edgeless graph: empty circuit
+	}
+
+	const (
+		tokAdvance byte = 'A' // token arrives at a new vertex via an edge
+		tokBack    byte = 'B' // token returns to a frame after a dead end
+	)
+	encodeTok := func(kind byte, depth int64, vertex, from graph.VertexID, edge graph.EdgeID) []byte {
+		buf := make([]byte, 0, 1+4*binary.MaxVarintLen64)
+		buf = append(buf, kind)
+		buf = binary.AppendVarint(buf, depth)
+		buf = binary.AppendVarint(buf, vertex)
+		buf = binary.AppendVarint(buf, from)
+		buf = binary.AppendVarint(buf, edge)
+		return buf
+	}
+	decodeTok := func(b []byte) (kind byte, depth int64, vertex, from graph.VertexID, edge graph.EdgeID, err error) {
+		if len(b) < 2 {
+			return 0, 0, 0, 0, 0, fmt.Errorf("seq: short token")
+		}
+		kind = b[0]
+		d := b[1:]
+		fields := make([]int64, 4)
+		for i := range fields {
+			v, n := binary.Varint(d)
+			if n <= 0 {
+				return 0, 0, 0, 0, 0, fmt.Errorf("seq: bad token field %d", i)
+			}
+			fields[i] = v
+			d = d[n:]
+		}
+		return kind, fields[0], fields[1], fields[2], fields[3], nil
+	}
+
+	type frame struct {
+		parent      graph.VertexID
+		parentDepth int64
+		viaEdge     graph.EdgeID
+	}
+	type workerState struct {
+		visited map[graph.EdgeID]bool
+		cursor  map[graph.VertexID]int
+		frames  map[int64]frame
+	}
+	workers := make([]*workerState, a.Parts)
+	for i := range workers {
+		workers[i] = &workerState{
+			visited: make(map[graph.EdgeID]bool),
+			cursor:  make(map[graph.VertexID]int),
+			frames:  make(map[int64]frame),
+		}
+	}
+
+	var mu sync.Mutex
+	var emitted []graph.Step
+
+	// process advances the token from vertex v at depth d, either walking
+	// an unvisited incident edge or backtracking along the DFS frame.
+	process := func(ctx *bsp.Context, ws *workerState, v graph.VertexID, d int64) {
+		adj := g.Adj(v)
+		for ws.cursor[v] < len(adj) {
+			h := adj[ws.cursor[v]]
+			ws.cursor[v]++
+			if ws.visited[h.Edge] {
+				continue
+			}
+			ws.visited[h.Edge] = true
+			ctx.Send(int(a.Of[h.To]), encodeTok(tokAdvance, d+1, h.To, v, h.Edge))
+			return
+		}
+		// Dead end: emit the arrival edge post-order and backtrack.
+		fr, ok := ws.frames[d]
+		if !ok || d == 0 {
+			return // back at the root with nothing left: the walk is done
+		}
+		mu.Lock()
+		emitted = append(emitted, graph.Step{Edge: fr.viaEdge, From: v, To: fr.parent})
+		mu.Unlock()
+		ctx.Send(int(a.Of[fr.parent]), encodeTok(tokBack, fr.parentDepth, fr.parent, v, fr.viaEdge))
+	}
+
+	program := bsp.ProgramFunc(func(ctx *bsp.Context) error {
+		ctx.VoteToHalt() // reactivated only by the token
+		ws := workers[ctx.Worker()]
+		if ctx.Superstep() == 0 {
+			if int(a.Of[start]) == ctx.Worker() {
+				ws.frames[0] = frame{parent: -1, parentDepth: -1, viaEdge: -1}
+				process(ctx, ws, start, 0)
+			}
+			return nil
+		}
+		for _, msg := range ctx.Received() {
+			kind, depth, vertex, from, edge, err := decodeTok(msg.Payload)
+			if err != nil {
+				return err
+			}
+			switch kind {
+			case tokAdvance:
+				ws.visited[edge] = true
+				ws.frames[depth] = frame{parent: from, parentDepth: depth - 1, viaEdge: edge}
+				process(ctx, ws, vertex, depth)
+			case tokBack:
+				ws.visited[edge] = true
+				process(ctx, ws, vertex, depth)
+			default:
+				return fmt.Errorf("seq: unknown token kind %q", kind)
+			}
+		}
+		return nil
+	})
+
+	engine := bsp.New(int(a.Parts), bsp.WithCostModel(cost))
+	metrics, err := engine.Run(program)
+	if err != nil {
+		return nil, metrics, err
+	}
+	if int64(len(emitted)) != g.NumEdges() {
+		return nil, metrics, fmt.Errorf("seq: makki walk covered %d of %d edges (graph disconnected?)",
+			len(emitted), g.NumEdges())
+	}
+	// Post-order: reverse and flip to obtain the forward circuit.
+	for i, j := 0, len(emitted)-1; i < j; i, j = i+1, j-1 {
+		emitted[i], emitted[j] = emitted[j], emitted[i]
+	}
+	for i := range emitted {
+		emitted[i].From, emitted[i].To = emitted[i].To, emitted[i].From
+	}
+	return emitted, metrics, nil
+}

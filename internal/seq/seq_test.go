@@ -1,0 +1,209 @@
+package seq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bsp"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/verify"
+)
+
+func TestHierholzerFamilies(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"cycle":   gen.Cycle(7),
+		"torus":   gen.Torus(6, 5),
+		"k9":      gen.CompleteOdd(9),
+		"cliques": gen.RingOfCliques(4, 5),
+	} {
+		t.Run(name, func(t *testing.T) {
+			steps, err := Hierholzer(g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := verify.Circuit(g, steps); err != nil {
+				t.Fatal(err)
+			}
+			if steps[0].From != 0 {
+				t.Errorf("circuit starts at %d, want 0", steps[0].From)
+			}
+		})
+	}
+}
+
+func TestHierholzerRandom(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomEulerian(40, 8, 12, rng)
+		start := rng.Int63n(g.NumVertices())
+		steps, err := Hierholzer(g, start)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := verify.Circuit(g, steps); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestHierholzerErrors(t *testing.T) {
+	path := graph.FromEdges(3, [][2]graph.VertexID{{0, 1}, {1, 2}})
+	if _, err := Hierholzer(path, 0); err == nil {
+		t.Error("non-Eulerian should fail")
+	}
+	twoTriangles := graph.FromEdges(6, [][2]graph.VertexID{
+		{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3},
+	})
+	if _, err := Hierholzer(twoTriangles, 0); err == nil || !strings.Contains(err.Error(), "disconnected") {
+		t.Errorf("disconnected should fail, got %v", err)
+	}
+	iso := graph.FromEdges(4, [][2]graph.VertexID{{0, 1}, {1, 2}, {2, 0}})
+	if _, err := Hierholzer(iso, 3); err == nil {
+		t.Error("edgeless start vertex should fail")
+	}
+	empty := graph.FromEdges(2, nil)
+	steps, err := Hierholzer(empty, 0)
+	if err != nil || len(steps) != 0 {
+		t.Errorf("edgeless graph: steps=%v err=%v", steps, err)
+	}
+}
+
+func TestFleuryMatchesHierholzer(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomEulerian(15, 3, 6, rng)
+		fl, err := Fleury(g, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := verify.Circuit(g, fl); err != nil {
+			t.Fatalf("seed %d fleury: %v", seed, err)
+		}
+		hh, err := Hierholzer(g, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(fl) != len(hh) {
+			t.Fatalf("seed %d: lengths differ %d vs %d", seed, len(fl), len(hh))
+		}
+	}
+}
+
+func TestFleuryErrors(t *testing.T) {
+	path := graph.FromEdges(3, [][2]graph.VertexID{{0, 1}, {1, 2}})
+	if _, err := Fleury(path, 0); err == nil {
+		t.Error("non-Eulerian should fail")
+	}
+}
+
+func TestMakkiCorrect(t *testing.T) {
+	g := gen.Torus(5, 4)
+	a := partition.LDG(g, 3, 1)
+	steps, metrics, err := Makki(g, a, bsp.CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := verify.Circuit(g, steps); err != nil {
+		t.Fatal(err)
+	}
+	// Coordination cost is O(|E|): at least one superstep per edge
+	// traversal (advance), typically ~2|E| with backtracking.
+	if int64(metrics.Supersteps) < g.NumEdges() {
+		t.Errorf("supersteps = %d, want >= |E| = %d", metrics.Supersteps, g.NumEdges())
+	}
+}
+
+func TestMakkiRandom(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.RandomEulerian(25, 3, 6, rng)
+		a := partition.Hash(g, 4)
+		steps, _, err := Makki(g, a, bsp.CostModel{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := verify.Circuit(g, steps); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestMakkiRejectsNonEulerian(t *testing.T) {
+	g := graph.FromEdges(3, [][2]graph.VertexID{{0, 1}, {1, 2}})
+	a := partition.Assignment{Parts: 1, Of: make([]int32, 3)}
+	if _, _, err := Makki(g, a, bsp.CostModel{}); err == nil {
+		t.Error("non-Eulerian should fail")
+	}
+}
+
+func TestDigraphEulerCircuit(t *testing.T) {
+	d := NewDigraph()
+	// Balanced triangle circuit.
+	d.AddEdge(0, 1, "a")
+	d.AddEdge(1, 2, "b")
+	d.AddEdge(2, 0, "c")
+	labels, err := d.EulerPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 3 {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestDigraphEulerPathOpen(t *testing.T) {
+	d := NewDigraph()
+	// 0→1→2→0→2: start 0 (out-in=+1), end 2 (in-out=+1).
+	d.AddEdge(0, 1, "01")
+	d.AddEdge(1, 2, "12")
+	d.AddEdge(2, 0, "20")
+	d.AddEdge(0, 2, "02")
+	labels, err := d.EulerPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 4 || labels[0] != "01" {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestDigraphErrors(t *testing.T) {
+	d := NewDigraph()
+	d.AddEdge(0, 1, "x")
+	d.AddEdge(0, 1, "y")
+	if _, err := d.EulerPath(); err == nil {
+		t.Error("unbalanced digraph should fail")
+	}
+	disc := NewDigraph()
+	disc.AddEdge(0, 0+1, "a")
+	disc.AddEdge(1, 0, "b")
+	disc.AddEdge(2, 3, "c")
+	disc.AddEdge(3, 2, "d")
+	if _, err := disc.EulerPath(); err == nil {
+		t.Error("disconnected digraph should fail")
+	}
+	empty := NewDigraph()
+	if labels, err := empty.EulerPath(); err != nil || labels != nil {
+		t.Errorf("empty digraph: %v %v", labels, err)
+	}
+}
+
+func TestDigraphDeBruijn(t *testing.T) {
+	// de Bruijn B(2,3): 8 edges over 4 vertices (2-bit states), Eulerian.
+	d := NewDigraph()
+	for x := int64(0); x < 8; x++ {
+		from := x >> 1
+		to := x & 3
+		d.AddEdge(from, to, string(rune('0'+x)))
+	}
+	labels, err := d.EulerPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 8 {
+		t.Fatalf("got %d labels, want 8", len(labels))
+	}
+}
