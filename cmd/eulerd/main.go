@@ -1,0 +1,110 @@
+// Command eulerd serves Euler-circuit computation as an HTTP/JSON job
+// service: clients POST a graph (generator spec or EULGRPH1 upload),
+// poll the job, and stream the resulting circuit as NDJSON.
+//
+// Usage:
+//
+//	eulerd -addr :8080 -workers 4 -backlog 64 -data /var/lib/eulerd
+//
+// Endpoints:
+//
+//	POST   /v1/jobs              submit (JSON spec or EULGRPH1 body)
+//	GET    /v1/jobs              list jobs
+//	GET    /v1/jobs/{id}         status + report
+//	GET    /v1/jobs/{id}/circuit stream the circuit as NDJSON
+//	DELETE /v1/jobs/{id}         cancel
+//	GET    /v1/healthz           liveness + pool gauges
+//	GET    /v1/metrics           counters + per-phase timings
+//	GET    /debug/vars           the same counters via expvar
+//
+// On SIGINT/SIGTERM the server stops accepting requests and drains the
+// worker pool, cancelling whatever is still running when the grace
+// period expires.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service/httpapi"
+	"repro/internal/service/job"
+	"repro/internal/service/queue"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent jobs")
+		backlog   = flag.Int("backlog", 64, "queued-job capacity")
+		dataDir   = flag.String("data", "", "scratch directory (default: a fresh temp dir)")
+		retention = flag.Int("retention", 100, "finished jobs to retain")
+		maxUpload = flag.Int64("max-upload", httpapi.DefaultMaxUploadBytes, "max uploaded graph bytes")
+		grace     = flag.Duration("grace", 30*time.Second, "shutdown grace period")
+	)
+	flag.Parse()
+
+	dir := *dataDir
+	if dir == "" {
+		d, err := os.MkdirTemp("", "eulerd-")
+		if err != nil {
+			fatal(err)
+		}
+		dir = d
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	pool := queue.New(*workers, *backlog)
+	store := job.NewStore(*retention)
+	api := httpapi.New(httpapi.Config{
+		Store:          store,
+		Pool:           pool,
+		DataDir:        dir,
+		MaxUploadBytes: *maxUpload,
+	})
+	expvar.Publish("eulerd", expvar.Func(func() any { return api.MetricsSnapshot() }))
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", api.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Addr: *addr, Handler: mux}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("eulerd: listening on %s (%d workers, backlog %d, data %s)\n",
+		*addr, pool.Workers(), *backlog, dir)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Println("eulerd: draining...")
+	graceCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(graceCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "eulerd: http shutdown: %v\n", err)
+	}
+	if err := pool.Drain(graceCtx); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "eulerd: pool drain: %v\n", err)
+	}
+	fmt.Println("eulerd: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "eulerd: %v\n", err)
+	os.Exit(1)
+}

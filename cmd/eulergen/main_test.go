@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/seq"
+	"repro/internal/verify"
+)
+
+// TestGenerateWriteReadVerify locks the EULGRPH1 round-trip the service
+// upload endpoint depends on: each graph family is generated, written
+// through graph.WriteFile, read back, and a circuit of the reloaded
+// graph is found and verified.
+func TestGenerateWriteReadVerify(t *testing.T) {
+	dir := t.TempDir()
+	families := []struct {
+		name  string
+		build func() *graph.Graph
+	}{
+		{"rmat", func() *graph.Graph {
+			g, _ := gen.EulerianRMAT(gen.RMATParams{
+				Vertices: 2000, AvgDegree: 4,
+				A: 0.57, B: 0.19, C: 0.19, Seed: 42,
+			})
+			return g
+		}},
+		{"torus", func() *graph.Graph { return gen.Torus(12, 9) }},
+		{"cliques", func() *graph.Graph { return gen.RingOfCliques(6, 7) }},
+	}
+	for _, f := range families {
+		t.Run(f.name, func(t *testing.T) {
+			g := f.build()
+			if err := verify.EulerianInput(g); err != nil {
+				t.Fatalf("generated graph invalid: %v", err)
+			}
+			path := filepath.Join(dir, f.name+".bin")
+			if err := graph.WriteFile(path, g); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			back, err := graph.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+				t.Fatalf("round-trip: got %d/%d vertices/edges, want %d/%d",
+					back.NumVertices(), back.NumEdges(), g.NumVertices(), g.NumEdges())
+			}
+			for i, e := range g.Edges() {
+				if back.Edge(int64(i)) != e {
+					t.Fatalf("edge %d changed in round-trip: %+v vs %+v", i, back.Edge(int64(i)), e)
+				}
+			}
+			steps, err := seq.Hierholzer(back, back.Edge(0).U)
+			if err != nil {
+				t.Fatalf("hierholzer: %v", err)
+			}
+			if err := verify.Circuit(back, steps); err != nil {
+				t.Fatalf("circuit of reloaded graph: %v", err)
+			}
+		})
+	}
+}
+
+// TestReadRejectsJunk pins the error path the upload endpoint relies on.
+func TestReadRejectsJunk(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.bin")
+	if err := os.WriteFile(path, []byte("definitely not a graph"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := graph.ReadFile(path); err == nil {
+		t.Fatal("reading junk should fail")
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	euler "repro"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestFileToCircuitEndToEnd exercises the eulerrun pipeline: a stored
+// EULGRPH1 graph is read back and run through the distributed algorithm
+// with spilling, and the circuit verifies.
+func TestFileToCircuitEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "graph.bin")
+	if err := graph.WriteFile(path, gen.Torus(10, 7)); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := euler.FindCircuit(g,
+		euler.WithPartitions(4),
+		euler.WithMode(euler.ModeProposed),
+		euler.WithSpillDir(dir),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := euler.Verify(g, c.Steps); err != nil {
+		t.Fatalf("circuit: %v", err)
+	}
+	if int64(len(c.Steps)) != g.NumEdges() {
+		t.Fatalf("circuit has %d steps, want %d", len(c.Steps), g.NumEdges())
+	}
+	if c.Report == nil || c.Report.BSP.Supersteps == 0 {
+		t.Fatal("report missing BSP metrics")
+	}
+}
+
+func TestFirstVertexWithEdges(t *testing.T) {
+	b := graph.NewBuilder(5, 3)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 2)
+	g := b.Build()
+	if v := firstVertexWithEdges(g); v != 2 {
+		t.Fatalf("firstVertexWithEdges = %d, want 2", v)
+	}
+}

@@ -13,9 +13,8 @@
 //   - NewEulerianRMAT / NewTorus / NewRingOfCliques build Eulerian inputs;
 //     Partition* assign them to parts.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured results; cmd/eulerbench regenerates every table and
-// figure.
+// See README.md for the system inventory and the serving layer;
+// cmd/eulerbench regenerates the paper's tables and figures.
 package euler
 
 import (
@@ -156,16 +155,28 @@ func FindCircuitStream(g *Graph, emit func(Step) error, opts ...Option) (*Report
 	return findCircuit(g, emit, opts...)
 }
 
-func findCircuit(g *Graph, emit func(Step) error, opts ...Option) (*Report, error) {
+// resolveOptions applies the option defaults, rejects invalid partition
+// counts, and clamps parts to the vertex count.  Every facade entry point
+// that accepts ...Option resolves through here so they share one
+// validation policy.
+func resolveOptions(g *Graph, opts []Option) (Options, error) {
 	o := Options{parts: 4, seed: 1}
 	for _, opt := range opts {
 		opt(&o)
 	}
 	if o.parts < 1 {
-		return nil, fmt.Errorf("euler: partition count %d < 1", o.parts)
+		return o, fmt.Errorf("euler: partition count %d < 1", o.parts)
 	}
 	if int64(o.parts) > g.NumVertices() {
 		o.parts = int32(g.NumVertices())
+	}
+	return o, nil
+}
+
+func findCircuit(g *Graph, emit func(Step) error, opts ...Option) (*Report, error) {
+	o, err := resolveOptions(g, opts)
+	if err != nil {
+		return nil, err
 	}
 	var a Assignment
 	if o.assign != nil {
@@ -252,9 +263,9 @@ func PartitionHash(g *Graph, k int32) Assignment { return partition.Hash(g, k) }
 // with a virtual edge and rotated; see internal/postman).  The walk starts
 // at one odd vertex, ends at the other, and covers every edge once.
 func FindEulerPath(g *Graph, opts ...Option) ([]Step, error) {
-	o := Options{parts: 4, seed: 1}
-	for _, opt := range opts {
-		opt(&o)
+	o, err := resolveOptions(g, opts)
+	if err != nil {
+		return nil, err
 	}
 	return postman.EulerPath(g, postman.Config{Parts: o.parts, Mode: o.mode, Seed: o.seed})
 }
@@ -266,9 +277,9 @@ func FindEulerPath(g *Graph, opts ...Option) ([]Step, error) {
 // covering every edge at least once.  Tour.Revisits counts the deadheading
 // traversals.
 func CoveringTour(g *Graph, opts ...Option) (*postman.Tour, error) {
-	o := Options{parts: 4, seed: 1}
-	for _, opt := range opts {
-		opt(&o)
+	o, err := resolveOptions(g, opts)
+	if err != nil {
+		return nil, err
 	}
 	return postman.CoveringTour(g, postman.Config{Parts: o.parts, Mode: o.mode, Seed: o.seed})
 }

@@ -192,3 +192,37 @@ func TestPartitionRefineFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestOptionValidationSharedAcrossEntryPoints(t *testing.T) {
+	// Path graph with two odd vertices for FindEulerPath/CoveringTour.
+	b := NewBuilder(5, 5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 1)
+	g := b.Build()
+
+	// Every facade entry point rejects parts < 1...
+	if _, err := FindEulerPath(g, WithPartitions(0)); err == nil {
+		t.Fatal("FindEulerPath accepted parts=0")
+	}
+	if _, err := CoveringTour(g, WithPartitions(-3)); err == nil {
+		t.Fatal("CoveringTour accepted parts=-3")
+	}
+	if _, err := FindCircuit(NewTorus(4, 4), WithPartitions(0)); err == nil {
+		t.Fatal("FindCircuit accepted parts=0")
+	}
+
+	// ...and clamps parts > |V| instead of failing.
+	if _, err := FindEulerPath(g, WithPartitions(64)); err != nil {
+		t.Fatalf("FindEulerPath with oversized parts: %v", err)
+	}
+	tour, err := CoveringTour(g, WithPartitions(64))
+	if err != nil {
+		t.Fatalf("CoveringTour with oversized parts: %v", err)
+	}
+	if err := VerifyTour(g, tour); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -26,22 +26,47 @@ var magic = [8]byte{'E', 'U', 'L', 'G', 'R', 'P', 'H', '1'}
 // magic header or is truncated.
 var ErrBadFormat = errors.New("graph: bad file format")
 
+// ReadHeader consumes and validates the EULGRPH1 header from br,
+// returning the declared vertex and edge counts without allocating
+// anything from them; callers that must bound graph sizes (e.g. the
+// service upload path) check the counts before reading the body.
+func ReadHeader(br *bufio.Reader) (vertices, edges uint64, err error) {
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return 0, 0, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if got != magic {
+		return 0, 0, fmt.Errorf("%w: magic %q", ErrBadFormat, got[:])
+	}
+	vertices, err = binary.ReadUvarint(br)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: vertex count: %v", ErrBadFormat, err)
+	}
+	edges, err = binary.ReadUvarint(br)
+	if err != nil {
+		return 0, 0, fmt.Errorf("%w: edge count: %v", ErrBadFormat, err)
+	}
+	return vertices, edges, nil
+}
+
+// AppendHeader appends the EULGRPH1 header for the declared counts.
+func AppendHeader(dst []byte, vertices, edges uint64) []byte {
+	dst = append(dst, magic[:]...)
+	dst = binary.AppendUvarint(dst, vertices)
+	dst = binary.AppendUvarint(dst, edges)
+	return dst
+}
+
 // Write serialises g to w in the binary graph format.
 func Write(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.Write(magic[:]); err != nil {
+	if _, err := bw.Write(AppendHeader(nil, uint64(g.NumVertices()), uint64(g.NumEdges()))); err != nil {
 		return err
 	}
 	var buf [binary.MaxVarintLen64]byte
 	putUvarint := func(x uint64) error {
 		n := binary.PutUvarint(buf[:], x)
 		_, err := bw.Write(buf[:n])
-		return err
-	}
-	if err := putUvarint(uint64(g.NumVertices())); err != nil {
-		return err
-	}
-	if err := putUvarint(uint64(g.NumEdges())); err != nil {
 		return err
 	}
 	for _, e := range g.Edges() {
@@ -58,20 +83,9 @@ func Write(w io.Writer, g *Graph) error {
 // Read deserialises a graph written by Write.
 func Read(r io.Reader) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
-	var got [8]byte
-	if _, err := io.ReadFull(br, got[:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
-	}
-	if got != magic {
-		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, got[:])
-	}
-	n, err := binary.ReadUvarint(br)
+	n, m, err := ReadHeader(br)
 	if err != nil {
-		return nil, fmt.Errorf("%w: vertex count: %v", ErrBadFormat, err)
-	}
-	m, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("%w: edge count: %v", ErrBadFormat, err)
+		return nil, err
 	}
 	b := NewBuilder(int64(n), int(m))
 	for i := uint64(0); i < m; i++ {

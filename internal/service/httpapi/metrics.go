@@ -1,0 +1,63 @@
+package httpapi
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/euler"
+)
+
+// metrics holds the service counters: job outcomes, emitted steps, and
+// per-phase engine timings aggregated from completed jobs' RunReports
+// (the user-compute split of the paper's Fig. 6 plus wall clock).
+type metrics struct {
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	cancelled atomic.Int64
+	steps     atomic.Int64
+
+	copySrcNanos   atomic.Int64
+	copySinkNanos  atomic.Int64
+	createObjNanos atomic.Int64
+	phase1Nanos    atomic.Int64
+	wallNanos      atomic.Int64
+}
+
+func (m *metrics) addReport(r *euler.RunReport) {
+	var copySrc, copySink, createObj, phase1 time.Duration
+	for _, p := range r.Parts {
+		copySrc += p.CopySrc
+		copySink += p.CopySink
+		createObj += p.CreateObj
+		phase1 += p.Phase1
+	}
+	m.copySrcNanos.Add(int64(copySrc))
+	m.copySinkNanos.Add(int64(copySink))
+	m.createObjNanos.Add(int64(createObj))
+	m.phase1Nanos.Add(int64(phase1))
+	m.wallNanos.Add(int64(r.Wall))
+}
+
+// MetricsSnapshot returns the current counters as a flat JSON-friendly
+// map; cmd/eulerd also publishes it through expvar.
+func (s *Server) MetricsSnapshot() map[string]any {
+	return map[string]any{
+		"queue_depth":    s.pool.Depth(),
+		"running":        s.pool.Running(),
+		"workers":        s.pool.Workers(),
+		"jobs_retained":  s.jobs.Len(),
+		"jobs_submitted": s.metrics.submitted.Load(),
+		"jobs_completed": s.metrics.completed.Load(),
+		"jobs_failed":    s.metrics.failed.Load(),
+		"jobs_cancelled": s.metrics.cancelled.Load(),
+		"circuit_steps":  s.metrics.steps.Load(),
+		"phase_nanos": map[string]int64{
+			"copy_src":   s.metrics.copySrcNanos.Load(),
+			"copy_sink":  s.metrics.copySinkNanos.Load(),
+			"create_obj": s.metrics.createObjNanos.Load(),
+			"phase1":     s.metrics.phase1Nanos.Load(),
+			"wall":       s.metrics.wallNanos.Load(),
+		},
+	}
+}

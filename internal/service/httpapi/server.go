@@ -1,0 +1,409 @@
+// Package httpapi is eulerd's HTTP/JSON layer: it decodes job
+// submissions, schedules them on the worker pool, and serves job
+// lifecycle, circuit streaming, health, and metrics endpoints.  The
+// engine computes; this package only schedules and transports.
+package httpapi
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	euler "repro"
+	"repro/internal/graph"
+	"repro/internal/service/job"
+	"repro/internal/service/queue"
+)
+
+// DefaultMaxUploadBytes bounds uploaded EULGRPH1 bodies (256 MiB).
+const DefaultMaxUploadBytes = 256 << 20
+
+// Server wires the job store, the worker pool, and the HTTP handlers.
+type Server struct {
+	jobs    *job.Store
+	pool    *queue.Pool
+	dataDir string
+
+	maxUploadBytes int64
+	metrics        metrics
+
+	// beforeRun, when set, is called by the worker after a job leaves
+	// the queue and before the engine starts; tests use it to hold a
+	// worker in place deterministically.
+	beforeRun func(*job.Job)
+}
+
+// Config configures a Server.
+type Config struct {
+	// Store is the job registry (required).
+	Store *job.Store
+	// Pool is the worker pool (required).
+	Pool *queue.Pool
+	// DataDir is where per-job scratch directories are created
+	// (required; must exist).
+	DataDir string
+	// MaxUploadBytes caps uploaded graph bodies; 0 means
+	// DefaultMaxUploadBytes.
+	MaxUploadBytes int64
+}
+
+// New returns a Server for the given configuration.
+func New(cfg Config) *Server {
+	max := cfg.MaxUploadBytes
+	if max <= 0 {
+		max = DefaultMaxUploadBytes
+	}
+	return &Server{
+		jobs:           cfg.Store,
+		pool:           cfg.Pool,
+		dataDir:        cfg.DataDir,
+		maxUploadBytes: max,
+	}
+}
+
+// Handler returns the service's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/circuit", s.handleCircuit)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return mux
+}
+
+// errorBody is the uniform error response shape.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit accepts either an application/json Spec (generator jobs)
+// or a raw EULGRPH1 body (upload jobs, engine options in the query
+// string), registers the job, and enqueues it.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dir, err := os.MkdirTemp(s.dataDir, "job-")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "creating job dir: %v", err)
+		return
+	}
+	spec, status, err := s.decodeSubmission(r, dir)
+	if err != nil {
+		os.RemoveAll(dir)
+		writeError(w, status, "%v", err)
+		return
+	}
+	j := s.jobs.New(spec, dir)
+	if err := s.pool.Submit(func(ctx context.Context) { s.runJob(ctx, j) }); err != nil {
+		s.jobs.Remove(j.ID)
+		// A full backlog is retryable back-pressure; a closed pool
+		// means the server is draining.
+		status := http.StatusTooManyRequests
+		if errors.Is(err, queue.ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	s.metrics.submitted.Add(1)
+	writeJSON(w, http.StatusAccepted, j.Snapshot())
+}
+
+// decodeSubmission parses the request into a validated Spec, writing
+// uploaded graph bodies into dir.
+func (s *Server) decodeSubmission(r *http.Request, dir string) (job.Spec, int, error) {
+	var spec job.Spec
+	mediaType, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if mediaType == "application/json" {
+		if err := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20)).Decode(&spec); err != nil {
+			return spec, http.StatusBadRequest, fmt.Errorf("decoding spec: %v", err)
+		}
+	} else {
+		// Anything else is an EULGRPH1 upload; engine options ride in
+		// the query string.
+		q := r.URL.Query()
+		if v := q.Get("parts"); v != "" {
+			parts, err := strconv.ParseInt(v, 10, 32)
+			if err != nil {
+				return spec, http.StatusBadRequest, fmt.Errorf("parts: %v", err)
+			}
+			spec.Parts = int32(parts)
+		}
+		if v := q.Get("seed"); v != "" {
+			seed, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return spec, http.StatusBadRequest, fmt.Errorf("seed: %v", err)
+			}
+			spec.Seed = seed
+		}
+		spec.Mode = q.Get("mode")
+		spec.Spill = q.Get("spill") == "true"
+		path := filepath.Join(dir, "graph.bin")
+		if err := saveUpload(path, http.MaxBytesReader(nil, r.Body, s.maxUploadBytes)); err != nil {
+			return spec, http.StatusBadRequest, err
+		}
+		spec.Uploaded = true
+		spec.GraphFile = path
+	}
+	if err := spec.Validate(); err != nil {
+		return spec, http.StatusBadRequest, err
+	}
+	return spec, 0, nil
+}
+
+// saveUpload copies an uploaded graph body to path.  It rejects bodies
+// without the EULGRPH1 magic and bounds the declared vertex/edge counts
+// before anything downstream allocates from them, so a 20-byte body
+// cannot demand a terabyte graph at run time.
+func saveUpload(path string, body io.Reader) error {
+	br := bufio.NewReaderSize(body, 1<<16)
+	vertices, edges, err := graph.ReadHeader(br)
+	if err != nil {
+		return fmt.Errorf("upload is not an EULGRPH1 graph file: %v", err)
+	}
+	if err := job.ValidateUploadCounts(vertices, edges); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("saving upload: %v", err)
+	}
+	// Re-frame the consumed header (uvarint re-encoding is
+	// value-preserving) and stream the rest through.
+	if _, err := f.Write(graph.AppendHeader(nil, vertices, edges)); err != nil {
+		f.Close()
+		return fmt.Errorf("saving upload: %v", err)
+	}
+	bodyBytes, err := io.Copy(f, br)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("saving upload: %v", err)
+	}
+	// An edge is at least two varint bytes, so a tiny body cannot
+	// claim a huge edge count and force the builder's up-front
+	// allocation at run time.
+	if edges > uint64(bodyBytes)/2 {
+		f.Close()
+		return fmt.Errorf("uploaded graph declares %d edges but the body has only %d bytes", edges, bodyBytes)
+	}
+	return f.Close()
+}
+
+// runJob executes one job on a pool worker: build the input graph,
+// stream the circuit into a disk-backed sink, record the report.
+func (s *Server) runJob(poolCtx context.Context, j *job.Job) {
+	// A pool drain deadline cancels the job's own context so the
+	// streaming emit path aborts promptly.
+	stop := context.AfterFunc(poolCtx, func() { j.Cancel() })
+	defer stop()
+
+	if !j.Start() {
+		// Cancelled while queued; the slot goes straight back to the
+		// pool.
+		return
+	}
+	if s.beforeRun != nil {
+		s.beforeRun(j)
+	}
+	ctx := j.Context()
+
+	fail := func(err error) {
+		if j.Fail(err) == job.StateCancelled {
+			s.metrics.cancelled.Add(1)
+		} else {
+			s.metrics.failed.Add(1)
+		}
+	}
+	// A generator or engine panic must fail the job, not the server.
+	// sink is closed here too: every error return closes it inline,
+	// but a panic would otherwise leak the open log file.  Ownership
+	// moves to the job at Finish, which nils the local.
+	var sink *job.CircuitSink
+	defer func() {
+		if r := recover(); r != nil {
+			if sink != nil {
+				sink.Close()
+			}
+			fail(fmt.Errorf("job panicked: %v", r))
+		}
+	}()
+
+	g, err := j.Spec.BuildGraph()
+	if err != nil {
+		fail(fmt.Errorf("building input graph: %w", err))
+		return
+	}
+	// Graph generation and the engine's merge phases are not
+	// context-aware; observe a cancellation that arrived during
+	// generation here rather than launching the engine.
+	if err := ctx.Err(); err != nil {
+		fail(err)
+		return
+	}
+	if j.Spec.Uploaded {
+		// Generated inputs are Eulerian by construction; uploads get
+		// the explicit precondition check for a clear client error.
+		if err := euler.CheckInput(g); err != nil {
+			fail(err)
+			return
+		}
+	}
+
+	sink, err = job.NewCircuitSink(filepath.Join(j.Dir, "circuit.log"), 0)
+	if err != nil {
+		fail(fmt.Errorf("creating circuit sink: %w", err))
+		return
+	}
+
+	var opts []euler.Option
+	if j.Spec.Parts > 0 {
+		opts = append(opts, euler.WithPartitions(j.Spec.Parts))
+	}
+	if j.Spec.Seed != 0 {
+		opts = append(opts, euler.WithSeed(j.Spec.Seed))
+	}
+	mode, _ := job.ParseMode(j.Spec.Mode) // validated at submit
+	opts = append(opts, euler.WithMode(mode))
+	if j.Spec.Spill {
+		opts = append(opts, euler.WithSpillDir(j.Dir))
+	}
+
+	emit := func(st graph.Step) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return sink.Append(st)
+	}
+	report, err := euler.FindCircuitStream(g, emit, opts...)
+	if err != nil {
+		sink.Close()
+		fail(err)
+		return
+	}
+	if err := sink.Finish(); err != nil {
+		sink.Close()
+		fail(fmt.Errorf("persisting circuit: %w", err))
+		return
+	}
+	j.Finish(report, sink)
+	s.metrics.completed.Add(1)
+	s.metrics.steps.Add(sink.Steps())
+	s.metrics.addReport(report)
+	sink = nil // owned by the job now; keep the panic path off it
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.List()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+// handleCircuit streams a finished job's circuit as NDJSON, one
+// {"edge":e,"from":u,"to":v} object per step, reading batches back from
+// the disk sink so the response never materialises in memory.
+func (s *Server) handleCircuit(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	sink, ok := j.Circuit()
+	if !ok {
+		writeError(w, http.StatusConflict, "job is %s, circuit available only when done", j.State())
+		return
+	}
+	defer sink.Release()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Circuit-Steps", strconv.FormatInt(sink.Steps(), 10))
+	cw := &countedWriter{w: w}
+	bw := bufio.NewWriterSize(cw, 1<<16)
+	err := sink.Iterate(func(st graph.Step) error {
+		_, err := fmt.Fprintf(bw, "{\"edge\":%d,\"from\":%d,\"to\":%d}\n", st.Edge, st.From, st.To)
+		return err
+	})
+	if err != nil {
+		if cw.n == 0 {
+			// Nothing reached the client yet; a real error status can
+			// still go out.
+			writeError(w, http.StatusInternalServerError, "streaming circuit: %v", err)
+			return
+		}
+		// Mid-stream failure: the status is gone, cut the body short.
+		return
+	}
+	bw.Flush()
+}
+
+// countedWriter tracks whether any bytes reached the underlying
+// ResponseWriter, i.e. whether the status line has been committed.
+type countedWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countedWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	state, transitioned := j.Cancel()
+	if transitioned {
+		s.metrics.cancelled.Add(1)
+	}
+	switch state {
+	case job.StateCancelled:
+		writeJSON(w, http.StatusOK, j.Snapshot())
+	case job.StateRunning:
+		// Cancellation requested; the worker observes it at the next
+		// emitted step.
+		writeJSON(w, http.StatusAccepted, j.Snapshot())
+	default:
+		writeError(w, http.StatusConflict, "job already %s", state)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"queue_depth": s.pool.Depth(),
+		"running":     s.pool.Running(),
+		"workers":     s.pool.Workers(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}

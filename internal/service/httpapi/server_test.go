@@ -1,0 +1,456 @@
+package httpapi
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	euler "repro"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/service/job"
+	"repro/internal/service/queue"
+)
+
+func newTestServer(t *testing.T, workers, backlog int) (*Server, *httptest.Server) {
+	t.Helper()
+	pool := queue.New(workers, backlog)
+	s := New(Config{
+		Store:   job.NewStore(50),
+		Pool:    pool,
+		DataDir: t.TempDir(),
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		pool.Drain(ctx)
+	})
+	return s, ts
+}
+
+func submitJSON(t *testing.T, ts *httptest.Server, spec string) job.Snapshot {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var e errorBody
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, e.Error)
+	}
+	var snap job.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.ID == "" {
+		t.Fatal("submit: empty job ID")
+	}
+	return snap
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) job.Snapshot {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap job.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func waitState(t *testing.T, ts *httptest.Server, id string, want job.State) job.Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		snap := getJob(t, ts, id)
+		if snap.State == want {
+			return snap
+		}
+		if snap.State.Terminal() {
+			t.Fatalf("job %s reached %s (error %q), want %s", id, snap.State, snap.Error, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return job.Snapshot{}
+}
+
+// streamCircuit fetches the NDJSON circuit and decodes it into steps.
+func streamCircuit(t *testing.T, ts *httptest.Server, id string) []graph.Step {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/circuit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("circuit: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("circuit: content type %q", ct)
+	}
+	var steps []graph.Step
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		var line struct {
+			Edge int64 `json:"edge"`
+			From int64 `json:"from"`
+			To   int64 `json:"to"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		steps = append(steps, graph.Step{Edge: line.Edge, From: line.From, To: line.To})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return steps
+}
+
+// TestConcurrentJobsSingleWorker is the acceptance scenario: two jobs
+// submitted concurrently against a worker pool of 1 both complete, and
+// each streamed circuit round-trips into []graph.Step and verifies.
+func TestConcurrentJobsSingleWorker(t *testing.T) {
+	_, ts := newTestServer(t, 1, 8)
+
+	a := submitJSON(t, ts, `{"generator":{"family":"torus","width":8,"height":6},"parts":3}`)
+	b := submitJSON(t, ts, `{"generator":{"family":"cliques","k":4,"c":5},"parts":2,"mode":"proposed"}`)
+
+	snapA := waitState(t, ts, a.ID, job.StateDone)
+	snapB := waitState(t, ts, b.ID, job.StateDone)
+	if snapA.Report == nil || snapB.Report == nil {
+		t.Fatal("done jobs must carry a report")
+	}
+	if snapA.Report.BSP.Supersteps == 0 {
+		t.Fatal("report should have BSP metrics")
+	}
+
+	ga := gen.Torus(8, 6)
+	if err := euler.Verify(ga, streamCircuit(t, ts, a.ID)); err != nil {
+		t.Fatalf("job A circuit: %v", err)
+	}
+	gb := gen.RingOfCliques(4, 5)
+	if err := euler.Verify(gb, streamCircuit(t, ts, b.ID)); err != nil {
+		t.Fatalf("job B circuit: %v", err)
+	}
+}
+
+// TestCancelQueuedJob holds the single worker inside job A, cancels the
+// queued job B, and then shows the slot is returned: B never runs, and
+// a third job completes after A is released.
+func TestCancelQueuedJob(t *testing.T) {
+	s, ts := newTestServer(t, 1, 8)
+	release := make(chan struct{})
+	entered := make(chan string, 8)
+	s.beforeRun = func(j *job.Job) {
+		entered <- j.ID
+		<-release
+	}
+
+	a := submitJSON(t, ts, `{"generator":{"family":"torus","width":4,"height":4}}`)
+	if got := <-entered; got != a.ID {
+		t.Fatalf("worker entered %s, want %s", got, a.ID)
+	}
+
+	b := submitJSON(t, ts, `{"generator":{"family":"torus","width":4,"height":4}}`)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+b.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel queued: status %d, want 200", resp.StatusCode)
+	}
+	if snap := getJob(t, ts, b.ID); snap.State != job.StateCancelled {
+		t.Fatalf("job B state %s, want cancelled", snap.State)
+	}
+
+	close(release)
+	waitState(t, ts, a.ID, job.StateDone)
+
+	// The worker slot is free again: a third job runs to completion,
+	// and the cancelled job never entered the engine.
+	c := submitJSON(t, ts, `{"generator":{"family":"torus","width":4,"height":4}}`)
+	waitState(t, ts, c.ID, job.StateDone)
+	for {
+		select {
+		case id := <-entered:
+			if id == b.ID {
+				t.Fatal("cancelled job must not run")
+			}
+			continue
+		default:
+		}
+		break
+	}
+}
+
+// TestCancelRunningJob cancels mid-run; the streaming emit path aborts
+// and the job lands in cancelled.
+func TestCancelRunningJob(t *testing.T) {
+	s, ts := newTestServer(t, 1, 8)
+	release := make(chan struct{})
+	s.beforeRun = func(j *job.Job) { <-release }
+
+	a := submitJSON(t, ts, `{"generator":{"family":"torus","width":6,"height":6}}`)
+	waitState(t, ts, a.ID, job.StateRunning)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+a.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel running: status %d, want 202", resp.StatusCode)
+	}
+	close(release)
+	waitState(t, ts, a.ID, job.StateCancelled)
+
+	// Cancelling a cancelled job is idempotent; cancelling a done job
+	// conflicts.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+a.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-cancel cancelled: status %d, want 200", resp.StatusCode)
+	}
+	b := submitJSON(t, ts, `{"generator":{"family":"torus","width":4,"height":4}}`)
+	waitState(t, ts, b.ID, job.StateDone)
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+b.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel done job: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestUploadJob round-trips an EULGRPH1 body through the upload
+// endpoint and verifies the streamed circuit against the same graph.
+func TestUploadJob(t *testing.T) {
+	_, ts := newTestServer(t, 2, 8)
+
+	g := gen.Torus(7, 5)
+	var buf bytes.Buffer
+	if err := graph.Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs?parts=3&seed=7&spill=true", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap job.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("upload: status %d", resp.StatusCode)
+	}
+	if !snap.Spec.Uploaded || snap.Spec.Parts != 3 || snap.Spec.Seed != 7 || !snap.Spec.Spill {
+		t.Fatalf("upload spec not captured: %+v", snap.Spec)
+	}
+	waitState(t, ts, snap.ID, job.StateDone)
+	if err := euler.Verify(g, streamCircuit(t, ts, snap.ID)); err != nil {
+		t.Fatalf("uploaded job circuit: %v", err)
+	}
+}
+
+// TestJSONContentTypeWithCharset ensures a spec posted with
+// "application/json; charset=utf-8" is routed to the JSON path, not
+// treated as a binary upload.
+func TestJSONContentTypeWithCharset(t *testing.T) {
+	_, ts := newTestServer(t, 1, 4)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json; charset=utf-8",
+		strings.NewReader(`{"generator":{"family":"torus","width":4,"height":4}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap job.Snapshot
+	json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("charset content type: status %d, want 202", resp.StatusCode)
+	}
+	waitState(t, ts, snap.ID, job.StateDone)
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, 1, 4)
+
+	post := func(body, ct string) int {
+		resp, err := http.Post(ts.URL+"/v1/jobs", ct, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(`{"generator":{"family":"petersen"}}`, "application/json"); code != http.StatusBadRequest {
+		t.Fatalf("bad family: status %d", code)
+	}
+	if code := post(`{"generator":{"family":"torus"},"mode":"quantum"}`, "application/json"); code != http.StatusBadRequest {
+		t.Fatalf("bad mode: status %d", code)
+	}
+	if code := post("not a graph file at all", "application/octet-stream"); code != http.StatusBadRequest {
+		t.Fatalf("bad magic: status %d", code)
+	}
+	// A tiny body declaring absurd counts must be rejected up front,
+	// not allocated at run time.
+	huge := make([]byte, 8, 24)
+	copy(huge, "EULGRPH1")
+	huge = binary.AppendUvarint(huge, 1<<40) // vertices
+	huge = binary.AppendUvarint(huge, 0)     // edges
+	if code := post(string(huge), "application/octet-stream"); code != http.StatusBadRequest {
+		t.Fatalf("oversized declared counts: status %d", code)
+	}
+	// Counts at the cap but a body far too small to hold them must
+	// also bounce, or a 12-byte request buys a gigabyte allocation.
+	small := make([]byte, 8, 24)
+	copy(small, "EULGRPH1")
+	small = binary.AppendUvarint(small, 100)
+	small = binary.AppendUvarint(small, uint64(job.MaxUploadEdges))
+	if code := post(string(small), "application/octet-stream"); code != http.StatusBadRequest {
+		t.Fatalf("edge count exceeding body size: status %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs/deadbeef/circuit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown circuit: status %d", resp.StatusCode)
+	}
+}
+
+func TestBacklogFullRejectsSubmission(t *testing.T) {
+	s, ts := newTestServer(t, 1, 1)
+	release := make(chan struct{})
+	defer close(release)
+	s.beforeRun = func(j *job.Job) { <-release }
+
+	// The first job occupies the single worker; the second fills the
+	// one backlog slot; the third must bounce with 429.
+	a := submitJSON(t, ts, `{"generator":{"family":"torus","width":4,"height":4}}`)
+	waitState(t, ts, a.ID, job.StateRunning)
+	submitJSON(t, ts, `{"generator":{"family":"torus","width":4,"height":4}}`)
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"generator":{"family":"torus"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full backlog: status %d, want 429", resp.StatusCode)
+	}
+	// The bounced job must not linger in the store.
+	var e errorBody
+	json.NewDecoder(resp.Body).Decode(&e)
+	if s.jobs.Len() != 2 {
+		t.Fatalf("store len = %d after bounce, want 2", s.jobs.Len())
+	}
+}
+
+func TestHealthAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, 2, 8)
+
+	a := submitJSON(t, ts, `{"generator":{"family":"torus","width":6,"height":4}}`)
+	waitState(t, ts, a.ID, job.StateDone)
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if health["status"] != "ok" {
+		t.Fatalf("healthz: %+v", health)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Submitted  int64            `json:"jobs_submitted"`
+		Completed  int64            `json:"jobs_completed"`
+		Steps      int64            `json:"circuit_steps"`
+		PhaseNanos map[string]int64 `json:"phase_nanos"`
+	}
+	json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if m.Submitted < 1 || m.Completed < 1 {
+		t.Fatalf("metrics counters: %+v", m)
+	}
+	if m.Steps != 6*4*2 { // torus has 2wh edges, circuit covers each once
+		t.Fatalf("circuit_steps = %d, want %d", m.Steps, 6*4*2)
+	}
+	if m.PhaseNanos["wall"] <= 0 {
+		t.Fatalf("phase wall time not aggregated: %+v", m.PhaseNanos)
+	}
+}
+
+// TestListJobs exercises GET /v1/jobs.
+func TestListJobs(t *testing.T) {
+	_, ts := newTestServer(t, 2, 8)
+	ids := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		snap := submitJSON(t, ts, fmt.Sprintf(`{"generator":{"family":"torus","width":4,"height":%d}}`, 3+i))
+		ids[snap.ID] = true
+	}
+	for id := range ids {
+		waitState(t, ts, id, job.StateDone)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs []job.Snapshot `json:"jobs"`
+	}
+	json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if len(list.Jobs) != 3 {
+		t.Fatalf("listed %d jobs, want 3", len(list.Jobs))
+	}
+	for _, j := range list.Jobs {
+		if !ids[j.ID] {
+			t.Fatalf("unexpected job %s in listing", j.ID)
+		}
+	}
+}

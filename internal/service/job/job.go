@@ -1,0 +1,319 @@
+// Package job holds the eulerd job model: the submission spec, the
+// per-job state machine, and a bounded in-memory registry.  The engine
+// (repro's euler facade) computes; this package only records lifecycle.
+package job
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/euler"
+)
+
+// State is a job lifecycle state.
+type State string
+
+// Job lifecycle: queued → running → done | failed | cancelled.  A queued
+// job may go straight to cancelled without running.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job is one submitted circuit computation.  The immutable identity
+// fields (ID, Spec, Dir) are set at creation; the mutable lifecycle
+// fields are guarded by mu and read through Snapshot.
+type Job struct {
+	ID   string
+	Spec Spec
+	// Dir is the job's scratch directory (uploaded graph, circuit log,
+	// optional engine spill); it is removed when the job is evicted.
+	Dir string
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    State
+	errMsg   string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	steps    int64
+	report   *euler.RunReport
+	sink     *CircuitSink
+}
+
+// Context returns the job's cancellation context; the worker threads it
+// through the streaming emit path so DELETE aborts the unroll.
+func (j *Job) Context() context.Context { return j.ctx }
+
+// Start moves the job from queued to running.  It returns false if the
+// job is no longer queued (cancelled before a worker picked it up), in
+// which case the worker must skip it.
+func (j *Job) Start() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// Finish records a successful run: the instrumentation report and the
+// sink holding the streamed circuit.
+func (j *Job) Finish(report *euler.RunReport, sink *CircuitSink) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateDone
+	j.finished = time.Now()
+	j.report = report
+	j.sink = sink
+	j.steps = sink.Steps()
+}
+
+// Fail records a failed run.  If the job's context was cancelled the
+// failure is reclassified as a cancellation; the resulting state is
+// returned so the caller can count it correctly.
+func (j *Job) Fail(err error) State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.ctx.Err() != nil {
+		j.state = StateCancelled
+	} else {
+		j.state = StateFailed
+	}
+	j.errMsg = err.Error()
+	j.finished = time.Now()
+	return j.state
+}
+
+// Cancel requests cancellation.  A queued job transitions to cancelled
+// immediately (the worker will observe Start()==false and skip it,
+// returning its slot to the pool); a running job has its context
+// cancelled and transitions when the worker notices.  The first return
+// is the state after the call; the second reports whether this call
+// performed the queued→cancelled transition.
+func (j *Job) Cancel() (State, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cancel()
+	if j.state == StateQueued {
+		j.state = StateCancelled
+		j.finished = time.Now()
+		j.errMsg = "cancelled before running"
+		return j.state, true
+	}
+	return j.state, false
+}
+
+// Circuit returns the circuit sink of a successfully completed job
+// with a reader reference already held, so a concurrent eviction
+// cannot close the sink before the caller starts reading.  The caller
+// must Release the sink when done.
+func (j *Job) Circuit() (*CircuitSink, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone || j.sink == nil || !j.sink.Acquire() {
+		return nil, false
+	}
+	return j.sink, true
+}
+
+// cleanup releases the job's disk footprint.  Called by the store on
+// eviction, after the job left the registry.
+func (j *Job) cleanup() {
+	j.mu.Lock()
+	sink := j.sink
+	j.sink = nil
+	j.mu.Unlock()
+	if sink != nil {
+		sink.Close()
+	}
+	if j.Dir != "" {
+		os.RemoveAll(j.Dir)
+	}
+}
+
+// Snapshot is a point-in-time copy of a job's observable state, shaped
+// for the HTTP API.
+type Snapshot struct {
+	ID       string           `json:"id"`
+	State    State            `json:"state"`
+	Spec     Spec             `json:"spec"`
+	Error    string           `json:"error,omitempty"`
+	Created  time.Time        `json:"created"`
+	Started  *time.Time       `json:"started,omitempty"`
+	Finished *time.Time       `json:"finished,omitempty"`
+	Steps    int64            `json:"steps,omitempty"`
+	Report   *euler.RunReport `json:"report,omitempty"`
+}
+
+// Snapshot returns a copy of the job's current state.
+func (j *Job) Snapshot() Snapshot {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Snapshot{
+		ID:      j.ID,
+		State:   j.state,
+		Spec:    j.Spec,
+		Error:   j.errMsg,
+		Created: j.created,
+		Steps:   j.steps,
+		Report:  j.report,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.Finished = &t
+	}
+	return s
+}
+
+// State returns the job's current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Store is the in-memory job registry with bounded retention: terminal
+// jobs beyond maxTerminal are evicted oldest-first and their scratch
+// directories removed.  Queued and running jobs are never evicted.
+type Store struct {
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	order       []*Job // insertion order, for retention scans
+	maxTerminal int
+}
+
+// NewStore returns a registry retaining at most maxTerminal finished
+// jobs (minimum 1).
+func NewStore(maxTerminal int) *Store {
+	if maxTerminal < 1 {
+		maxTerminal = 1
+	}
+	return &Store{jobs: make(map[string]*Job), maxTerminal: maxTerminal}
+}
+
+// New registers a fresh queued job for spec with scratch directory dir
+// and returns it, evicting old terminal jobs if retention is exceeded.
+func (s *Store) New(spec Spec, dir string) *Job {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		ID:      newID(),
+		Spec:    spec,
+		Dir:     dir,
+		ctx:     ctx,
+		cancel:  cancel,
+		state:   StateQueued,
+		created: time.Now(),
+	}
+	s.mu.Lock()
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j)
+	evicted := s.evictLocked()
+	s.mu.Unlock()
+	for _, e := range evicted {
+		e.cleanup()
+	}
+	return j
+}
+
+// evictLocked removes the oldest terminal jobs beyond the retention
+// bound and returns them for cleanup outside the lock.
+func (s *Store) evictLocked() []*Job {
+	terminal := 0
+	for _, j := range s.order {
+		if j.State().Terminal() {
+			terminal++
+		}
+	}
+	var evicted []*Job
+	for i := 0; terminal > s.maxTerminal && i < len(s.order); {
+		j := s.order[i]
+		if !j.State().Terminal() {
+			i++
+			continue
+		}
+		delete(s.jobs, j.ID)
+		s.order = append(s.order[:i], s.order[i+1:]...)
+		evicted = append(evicted, j)
+		terminal--
+	}
+	return evicted
+}
+
+// Get returns the job with the given ID.
+func (s *Store) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Remove deregisters a job (used when pool submission fails) and frees
+// its scratch directory.
+func (s *Store) Remove(id string) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if ok {
+		delete(s.jobs, id)
+		for i, o := range s.order {
+			if o == j {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	if ok {
+		j.cleanup()
+	}
+}
+
+// List returns snapshots of all registered jobs, oldest first.
+func (s *Store) List() []Snapshot {
+	s.mu.Lock()
+	jobs := make([]*Job, len(s.order))
+	copy(jobs, s.order)
+	s.mu.Unlock()
+	out := make([]Snapshot, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Snapshot()
+	}
+	return out
+}
+
+// Len returns the number of registered jobs.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("job: reading random ID: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}

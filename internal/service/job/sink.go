@@ -1,0 +1,241 @@
+package job
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/spill"
+)
+
+// DefaultBatchSteps is the number of circuit steps framed into one
+// spill record; at three uvarints a step a batch stays well under the
+// spill store's 1 MiB write buffer.
+const DefaultBatchSteps = 4096
+
+// CircuitSink persists a streamed Euler circuit to disk as it is
+// emitted, so the result never has to fit in server memory.  Steps are
+// buffered into fixed-size batches and appended to a spill.DiskStore
+// (record ID = batch index); Iterate replays them in circuit order.
+//
+// Append and Finish are called by the single worker goroutine running
+// the job; Iterate may be called concurrently by any number of HTTP
+// streams once Finish has returned.
+type CircuitSink struct {
+	mu        sync.Mutex
+	store     *spill.DiskStore
+	batchSize int
+	buf       []graph.Step
+	records   int64
+	steps     int64
+	finished  bool
+
+	// Close is deferred while readers hold the sink: eviction of a job
+	// mid-stream must not close the log file under an in-flight
+	// Iterate (unlinking the file is harmless, closing the fd is not).
+	refs    int
+	closing bool
+	closed  bool
+}
+
+// NewCircuitSink creates the backing log at path.  batchSize <= 0 uses
+// DefaultBatchSteps.
+func NewCircuitSink(path string, batchSize int) (*CircuitSink, error) {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSteps
+	}
+	ds, err := spill.NewDiskStore(path)
+	if err != nil {
+		return nil, err
+	}
+	return &CircuitSink{
+		store:     ds,
+		batchSize: batchSize,
+		buf:       make([]graph.Step, 0, batchSize),
+	}, nil
+}
+
+// Append adds one step, flushing a full batch to disk.
+func (c *CircuitSink) Append(s graph.Step) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.finished {
+		return fmt.Errorf("job: append after Finish")
+	}
+	c.buf = append(c.buf, s)
+	c.steps++
+	if len(c.buf) >= c.batchSize {
+		return c.flushLocked()
+	}
+	return nil
+}
+
+// Finish flushes the trailing partial batch and seals the sink for
+// reading.
+func (c *CircuitSink) Finish() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.finished {
+		return nil
+	}
+	if err := c.flushLocked(); err != nil {
+		return err
+	}
+	c.finished = true
+	return nil
+}
+
+func (c *CircuitSink) flushLocked() error {
+	if len(c.buf) == 0 {
+		return nil
+	}
+	data := encodeBatch(c.buf)
+	if err := c.store.Put(c.records, data); err != nil {
+		return err
+	}
+	c.records++
+	c.buf = c.buf[:0]
+	return nil
+}
+
+// Steps returns the number of steps appended so far.
+func (c *CircuitSink) Steps() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.steps
+}
+
+// Iterate replays the persisted circuit in order, calling fn for each
+// step.  It must only be called after Finish.  The sink stays open for
+// the duration even if Close is called concurrently.
+func (c *CircuitSink) Iterate(fn func(graph.Step) error) error {
+	c.mu.Lock()
+	if !c.finished {
+		c.mu.Unlock()
+		return fmt.Errorf("job: iterate before Finish")
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("job: iterate after Close")
+	}
+	c.refs++
+	records := c.records
+	c.mu.Unlock()
+	defer c.release()
+	for i := int64(0); i < records; i++ {
+		data, err := c.store.Get(i)
+		if err != nil {
+			return err
+		}
+		steps, err := decodeBatch(data)
+		if err != nil {
+			return fmt.Errorf("job: circuit batch %d: %w", i, err)
+		}
+		for _, s := range steps {
+			if err := fn(s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Acquire takes a reader reference so a concurrent Close (retention
+// eviction) is deferred until Release.  It returns false once the sink
+// is closed or closing.
+func (c *CircuitSink) Acquire() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.finished || c.closed || c.closing {
+		return false
+	}
+	c.refs++
+	return true
+}
+
+// Release drops the reference taken by Acquire.
+func (c *CircuitSink) Release() { c.release() }
+
+// release drops a reader reference, completing a deferred Close when
+// the last reader leaves.
+func (c *CircuitSink) release() {
+	c.mu.Lock()
+	c.refs--
+	doClose := c.refs == 0 && c.closing && !c.closed
+	if doClose {
+		c.closed = true
+	}
+	c.mu.Unlock()
+	if doClose {
+		c.store.Close()
+	}
+}
+
+// Close releases the backing store.  If readers are mid-Iterate the
+// close is deferred until the last one finishes; Close is idempotent.
+func (c *CircuitSink) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	if c.refs > 0 {
+		c.closing = true
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.store.Close()
+}
+
+// encodeBatch frames steps as (uvarint count, then per step uvarint
+// edge, from, to); IDs are non-negative by construction.
+func encodeBatch(steps []graph.Step) []byte {
+	buf := make([]byte, 0, 1+len(steps)*6)
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(x int64) {
+		n := binary.PutUvarint(tmp[:], uint64(x))
+		buf = append(buf, tmp[:n]...)
+	}
+	put(int64(len(steps)))
+	for _, s := range steps {
+		put(s.Edge)
+		put(s.From)
+		put(s.To)
+	}
+	return buf
+}
+
+func decodeBatch(data []byte) ([]graph.Step, error) {
+	next := func() (int64, error) {
+		x, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, fmt.Errorf("truncated batch")
+		}
+		data = data[n:]
+		return int64(x), nil
+	}
+	count, err := next()
+	if err != nil {
+		return nil, err
+	}
+	steps := make([]graph.Step, 0, count)
+	for i := int64(0); i < count; i++ {
+		e, err := next()
+		if err != nil {
+			return nil, err
+		}
+		u, err := next()
+		if err != nil {
+			return nil, err
+		}
+		v, err := next()
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, graph.Step{Edge: e, From: u, To: v})
+	}
+	return steps, nil
+}

@@ -1,0 +1,196 @@
+package job
+
+import (
+	"fmt"
+
+	"repro/internal/euler"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Generator size caps: the service refuses specs whose output would not
+// comfortably fit one server, mirroring the upload size limit.
+const (
+	maxRMATVertices = int64(1) << 22 // 4M vertices
+	maxRMATDegree   = 64
+	maxTorusSide    = int64(4096)
+	maxCliques      = int64(1) << 16
+	maxCliqueSize   = int64(99)
+)
+
+// Upload caps: an EULGRPH1 header declares its counts up front, and the
+// graph builder allocates from them, so a tiny malicious body could
+// otherwise demand terabytes.  These bound what one server will host.
+const (
+	MaxUploadVertices = int64(1) << 24 // 16M
+	MaxUploadEdges    = int64(1) << 26 // 64M
+)
+
+// ValidateUploadCounts bounds the declared vertex and edge counts of an
+// uploaded graph before anything is allocated from them.
+func ValidateUploadCounts(vertices, edges uint64) error {
+	if vertices > uint64(MaxUploadVertices) {
+		return fmt.Errorf("uploaded graph declares %d vertices, cap is %d", vertices, MaxUploadVertices)
+	}
+	if edges > uint64(MaxUploadEdges) {
+		return fmt.Errorf("uploaded graph declares %d edges, cap is %d", edges, MaxUploadEdges)
+	}
+	return nil
+}
+
+// GenSpec describes a generated input graph, one of the paper's three
+// families (Sec. 4.2).
+type GenSpec struct {
+	Family string `json:"family"` // "rmat", "torus", or "cliques"
+
+	// RMAT parameters (Graph500 skew, Eulerised largest component).
+	Vertices int64 `json:"vertices,omitempty"`
+	Degree   int   `json:"degree,omitempty"`
+	Seed     int64 `json:"seed,omitempty"`
+
+	// Torus parameters.
+	Width  int64 `json:"width,omitempty"`
+	Height int64 `json:"height,omitempty"`
+
+	// Ring-of-cliques parameters (C must be odd).
+	K int64 `json:"k,omitempty"`
+	C int64 `json:"c,omitempty"`
+}
+
+// Validate checks family and parameter ranges, applying defaults in
+// place (zero values take the family's documented default).
+func (g *GenSpec) Validate() error {
+	switch g.Family {
+	case "rmat":
+		if g.Vertices == 0 {
+			g.Vertices = 100_000
+		}
+		if g.Degree == 0 {
+			g.Degree = 5
+		}
+		if g.Seed == 0 {
+			g.Seed = 42
+		}
+		if g.Vertices < 2 || g.Vertices > maxRMATVertices {
+			return fmt.Errorf("rmat vertices %d out of range [2, %d]", g.Vertices, maxRMATVertices)
+		}
+		if g.Degree < 1 || g.Degree > maxRMATDegree {
+			return fmt.Errorf("rmat degree %d out of range [1, %d]", g.Degree, maxRMATDegree)
+		}
+	case "torus":
+		if g.Width == 0 {
+			g.Width = 100
+		}
+		if g.Height == 0 {
+			g.Height = 100
+		}
+		// The generator requires sides >= 3 so wrap-around edges are
+		// not parallel duplicates.
+		if g.Width < 3 || g.Width > maxTorusSide || g.Height < 3 || g.Height > maxTorusSide {
+			return fmt.Errorf("torus %dx%d out of range [3, %d] per side", g.Width, g.Height, maxTorusSide)
+		}
+	case "cliques":
+		if g.K == 0 {
+			g.K = 16
+		}
+		if g.C == 0 {
+			g.C = 9
+		}
+		if g.K < 1 || g.K > maxCliques {
+			return fmt.Errorf("cliques k %d out of range [1, %d]", g.K, maxCliques)
+		}
+		if g.C < 3 || g.C > maxCliqueSize || g.C%2 == 0 {
+			return fmt.Errorf("clique size %d must be odd and in [3, %d]", g.C, maxCliqueSize)
+		}
+	case "":
+		return fmt.Errorf("generator family is required")
+	default:
+		return fmt.Errorf("unknown generator family %q (want rmat, torus, or cliques)", g.Family)
+	}
+	return nil
+}
+
+// Build materialises the generated graph.
+func (g *GenSpec) Build() (*graph.Graph, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	switch g.Family {
+	case "rmat":
+		eg, _ := gen.EulerianRMAT(gen.RMATParams{
+			Vertices: g.Vertices, AvgDegree: g.Degree,
+			A: 0.57, B: 0.19, C: 0.19, Seed: g.Seed,
+		})
+		return eg, nil
+	case "torus":
+		return gen.Torus(g.Width, g.Height), nil
+	case "cliques":
+		return gen.RingOfCliques(g.K, g.C), nil
+	}
+	return nil, fmt.Errorf("unknown generator family %q", g.Family)
+}
+
+// Spec is a job submission: either a generator spec or an uploaded
+// EULGRPH1 graph file, plus engine options.
+type Spec struct {
+	// Generator describes a generated input; nil for uploads.
+	Generator *GenSpec `json:"generator,omitempty"`
+	// Uploaded marks jobs whose input was POSTed as an EULGRPH1 body.
+	Uploaded bool `json:"uploaded,omitempty"`
+	// GraphFile is the server-side path of the uploaded graph; never
+	// serialised to clients.
+	GraphFile string `json:"-"`
+
+	// Parts is the partition count (0 = engine default).
+	Parts int32 `json:"parts,omitempty"`
+	// Mode is the remote-edge strategy: "current" (default), "dedup",
+	// or "proposed".
+	Mode string `json:"mode,omitempty"`
+	// Seed drives the partitioner (0 = engine default).
+	Seed int64 `json:"seed,omitempty"`
+	// Spill makes the engine spill path bodies to the job directory
+	// instead of keeping them in memory.
+	Spill bool `json:"spill,omitempty"`
+}
+
+// Validate checks the spec, applying generator defaults in place.
+func (s *Spec) Validate() error {
+	if (s.Generator == nil) == (s.GraphFile == "") {
+		return fmt.Errorf("exactly one of generator spec or uploaded graph is required")
+	}
+	if s.Generator != nil {
+		if err := s.Generator.Validate(); err != nil {
+			return err
+		}
+	}
+	if s.Parts < 0 {
+		return fmt.Errorf("parts %d < 0", s.Parts)
+	}
+	if _, err := ParseMode(s.Mode); err != nil {
+		return err
+	}
+	return nil
+}
+
+// BuildGraph materialises the input graph for the spec, generating or
+// reading the uploaded file as appropriate.
+func (s *Spec) BuildGraph() (*graph.Graph, error) {
+	if s.Generator != nil {
+		return s.Generator.Build()
+	}
+	return graph.ReadFile(s.GraphFile)
+}
+
+// ParseMode maps the wire name of a remote-edge strategy to the engine
+// mode; "" means the default (current).
+func ParseMode(s string) (euler.Mode, error) {
+	switch s {
+	case "", "current":
+		return euler.ModeCurrent, nil
+	case "dedup":
+		return euler.ModeDedup, nil
+	case "proposed":
+		return euler.ModeProposed, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want current, dedup, or proposed)", s)
+}

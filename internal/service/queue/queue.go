@@ -1,0 +1,127 @@
+// Package queue is eulerd's bounded worker pool: a fixed number of
+// workers draining a bounded backlog, with graceful drain for SIGTERM.
+// Tasks are opaque closures; job-level state lives in service/job.
+package queue
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrBacklogFull is returned by Submit when the backlog is at capacity.
+var ErrBacklogFull = errors.New("queue: backlog full")
+
+// ErrClosed is returned by Submit after Drain has begun.
+var ErrClosed = errors.New("queue: pool closed")
+
+// Task is one unit of work.  The context is the pool's base context;
+// it is cancelled when a drain deadline expires, so long tasks must
+// observe it to shut down promptly.
+type Task func(ctx context.Context)
+
+// Pool runs submitted tasks on a fixed set of workers over a bounded
+// backlog.  All methods are safe for concurrent use.
+type Pool struct {
+	workers int
+
+	mu     sync.Mutex
+	tasks  chan Task
+	closed bool
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	running atomic.Int64
+}
+
+// New starts a pool with the given worker count (minimum 1) and
+// backlog capacity (minimum 0; a zero backlog accepts a task only when
+// a worker is idle enough to have drained the channel).
+func New(workers, backlog int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if backlog < 0 {
+		backlog = 0
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pool{
+		workers: workers,
+		tasks:   make(chan Task, backlog),
+		baseCtx: ctx,
+		cancel:  cancel,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for t := range p.tasks {
+		p.running.Add(1)
+		t(p.baseCtx)
+		p.running.Add(-1)
+	}
+}
+
+// Submit enqueues a task without blocking.  It returns ErrBacklogFull
+// when the backlog is at capacity and ErrClosed after Drain.
+func (p *Pool) Submit(t Task) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	select {
+	case p.tasks <- t:
+		return nil
+	default:
+		return ErrBacklogFull
+	}
+}
+
+// Depth returns the number of tasks waiting in the backlog.
+func (p *Pool) Depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.tasks)
+}
+
+// Running returns the number of tasks currently executing.
+func (p *Pool) Running() int64 { return p.running.Load() }
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Drain stops intake and waits for the backlog and running tasks to
+// finish.  If ctx expires first, the pool's base context is cancelled —
+// telling in-flight tasks to abort — and Drain waits for the workers to
+// exit before returning ctx's error.  Drain is idempotent.
+func (p *Pool) Drain(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		p.cancel()
+		return nil
+	case <-ctx.Done():
+		p.cancel()
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,99 @@
+package queue
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBacklogFull(t *testing.T) {
+	p := New(1, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit(func(ctx context.Context) { close(started); <-block }); err != nil {
+		t.Fatalf("submit 1: %v", err)
+	}
+	<-started // worker is busy; backlog is empty
+
+	if err := p.Submit(func(ctx context.Context) {}); err != nil {
+		t.Fatalf("submit 2 (fills backlog): %v", err)
+	}
+	if err := p.Submit(func(ctx context.Context) {}); !errors.Is(err, ErrBacklogFull) {
+		t.Fatalf("submit 3: got %v, want ErrBacklogFull", err)
+	}
+	if d := p.Depth(); d != 1 {
+		t.Fatalf("depth = %d, want 1", d)
+	}
+	close(block)
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestDrainRunsBacklog(t *testing.T) {
+	p := New(2, 16)
+	var ran atomic.Int64
+	for i := 0; i < 10; i++ {
+		if err := p.Submit(func(ctx context.Context) { ran.Add(1) }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := ran.Load(); got != 10 {
+		t.Fatalf("ran %d tasks, want 10", got)
+	}
+	if err := p.Submit(func(ctx context.Context) {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after drain: got %v, want ErrClosed", err)
+	}
+}
+
+func TestDrainDeadlineCancelsTasks(t *testing.T) {
+	p := New(1, 1)
+	sawCancel := make(chan struct{})
+	started := make(chan struct{})
+	if err := p.Submit(func(ctx context.Context) {
+		close(started)
+		<-ctx.Done()
+		close(sawCancel)
+	}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := p.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain: got %v, want deadline exceeded", err)
+	}
+	select {
+	case <-sawCancel:
+	case <-time.After(5 * time.Second):
+		t.Fatal("task never observed cancellation")
+	}
+}
+
+func TestRunningGauge(t *testing.T) {
+	p := New(2, 4)
+	block := make(chan struct{})
+	started := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		if err := p.Submit(func(ctx context.Context) { started <- struct{}{}; <-block }); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+	}
+	<-started
+	<-started
+	if r := p.Running(); r != 2 {
+		t.Fatalf("running = %d, want 2", r)
+	}
+	close(block)
+	if err := p.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if r := p.Running(); r != 0 {
+		t.Fatalf("running after drain = %d, want 0", r)
+	}
+}
