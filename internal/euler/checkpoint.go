@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/spill"
@@ -29,8 +30,11 @@ var checkpointMagic = [8]byte{'E', 'U', 'L', 'R', 'E', 'G', '0', '1'}
 // included: they already live in the spill store, which must be a
 // DiskStore for a checkpoint to be useful across processes.
 func (r *Registry) Save(w io.Writer) error {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	if err := r.ensureSealed(); err != nil {
+		return fmt.Errorf("euler: cannot checkpoint unsealable registry: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.Write(checkpointMagic[:]); err != nil {
 		return err
@@ -86,13 +90,13 @@ func (r *Registry) Save(w io.Writer) error {
 		}
 	}
 
-	buf = binary.AppendUvarint(buf, uint64(len(r.visited)))
+	buf = binary.AppendUvarint(buf, uint64(r.numVerts))
 	if err := flush(); err != nil {
 		return err
 	}
-	bits := make([]byte, (len(r.visited)+7)/8)
-	for i, v := range r.visited {
-		if v {
+	bits := make([]byte, (r.numVerts+7)/8)
+	for i := int64(0); i < r.numVerts; i++ {
+		if r.visited[i>>5].Load()&(1<<(uint(i)&31)) != 0 {
 			bits[i/8] |= 1 << (i % 8)
 		}
 	}
@@ -206,19 +210,24 @@ func LoadRegistry(rd io.Reader, store spill.Store) (*Registry, error) {
 	if _, err := io.ReadFull(br, bits); err != nil {
 		return nil, fmt.Errorf("euler: checkpoint visited bitmap: %w", err)
 	}
-	visited := make([]bool, nVerts)
-	for i := range visited {
-		visited[i] = bits[i/8]&(1<<(i%8)) != 0
+	visited := make([]atomic.Uint32, (nVerts+31)/32)
+	for i := uint64(0); i < nVerts; i++ {
+		if bits[i/8]&(1<<(i%8)) != 0 {
+			visited[i>>5].Store(visited[i>>5].Load() | 1<<(uint(i)&31))
+		}
 	}
 
-	return &Registry{
+	r := &Registry{
 		store:    store,
 		recs:     recs,
 		anchored: anchored,
 		visited:  visited,
+		numVerts: int64(nVerts),
 		master:   master,
 		seeds:    seeds,
-	}, nil
+	}
+	r.sealed.Store(true) // loaded registries are read-only: no shards to merge
+	return r, nil
 }
 
 func sortedRecIDs(m map[PathID]PathRec) []PathID {

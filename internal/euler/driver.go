@@ -55,8 +55,9 @@ func Run(g *graph.Graph, a partition.Assignment, cfg Config) (*Result, error) {
 	if g.NumEdges() == 0 {
 		return nil, fmt.Errorf("euler: graph has no edges")
 	}
-	if !g.IsEulerian() {
-		odd := g.OddVertices()
+	// One degree scan decides Eulerian-ness and names the evidence; the
+	// previous IsEulerian-then-OddVertices pair walked the graph twice.
+	if odd := g.OddVertices(); len(odd) > 0 {
 		return nil, fmt.Errorf("euler: graph is not Eulerian: %d odd-degree vertices (first: %d)", len(odd), odd[0])
 	}
 	strat := cfg.Strategy
@@ -92,27 +93,45 @@ func Run(g *graph.Graph, a partition.Assignment, cfg Config) (*Result, error) {
 		}
 	}
 
-	registry := NewRegistry(store, g.NumVertices())
+	registry := NewRegistry(store, g.NumVertices(), n)
+	globallyVisited := registry.IsVisited
 
-	// Per-level schedule lookups.
-	childTarget := make([]map[int]int, height) // level → child rep → parent rep
-	isParent := make([]map[int]bool, height)   // level → parent rep set
+	// Per-level schedule lookups, dense over the worker IDs: childTarget
+	// holds the merge parent per child rep (-1 when not merging), isParent
+	// flags the reps that receive a child state.
+	childTarget := make([][]int32, height)
+	isParent := make([][]bool, height)
 	for l := 0; l < height; l++ {
-		childTarget[l] = tree.MergeTargets(l)
-		isParent[l] = make(map[int]bool, len(tree.Levels[l]))
-		for _, p := range tree.Levels[l] {
-			isParent[l][p.Parent] = true
+		ct := make([]int32, n)
+		for i := range ct {
+			ct[i] = -1
 		}
+		ip := make([]bool, n)
+		for _, p := range tree.Levels[l] {
+			ct[p.Child] = int32(p.Parent)
+			ip[p.Parent] = true
+		}
+		childTarget[l] = ct
+		isParent[l] = ip
 	}
 
 	type workerState struct {
 		state   *PartState
 		parked  map[int32][]RemoteEdge
 		reports []PartReport
+		scratch *phase1Scratch
+		// stateBuf carries the one msgState payload a worker ever sends
+		// (after that its state is owned by the parent, forever).
+		stateBuf []byte
+		// parkBuf is reused across levels for msgParked payloads, double-
+		// buffered by superstep parity: a payload sent at superstep s is
+		// read by its receiver during s+1, so the buffer of parity s is
+		// free again at s+2 (after the barrier).
+		parkBuf [2][]byte
 	}
 	workers := make([]*workerState, n)
 	for i := range workers {
-		workers[i] = &workerState{parked: parkedPools[i]}
+		workers[i] = &workerState{parked: parkedPools[i], scratch: newPhase1Scratch()}
 	}
 	// liveLongs[w][s] is worker w's state size while superstep s ran:
 	// Phase 1 input size for computing partitions, the carried state for
@@ -173,12 +192,10 @@ func Run(g *graph.Graph, a partition.Assignment, cfg Config) (*Result, error) {
 					return fmt.Errorf("worker %d superstep %d: parent missing child state", w, s)
 				}
 				// Materialise own state into the new level's RDD, the
-				// paper's "copy sink partition" cost.
+				// paper's "copy sink partition" cost — a real deep copy,
+				// without the old EncodeState→DecodeState round trip.
 				t0 := time.Now()
-				own, err := DecodeState(EncodeState(wc.state))
-				if err != nil {
-					return fmt.Errorf("worker %d: rematerialising own state: %w", w, err)
-				}
+				own := wc.state.Clone()
 				pr.CopySink = time.Since(t0)
 				merged, err := MergeStates(own, child, s-1, cfg.Mode, delivered)
 				if err != nil {
@@ -201,7 +218,7 @@ func Run(g *graph.Graph, a partition.Assignment, cfg Config) (*Result, error) {
 					return fmt.Errorf("worker %d superstep %d: %w", w, s, err)
 				}
 			}
-			res, err := phase1(wc.state, s, store, registry.IsVisited)
+			res, err := phase1(wc.state, s, store, globallyVisited, wc.scratch)
 			if err != nil {
 				return err
 			}
@@ -214,7 +231,7 @@ func Run(g *graph.Graph, a partition.Assignment, cfg Config) (*Result, error) {
 			}
 			wc.state.Local = res.OBPairs
 			isRoot := s == height && w == tree.Root()
-			if err := registry.Absorb(res, isRoot); err != nil {
+			if err := registry.Absorb(w, res, isRoot); err != nil {
 				return err
 			}
 			wc.reports = append(wc.reports, pr)
@@ -226,16 +243,20 @@ func Run(g *graph.Graph, a partition.Assignment, cfg Config) (*Result, error) {
 		}
 
 		if s < height {
-			if target, ok := childTarget[s][w]; ok && wc.state != nil {
-				payload := append([]byte{msgState}, EncodeState(wc.state)...)
-				ctx.Send(target, payload)
+			if target := childTarget[s][w]; target >= 0 && wc.state != nil {
+				payload := append(wc.stateBuf[:0], msgState)
+				payload = AppendState(payload, wc.state)
+				wc.stateBuf = payload
+				ctx.Send(int(target), payload)
 				wc.state = nil // ownership transfers to the parent
 			}
 			if batch, ok := wc.parked[int32(s)]; ok && len(batch) > 0 {
 				// Deferred transfer: parked edges converting at level s go
 				// straight to the ancestor that merges at superstep s+1.
 				target := tree.RepAt(s+1, w)
-				payload := append([]byte{msgParked}, EncodeRemoteBatch(batch)...)
+				payload := append(wc.parkBuf[s&1][:0], msgParked)
+				payload = AppendRemoteBatch(payload, batch)
+				wc.parkBuf[s&1] = payload
 				ctx.Send(target, payload)
 				delete(wc.parked, int32(s))
 			}
@@ -259,6 +280,11 @@ func Run(g *graph.Graph, a partition.Assignment, cfg Config) (*Result, error) {
 	}
 	if !registry.PromoteFirstSeed() {
 		return nil, fmt.Errorf("euler: run completed without a master cycle")
+	}
+	// Merge the per-worker absorption shards into the read-only pathMap and
+	// anchored index Phase 3 traverses; duplicate IDs surface here.
+	if err := registry.Seal(); err != nil {
+		return nil, err
 	}
 
 	report := &RunReport{

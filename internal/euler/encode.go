@@ -3,6 +3,7 @@ package euler
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 )
 
 // Binary encodings for path bodies (spill store payloads) and partition
@@ -40,17 +41,39 @@ func (d *decoder) done() error {
 	return nil
 }
 
-// EncodeBody serialises a path/cycle body for the spill store.
+// EncodeBody serialises a path/cycle body for the spill store.  The
+// buffer is allocated at its exact final size, so it can be handed to
+// spill.OwnedPutter stores without waste.
 func EncodeBody(items []Item) []byte {
-	buf := make([]byte, 0, 1+4*len(items)*2)
-	buf = binary.AppendUvarint(buf, uint64(len(items)))
+	return AppendBody(make([]byte, 0, EncodedBodyLen(items)), items)
+}
+
+// EncodedBodyLen returns len(EncodeBody(items)) without encoding.
+func EncodedBodyLen(items []Item) int {
+	n := uvarintLen(uint64(len(items)))
 	for _, it := range items {
-		buf = append(buf, byte(it.Kind))
-		buf = binary.AppendVarint(buf, it.Ref)
-		buf = binary.AppendVarint(buf, it.From)
-		buf = binary.AppendVarint(buf, it.To)
+		n += 1 + varintLen(it.Ref) + varintLen(it.From) + varintLen(it.To)
 	}
-	return buf
+	return n
+}
+
+// uvarintLen is the byte length of binary.AppendUvarint(nil, x).
+func uvarintLen(x uint64) int { return (bits.Len64(x|1) + 6) / 7 }
+
+// varintLen is the byte length of binary.AppendVarint(nil, x).
+func varintLen(x int64) int { return uvarintLen(uint64(x)<<1 ^ uint64(x>>63)) }
+
+// AppendBody appends the EncodeBody serialisation of items to dst and
+// returns the extended buffer, so hot paths can reuse one encode buffer.
+func AppendBody(dst []byte, items []Item) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(items)))
+	for _, it := range items {
+		dst = append(dst, byte(it.Kind))
+		dst = binary.AppendVarint(dst, it.Ref)
+		dst = binary.AppendVarint(dst, it.From)
+		dst = binary.AppendVarint(dst, it.To)
+	}
+	return dst
 }
 
 // DecodeBody parses a body written by EncodeBody.
@@ -92,33 +115,40 @@ func DecodeBody(buf []byte) ([]Item, error) {
 
 // EncodeState serialises a PartState for transfer to a merge parent.
 func EncodeState(s *PartState) []byte {
-	buf := make([]byte, 0, 16+8*(len(s.Local)+len(s.Remote)+len(s.Stubs)))
-	buf = binary.AppendUvarint(buf, uint64(s.Parent))
-	buf = binary.AppendUvarint(buf, uint64(len(s.Leaves)))
+	return AppendState(make([]byte, 0, 16+8*(len(s.Local)+len(s.Remote)+len(s.Stubs))), s)
+}
+
+// AppendState appends the EncodeState serialisation of s to dst and
+// returns the extended buffer.  Writing the message tag first and the
+// state after it into one reused buffer replaces the old
+// append([]byte{tag}, enc...) double copy on the BSP send path.
+func AppendState(dst []byte, s *PartState) []byte {
+	dst = binary.AppendUvarint(dst, uint64(s.Parent))
+	dst = binary.AppendUvarint(dst, uint64(len(s.Leaves)))
 	for _, l := range s.Leaves {
-		buf = binary.AppendUvarint(buf, uint64(l))
+		dst = binary.AppendUvarint(dst, uint64(l))
 	}
-	buf = binary.AppendUvarint(buf, uint64(len(s.Local)))
+	dst = binary.AppendUvarint(dst, uint64(len(s.Local)))
 	for _, e := range s.Local {
-		buf = append(buf, byte(e.Kind))
-		buf = binary.AppendVarint(buf, e.U)
-		buf = binary.AppendVarint(buf, e.V)
-		buf = binary.AppendVarint(buf, e.Ref)
+		dst = append(dst, byte(e.Kind))
+		dst = binary.AppendVarint(dst, e.U)
+		dst = binary.AppendVarint(dst, e.V)
+		dst = binary.AppendVarint(dst, e.Ref)
 	}
-	buf = binary.AppendUvarint(buf, uint64(len(s.Remote)))
+	dst = binary.AppendUvarint(dst, uint64(len(s.Remote)))
 	for _, r := range s.Remote {
-		buf = binary.AppendVarint(buf, r.Local)
-		buf = binary.AppendVarint(buf, r.Remote)
-		buf = binary.AppendVarint(buf, r.Edge)
-		buf = binary.AppendVarint(buf, int64(r.ConvertLevel))
+		dst = binary.AppendVarint(dst, r.Local)
+		dst = binary.AppendVarint(dst, r.Remote)
+		dst = binary.AppendVarint(dst, r.Edge)
+		dst = binary.AppendVarint(dst, int64(r.ConvertLevel))
 	}
-	buf = binary.AppendUvarint(buf, uint64(len(s.Stubs)))
+	dst = binary.AppendUvarint(dst, uint64(len(s.Stubs)))
 	for _, st := range s.Stubs {
-		buf = binary.AppendVarint(buf, st.Vertex)
-		buf = binary.AppendVarint(buf, int64(st.ConvertLevel))
-		buf = binary.AppendVarint(buf, st.Count)
+		dst = binary.AppendVarint(dst, st.Vertex)
+		dst = binary.AppendVarint(dst, int64(st.ConvertLevel))
+		dst = binary.AppendVarint(dst, st.Count)
 	}
-	return buf
+	return dst
 }
 
 // DecodeState parses a PartState written by EncodeState.
@@ -224,15 +254,20 @@ func DecodeState(buf []byte) (*PartState, error) {
 // EncodeRemoteBatch serialises a parked remote-edge delivery (deferred
 // transfer mode).
 func EncodeRemoteBatch(edges []RemoteEdge) []byte {
-	buf := make([]byte, 0, 4+8*len(edges))
-	buf = binary.AppendUvarint(buf, uint64(len(edges)))
+	return AppendRemoteBatch(make([]byte, 0, 4+8*len(edges)), edges)
+}
+
+// AppendRemoteBatch appends the EncodeRemoteBatch serialisation of edges
+// to dst and returns the extended buffer.
+func AppendRemoteBatch(dst []byte, edges []RemoteEdge) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(edges)))
 	for _, r := range edges {
-		buf = binary.AppendVarint(buf, r.Local)
-		buf = binary.AppendVarint(buf, r.Remote)
-		buf = binary.AppendVarint(buf, r.Edge)
-		buf = binary.AppendVarint(buf, int64(r.ConvertLevel))
+		dst = binary.AppendVarint(dst, r.Local)
+		dst = binary.AppendVarint(dst, r.Remote)
+		dst = binary.AppendVarint(dst, r.Edge)
+		dst = binary.AppendVarint(dst, int64(r.ConvertLevel))
 	}
-	return buf
+	return dst
 }
 
 // DecodeRemoteBatch parses a batch written by EncodeRemoteBatch.

@@ -175,3 +175,28 @@ func TestQuickStateRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEncodedBodyLenExact pins the size pre-pass phase1's ownership-transfer
+// spill path relies on: EncodeBody must allocate exactly once.
+func TestEncodedBodyLenExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40)
+		items := make([]Item, 0, n)
+		for i := 0; i < n; i++ {
+			items = append(items, Item{
+				Kind: ItemKind(rng.Intn(2)),
+				Ref:  rng.Int63() - rng.Int63(), // exercises negative zig-zag lengths
+				From: rng.Int63n(1 << uint(rng.Intn(62))),
+				To:   rng.Int63n(1 << uint(rng.Intn(62))),
+			})
+		}
+		enc := EncodeBody(items)
+		if len(enc) != EncodedBodyLen(items) {
+			t.Fatalf("trial %d: EncodedBodyLen = %d, encoded %d bytes", trial, EncodedBodyLen(items), len(enc))
+		}
+		if cap(enc) != EncodedBodyLen(items) {
+			t.Fatalf("trial %d: EncodeBody grew its buffer: cap %d, want %d", trial, cap(enc), EncodedBodyLen(items))
+		}
+	}
+}

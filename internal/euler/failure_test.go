@@ -63,7 +63,7 @@ func TestPhase3ReadFailureSurfaces(t *testing.T) {
 }
 
 func TestUnrollBeforeRun(t *testing.T) {
-	reg := NewRegistry(spill.NewMemStore(), 10)
+	reg := NewRegistry(spill.NewMemStore(), 10, 1)
 	if err := reg.Unroll(func(Step) error { return nil }); err == nil {
 		t.Fatal("Unroll without a run should fail")
 	}
@@ -98,12 +98,14 @@ func TestCorruptedBodySurfaces(t *testing.T) {
 		t.Fatal(err)
 	}
 	reg := &Registry{
-		store:   store,
-		recs:    map[PathID]PathRec{1: {ID: 1, Type: IVCycle, Src: 0, Dst: 0}},
-		visited: make([]bool, 4),
-		master:  1,
+		store:    store,
+		recs:     map[PathID]PathRec{1: {ID: 1, Type: IVCycle, Src: 0, Dst: 0}},
+		visited:  make([]atomic.Uint32, 1),
+		numVerts: 4,
+		master:   1,
 	}
 	reg.anchored = map[int64][]PathID{}
+	reg.sealed.Store(true)
 	_, err := reg.CollectCircuit()
 	if err == nil {
 		t.Fatal("corrupted body accepted")

@@ -1,0 +1,119 @@
+package euler
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/spill"
+)
+
+// discardStore is a Store that drops every payload, isolating the walk and
+// encode cost of Phase 1 from spill retention in the micro-benchmarks.
+type discardStore struct{}
+
+func (discardStore) Put(int64, []byte) error   { return nil }
+func (discardStore) Get(int64) ([]byte, error) { return nil, fmt.Errorf("discard store") }
+func (discardStore) Len() int                  { return 0 }
+func (discardStore) Close() error              { return nil }
+
+// benchLeafState builds partition 0's level-0 state of an Eulerian RMAT
+// graph with 2^scale vertices split over parts partitions.
+func benchLeafState(b *testing.B, scale int, parts int32) *PartState {
+	b.Helper()
+	g, _ := gen.EulerianRMAT(gen.DefaultRMAT(scale, 7))
+	a := partition.LDG(g, parts, 1)
+	meta := BuildMetaGraph(g, a)
+	tree := BuildMergeTree(meta, GreedyMaxWeight)
+	states, _ := BuildLeafStates(g, a, tree, ModeCurrent)
+	return states[0]
+}
+
+// BenchmarkPhase1 measures one Phase 1 tour over a single partition state
+// at increasing local-edge counts |L| (the Fig. 6/7 hot path).
+func BenchmarkPhase1(b *testing.B) {
+	for _, scale := range []int{12, 14, 16} {
+		st := benchLeafState(b, scale, 4)
+		b.Run(fmt.Sprintf("L=%d", len(st.Local)), func(b *testing.B) {
+			scratch := newPhase1Scratch()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := phase1(st, 0, discardStore{}, nil, scratch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEncodeState measures merge-transfer serialisation alone.
+func BenchmarkEncodeState(b *testing.B) {
+	st := benchLeafState(b, 14, 4)
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendState(buf[:0], st)
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+// BenchmarkDecodeState measures merge-transfer deserialisation alone.
+func BenchmarkDecodeState(b *testing.B) {
+	st := benchLeafState(b, 14, 4)
+	buf := EncodeState(st)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeState(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegistryAbsorb measures absorbing one partition's Phase 1 result
+// into the run-wide registry, as every worker does once per superstep.
+func BenchmarkRegistryAbsorb(b *testing.B) {
+	st := benchLeafState(b, 14, 4)
+	res, err := phase1(st, 0, spill.NewMemStore(), nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	numV := int64(1) << 15 // ≥ any vertex ID in the state
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reg := NewRegistry(discardStore{}, numV, 4)
+		if err := reg.Absorb(0, res, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIsVisited measures concurrent visited-map reads, the per-vertex
+// query Phase 1 seeds issue from every worker at once.
+func BenchmarkIsVisited(b *testing.B) {
+	const numV = 1 << 20
+	reg := NewRegistry(discardStore{}, numV, 8)
+	res := &Phase1Result{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < numV/4; i++ {
+		res.Visited = append(res.Visited, rng.Int63n(numV))
+	}
+	if err := reg.Absorb(0, res, false); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := graph.VertexID(0)
+		var hits int
+		for pb.Next() {
+			if reg.IsVisited(v) {
+				hits++
+			}
+			v = (v + 997) % numV
+		}
+		_ = hits
+	})
+}

@@ -2,7 +2,6 @@ package euler
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/graph"
@@ -27,6 +26,10 @@ type Phase1Stats struct {
 func (s Phase1Stats) Expected() int64 { return s.Boundary + s.Internal + s.Local }
 
 // Phase1Result is the output of one Phase 1 execution on a partition.
+//
+// When a scratch was supplied to phase1, every slice of the result aliases
+// scratch memory and is only valid until the scratch's next tour; consumers
+// (Registry.Absorb, MergeStates) copy what they keep.
 type Phase1Result struct {
 	// OBPairs are the coarse OB-pair edges replacing the consumed local
 	// edges; they become the partition's Local set for the next level.
@@ -63,69 +66,126 @@ type half struct {
 // globallyVisited reports whether a vertex was absorbed into any body at an
 // earlier level; seed cycles prefer such vertices so that Phase 3 can
 // always splice them (see DESIGN.md).  It may be nil at level 0.
-func phase1(state *PartState, level int, store spill.Store, globallyVisited func(graph.VertexID) bool) (*Phase1Result, error) {
+//
+// sc supplies reusable working memory; nil allocates a private scratch, in
+// which case the result does not alias shared storage.
+func phase1(state *PartState, level int, store spill.Store, globallyVisited func(graph.VertexID) bool, sc *phase1Scratch) (*Phase1Result, error) {
 	prepStart := time.Now()
+	if sc == nil {
+		sc = newPhase1Scratch()
+	}
 	res := &Phase1Result{}
-	remoteDeg := state.RemoteDegree()
 
 	// Local vertex index: all endpoints of local edges plus remote-only
-	// boundary vertices, sorted for determinism.
-	vset := make(map[graph.VertexID]struct{})
-	for _, e := range state.Local {
-		vset[e.U] = struct{}{}
-		vset[e.V] = struct{}{}
+	// boundary vertices, interned in first-occurrence order through an
+	// open-addressing table (linear probing, Fibonacci hash, at least half
+	// empty).  First-occurrence order is a deterministic function of the
+	// state, so runs stay reproducible — without the map+sort build and
+	// its per-level heap churn the old code paid here.
+	occ := 2*len(state.Local) + len(state.Remote) + len(state.Stubs)
+	tabBits := 3
+	for (1 << tabBits) < 2*occ {
+		tabBits++
 	}
-	for v := range remoteDeg {
-		vset[v] = struct{}{}
+	htab := growI32(sc.htab, 1<<tabBits)
+	sc.htab = htab
+	clear(htab)
+	mask := uint64(1)<<tabBits - 1
+	shift := uint(64 - tabBits)
+	verts := sc.verts[:0]
+	// idxOf interns v, returning its local index.
+	idxOf := func(v graph.VertexID) int32 {
+		h := (uint64(v) * 0x9E3779B97F4A7C15) >> shift
+		for {
+			e := htab[h]
+			if e == 0 {
+				verts = append(verts, v)
+				htab[h] = int32(len(verts))
+				return int32(len(verts) - 1)
+			}
+			if verts[e-1] == v {
+				return e - 1
+			}
+			h = (h + 1) & mask
+		}
 	}
-	verts := make([]graph.VertexID, 0, len(vset))
-	for v := range vset {
-		verts = append(verts, v)
+
+	// Translate every edge endpoint once; the CSR build below reads the
+	// translation twice (degree count, then fill).
+	eu := growI32(sc.eu, len(state.Local))
+	ev := growI32(sc.ev, len(state.Local))
+	sc.eu, sc.ev = eu, ev
+	for i, e := range state.Local {
+		eu[i] = idxOf(e.U)
+		ev[i] = idxOf(e.V)
 	}
-	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
-	vidx := make(map[graph.VertexID]int32, len(verts))
-	for i, v := range verts {
-		vidx[v] = int32(i)
+	ri := growI32(sc.ri, len(state.Remote))
+	sc.ri = ri
+	for i, r := range state.Remote {
+		ri[i] = idxOf(r.Local)
 	}
+	si := growI32(sc.si, len(state.Stubs))
+	sc.si = si
+	for i, st := range state.Stubs {
+		si[i] = idxOf(st.Vertex)
+	}
+	sc.verts = verts
 	nv := int32(len(verts))
 
-	// CSR over the coarse local multigraph.
-	deg := make([]int32, nv+1)
-	for _, e := range state.Local {
-		deg[vidx[e.U]+1]++
-		deg[vidx[e.V]+1]++
+	// Boundary classification straight off the remote edges and stubs,
+	// replacing the RemoteDegree map (only the >0 test was ever used).
+	isBoundary := growBool(sc.isBoundary, int(nv))
+	sc.isBoundary = isBoundary
+	for _, i := range ri {
+		isBoundary[i] = true
 	}
-	adjOff := make([]int32, nv+1)
-	for i := int32(1); i <= nv; i++ {
-		adjOff[i] = adjOff[i-1] + deg[i]
-	}
-	adjHalf := make([]half, 2*len(state.Local))
-	cursorInit := make([]int32, nv)
-	copy(cursorInit, adjOff[:nv])
-	for ei, e := range state.Local {
-		u, v := vidx[e.U], vidx[e.V]
-		adjHalf[cursorInit[u]] = half{to: v, edge: int32(ei)}
-		cursorInit[u]++
-		adjHalf[cursorInit[v]] = half{to: u, edge: int32(ei)}
-		cursorInit[v]++
+	for i, st := range state.Stubs {
+		if st.Count > 0 {
+			isBoundary[si[i]] = true
+		}
 	}
 
-	unvis := make([]int32, nv)
+	// CSR over the coarse local multigraph.
+	adjOff := growI32(sc.adjOff, int(nv)+1)
+	sc.adjOff = adjOff
+	clear(adjOff)
+	for i := range eu {
+		adjOff[eu[i]+1]++
+		adjOff[ev[i]+1]++
+	}
+	for i := int32(1); i <= nv; i++ {
+		adjOff[i] += adjOff[i-1]
+	}
+	adjHalf := growHalf(sc.adjHalf, 2*len(state.Local))
+	sc.adjHalf = adjHalf
+	cursor := growI32(sc.cursor, int(nv))
+	sc.cursor = cursor
+	copy(cursor, adjOff[:nv])
+	for ei := range eu {
+		u, v := eu[ei], ev[ei]
+		adjHalf[cursor[u]] = half{to: v, edge: int32(ei)}
+		cursor[u]++
+		adjHalf[cursor[v]] = half{to: u, edge: int32(ei)}
+		cursor[v]++
+	}
+
+	unvis := growI32(sc.unvis, int(nv))
+	sc.unvis = unvis
 	for i := int32(0); i < nv; i++ {
 		unvis[i] = adjOff[i+1] - adjOff[i]
 	}
-	cursor := make([]int32, nv)
-	copy(cursor, adjOff[:nv])
-	edgeVisited := make([]bool, len(state.Local))
-	localVisited := make([]bool, nv) // touched by a walk in this run
-	var pending []int32              // visited vertices that kept unvisited edges
-	inPending := make([]bool, nv)
+	copy(cursor, adjOff[:nv]) // reset walk cursors
+	edgeVisited := growBool(sc.edgeVisited, len(state.Local))
+	sc.edgeVisited = edgeVisited
+	localVisited := growBool(sc.localVisited, int(nv)) // touched by a walk in this run
+	sc.localVisited = localVisited
+	pending := sc.pending[:0] // visited vertices that kept unvisited edges
+	inPending := growBool(sc.inPending, int(nv))
+	sc.inPending = inPending
 
 	// Classification and stats.
-	isBoundary := make([]bool, nv)
-	for i, v := range verts {
-		if remoteDeg[v] > 0 {
-			isBoundary[i] = true
+	for i := int32(0); i < nv; i++ {
+		if isBoundary[i] {
 			res.Stats.Boundary++
 		} else {
 			res.Stats.Internal++
@@ -144,6 +204,19 @@ func phase1(state *PartState, level int, store spill.Store, globallyVisited func
 			res.Stats.EB++
 		}
 	}
+
+	res.Visited = sc.visited[:0]
+	res.OBPairs = sc.obpairs[:0]
+	res.Recs = sc.recs[:0]
+	res.Seeds = sc.seeds[:0]
+	defer func() {
+		// Hand the (possibly regrown) backing arrays back for the next tour.
+		sc.pending = pending
+		sc.visited = res.Visited
+		sc.obpairs = res.OBPairs
+		sc.recs = res.Recs
+		sc.seeds = res.Seeds
+	}()
 
 	res.Prep = time.Since(prepStart)
 	tourStart := time.Now()
@@ -168,14 +241,16 @@ func phase1(state *PartState, level int, store spill.Store, globallyVisited func
 	}
 
 	// walk traverses a maximal trail from start, consuming unvisited local
-	// edges, and returns the oriented body items and the end vertex.
+	// edges, and returns the oriented body items and the end vertex.  The
+	// returned slice is scratch memory, valid until the next walk.
 	walk := func(start int32) ([]Item, int32) {
-		var items []Item
+		items := sc.items[:0]
 		cur := start
 		touch(cur)
 		for {
 			h, ok := next(cur)
 			if !ok {
+				sc.items = items
 				return items, cur
 			}
 			e := state.Local[h.edge]
@@ -195,11 +270,22 @@ func phase1(state *PartState, level int, store spill.Store, globallyVisited func
 		}
 	}
 
+	// Retaining stores (MemStore) take ownership of a fresh exact buffer —
+	// one allocation, no copy; write-through stores (DiskStore) get the
+	// reused scratch buffer — no allocation at all.
+	owner, owned := store.(spill.OwnedPutter)
 	var seq int64
 	record := func(t PathType, src, dst graph.VertexID, items []Item) (PathID, error) {
 		id := MakePathID(level, state.Parent, seq)
 		seq++
-		if err := store.Put(id, EncodeBody(items)); err != nil {
+		var err error
+		if owned {
+			err = owner.PutOwned(id, EncodeBody(items))
+		} else {
+			sc.enc = AppendBody(sc.enc[:0], items)
+			err = store.Put(id, sc.enc)
+		}
+		if err != nil {
 			return 0, fmt.Errorf("euler: spilling path %d: %w", id, err)
 		}
 		res.Recs = append(res.Recs, PathRec{

@@ -26,7 +26,7 @@ func TestPhase1Figure1PartitionP3(t *testing.T) {
 	a := partition.Assignment{Parts: 4, Of: part}
 	st := leafState(t, g, a, 2)
 	store := spill.NewMemStore()
-	res, err := phase1(st, 0, store, nil)
+	res, err := phase1(st, 0, store, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestPhase1Figure1PartitionP2(t *testing.T) {
 	a := partition.Assignment{Parts: 4, Of: part}
 	st := leafState(t, g, a, 1)
 	store := spill.NewMemStore()
-	res, err := phase1(st, 0, store, nil)
+	res, err := phase1(st, 0, store, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestPhase1ConsumesAllLocalEdges(t *testing.T) {
 	states, _ := BuildLeafStates(g, a, tree, ModeCurrent)
 	store := spill.NewMemStore()
 	for p, st := range states {
-		res, err := phase1(st, 0, store, nil)
+		res, err := phase1(st, 0, store, nil, nil)
 		if err != nil {
 			t.Fatalf("partition %d: %v", p, err)
 		}
@@ -127,7 +127,7 @@ func TestPhase1ParityViolation(t *testing.T) {
 		Leaves: []int{0},
 		Local:  []CoarseEdge{{U: 1, V: 2, Kind: ItemEdge, Ref: 0}},
 	}
-	_, err := phase1(st, 0, spill.NewMemStore(), nil)
+	_, err := phase1(st, 0, spill.NewMemStore(), nil, nil)
 	if err == nil {
 		t.Fatal("parity violation should fail")
 	}
@@ -143,7 +143,7 @@ func TestPhase1TrivialEB(t *testing.T) {
 			{Local: 7, Remote: 10, Edge: 1, ConvertLevel: 0},
 		},
 	}
-	res, err := phase1(st, 0, spill.NewMemStore(), nil)
+	res, err := phase1(st, 0, spill.NewMemStore(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestPhase1DeterministicIDs(t *testing.T) {
 	a := partition.LDG(g, 2, 1)
 	run := func() []PathRec {
 		st := leafState(t, g, a, 0)
-		res, err := phase1(st, 0, spill.NewMemStore(), nil)
+		res, err := phase1(st, 0, spill.NewMemStore(), nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

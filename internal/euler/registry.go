@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/spill"
@@ -16,28 +17,56 @@ import (
 // themselves live in the spill store; the Registry only holds fixed-size
 // metadata per entry.
 //
-// Workers absorb their Phase 1 results concurrently within a superstep;
-// their active vertex sets are disjoint (a vertex belongs to exactly one
-// partition per level), so the mutex only guards map structure, not
-// algorithmic ordering.
+// Concurrency model: workers absorb their Phase 1 results concurrently
+// within a superstep, and their active vertex sets are disjoint (a vertex
+// belongs to exactly one partition per level).  The visited map is an
+// atomic bitset, so IsVisited — queried from inside every worker's tour —
+// is a plain atomic load, and marking is an atomic OR.  Path metadata goes
+// into a per-worker shard that no other worker touches; Seal merges the
+// shards into read-optimised maps once, after the run, without any
+// cross-worker locking.  Only the master/seed bookkeeping (a few entries
+// per run) takes a mutex.
 type Registry struct {
-	mu       sync.RWMutex
-	store    spill.Store
+	store spill.Store
+
+	// visited is the global visited-vertex bitset, one bit per vertex,
+	// updated with atomic OR and read with atomic loads.
+	visited  []atomic.Uint32
+	numVerts int64
+
+	// shards holds per-worker absorbed path metadata until Seal.
+	shards []registryShard
+
+	mu     sync.Mutex // guards master and seeds (cold path)
+	master PathID
+	seeds  []PathID // floating seed cycles, in absorption order
+
+	// sealed flips once Seal has merged the shards; afterwards recs and
+	// anchored are immutable and read without locks.
+	sealed   atomic.Bool
+	sealErr  error
 	recs     map[PathID]PathRec
 	anchored map[graph.VertexID][]PathID
-	visited  []bool
-	master   PathID
-	seeds    []PathID // floating seed cycles, in absorption order
+}
+
+// registryShard is one worker's private absorption buffer.  Padding keeps
+// concurrently appended shards off each other's cache lines.
+type registryShard struct {
+	recs []PathRec
+	_    [40]byte
 }
 
 // NewRegistry creates a Registry over a graph with numVertices vertices,
-// spilling bodies to store.
-func NewRegistry(store spill.Store, numVertices int64) *Registry {
+// spilling bodies to store, with one absorption shard per worker.
+func NewRegistry(store spill.Store, numVertices int64, workers int) *Registry {
+	if workers < 1 {
+		workers = 1
+	}
 	return &Registry{
 		store:    store,
-		recs:     make(map[PathID]PathRec),
-		anchored: make(map[graph.VertexID][]PathID),
-		visited:  make([]bool, numVertices),
+		visited:  make([]atomic.Uint32, (numVertices+31)/32),
+		numVerts: numVertices,
+		shards:   make([]registryShard, workers),
 	}
 }
 
@@ -45,77 +74,130 @@ func NewRegistry(store spill.Store, numVertices int64) *Registry {
 func (r *Registry) Store() spill.Store { return r.store }
 
 // IsVisited reports whether v has been absorbed into any body so far.
+// It is a single atomic load, safe to call from every worker at once.
 func (r *Registry) IsVisited(v graph.VertexID) bool {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.visited[v]
+	return r.visited[v>>5].Load()&(1<<(uint(v)&31)) != 0
 }
 
-// Rec returns the metadata for a path ID.
+// Absorb registers worker w's Phase 1 result: pathMap metadata, seed
+// cycles, and visited vertices.  isRoot marks the final (root partition)
+// result, whose first cycle becomes the master cycle that Phase 3 unrolls
+// first.  The result's slices are copied; the caller may reuse them.
+//
+// Seed cycles (components not reachable from any walk of their own Phase 1
+// run) are recorded as floating roots: Phase 3 expands each into its own
+// closed walk and stitches the walks at shared vertices, so seeds are
+// legal at any level (see phase3.go).
+func (r *Registry) Absorb(w int, res *Phase1Result, isRoot bool) error {
+	if w < 0 || w >= len(r.shards) {
+		return fmt.Errorf("euler: absorb from out-of-range worker %d (have %d shards)", w, len(r.shards))
+	}
+	if r.sealed.Load() {
+		return fmt.Errorf("euler: absorb into sealed registry")
+	}
+	if isRoot || len(res.Seeds) > 0 {
+		r.mu.Lock()
+		if isRoot && r.master == 0 {
+			if len(res.Seeds) > 0 {
+				r.master = res.Seeds[0]
+			} else if len(res.Recs) > 0 {
+				r.master = res.Recs[0].ID
+			}
+		}
+		for _, id := range res.Seeds {
+			if id != r.master {
+				r.seeds = append(r.seeds, id)
+			}
+		}
+		r.mu.Unlock()
+	}
+
+	sh := &r.shards[w]
+	sh.recs = append(sh.recs, res.Recs...)
+	for _, v := range res.Visited {
+		r.visited[v>>5].Or(1 << (uint(v) & 31))
+	}
+	return nil
+}
+
+// Seal merges the per-worker absorption shards into the read-optimised
+// pathMap and anchored-cycle index.  It must run after the BSP run (and
+// after PromoteFirstSeed, so the master is final) and before Phase 3 reads;
+// it is idempotent.  Shard order reproduces absorption order: a vertex's
+// owning representative only grows across levels (parents keep the larger
+// leaf ID), so per-vertex anchored lists come out in discovery order.
+func (r *Registry) Seal() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sealLocked()
+}
+
+func (r *Registry) sealLocked() error {
+	if r.sealed.Load() {
+		return r.sealErr
+	}
+	total := 0
+	for i := range r.shards {
+		total += len(r.shards[i].recs)
+	}
+	recs := make(map[PathID]PathRec, total)
+	anchored := make(map[graph.VertexID][]PathID)
+	for i := range r.shards {
+		for _, rec := range r.shards[i].recs {
+			if _, dup := recs[rec.ID]; dup {
+				r.sealErr = fmt.Errorf("euler: duplicate path ID %d", rec.ID)
+				r.sealed.Store(true)
+				return r.sealErr
+			}
+			recs[rec.ID] = rec
+			// Cycles are anchored at their pivot vertex for Phase 3
+			// splicing; the master itself is unrolled directly, and OB
+			// paths are referenced by the coarse edges that consumed them.
+			if rec.Type != OBPath && rec.ID != r.master {
+				anchored[rec.Src] = append(anchored[rec.Src], rec.ID)
+			}
+		}
+		r.shards[i].recs = nil
+	}
+	r.recs = recs
+	r.anchored = anchored
+	r.sealed.Store(true)
+	return nil
+}
+
+// ensureSealed lazily seals for read paths reached without an explicit
+// Seal (tests, checkpoint loads), returning the seal error so callers
+// that can propagate it do.  Steady-state reads skip the mutex.
+func (r *Registry) ensureSealed() error {
+	if r.sealed.Load() {
+		return r.sealErr
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sealLocked()
+}
+
+// Rec returns the metadata for a path ID.  A failed seal leaves the maps
+// empty; Unroll surfaces that as an incomplete-circuit error.
 func (r *Registry) Rec(id PathID) (PathRec, bool) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	_ = r.ensureSealed()
 	rec, ok := r.recs[id]
 	return rec, ok
 }
 
-// NumPaths returns the number of registered paths and cycles.
+// NumPaths returns the number of registered paths and cycles (see Rec for
+// the failed-seal behaviour).
 func (r *Registry) NumPaths() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	_ = r.ensureSealed()
 	return len(r.recs)
 }
 
 // Master returns the root master cycle's ID, or 0 before the root level
 // has been absorbed.
 func (r *Registry) Master() PathID {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.master
-}
-
-// Absorb registers a Phase 1 result: pathMap metadata, anchored cycles,
-// seed cycles, and visited vertices.  isRoot marks the final (root
-// partition) result, whose first cycle becomes the master cycle that
-// Phase 3 unrolls first.
-//
-// Seed cycles (components not reachable from any walk of their own Phase 1
-// run) are recorded as floating roots: Phase 3 expands each into its own
-// closed walk and stitches the walks at shared vertices, so seeds are
-// legal at any level (see phase3.go).
-func (r *Registry) Absorb(res *Phase1Result, isRoot bool) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-
-	if isRoot && r.master == 0 {
-		if len(res.Seeds) > 0 {
-			r.master = res.Seeds[0]
-		} else if len(res.Recs) > 0 {
-			r.master = res.Recs[0].ID
-		}
-	}
-	for _, id := range res.Seeds {
-		if id != r.master {
-			r.seeds = append(r.seeds, id)
-		}
-	}
-
-	for _, rec := range res.Recs {
-		if _, dup := r.recs[rec.ID]; dup {
-			return fmt.Errorf("euler: duplicate path ID %d", rec.ID)
-		}
-		r.recs[rec.ID] = rec
-		// Cycles are anchored at their pivot vertex for Phase 3 splicing;
-		// the master itself is unrolled directly, and OB paths are
-		// referenced by the coarse edges that consumed them.
-		if rec.Type != OBPath && rec.ID != r.master {
-			r.anchored[rec.Src] = append(r.anchored[rec.Src], rec.ID)
-		}
-	}
-	for _, v := range res.Visited {
-		r.visited[v] = true
-	}
-	return nil
+	return r.master
 }
 
 // PromoteFirstSeed makes the earliest seed cycle the master when the root
@@ -141,8 +223,8 @@ func (r *Registry) PromoteFirstSeed() bool {
 // Seeds returns the floating seed cycles absorbed so far (excluding the
 // master), sorted by ID so Phase 3's stitching order is deterministic.
 func (r *Registry) Seeds() []PathID {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := append([]PathID(nil), r.seeds...)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -151,7 +233,6 @@ func (r *Registry) Seeds() []PathID {
 // AnchoredAt returns the IDs of cycles anchored at v, in discovery order.
 // The returned slice is shared; callers must not modify it.
 func (r *Registry) AnchoredAt(v graph.VertexID) []PathID {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	_ = r.ensureSealed()
 	return r.anchored[v]
 }

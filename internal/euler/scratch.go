@@ -1,0 +1,69 @@
+package euler
+
+import "repro/internal/graph"
+
+// phase1Scratch holds the reusable working memory of one worker's Phase 1
+// executions.  A worker runs Phase 1 once per merge-tree level on states of
+// similar or shrinking size, so after the first level the buffers are
+// warm and a tour allocates (almost) nothing.
+//
+// A scratch must only be reused once every slice handed out through the
+// previous Phase1Result has been consumed.  The driver guarantees this:
+// results are absorbed into the Registry (which copies) within the same
+// superstep, and the OBPairs slice that lives on as the partition's Local
+// set is copied by MergeStates/Clone before the next tour of the same
+// worker begins.
+type phase1Scratch struct {
+	verts   []graph.VertexID // interned vertex IDs, first-occurrence order
+	htab    []int32          // open-addressing vertex→index table (idx+1, 0=empty)
+	eu, ev  []int32          // per-local-edge endpoint indices
+	ri      []int32          // per-remote-edge Local endpoint index
+	si      []int32          // per-stub vertex index
+	adjOff  []int32          // CSR offsets (nv+1)
+	adjHalf []half           // CSR halves (2·|L|)
+	cursor  []int32          // per-vertex next-half cursor
+	unvis   []int32          // per-vertex unvisited local degree
+
+	edgeVisited  []bool
+	localVisited []bool
+	inPending    []bool
+	isBoundary   []bool
+	pending      []int32
+
+	items   []Item           // body of the walk in progress
+	enc     []byte           // body encode buffer
+	visited []graph.VertexID // Phase1Result.Visited backing
+	obpairs []CoarseEdge     // Phase1Result.OBPairs backing
+	recs    []PathRec        // Phase1Result.Recs backing
+	seeds   []PathID         // Phase1Result.Seeds backing
+}
+
+// newPhase1Scratch returns an empty scratch; buffers grow on first use.
+func newPhase1Scratch() *phase1Scratch { return &phase1Scratch{} }
+
+// growI32 returns a length-n slice reusing s's storage when possible.
+// Contents are unspecified; callers overwrite or clear.
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// growBool returns a zeroed length-n slice reusing s's storage if possible.
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// growHalf returns a length-n slice reusing s's storage when possible.
+func growHalf(s []half, n int) []half {
+	if cap(s) < n {
+		return make([]half, n)
+	}
+	return s[:n]
+}

@@ -27,6 +27,7 @@ type CircuitSink struct {
 	store     *spill.DiskStore
 	batchSize int
 	buf       []graph.Step
+	enc       []byte // reusable batch encode buffer
 	records   int64
 	steps     int64
 	finished  bool
@@ -90,8 +91,10 @@ func (c *CircuitSink) flushLocked() error {
 	if len(c.buf) == 0 {
 		return nil
 	}
-	data := encodeBatch(c.buf)
-	if err := c.store.Put(c.records, data); err != nil {
+	// The DiskStore writes the payload through its bufio writer before Put
+	// returns, so one encode buffer serves every batch of the job.
+	c.enc = appendBatch(c.enc[:0], c.buf)
+	if err := c.store.Put(c.records, c.enc); err != nil {
 		return err
 	}
 	c.records++
@@ -190,22 +193,16 @@ func (c *CircuitSink) Close() error {
 	return c.store.Close()
 }
 
-// encodeBatch frames steps as (uvarint count, then per step uvarint
-// edge, from, to); IDs are non-negative by construction.
-func encodeBatch(steps []graph.Step) []byte {
-	buf := make([]byte, 0, 1+len(steps)*6)
-	var tmp [binary.MaxVarintLen64]byte
-	put := func(x int64) {
-		n := binary.PutUvarint(tmp[:], uint64(x))
-		buf = append(buf, tmp[:n]...)
-	}
-	put(int64(len(steps)))
+// appendBatch frames steps as (uvarint count, then per step uvarint
+// edge, from, to) appended to dst; IDs are non-negative by construction.
+func appendBatch(dst []byte, steps []graph.Step) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(steps)))
 	for _, s := range steps {
-		put(s.Edge)
-		put(s.From)
-		put(s.To)
+		dst = binary.AppendUvarint(dst, uint64(s.Edge))
+		dst = binary.AppendUvarint(dst, uint64(s.From))
+		dst = binary.AppendUvarint(dst, uint64(s.To))
 	}
-	return buf
+	return dst
 }
 
 func decodeBatch(data []byte) ([]graph.Step, error) {

@@ -30,6 +30,28 @@ type Store interface {
 	Close() error
 }
 
+// OwnedPutter is an optional Store extension for callers that hand over a
+// freshly built payload they will never touch again: the store may keep
+// the slice instead of copying it.  After PutOwned returns the slice
+// belongs to the store and the caller must not read or write it.
+//
+// Only stores that retain payloads (MemStore) implement it; write-through
+// stores like DiskStore deliberately do not, so ownership-aware callers
+// fall back to Put with a reused encode buffer — the cheaper path when
+// nothing is retained.
+type OwnedPutter interface {
+	PutOwned(id int64, data []byte) error
+}
+
+// PutOwned persists data under id, transferring ownership of the slice
+// when s supports it and falling back to a copying Put otherwise.
+func PutOwned(s Store, id int64, data []byte) error {
+	if o, ok := s.(OwnedPutter); ok {
+		return o.PutOwned(id, data)
+	}
+	return s.Put(id, data)
+}
+
 // MemStore is an in-memory Store.
 type MemStore struct {
 	mu sync.RWMutex
@@ -43,14 +65,20 @@ func NewMemStore() *MemStore {
 
 // Put implements Store.
 func (s *MemStore) Put(id int64, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return s.PutOwned(id, cp)
+}
+
+// PutOwned implements OwnedPutter: the slice is stored as-is, without the
+// defensive copy Put makes.
+func (s *MemStore) PutOwned(id int64, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.m[id]; dup {
 		return fmt.Errorf("spill: duplicate record %d", id)
 	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
-	s.m[id] = cp
+	s.m[id] = data
 	return nil
 }
 
@@ -105,16 +133,19 @@ func NewDiskStore(path string) (*DiskStore, error) {
 	}, nil
 }
 
-// Put implements Store.
+// Put implements Store.  The frame header is encoded before the lock is
+// taken, so concurrent writers only serialise on the buffered appends
+// themselves; small Puts batch up in the bufio writer and hit the disk
+// once per megabyte, not once per record.
 func (s *DiskStore) Put(id int64, data []byte) error {
+	var hdr [2 * binary.MaxVarintLen64]byte
+	n := binary.PutVarint(hdr[:], id)
+	n += binary.PutUvarint(hdr[n:], uint64(len(data)))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.index[id]; dup {
 		return fmt.Errorf("spill: duplicate record %d", id)
 	}
-	var hdr [2 * binary.MaxVarintLen64]byte
-	n := binary.PutVarint(hdr[:], id)
-	n += binary.PutUvarint(hdr[n:], uint64(len(data)))
 	if _, err := s.w.Write(hdr[:n]); err != nil {
 		return err
 	}
