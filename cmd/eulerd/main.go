@@ -6,6 +6,14 @@
 //
 //	eulerd -addr :8080 -workers 4 -backlog 64 -data /var/lib/eulerd
 //
+// Cluster mode splits the BSP engine across processes: a coordinator
+// serves the HTTP API and fans each job's partitions out over joined
+// worker processes, which host the engine workers and exchange superstep
+// messages with the coordinator over length-prefixed TCP frames.
+//
+//	eulerd -role coordinator -addr :8080 -cluster :9090 -min-nodes 2
+//	eulerd -role worker -join host:9090 -capacity 8
+//
 // Endpoints:
 //
 //	POST   /v1/jobs              submit (JSON spec or EULGRPH1 body)
@@ -15,11 +23,13 @@
 //	DELETE /v1/jobs/{id}         cancel
 //	GET    /v1/healthz           liveness + pool gauges
 //	GET    /v1/metrics           counters + per-phase timings
+//	GET    /v1/cluster           cluster role, nodes, and job counters
 //	GET    /debug/vars           the same counters via expvar
 //
 // On SIGINT/SIGTERM the server stops accepting requests and drains the
 // worker pool, cancelling whatever is still running when the grace
-// period expires.
+// period expires.  A worker-role process simply leaves the cluster; jobs
+// it was running fail on the coordinator.
 package main
 
 import (
@@ -28,6 +38,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -35,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service/httpapi"
 	"repro/internal/service/job"
 	"repro/internal/service/queue"
@@ -42,17 +54,83 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
+		role      = flag.String("role", "standalone", "process role: standalone, coordinator, or worker")
+		addr      = flag.String("addr", ":8080", "HTTP listen address (standalone/coordinator)")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent jobs")
 		backlog   = flag.Int("backlog", 64, "queued-job capacity")
 		dataDir   = flag.String("data", "", "scratch directory (default: a fresh temp dir)")
 		retention = flag.Int("retention", 100, "finished jobs to retain")
 		maxUpload = flag.Int64("max-upload", httpapi.DefaultMaxUploadBytes, "max uploaded graph bytes")
 		grace     = flag.Duration("grace", 30*time.Second, "shutdown grace period")
+
+		clusterAddr = flag.String("cluster", ":9090", "coordinator: cluster listen address for worker joins")
+		minNodes    = flag.Int("min-nodes", 1, "coordinator: worker nodes a job waits for")
+		waitNodes   = flag.Duration("wait-nodes", 30*time.Second, "coordinator: how long a job waits for min-nodes")
+		stepTimeout = flag.Duration("step-timeout", 2*time.Minute, "coordinator: per-superstep barrier timeout")
+
+		join     = flag.String("join", "", "worker: coordinator cluster address to join")
+		capacity = flag.Int("capacity", runtime.GOMAXPROCS(0), "worker: engine workers this node hosts")
+		nodeName = flag.String("node-name", "", "worker: name reported to the coordinator (default: hostname)")
 	)
 	flag.Parse()
 
-	dir := *dataDir
+	switch *role {
+	case "worker":
+		runWorkerRole(*join, *capacity, *nodeName)
+	case "standalone", "coordinator":
+		runServerRole(*role == "coordinator", serverConfig{
+			addr: *addr, workers: *workers, backlog: *backlog, dataDir: *dataDir,
+			retention: *retention, maxUpload: *maxUpload, grace: *grace,
+			clusterAddr: *clusterAddr, minNodes: *minNodes, waitNodes: *waitNodes,
+			stepTimeout: *stepTimeout,
+		})
+	default:
+		fatal(fmt.Errorf("unknown role %q (want standalone, coordinator, or worker)", *role))
+	}
+}
+
+// runWorkerRole joins a coordinator and hosts engine workers until
+// SIGINT/SIGTERM.
+func runWorkerRole(join string, capacity int, name string) {
+	if join == "" {
+		fatal(errors.New("worker role requires -join <coordinator cluster address>"))
+	}
+	if name == "" {
+		if hn, err := os.Hostname(); err == nil {
+			name = hn
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logf := log.New(os.Stderr, "eulerd: ", log.LstdFlags).Printf
+	fmt.Printf("eulerd: worker %q joining %s (capacity %d)\n", name, join, capacity)
+	err := cluster.RunWorker(ctx, join, cluster.WorkerOptions{
+		Name: name, Capacity: capacity, Logf: logf,
+	})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		fatal(err)
+	}
+	fmt.Println("eulerd: worker leaving, bye")
+}
+
+type serverConfig struct {
+	addr        string
+	workers     int
+	backlog     int
+	dataDir     string
+	retention   int
+	maxUpload   int64
+	grace       time.Duration
+	clusterAddr string
+	minNodes    int
+	waitNodes   time.Duration
+	stepTimeout time.Duration
+}
+
+// runServerRole runs the HTTP job service; as a coordinator it also opens
+// the cluster listener and executes jobs across joined workers.
+func runServerRole(coordinator bool, cfg serverConfig) {
+	dir := cfg.dataDir
 	if dir == "" {
 		d, err := os.MkdirTemp("", "eulerd-")
 		if err != nil {
@@ -63,28 +141,53 @@ func main() {
 		fatal(err)
 	}
 
-	pool := queue.New(*workers, *backlog)
-	store := job.NewStore(*retention)
-	api := httpapi.New(httpapi.Config{
+	pool := queue.New(cfg.workers, cfg.backlog)
+	store := job.NewStore(cfg.retention)
+	apiCfg := httpapi.Config{
 		Store:          store,
 		Pool:           pool,
 		DataDir:        dir,
-		MaxUploadBytes: *maxUpload,
-	})
+		MaxUploadBytes: cfg.maxUpload,
+	}
+
+	var coord *cluster.Coordinator
+	if coordinator {
+		logf := log.New(os.Stderr, "eulerd: ", log.LstdFlags).Printf
+		c, err := cluster.NewCoordinator(cfg.clusterAddr, cluster.Options{
+			MinNodes:    cfg.minNodes,
+			WaitNodes:   cfg.waitNodes,
+			StepTimeout: cfg.stepTimeout,
+			Logf:        logf,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		coord = c
+		defer coord.Close()
+		apiCfg.Runner = &cluster.Runner{Coordinator: coord}
+		apiCfg.Cluster = coord
+	}
+
+	api := httpapi.New(apiCfg)
 	expvar.Publish("eulerd", expvar.Func(func() any { return api.MetricsSnapshot() }))
 
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", api.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
-	srv := &http.Server{Addr: *addr, Handler: mux}
+	srv := &http.Server{Addr: cfg.addr, Handler: mux}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("eulerd: listening on %s (%d workers, backlog %d, data %s)\n",
-		*addr, pool.Workers(), *backlog, dir)
+	if coordinator {
+		fmt.Printf("eulerd: coordinator listening on %s (cluster %s, min %d nodes, %d job slots, data %s)\n",
+			cfg.addr, coord.Addr(), cfg.minNodes, pool.Workers(), dir)
+	} else {
+		fmt.Printf("eulerd: listening on %s (%d workers, backlog %d, data %s)\n",
+			cfg.addr, pool.Workers(), cfg.backlog, dir)
+	}
 
 	select {
 	case err := <-errc:
@@ -93,7 +196,7 @@ func main() {
 	}
 
 	fmt.Println("eulerd: draining...")
-	graceCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	graceCtx, cancel := context.WithTimeout(context.Background(), cfg.grace)
 	defer cancel()
 	if err := srv.Shutdown(graceCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "eulerd: http shutdown: %v\n", err)

@@ -157,19 +157,19 @@ func FindCircuitStream(g *Graph, emit func(Step) error, opts ...Option) (*Report
 
 // resolveOptions applies the option defaults, rejects invalid partition
 // counts, and clamps parts to the vertex count.  Every facade entry point
-// that accepts ...Option resolves through here so they share one
-// validation policy.
+// that accepts ...Option resolves through here, and the policy itself
+// (euler.ResolveParts/ResolveSeed) is shared with the cluster runner so
+// the two execution paths cannot drift.
 func resolveOptions(g *Graph, opts []Option) (Options, error) {
-	o := Options{parts: 4, seed: 1}
+	o := Options{parts: euler.DefaultParts, seed: euler.DefaultSeed}
 	for _, opt := range opts {
 		opt(&o)
 	}
-	if o.parts < 1 {
-		return o, fmt.Errorf("euler: partition count %d < 1", o.parts)
+	parts, err := euler.ClampParts(o.parts, g.NumVertices())
+	if err != nil {
+		return o, err
 	}
-	if int64(o.parts) > g.NumVertices() {
-		o.parts = int32(g.NumVertices())
-	}
+	o.parts = parts
 	return o, nil
 }
 
@@ -187,7 +187,7 @@ func findCircuit(g *Graph, emit func(Step) error, opts ...Option) (*Report, erro
 
 	var store spill.Store
 	if o.spillDir != "" {
-		ds, err := spill.NewDiskStore(filepath.Join(o.spillDir, "euler-spill.log"))
+		ds, err := spill.NewDiskStore(filepath.Join(o.spillDir, euler.SpillLogName))
 		if err != nil {
 			return nil, fmt.Errorf("euler: opening spill store: %w", err)
 		}

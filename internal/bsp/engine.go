@@ -84,6 +84,8 @@ type StageStat struct {
 	MaxCompute    time.Duration // slowest worker's real compute time
 	SumCompute    time.Duration // total real compute across workers
 	Modeled       time.Duration // modeled wall time incl. platform overhead
+	Wire          time.Duration // real barrier/transfer time on the transport
+	WireBytes     int64         // frame bytes moved by the transport
 }
 
 // Metrics aggregates a full run.
@@ -94,12 +96,64 @@ type Metrics struct {
 	SumCompute   time.Duration // Σ real compute over all workers and steps
 	CriticalPath time.Duration // Σ over steps of slowest worker (ideal BSP time)
 	ModeledTotal time.Duration // CriticalPath + modeled platform overhead
+	WireTotal    time.Duration // Σ real transport barrier time (zero locally)
+	WireBytes    int64         // Σ transport frame bytes (zero locally)
 	Stages       []StageStat
 }
 
-// Engine executes Programs over a fixed set of workers.
+// MergeMetrics combines the per-instance metrics of one distributed run
+// into a cluster-wide view: per superstep, message counts and compute sums
+// add up, the slowest instance sets the critical path, and the largest
+// modeled/wire time stands for the whole barrier (instances block on the
+// same hub, so their wire times overlap rather than add).
+func MergeMetrics(ms ...Metrics) Metrics {
+	var out Metrics
+	for _, m := range ms {
+		if len(m.Stages) > len(out.Stages) {
+			out.Stages = append(out.Stages, make([]StageStat, len(m.Stages)-len(out.Stages))...)
+		}
+		for i, s := range m.Stages {
+			o := &out.Stages[i]
+			o.Superstep = s.Superstep
+			o.ActiveWorkers += s.ActiveWorkers
+			o.Messages += s.Messages
+			o.Bytes += s.Bytes
+			o.SumCompute += s.SumCompute
+			if s.MaxCompute > o.MaxCompute {
+				o.MaxCompute = s.MaxCompute
+			}
+			if s.Modeled > o.Modeled {
+				o.Modeled = s.Modeled
+			}
+			if s.Wire > o.Wire {
+				o.Wire = s.Wire
+			}
+			// Wire *time* overlaps (instances block on the same hub),
+			// but bytes moved are distinct per socket and add up.
+			o.WireBytes += s.WireBytes
+		}
+	}
+	out.Supersteps = len(out.Stages)
+	for _, s := range out.Stages {
+		out.Messages += s.Messages
+		out.Bytes += s.Bytes
+		out.SumCompute += s.SumCompute
+		out.CriticalPath += s.MaxCompute
+		out.ModeledTotal += s.Modeled
+		out.WireTotal += s.Wire
+		out.WireBytes += s.WireBytes
+	}
+	return out
+}
+
+// Engine executes Programs over the worker range [lo, hi) of a job with
+// nworkers workers in total.  The default engine hosts the full range over
+// a LocalTransport; a distributed engine instance hosts a sub-range and
+// exchanges the rest through its Transport.
 type Engine struct {
 	nworkers   int
+	lo, hi     int
+	transport  Transport
 	cost       CostModel
 	maxSteps   int
 	sequential bool
@@ -120,6 +174,20 @@ func WithMaxSupersteps(n int) Option {
 	return func(e *Engine) { e.maxSteps = n }
 }
 
+// WithTransport installs the transport carrying inter-instance messages
+// and the barrier; the default is LocalTransport.  The engine owns the
+// transport for the duration of Run but does not close it.
+func WithTransport(t Transport) Option {
+	return func(e *Engine) { e.transport = t }
+}
+
+// WithWorkerRange restricts the engine instance to hosting workers
+// [lo, hi) of the job; messages addressed outside the range are routed
+// through the transport.  The default range is the full worker set.
+func WithWorkerRange(lo, hi int) Option {
+	return func(e *Engine) { e.lo, e.hi = lo, hi }
+}
+
 // WithSequentialWorkers runs the workers of each superstep one at a time
 // instead of concurrently.  BSP semantics are unchanged (messages still
 // deliver at the barrier), but per-worker compute timings become free of
@@ -135,9 +203,15 @@ func New(nworkers int, opts ...Option) *Engine {
 	if nworkers <= 0 {
 		panic("bsp: need at least one worker")
 	}
-	e := &Engine{nworkers: nworkers, maxSteps: 1 << 20}
+	e := &Engine{nworkers: nworkers, lo: 0, hi: nworkers, maxSteps: 1 << 20, transport: LocalTransport{}}
 	for _, o := range opts {
 		o(e)
+	}
+	if e.lo < 0 || e.hi > e.nworkers || e.lo >= e.hi {
+		panic(fmt.Sprintf("bsp: worker range [%d, %d) invalid for %d workers", e.lo, e.hi, e.nworkers))
+	}
+	if e.transport == nil {
+		e.transport = LocalTransport{}
 	}
 	return e
 }
@@ -146,10 +220,12 @@ func New(nworkers int, opts ...Option) *Engine {
 func (e *Engine) NumWorkers() int { return e.nworkers }
 
 // Run executes p to termination: all workers halted with no messages in
-// flight.  It returns the run metrics.  If any Compute call fails, Run
-// stops at that barrier and returns the first error by worker index.
+// flight, cluster-wide when the transport is remote.  It returns the run
+// metrics.  If any Compute call fails, Run stops at that barrier and
+// returns the first error by worker index.
 func (e *Engine) Run(p Program) (Metrics, error) {
 	var m Metrics
+	hooks, _ := p.(BarrierHooks)
 	inboxes := make([][]Message, e.nworkers)
 	halted := make([]bool, e.nworkers)
 
@@ -158,15 +234,15 @@ func (e *Engine) Run(p Program) (Metrics, error) {
 			return m, fmt.Errorf("bsp: exceeded %d supersteps", e.maxSteps)
 		}
 		// A worker is active in this superstep if it has not halted or has
-		// mail waiting (mail reactivates, per Pregel semantics).
+		// mail waiting (mail reactivates, per Pregel semantics).  A
+		// distributed instance can sit out a superstep with no active
+		// workers of its own while the rest of the cluster computes; it
+		// still participates in the barrier below.
 		var active []int
-		for w := 0; w < e.nworkers; w++ {
+		for w := e.lo; w < e.hi; w++ {
 			if !halted[w] || len(inboxes[w]) > 0 {
 				active = append(active, w)
 			}
-		}
-		if len(active) == 0 {
-			break
 		}
 
 		ctxs := make([]*Context, len(active))
@@ -213,11 +289,13 @@ func (e *Engine) Run(p Program) (Metrics, error) {
 			}
 		}
 
-		// Barrier: collect outboxes, update halt state, deliver.
+		// Barrier part 1: collect outboxes, update halt state, deliver
+		// locally, and set aside messages leaving this instance's range.
 		stage := StageStat{Superstep: step, ActiveWorkers: len(active)}
-		for w := range inboxes {
+		for w := e.lo; w < e.hi; w++ {
 			inboxes[w] = nil
 		}
+		var out []Message
 		perWorkerBytes := make([]int64, e.nworkers)
 		perWorkerMsgs := make([]int64, e.nworkers)
 		for i, w := range active {
@@ -227,7 +305,11 @@ func (e *Engine) Run(p Program) (Metrics, error) {
 			}
 			stage.SumCompute += compute[i]
 			for _, msg := range ctxs[i].outbox {
-				inboxes[msg.To] = append(inboxes[msg.To], msg)
+				if msg.To >= e.lo && msg.To < e.hi {
+					inboxes[msg.To] = append(inboxes[msg.To], msg)
+				} else {
+					out = append(out, msg)
+				}
 				b := int64(len(msg.Payload))
 				stage.Messages++
 				stage.Bytes += b
@@ -236,7 +318,47 @@ func (e *Engine) Run(p Program) (Metrics, error) {
 				perWorkerMsgs[msg.From]++
 			}
 		}
-		stage.Modeled = e.cost.StageTime(stage, active, compute, perWorkerBytes, perWorkerMsgs)
+
+		// Barrier part 2: the transport exchange.  LocalTransport answers
+		// from the local activity alone; a remote transport ships out and
+		// the sideband, blocks on the hub, and brings back remote mail
+		// plus the global halt consensus.
+		localActive := false
+		for w := e.lo; w < e.hi; w++ {
+			if !halted[w] || len(inboxes[w]) > 0 {
+				localActive = true
+				break
+			}
+		}
+		ex := Exchange{Step: step, Out: out, LocalActive: localActive}
+		if hooks != nil {
+			band, err := hooks.EmitSideband(step)
+			if err != nil {
+				return m, fmt.Errorf("bsp: superstep %d sideband: %w", step, err)
+			}
+			ex.Sideband = band
+		}
+		d, err := e.transport.Exchange(&ex)
+		if err != nil {
+			return m, fmt.Errorf("bsp: superstep %d barrier: %w", step, err)
+		}
+		for _, msg := range d.In {
+			if msg.To < e.lo || msg.To >= e.hi {
+				return m, fmt.Errorf("bsp: superstep %d: delivery for worker %d outside local range [%d, %d)", step, msg.To, e.lo, e.hi)
+			}
+			inboxes[msg.To] = append(inboxes[msg.To], msg)
+		}
+		if hooks != nil {
+			if err := hooks.ApplySideband(step, d.Sideband); err != nil {
+				return m, fmt.Errorf("bsp: superstep %d sideband: %w", step, err)
+			}
+		}
+		stage.Wire = time.Duration(d.Wire)
+		stage.WireBytes = d.WireBytes
+		// The modeled platform overhead is the synthetic cost model plus
+		// the real wire time the transport observed (zero locally), so
+		// distributed runs feed the model from measured shuffle stats.
+		stage.Modeled = e.cost.StageTime(stage, active, compute, perWorkerBytes, perWorkerMsgs) + stage.Wire
 
 		m.Supersteps++
 		m.Messages += stage.Messages
@@ -244,7 +366,12 @@ func (e *Engine) Run(p Program) (Metrics, error) {
 		m.SumCompute += stage.SumCompute
 		m.CriticalPath += stage.MaxCompute
 		m.ModeledTotal += stage.Modeled
+		m.WireTotal += stage.Wire
+		m.WireBytes += stage.WireBytes
 		m.Stages = append(m.Stages, stage)
+		if d.Halt {
+			break
+		}
 	}
 	return m, nil
 }

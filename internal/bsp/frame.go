@@ -1,0 +1,171 @@
+package bsp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire frames for the TCP transport.  Every frame is a 4-byte big-endian
+// length (covering the type byte and the payload) followed by the type and
+// the payload.  Payload integers are varints; nested byte fields carry a
+// uvarint length prefix.
+const (
+	frameHello     byte = 1 // node → hub: proto version, capacity, name
+	frameWelcome   byte = 2 // hub → node: node id
+	frameJobStart  byte = 3 // hub → node: epoch, nworkers, lo, hi, plan
+	frameStep      byte = 4 // node → hub: epoch, step, flags, sideband, messages
+	frameStepOK    byte = 5 // hub → node: epoch, step, flags, sideband, messages
+	frameJobResult byte = 6 // node → hub: epoch, error string, result payload
+	frameAbort     byte = 7 // hub → node: epoch, reason
+)
+
+// protoVersion is bumped whenever the frame layout changes incompatibly;
+// the hub refuses hellos from other versions.
+const protoVersion = 1
+
+// maxFramePayload bounds a single frame so a corrupt length prefix cannot
+// demand gigabytes (1 GiB still comfortably fits a full partition plan).
+const maxFramePayload = 1 << 30
+
+// frameHeaderLen is the fixed per-frame overhead: length prefix + type.
+const frameHeaderLen = 5
+
+// writeFrame appends one frame to w without flushing, so a barrier's
+// frames batch up in the peer's write buffer and hit the socket once.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("bsp: frame payload %d bytes exceeds limit", len(payload))
+	}
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload))+1)
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// maxHelloPayload bounds the only frame read from a conn before it has
+// authenticated itself as a node: a hello is a few varints and a name, so
+// an unregistered conn can never demand a large pre-validation allocation.
+const maxHelloPayload = 1 << 12
+
+// readFrame reads one frame, returning its type and payload.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	return readFrameCapped(r, maxFramePayload)
+}
+
+// readFrameCapped is readFrame with an explicit payload bound, for
+// contexts (the pre-registration handshake) where the peer is untrusted.
+func readFrameCapped(r io.Reader, max uint32) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > max+1 {
+		return 0, nil, fmt.Errorf("bsp: bad frame length %d (limit %d)", n, max)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// fieldReader decodes a frame payload field by field.
+type fieldReader struct {
+	buf []byte
+	off int
+}
+
+func (r *fieldReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("bsp: truncated varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *fieldReader) byteVal() (byte, error) {
+	if r.off >= len(r.buf) {
+		return 0, fmt.Errorf("bsp: truncated byte at offset %d", r.off)
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+// bytes reads a uvarint-length-prefixed byte field.  The returned slice
+// aliases the frame buffer; callers that retain it must copy.
+func (r *fieldReader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(r.buf)-r.off) < n {
+		return nil, fmt.Errorf("bsp: truncated %d-byte field at offset %d", n, r.off)
+	}
+	b := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b, nil
+}
+
+// rest returns everything after the decoded fields (trailing payloads).
+func (r *fieldReader) rest() []byte { return r.buf[r.off:] }
+
+func appendBytesField(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// appendMessages encodes a message batch: count, then (from, to, payload)
+// per message.
+func appendMessages(dst []byte, msgs []Message) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(msgs)))
+	for _, m := range msgs {
+		dst = binary.AppendUvarint(dst, uint64(m.From))
+		dst = binary.AppendUvarint(dst, uint64(m.To))
+		dst = appendBytesField(dst, m.Payload)
+	}
+	return dst
+}
+
+// readMessages decodes a batch written by appendMessages.  Message
+// payloads are copied out of the frame buffer: receivers hold them across
+// supersteps while the frame buffer is reused.
+func (r *fieldReader) readMessages() ([]Message, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	// Every message occupies at least 3 bytes (from, to, empty payload);
+	// bounding the count before allocating keeps a corrupt length from
+	// demanding terabytes.
+	if n > uint64(len(r.buf)-r.off)/3 {
+		return nil, fmt.Errorf("bsp: message count %d exceeds frame size", n)
+	}
+	msgs := make([]Message, 0, n)
+	for i := uint64(0); i < n; i++ {
+		from, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		to, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		payload, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		msgs = append(msgs, Message{From: int(from), To: int(to), Payload: append([]byte(nil), payload...)})
+	}
+	return msgs, nil
+}

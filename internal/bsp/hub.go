@@ -1,0 +1,729 @@
+package bsp
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Hub is the coordinator side of the distributed barrier: it accepts node
+// registrations, fans a job out over the registered nodes as contiguous
+// worker ranges, and runs the per-superstep barrier — collecting every
+// node's frameStep, applying sidebands, routing messages between worker
+// ranges, deciding the global halt consensus, and answering each node with
+// a frameStepOK through its per-peer write buffer.
+//
+// The hub is a star: every message between worker ranges crosses it.  That
+// gives it the complete picture the halt consensus and the merge
+// scheduling need, at the price of two hops per remote message — the same
+// trade the paper's Spark driver makes for shuffle scheduling.
+type Hub struct {
+	ln   net.Listener
+	opts HubOptions
+
+	mu     sync.Mutex
+	peers  map[uint64]*hubPeer
+	nextID uint64
+	epoch  uint64
+	closed bool
+
+	jobMu sync.Mutex // serialises RunJob: one distributed job at a time
+}
+
+// hubPeer is one registered node connection.
+type hubPeer struct {
+	id       uint64
+	name     string
+	addr     string
+	capacity int
+	conn     net.Conn
+	r        *fieldBufReader
+	w        *bufWriter
+
+	// Job-scoped worker range, set by RunJob.
+	lo, hi int
+}
+
+// bufWriter is a per-peer buffered frame writer with byte accounting:
+// a barrier's frames batch up here and hit the socket on one flush.
+type bufWriter struct {
+	w *bufio.Writer
+	n int64
+}
+
+func newBufWriter(conn net.Conn) *bufWriter {
+	return &bufWriter{w: bufio.NewWriterSize(conn, 1<<16)}
+}
+
+func (b *bufWriter) writeFrame(typ byte, payload []byte) error {
+	b.n += int64(len(payload) + frameHeaderLen)
+	return writeFrame(b.w, typ, payload)
+}
+
+func (b *bufWriter) flush() error { return b.w.Flush() }
+
+// fieldBufReader is a per-peer buffered frame reader with byte accounting.
+type fieldBufReader struct {
+	r *bufio.Reader
+	n int64
+}
+
+func newFieldBufReader(conn net.Conn) *fieldBufReader {
+	return &fieldBufReader{r: bufio.NewReaderSize(conn, 1<<16)}
+}
+
+func (f *fieldBufReader) readFrame() (byte, []byte, error) {
+	typ, body, err := readFrame(f.r)
+	f.n += int64(len(body) + frameHeaderLen)
+	return typ, body, err
+}
+
+// readHello reads the pre-registration frame under the hello size cap, so
+// an arbitrary conn to the cluster port cannot demand a gigabyte buffer
+// by lying in its length prefix.
+func (f *fieldBufReader) readHello() (byte, []byte, error) {
+	typ, body, err := readFrameCapped(f.r, maxHelloPayload)
+	f.n += int64(len(body) + frameHeaderLen)
+	return typ, body, err
+}
+
+// NodeInfo describes a registered node.
+type NodeInfo struct {
+	ID       uint64 `json:"id"`
+	Name     string `json:"name,omitempty"`
+	Addr     string `json:"addr"`
+	Capacity int    `json:"capacity"`
+	// Lo and Hi are the worker range hosted in the most recent job;
+	// both are zero for a node that has not run one yet.
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// HubOptions configures a Hub.
+type HubOptions struct {
+	// StepTimeout bounds how long the hub waits for one node's superstep
+	// frame before failing the job (default 2 minutes).  A killed node's
+	// conn fails immediately; the timeout catches hangs.
+	StepTimeout time.Duration
+	// HandshakeTimeout bounds the hello exchange (default 10 seconds).
+	HandshakeTimeout time.Duration
+	// Logf, when set, receives lifecycle diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (o HubOptions) withDefaults() HubOptions {
+	out := o
+	if out.StepTimeout <= 0 {
+		out.StepTimeout = 2 * time.Minute
+	}
+	if out.HandshakeTimeout <= 0 {
+		out.HandshakeTimeout = 10 * time.Second
+	}
+	if out.Logf == nil {
+		out.Logf = func(string, ...any) {}
+	}
+	return out
+}
+
+// NewHub starts a hub accepting node registrations on ln.
+func NewHub(ln net.Listener, opts HubOptions) *Hub {
+	h := &Hub{ln: ln, opts: opts.withDefaults(), peers: make(map[uint64]*hubPeer)}
+	go h.acceptLoop()
+	return h
+}
+
+// Addr returns the hub's listen address.
+func (h *Hub) Addr() net.Addr { return h.ln.Addr() }
+
+// Close stops accepting and drops every registered node.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	h.closed = true
+	peers := make([]*hubPeer, 0, len(h.peers))
+	for _, p := range h.peers {
+		peers = append(peers, p)
+	}
+	h.peers = map[uint64]*hubPeer{}
+	h.mu.Unlock()
+	for _, p := range peers {
+		p.conn.Close()
+	}
+	return h.ln.Close()
+}
+
+func (h *Hub) acceptLoop() {
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return
+		}
+		go h.handshake(conn)
+	}
+}
+
+// handshake registers one node conn: hello in, welcome out.
+func (h *Hub) handshake(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetKeepAlive(true)
+		tc.SetKeepAlivePeriod(30 * time.Second)
+	}
+	conn.SetDeadline(time.Now().Add(h.opts.HandshakeTimeout))
+	r := newFieldBufReader(conn)
+	typ, body, err := r.readHello()
+	if err != nil || typ != frameHello {
+		h.opts.Logf("bsp hub: handshake from %s failed: type %d err %v", conn.RemoteAddr(), typ, err)
+		conn.Close()
+		return
+	}
+	fr := &fieldReader{buf: body}
+	proto, err := fr.uvarint()
+	if err != nil || proto != protoVersion {
+		h.opts.Logf("bsp hub: %s speaks protocol %d, want %d", conn.RemoteAddr(), proto, protoVersion)
+		conn.Close()
+		return
+	}
+	capa, err := fr.uvarint()
+	if err != nil || capa < 1 {
+		conn.Close()
+		return
+	}
+	name := string(fr.rest())
+
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		conn.Close()
+		return
+	}
+	h.nextID++
+	id := h.nextID
+	h.mu.Unlock()
+
+	p := &hubPeer{
+		id:       id,
+		name:     name,
+		addr:     conn.RemoteAddr().String(),
+		capacity: int(capa),
+		conn:     conn,
+		r:        r,
+		w:        newBufWriter(conn),
+	}
+	// Complete the welcome exchange before the peer becomes visible to
+	// RunJob, so only one goroutine ever writes a given peer's buffer.
+	welcome := binary.AppendUvarint(nil, p.id)
+	if err := p.w.writeFrame(frameWelcome, welcome); err != nil || p.w.flush() != nil {
+		conn.Close()
+		return
+	}
+	conn.SetDeadline(time.Time{})
+
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		conn.Close()
+		return
+	}
+	h.peers[p.id] = p
+	h.mu.Unlock()
+	h.opts.Logf("bsp hub: node %d (%q, %s) joined with capacity %d", p.id, name, p.addr, capa)
+}
+
+// writePeer ships one frame to p and flushes, under the step-timeout
+// write deadline: a peer that stopped draining its socket (wedged
+// process, full kernel buffer) fails the job instead of blocking the hub
+// forever — StepTimeout alone only covers reads.
+func (h *Hub) writePeer(p *hubPeer, typ byte, payload []byte) error {
+	p.conn.SetWriteDeadline(time.Now().Add(h.opts.StepTimeout))
+	defer p.conn.SetWriteDeadline(time.Time{})
+	if err := p.w.writeFrame(typ, payload); err != nil {
+		return err
+	}
+	return p.w.flush()
+}
+
+func (h *Hub) dropPeer(p *hubPeer, why string) {
+	h.mu.Lock()
+	_, present := h.peers[p.id]
+	delete(h.peers, p.id)
+	h.mu.Unlock()
+	p.conn.Close()
+	if present {
+		h.opts.Logf("bsp hub: dropped node %d (%s): %s", p.id, p.addr, why)
+	}
+}
+
+// Nodes returns the registered nodes, ordered by id.
+func (h *Hub) Nodes() []NodeInfo {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]NodeInfo, 0, len(h.peers))
+	for _, p := range h.peers {
+		out = append(out, NodeInfo{ID: p.id, Name: p.name, Addr: p.addr, Capacity: p.capacity, Lo: p.lo, Hi: p.hi})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Epoch returns the epoch of the most recently started job.
+func (h *Hub) Epoch() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.epoch
+}
+
+// WaitNodes blocks until at least min nodes are registered or ctx ends.
+func (h *Hub) WaitNodes(ctx context.Context, min int) error {
+	for {
+		h.mu.Lock()
+		n, closed := len(h.peers), h.closed
+		h.mu.Unlock()
+		if closed {
+			return errors.New("bsp: hub closed")
+		}
+		if n >= min {
+			return nil
+		}
+		if !sleepCtx(ctx, 20*time.Millisecond) {
+			return fmt.Errorf("bsp: waiting for %d cluster nodes (have %d): %w", min, n, ctx.Err())
+		}
+	}
+}
+
+// JobSpec describes one distributed job for RunJob.
+type JobSpec struct {
+	// NumWorkers is the job's total worker count; the hub splits
+	// [0, NumWorkers) across the registered nodes by capacity.
+	NumWorkers int
+	// MinNodes refuses to start on fewer registered nodes (minimum 1).
+	MinNodes int
+	// PlanFor returns the opaque job payload for the node hosting
+	// workers [lo, hi).
+	PlanFor func(lo, hi int) ([]byte, error)
+}
+
+// JobHooks are the coordinator's sideband callbacks, called on the
+// RunJob goroutine in deterministic (step, then worker-range) order.
+type JobHooks struct {
+	// OnSideband receives the sideband payload of the node hosting
+	// [lo, hi) for one superstep.  The data aliases a frame buffer and
+	// must not be retained.
+	OnSideband func(step, lo, hi int, data []byte) error
+	// Broadcast produces the coordinator sideband delivered to every
+	// node at this superstep's barrier, after all OnSideband calls.
+	Broadcast func(step int) ([]byte, error)
+}
+
+// NodeResult is one node's final job payload.
+type NodeResult struct {
+	Node    NodeInfo
+	Lo, Hi  int
+	Payload []byte
+}
+
+// JobStats summarises a completed distributed job.
+type JobStats struct {
+	Epoch      uint64
+	Supersteps int
+	WireBytes  int64 // frame bytes the hub moved for this job
+	Results    []NodeResult
+}
+
+// RunJob executes one distributed job over the currently registered
+// nodes.  It assigns worker ranges, ships plans, drives the barrier until
+// halt consensus, and collects every node's result payload.  On any node
+// failure the job is aborted cluster-wide and an error returned; the
+// failed node is deregistered so a reconnecting replacement can rejoin.
+func (h *Hub) RunJob(ctx context.Context, spec JobSpec, hooks JobHooks) (*JobStats, error) {
+	h.jobMu.Lock()
+	defer h.jobMu.Unlock()
+
+	minNodes := spec.MinNodes
+	if minNodes < 1 {
+		minNodes = 1
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, errors.New("bsp: hub closed")
+	}
+	h.epoch++
+	epoch := h.epoch
+	all := make([]*hubPeer, 0, len(h.peers))
+	for _, p := range h.peers {
+		all = append(all, p)
+	}
+	h.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	if len(all) < minNodes {
+		return nil, fmt.Errorf("bsp: job needs %d cluster nodes, %d registered", minNodes, len(all))
+	}
+
+	// Range assignment mutates peer lo/hi, which Nodes() reads under mu.
+	h.mu.Lock()
+	peers := assignRanges(all, spec.NumWorkers)
+	h.mu.Unlock()
+	if len(peers) == 0 {
+		return nil, errors.New("bsp: no node received a worker range")
+	}
+	stats := &JobStats{Epoch: epoch}
+
+	// Ship the job plans.
+	for _, p := range peers {
+		plan, err := spec.PlanFor(p.lo, p.hi)
+		if err != nil {
+			return nil, fmt.Errorf("bsp: building plan for workers [%d, %d): %w", p.lo, p.hi, err)
+		}
+		start := binary.AppendUvarint(nil, epoch)
+		start = binary.AppendUvarint(start, uint64(spec.NumWorkers))
+		start = binary.AppendUvarint(start, uint64(p.lo))
+		start = binary.AppendUvarint(start, uint64(p.hi))
+		start = append(start, plan...)
+		err = h.writePeer(p, frameJobStart, start)
+		if err != nil {
+			h.abortJob(epoch, peers, fmt.Sprintf("plan delivery to node %d failed", p.id))
+			h.dropPeer(p, "job start write failed")
+			return nil, fmt.Errorf("bsp: starting job on node %d: %w", p.id, err)
+		}
+	}
+
+	// Barrier loop.
+	type stepIn struct {
+		localActive bool
+		sideband    []byte
+		msgs        []Message
+		result      *nodeResultFrame // set when the node sent frameJobResult instead
+	}
+	for step := 0; ; step++ {
+		if err := ctx.Err(); err != nil {
+			h.abortJob(epoch, peers, "job cancelled")
+			return nil, err
+		}
+		ins := make([]stepIn, len(peers))
+		if err := h.gatherFrames(epoch, step, peers, func(i int, fr *frameIn) {
+			ins[i] = stepIn{localActive: fr.localActive, sideband: fr.sideband, msgs: fr.msgs, result: fr.result}
+		}); err != nil {
+			h.abortJob(epoch, peers, err.Error())
+			return nil, err
+		}
+		for i, p := range peers {
+			if r := ins[i].result; r != nil {
+				err := fmt.Errorf("bsp: node %d left the barrier at superstep %d: %s", p.id, step, r.errMsg)
+				if r.errMsg == "" {
+					err = fmt.Errorf("bsp: node %d finished at superstep %d while the job was still running", p.id, step)
+				}
+				h.abortJob(epoch, peers, err.Error())
+				return nil, err
+			}
+		}
+
+		// Sidebands, in worker-range order for deterministic absorption.
+		if hooks.OnSideband != nil {
+			for i, p := range peers {
+				if err := hooks.OnSideband(step, p.lo, p.hi, ins[i].sideband); err != nil {
+					h.abortJob(epoch, peers, err.Error())
+					return nil, fmt.Errorf("bsp: superstep %d sideband from node %d: %w", step, p.id, err)
+				}
+			}
+		}
+		var broadcast []byte
+		if hooks.Broadcast != nil {
+			b, err := hooks.Broadcast(step)
+			if err != nil {
+				h.abortJob(epoch, peers, err.Error())
+				return nil, fmt.Errorf("bsp: superstep %d broadcast: %w", step, err)
+			}
+			broadcast = b
+		}
+
+		// Route messages between worker ranges.
+		routed := 0
+		outPer := make([][]Message, len(peers))
+		for i := range peers {
+			for _, msg := range ins[i].msgs {
+				j := peerForWorker(peers, msg.To)
+				if j < 0 {
+					err := fmt.Errorf("bsp: superstep %d: message for worker %d outside every range", step, msg.To)
+					h.abortJob(epoch, peers, err.Error())
+					return nil, err
+				}
+				outPer[j] = append(outPer[j], msg)
+				routed++
+			}
+		}
+		anyActive := routed > 0
+		for i := range peers {
+			anyActive = anyActive || ins[i].localActive
+		}
+		halt := !anyActive
+
+		// Answer every node.
+		for i, p := range peers {
+			reply := binary.AppendUvarint(nil, epoch)
+			reply = binary.AppendUvarint(reply, uint64(step))
+			var flags byte
+			if halt {
+				flags |= 1
+			}
+			reply = append(reply, flags)
+			reply = appendBytesField(reply, broadcast)
+			reply = appendMessages(reply, outPer[i])
+			err := h.writePeer(p, frameStepOK, reply)
+			if err != nil {
+				h.abortJob(epoch, peers, fmt.Sprintf("barrier reply to node %d failed", p.id))
+				h.dropPeer(p, "barrier reply write failed")
+				return nil, fmt.Errorf("bsp: superstep %d reply to node %d: %w", step, p.id, err)
+			}
+		}
+		stats.Supersteps = step + 1
+		if halt {
+			break
+		}
+	}
+
+	// Collect results.
+	results := make([]*nodeResultFrame, len(peers))
+	if err := h.gatherResults(epoch, peers, results); err != nil {
+		h.abortJob(epoch, peers, err.Error())
+		return nil, err
+	}
+	for i, p := range peers {
+		if results[i].errMsg != "" {
+			return nil, fmt.Errorf("bsp: node %d failed: %s", p.id, results[i].errMsg)
+		}
+		stats.Results = append(stats.Results, NodeResult{
+			Node:    NodeInfo{ID: p.id, Name: p.name, Addr: p.addr, Capacity: p.capacity},
+			Lo:      p.lo,
+			Hi:      p.hi,
+			Payload: results[i].payload,
+		})
+	}
+	for _, p := range peers {
+		stats.WireBytes += p.w.n + p.r.n
+		p.w.n, p.r.n = 0, 0
+	}
+	return stats, nil
+}
+
+// frameIn is one node's decoded barrier frame.
+type frameIn struct {
+	localActive bool
+	sideband    []byte
+	msgs        []Message
+	result      *nodeResultFrame
+}
+
+type nodeResultFrame struct {
+	errMsg  string
+	payload []byte
+}
+
+// gatherFrames reads one current-epoch frameStep (or frameJobResult) from
+// every peer concurrently, dropping stale-epoch stragglers.
+func (h *Hub) gatherFrames(epoch uint64, step int, peers []*hubPeer, set func(i int, fr *frameIn)) error {
+	errs := make([]error, len(peers))
+	frames := make([]*frameIn, len(peers))
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p *hubPeer) {
+			defer wg.Done()
+			frames[i], errs[i] = h.readPeerFrame(epoch, step, p)
+		}(i, p)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			h.dropPeer(peers[i], err.Error())
+			return fmt.Errorf("bsp: node %d at superstep %d: %w", peers[i].id, step, err)
+		}
+	}
+	for i := range peers {
+		set(i, frames[i])
+	}
+	return nil
+}
+
+// readPeerFrame reads frames from p until it sees the current epoch's
+// frameStep for step (or the node's frameJobResult), enforcing the step
+// timeout.  A negative step means only a job result is acceptable.
+func (h *Hub) readPeerFrame(epoch uint64, step int, p *hubPeer) (*frameIn, error) {
+	p.conn.SetReadDeadline(time.Now().Add(h.opts.StepTimeout))
+	defer p.conn.SetReadDeadline(time.Time{})
+	for {
+		typ, body, err := p.r.readFrame()
+		if err != nil {
+			return nil, err
+		}
+		fr := &fieldReader{buf: body}
+		gotEpoch, err := fr.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if gotEpoch < epoch {
+			continue // straggler from an aborted job: drop
+		}
+		if gotEpoch > epoch {
+			return nil, fmt.Errorf("frame from future epoch %d (hub at %d)", gotEpoch, epoch)
+		}
+		switch typ {
+		case frameStep:
+			gotStep, err := fr.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if step < 0 {
+				return nil, fmt.Errorf("superstep %d frame after the job halted", gotStep)
+			}
+			if int(gotStep) < step {
+				continue // duplicate of an already-consumed barrier: drop
+			}
+			if int(gotStep) != step {
+				return nil, fmt.Errorf("superstep %d frame while hub expects %d", gotStep, step)
+			}
+			flags, err := fr.byteVal()
+			if err != nil {
+				return nil, err
+			}
+			sideband, err := fr.bytes()
+			if err != nil {
+				return nil, err
+			}
+			msgs, err := fr.readMessages()
+			if err != nil {
+				return nil, err
+			}
+			return &frameIn{localActive: flags&1 != 0, sideband: sideband, msgs: msgs}, nil
+		case frameJobResult:
+			errStr, err := fr.bytes()
+			if err != nil {
+				return nil, err
+			}
+			return &frameIn{result: &nodeResultFrame{errMsg: string(errStr), payload: append([]byte(nil), fr.rest()...)}}, nil
+		default:
+			return nil, fmt.Errorf("unexpected frame %d during barrier", typ)
+		}
+	}
+}
+
+// gatherResults reads the final frameJobResult from every peer.
+func (h *Hub) gatherResults(epoch uint64, peers []*hubPeer, results []*nodeResultFrame) error {
+	errs := make([]error, len(peers))
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p *hubPeer) {
+			defer wg.Done()
+			fr, err := h.readPeerFrame(epoch, -1, p) // results only
+			if err == nil && fr.result == nil {
+				err = errors.New("expected job result frame")
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = fr.result
+		}(i, p)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			h.dropPeer(peers[i], err.Error())
+			return fmt.Errorf("bsp: collecting result from node %d: %w", peers[i].id, err)
+		}
+	}
+	return nil
+}
+
+// abortJob fails the job cluster-wide: every participating peer gets a
+// best-effort frameAbort (so blocked engines unblock promptly instead of
+// waiting out the step timeout) and is then deregistered and closed.
+// Dropping the survivors too is deliberate: a node whose job failed —
+// even one that merely received the abort — treats its conn state as
+// unknown and re-registers from scratch (see serveNodeConn), so keeping
+// the old registration would leave a ghost peer that poisons the next
+// job with a dead conn.
+func (h *Hub) abortJob(epoch uint64, peers []*hubPeer, reason string) {
+	msg := binary.AppendUvarint(nil, epoch)
+	msg = append(msg, reason...)
+	for _, p := range peers {
+		h.writePeer(p, frameAbort, msg)
+	}
+	for _, p := range peers {
+		h.dropPeer(p, "job aborted: participants re-register")
+	}
+}
+
+// assignRanges splits n workers across peers proportionally to capacity
+// (every participating peer gets at least one).  Peers beyond n are left
+// out.  The returned peers have lo/hi set.
+func assignRanges(peers []*hubPeer, n int) []*hubPeer {
+	if n <= 0 {
+		return nil
+	}
+	use := peers
+	if len(use) > n {
+		use = use[:n]
+	}
+	total := 0
+	for _, p := range use {
+		total += p.capacity
+	}
+	counts := make([]int, len(use))
+	assigned := 0
+	for i, p := range use {
+		c := n * p.capacity / total
+		if c < 1 {
+			c = 1
+		}
+		counts[i] = c
+		assigned += c
+	}
+	// Fix rounding drift: trim from the largest, pad the largest.
+	for assigned > n {
+		max := 0
+		for i := range counts {
+			if counts[i] > counts[max] {
+				max = i
+			}
+		}
+		if counts[max] <= 1 {
+			break
+		}
+		counts[max]--
+		assigned--
+	}
+	for assigned < n {
+		max := 0
+		for i, p := range use {
+			if p.capacity > use[max].capacity {
+				max = i
+			}
+		}
+		counts[max]++
+		assigned++
+	}
+	out := make([]*hubPeer, 0, len(use))
+	lo := 0
+	for i, p := range use {
+		p.lo, p.hi = lo, lo+counts[i]
+		lo = p.hi
+		out = append(out, p)
+	}
+	return out
+}
+
+// peerForWorker returns the index of the peer hosting worker w, or -1.
+func peerForWorker(peers []*hubPeer, w int) int {
+	for i, p := range peers {
+		if w >= p.lo && w < p.hi {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,318 @@
+package bsp
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"time"
+)
+
+// TCPTransport is the node side of the distributed barrier: it speaks
+// length-prefixed frames over one net.Conn to a Hub, batching each
+// superstep's messages and sideband into a single buffered write.  Frames
+// carry the job epoch and superstep number, so replies that straggle in
+// from an earlier, aborted job are recognised and dropped instead of being
+// delivered into the wrong barrier.
+//
+// A TCPTransport is created by ServeNode for each job assignment; it is
+// bound to that job's epoch and conn and is not safe for concurrent
+// Exchange calls (the engine calls it from one goroutine).
+type TCPTransport struct {
+	conn  net.Conn
+	r     *bufio.Reader
+	w     *bufio.Writer
+	epoch uint64
+	buf   []byte // reused frameStep encode buffer
+}
+
+// Exchange implements Transport: one frameStep out, one frameStepOK back.
+func (t *TCPTransport) Exchange(ex *Exchange) (Delivery, error) {
+	start := time.Now()
+	payload := t.buf[:0]
+	payload = binary.AppendUvarint(payload, t.epoch)
+	payload = binary.AppendUvarint(payload, uint64(ex.Step))
+	var flags byte
+	if ex.LocalActive {
+		flags |= 1
+	}
+	payload = append(payload, flags)
+	payload = appendBytesField(payload, ex.Sideband)
+	payload = appendMessages(payload, ex.Out)
+	t.buf = payload
+	wire := int64(len(payload) + frameHeaderLen)
+	if err := writeFrame(t.w, frameStep, payload); err != nil {
+		return Delivery{}, fmt.Errorf("bsp: sending superstep %d: %w", ex.Step, err)
+	}
+	if err := t.w.Flush(); err != nil {
+		return Delivery{}, fmt.Errorf("bsp: sending superstep %d: %w", ex.Step, err)
+	}
+
+	for {
+		typ, body, err := readFrame(t.r)
+		if err != nil {
+			return Delivery{}, fmt.Errorf("bsp: awaiting superstep %d barrier: %w", ex.Step, err)
+		}
+		wire += int64(len(body) + frameHeaderLen)
+		switch typ {
+		case frameStepOK:
+			r := &fieldReader{buf: body}
+			epoch, err := r.uvarint()
+			if err != nil {
+				return Delivery{}, err
+			}
+			step, err := r.uvarint()
+			if err != nil {
+				return Delivery{}, err
+			}
+			if epoch < t.epoch || (epoch == t.epoch && int(step) < ex.Step) {
+				continue // straggler from an aborted job or a duplicate: drop
+			}
+			if epoch != t.epoch || int(step) != ex.Step {
+				return Delivery{}, fmt.Errorf("bsp: barrier reply for epoch %d step %d while at epoch %d step %d", epoch, step, t.epoch, ex.Step)
+			}
+			rflags, err := r.byteVal()
+			if err != nil {
+				return Delivery{}, err
+			}
+			sideband, err := r.bytes()
+			if err != nil {
+				return Delivery{}, err
+			}
+			in, err := r.readMessages()
+			if err != nil {
+				return Delivery{}, err
+			}
+			d := Delivery{In: in, Halt: rflags&1 != 0, WireBytes: wire}
+			if len(sideband) > 0 {
+				d.Sideband = append([]byte(nil), sideband...)
+			}
+			d.Wire = int64(time.Since(start))
+			return d, nil
+		case frameAbort:
+			r := &fieldReader{buf: body}
+			epoch, err := r.uvarint()
+			if err != nil {
+				return Delivery{}, err
+			}
+			if epoch < t.epoch {
+				continue
+			}
+			return Delivery{}, fmt.Errorf("bsp: job aborted by hub: %s", r.rest())
+		default:
+			return Delivery{}, fmt.Errorf("bsp: unexpected frame %d during superstep %d", typ, ex.Step)
+		}
+	}
+}
+
+// Close implements Transport by closing the underlying conn, which also
+// unblocks a pending Exchange with an error.
+func (t *TCPTransport) Close() error { return t.conn.Close() }
+
+// NodeJob is one job assignment received from the hub: this node hosts
+// workers [Lo, Hi) of a NumWorkers-worker job, with Plan as the opaque
+// job payload and Transport already bound to the job's barrier.
+type NodeJob struct {
+	Epoch      uint64
+	NumWorkers int
+	Lo, Hi     int
+	Plan       []byte
+	Transport  Transport
+}
+
+// NodeHandler executes one job assignment.  The returned payload is
+// shipped back to the hub as the node's job result; the error (if any)
+// fails the whole job on the hub side.
+type NodeHandler func(job *NodeJob) ([]byte, error)
+
+// NodeOptions configures ServeNode.
+type NodeOptions struct {
+	// Name identifies the node to the hub (diagnostics only).
+	Name string
+	// Capacity is the number of engine workers this node offers; the hub
+	// sizes the node's worker range proportionally.  Minimum 1.
+	Capacity int
+	// BackoffMin and BackoffMax bound the reconnect backoff (defaults
+	// 250ms and 5s).  The delay doubles per failed dial and resets after
+	// a successful registration.
+	BackoffMin, BackoffMax time.Duration
+	// Logf, when set, receives connection lifecycle diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (o NodeOptions) withDefaults() NodeOptions {
+	out := o
+	if out.Capacity < 1 {
+		out.Capacity = 1
+	}
+	if out.BackoffMin <= 0 {
+		out.BackoffMin = 250 * time.Millisecond
+	}
+	if out.BackoffMax <= 0 {
+		out.BackoffMax = 5 * time.Second
+	}
+	if out.Logf == nil {
+		out.Logf = func(string, ...any) {}
+	}
+	return out
+}
+
+// ServeNode joins the hub at addr and serves job assignments until ctx is
+// cancelled: dial (with exponential backoff), register, then loop
+// receiving frameJobStart, running the handler over a job-scoped
+// TCPTransport, and returning the result.  A lost connection — mid-job or
+// idle — sends it back to the dial loop; the job it interrupted fails on
+// the hub side and is not resumed.
+func ServeNode(ctx context.Context, addr string, h NodeHandler, opts NodeOptions) error {
+	o := opts.withDefaults()
+	backoff := o.BackoffMin
+	var d net.Dialer
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			o.Logf("bsp node: dial %s: %v (retrying in %v)", addr, err, backoff)
+			if !sleepCtx(ctx, backoff) {
+				return ctx.Err()
+			}
+			if backoff *= 2; backoff > o.BackoffMax {
+				backoff = o.BackoffMax
+			}
+			continue
+		}
+		backoff = o.BackoffMin
+		err = serveNodeConn(ctx, conn, h, o)
+		conn.Close()
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		o.Logf("bsp node: connection to %s lost: %v (redialing)", addr, err)
+		if !sleepCtx(ctx, backoff) {
+			return ctx.Err()
+		}
+	}
+}
+
+// serveNodeConn registers over one established conn and serves jobs until
+// the conn breaks or ctx is cancelled.
+func serveNodeConn(ctx context.Context, conn net.Conn, h NodeHandler, o NodeOptions) error {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetKeepAlive(true)
+		tc.SetKeepAlivePeriod(30 * time.Second)
+	}
+	// A cancelled ctx closes the conn, unblocking any pending read.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	r := bufio.NewReaderSize(conn, 1<<16)
+	w := bufio.NewWriterSize(conn, 1<<16)
+
+	hello := binary.AppendUvarint(nil, protoVersion)
+	hello = binary.AppendUvarint(hello, uint64(o.Capacity))
+	hello = append(hello, o.Name...)
+	if err := writeFrame(w, frameHello, hello); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	typ, body, err := readFrame(r)
+	if err != nil {
+		return fmt.Errorf("awaiting welcome: %w", err)
+	}
+	if typ != frameWelcome {
+		return fmt.Errorf("expected welcome frame, got %d", typ)
+	}
+	fr := &fieldReader{buf: body}
+	id, err := fr.uvarint()
+	if err != nil {
+		return err
+	}
+	o.Logf("bsp node: registered with hub as node %d (capacity %d)", id, o.Capacity)
+
+	for {
+		typ, body, err := readFrame(r)
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case frameJobStart:
+			fr := &fieldReader{buf: body}
+			epoch, err := fr.uvarint()
+			if err != nil {
+				return err
+			}
+			nworkers, err := fr.uvarint()
+			if err != nil {
+				return err
+			}
+			lo, err := fr.uvarint()
+			if err != nil {
+				return err
+			}
+			hi, err := fr.uvarint()
+			if err != nil {
+				return err
+			}
+			job := &NodeJob{
+				Epoch:      epoch,
+				NumWorkers: int(nworkers),
+				Lo:         int(lo),
+				Hi:         int(hi),
+				Plan:       fr.rest(),
+				Transport:  &TCPTransport{conn: conn, r: r, w: w, epoch: epoch},
+			}
+			o.Logf("bsp node: job epoch %d: hosting workers [%d, %d) of %d", epoch, job.Lo, job.Hi, job.NumWorkers)
+			payload, jobErr := runNodeJob(h, job)
+			res := binary.AppendUvarint(nil, epoch)
+			var errStr string
+			if jobErr != nil {
+				errStr = jobErr.Error()
+			}
+			res = appendBytesField(res, []byte(errStr))
+			res = append(res, payload...)
+			if err := writeFrame(w, frameJobResult, res); err != nil {
+				return err
+			}
+			if err := w.Flush(); err != nil {
+				return err
+			}
+			if jobErr != nil {
+				// The handler's transport may have died mid-exchange; the
+				// conn state is then unknown, so re-register from scratch.
+				return fmt.Errorf("job epoch %d failed: %w", epoch, jobErr)
+			}
+		case frameAbort:
+			// An abort for a job this node already finished (or never
+			// started): nothing to do.
+		default:
+			return fmt.Errorf("unexpected frame %d while idle", typ)
+		}
+	}
+}
+
+// runNodeJob isolates handler panics so a bad job cannot take down the
+// node process.
+func runNodeJob(h NodeHandler, job *NodeJob) (payload []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("node job panic: %v", r)
+		}
+	}()
+	return h(job)
+}
+
+// sleepCtx sleeps for d, returning false early if ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -1,0 +1,254 @@
+package bsp
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// startCluster brings up a hub and n node loops in-process over loopback
+// TCP, each node running the Program returned by mk over its assigned
+// worker range.
+func startCluster(t *testing.T, nodes int, capacity int, mk func(job *NodeJob) Program) (*Hub, context.CancelFunc) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := NewHub(ln, HubOptions{StepTimeout: 10 * time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	for i := 0; i < nodes; i++ {
+		go ServeNode(ctx, ln.Addr().String(), func(job *NodeJob) ([]byte, error) {
+			e := New(job.NumWorkers, WithWorkerRange(job.Lo, job.Hi), WithTransport(job.Transport))
+			m, err := e.Run(mk(job))
+			if err != nil {
+				return nil, err
+			}
+			return binary.AppendUvarint(nil, uint64(m.Supersteps)), nil
+		}, NodeOptions{Name: fmt.Sprintf("node-%d", i), Capacity: capacity})
+	}
+	if err := hub.WaitNodes(ctx, nodes); err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	return hub, func() {
+		cancel()
+		hub.Close()
+	}
+}
+
+// TestTCPTokenRing passes a token around a worker ring split across two
+// processes' worth of engine instances, checking delivery, reactivation,
+// and cluster-wide halt consensus.
+func TestTCPTokenRing(t *testing.T) {
+	const workers, hops = 6, 17
+	var lastSeen int64 = -1
+	hub, stop := startCluster(t, 2, workers/2, func(job *NodeJob) Program {
+		return ProgramFunc(func(ctx *Context) error {
+			ctx.VoteToHalt()
+			if ctx.Superstep() == 0 {
+				if ctx.Worker() == 0 {
+					var buf [8]byte
+					ctx.Send(1%workers, buf[:])
+				}
+				return nil
+			}
+			for _, msg := range ctx.Received() {
+				count := int64(binary.LittleEndian.Uint64(msg.Payload))
+				atomic.StoreInt64(&lastSeen, count)
+				if count+1 < hops {
+					var buf [8]byte
+					binary.LittleEndian.PutUint64(buf[:], uint64(count+1))
+					ctx.Send((ctx.Worker()+1)%workers, buf[:])
+				}
+			}
+			return nil
+		})
+	})
+	defer stop()
+
+	stats, err := hub.RunJob(context.Background(), JobSpec{NumWorkers: workers, MinNodes: 2, PlanFor: func(lo, hi int) ([]byte, error) { return nil, nil }}, JobHooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&lastSeen); got != hops-1 {
+		t.Fatalf("token count = %d, want %d", got, hops-1)
+	}
+	if stats.Supersteps != hops+1 {
+		t.Fatalf("Supersteps = %d, want %d", stats.Supersteps, hops+1)
+	}
+	if len(stats.Results) != 2 {
+		t.Fatalf("results from %d nodes, want 2", len(stats.Results))
+	}
+	if stats.WireBytes == 0 {
+		t.Fatal("hub moved zero wire bytes")
+	}
+}
+
+// sidebandProg exercises BarrierHooks end to end: every instance emits its
+// local worker count, the coordinator sums the counts, and every instance
+// checks the broadcast equals the cluster-wide worker total.
+type sidebandProg struct {
+	lo, hi, n int
+	bad       atomic.Int64
+}
+
+func (p *sidebandProg) Compute(ctx *Context) error {
+	if ctx.Superstep() >= 2 {
+		ctx.VoteToHalt()
+	}
+	return nil
+}
+
+func (p *sidebandProg) EmitSideband(step int) ([]byte, error) {
+	return binary.AppendUvarint(nil, uint64(p.hi-p.lo)), nil
+}
+
+func (p *sidebandProg) ApplySideband(step int, data []byte) error {
+	got, _ := binary.Uvarint(data)
+	if int(got) != p.n {
+		p.bad.Add(1)
+		return fmt.Errorf("broadcast says %d workers, want %d", got, p.n)
+	}
+	return nil
+}
+
+func TestTCPSideband(t *testing.T) {
+	const workers = 5
+	var progMu sync.Mutex
+	var progs []*sidebandProg
+	hub, stop := startCluster(t, 2, 4, func(job *NodeJob) Program {
+		p := &sidebandProg{lo: job.Lo, hi: job.Hi, n: job.NumWorkers}
+		progMu.Lock()
+		progs = append(progs, p)
+		progMu.Unlock()
+		return p
+	})
+	defer stop()
+
+	var sum atomic.Int64
+	hooks := JobHooks{
+		OnSideband: func(step, lo, hi int, data []byte) error {
+			n, _ := binary.Uvarint(data)
+			sum.Add(int64(n))
+			return nil
+		},
+		Broadcast: func(step int) ([]byte, error) {
+			return binary.AppendUvarint(nil, uint64(workers)), nil
+		},
+	}
+	stats, err := hub.RunJob(context.Background(), JobSpec{NumWorkers: workers, MinNodes: 2, PlanFor: func(lo, hi int) ([]byte, error) { return nil, nil }}, hooks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every superstep's sidebands sum to the worker total.
+	if want := int64(workers * stats.Supersteps); sum.Load() != want {
+		t.Fatalf("sideband sum = %d, want %d", sum.Load(), want)
+	}
+	progMu.Lock()
+	defer progMu.Unlock()
+	for _, p := range progs {
+		if p.bad.Load() != 0 {
+			t.Fatal("a node saw a wrong broadcast")
+		}
+	}
+}
+
+// TestTCPNodeErrorFailsJob: a compute error on one node fails the whole
+// job at the hub with the node's error text, and the cluster stays usable
+// for the next job.
+func TestTCPNodeErrorFailsJob(t *testing.T) {
+	var failOnce atomic.Bool
+	failOnce.Store(true)
+	hub, stop := startCluster(t, 2, 2, func(job *NodeJob) Program {
+		return ProgramFunc(func(ctx *Context) error {
+			if ctx.Worker() == job.Lo && job.Lo > 0 && ctx.Superstep() == 1 && failOnce.CompareAndSwap(true, false) {
+				return fmt.Errorf("synthetic failure on worker %d", ctx.Worker())
+			}
+			if ctx.Superstep() >= 3 {
+				ctx.VoteToHalt()
+			}
+			return nil
+		})
+	})
+	defer stop()
+
+	spec := JobSpec{NumWorkers: 4, MinNodes: 2, PlanFor: func(lo, hi int) ([]byte, error) { return nil, nil }}
+	_, err := hub.RunJob(context.Background(), spec, JobHooks{})
+	if err == nil || !strings.Contains(err.Error(), "synthetic failure") {
+		t.Fatalf("err = %v, want synthetic failure", err)
+	}
+
+	// The failed node redials with backoff; once both are back the next
+	// job (a fresh epoch) succeeds and stale frames are rejected.
+	waitCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hub.WaitNodes(waitCtx, 2); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, err = hub.RunJob(context.Background(), spec, JobHooks{})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("second job after recovery: %v", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+		hub.WaitNodes(waitCtx, 2)
+	}
+}
+
+// TestTCPKilledNodeFailsJobFast: hard-killing a node's conn mid-job makes
+// RunJob return an error promptly (no step-timeout hang).
+func TestTCPKilledNodeFailsJobFast(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := NewHub(ln, HubOptions{StepTimeout: 30 * time.Second})
+	defer hub.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Node 1 computes forever; node 2 slams its conn shut at superstep 2.
+	go ServeNode(ctx, ln.Addr().String(), func(job *NodeJob) ([]byte, error) {
+		e := New(job.NumWorkers, WithWorkerRange(job.Lo, job.Hi), WithTransport(job.Transport))
+		_, err := e.Run(ProgramFunc(func(c *Context) error { return nil }))
+		return nil, err
+	}, NodeOptions{Name: "steady", Capacity: 1})
+	go ServeNode(ctx, ln.Addr().String(), func(job *NodeJob) ([]byte, error) {
+		e := New(job.NumWorkers, WithWorkerRange(job.Lo, job.Hi), WithTransport(job.Transport))
+		_, err := e.Run(ProgramFunc(func(c *Context) error {
+			if c.Superstep() == 2 {
+				job.Transport.Close() // simulate a machine dying mid-barrier
+			}
+			return nil
+		}))
+		return nil, err
+	}, NodeOptions{Name: "doomed", Capacity: 1})
+	if err := hub.WaitNodes(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := hub.RunJob(context.Background(), JobSpec{NumWorkers: 2, MinNodes: 2, PlanFor: func(lo, hi int) ([]byte, error) { return nil, nil }}, JobHooks{})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("job with a killed node reported success")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("RunJob hung after node death")
+	}
+}

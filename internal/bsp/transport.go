@@ -1,0 +1,89 @@
+package bsp
+
+import "fmt"
+
+// Transport is the seam between a BSP engine instance and the rest of the
+// cluster.  An engine hosts a contiguous range of the job's workers; at the
+// end of every superstep it submits one Exchange — the messages leaving its
+// range, an opaque sideband payload, and whether any local worker remains
+// active — and blocks until the global barrier completes.  The Delivery it
+// receives carries the messages addressed to its range from other engine
+// instances, the coordinator's sideband reply, and the halt consensus.
+//
+// LocalTransport closes the loop inside one process (the engine hosts every
+// worker, nothing crosses the seam); TCPTransport stretches the same barrier
+// over net.Conn frames to a Hub in another process or machine.
+type Transport interface {
+	// Exchange runs the global barrier for one superstep.  It must not
+	// retain ex.Out payload slices after returning: senders reuse their
+	// buffers two supersteps later, so a remote transport has to finish
+	// writing (or copy) before it hands control back.
+	Exchange(ex *Exchange) (Delivery, error)
+	// Close releases the transport.  A blocked Exchange on another
+	// goroutine returns with an error.
+	Close() error
+}
+
+// Exchange is one engine instance's contribution to a superstep barrier.
+type Exchange struct {
+	// Step is the superstep whose outputs are being exchanged.
+	Step int
+	// Out holds the messages addressed outside the engine's worker range,
+	// in send order.  Always empty under LocalTransport.
+	Out []Message
+	// Sideband is an opaque payload for the coordinator (the euler layer
+	// ships Phase 1 absorption batches here).  Nil when the Program does
+	// not implement BarrierHooks.
+	Sideband []byte
+	// LocalActive reports whether any local worker will be active next
+	// superstep before remote deliveries are counted: not halted, or
+	// holding locally delivered mail.
+	LocalActive bool
+}
+
+// Delivery is what the barrier hands back to an engine instance.
+type Delivery struct {
+	// In holds messages addressed to the engine's worker range that were
+	// sent by other instances.  Always empty under LocalTransport.
+	In []Message
+	// Sideband is the coordinator's reply payload, delivered to every
+	// instance (the euler layer ships the global visited delta here).
+	Sideband []byte
+	// Halt is the global consensus: every instance reported inactive and
+	// no messages are in flight anywhere, so the run is over.
+	Halt bool
+	// Wire is the real time this barrier spent on the wire (serialise,
+	// transfer, block on the hub); zero for LocalTransport.  The engine
+	// folds it into the stage's modeled platform overhead.
+	Wire int64 // nanoseconds; int64 keeps Delivery flat for value returns
+	// WireBytes counts the frame bytes moved for this barrier.
+	WireBytes int64
+}
+
+// BarrierHooks is an optional interface a Program may implement to ride the
+// transport's per-superstep sideband: EmitSideband is called after the
+// superstep's Compute calls finish and before the barrier, ApplySideband
+// after the barrier with the coordinator's reply.  Programs that do not
+// implement it exchange no sideband.
+type BarrierHooks interface {
+	EmitSideband(step int) ([]byte, error)
+	ApplySideband(step int, data []byte) error
+}
+
+// LocalTransport is the in-process transport: the engine hosts the entire
+// worker set, every message is delivered through shared memory, and the
+// barrier degenerates to the engine's own WaitGroup.  It is the zero-cost
+// default installed by New.
+type LocalTransport struct{}
+
+// Exchange implements Transport.  With all workers local there is nothing
+// to ship; the halt consensus is the instance's own activity.
+func (LocalTransport) Exchange(ex *Exchange) (Delivery, error) {
+	if len(ex.Out) > 0 {
+		return Delivery{}, fmt.Errorf("bsp: local transport cannot route %d remote messages (worker range misconfigured)", len(ex.Out))
+	}
+	return Delivery{Halt: !ex.LocalActive}, nil
+}
+
+// Close implements Transport.
+func (LocalTransport) Close() error { return nil }

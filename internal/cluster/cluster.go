@@ -1,0 +1,171 @@
+// Package cluster gives eulerd its multi-process mode: a Coordinator that
+// owns the bsp.Hub, fans jobs out over joined worker nodes, and finishes
+// Phase 3 locally; and a Worker loop that joins a coordinator and hosts
+// engine workers.  The algorithm lives in internal/euler; this package is
+// role wiring, spec resolution, and status reporting.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bsp"
+	"repro/internal/euler"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/service/job"
+	"repro/internal/spill"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// MinNodes is the number of joined worker nodes a job waits for
+	// before starting (minimum 1).
+	MinNodes int
+	// WaitNodes bounds how long a job waits for MinNodes nodes before
+	// failing (default 30s).
+	WaitNodes time.Duration
+	// StepTimeout bounds one barrier round-trip before the job is failed
+	// (default 2 minutes; see bsp.HubOptions).
+	StepTimeout time.Duration
+	// Logf receives lifecycle diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Coordinator runs the cluster control plane: node registration, job
+// fan-out, barrier/merge scheduling, and result collection.
+type Coordinator struct {
+	hub      *bsp.Hub
+	opts     Options
+	jobsRun  atomic.Int64
+	jobsFail atomic.Int64
+}
+
+// NewCoordinator listens on addr for worker-node joins.
+func NewCoordinator(addr string, opts Options) (*Coordinator, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listening on %s: %w", addr, err)
+	}
+	if opts.MinNodes < 1 {
+		opts.MinNodes = 1
+	}
+	if opts.WaitNodes <= 0 {
+		opts.WaitNodes = 30 * time.Second
+	}
+	hub := bsp.NewHub(ln, bsp.HubOptions{StepTimeout: opts.StepTimeout, Logf: opts.Logf})
+	return &Coordinator{hub: hub, opts: opts}, nil
+}
+
+// Addr returns the cluster listen address.
+func (c *Coordinator) Addr() net.Addr { return c.hub.Addr() }
+
+// Close shuts the control plane down, dropping every joined node.
+func (c *Coordinator) Close() error { return c.hub.Close() }
+
+// Status is the /v1/cluster payload.
+type Status struct {
+	Role       string         `json:"role"`
+	Addr       string         `json:"addr"`
+	MinNodes   int            `json:"min_nodes"`
+	Nodes      []bsp.NodeInfo `json:"nodes"`
+	Epoch      uint64         `json:"epoch"`
+	JobsRun    int64          `json:"jobs_run"`
+	JobsFailed int64          `json:"jobs_failed"`
+}
+
+// ClusterStatus implements the httpapi status hook.
+func (c *Coordinator) ClusterStatus() any {
+	return Status{
+		Role:       "coordinator",
+		Addr:       c.hub.Addr().String(),
+		MinNodes:   c.opts.MinNodes,
+		Nodes:      c.hub.Nodes(),
+		Epoch:      c.hub.Epoch(),
+		JobsRun:    c.jobsRun.Load(),
+		JobsFailed: c.jobsFail.Load(),
+	}
+}
+
+// Run executes one circuit computation across the cluster and returns the
+// Result ready for Phase 3 in this process.
+func (c *Coordinator) Run(ctx context.Context, g *graph.Graph, a partition.Assignment, cfg euler.Config) (*euler.Result, error) {
+	waitCtx, cancel := context.WithTimeout(ctx, c.opts.WaitNodes)
+	err := c.hub.WaitNodes(waitCtx, c.opts.MinNodes)
+	cancel()
+	if err != nil {
+		c.jobsFail.Add(1)
+		return nil, err
+	}
+	res, _, err := euler.RunOverCluster(ctx, c.hub, g, a, cfg, c.opts.MinNodes)
+	if err != nil {
+		c.jobsFail.Add(1)
+		return nil, err
+	}
+	c.jobsRun.Add(1)
+	return res, nil
+}
+
+// Runner adapts the Coordinator to the httpapi CircuitRunner seam: it
+// resolves a job spec the way the single-process facade does (partition
+// count defaults and clamping, LDG assignment, spill placement) and runs
+// the job over the cluster instead of in-process goroutines.
+type Runner struct {
+	Coordinator *Coordinator
+}
+
+// RunCircuit implements httpapi.CircuitRunner.
+func (r *Runner) RunCircuit(ctx context.Context, spec job.Spec, dir string, g *graph.Graph, emit func(graph.Step) error) (*euler.RunReport, error) {
+	parts, err := euler.ResolveParts(spec.Parts, g.NumVertices())
+	if err != nil {
+		return nil, err
+	}
+	a := partition.LDG(g, parts, euler.ResolveSeed(spec.Seed))
+	mode, err := job.ParseMode(spec.Mode)
+	if err != nil {
+		return nil, err
+	}
+	cfg := euler.Config{Mode: mode}
+	if spec.Spill {
+		ds, err := spill.NewDiskStore(filepath.Join(dir, euler.SpillLogName))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: opening spill store: %w", err)
+		}
+		defer ds.Close()
+		cfg.Store = ds
+	}
+	res, err := r.Coordinator.Run(ctx, g, a, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Registry.Unroll(emit); err != nil {
+		return nil, err
+	}
+	return res.Report, nil
+}
+
+// WorkerOptions configures RunWorker.
+type WorkerOptions struct {
+	// Name identifies the node in coordinator diagnostics.
+	Name string
+	// Capacity is the number of engine workers this node hosts (its
+	// share of the job's partitions); minimum 1.
+	Capacity int
+	// Sequential runs the node's workers one at a time (Fig. 7 timing).
+	Sequential bool
+	// Logf receives lifecycle diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// RunWorker joins the coordinator at addr and hosts engine workers until
+// ctx is cancelled, reconnecting with backoff whenever the control
+// connection drops.
+func RunWorker(ctx context.Context, addr string, opts WorkerOptions) error {
+	return bsp.ServeNode(ctx, addr, func(nodeJob *bsp.NodeJob) ([]byte, error) {
+		return euler.RunWorkerNode(nodeJob, opts.Sequential)
+	}, bsp.NodeOptions{Name: opts.Name, Capacity: opts.Capacity, Logf: opts.Logf})
+}

@@ -48,226 +48,30 @@ const (
 // BSP engine: one worker per leaf partition, one superstep per merge-tree
 // level plus one, exactly the dlog(n)e+1 coordination complexity of
 // Sec. 3.5.  The returned Registry holds everything Phase 3 needs.
+//
+// Run is the single-process path: all workers live in this process, the
+// engine uses bsp.LocalTransport, and the program's absorb/visited seams
+// point straight at the Registry.  The cluster coordinator reuses the same
+// plan and program over a TCP transport (see internal/cluster).
 func Run(g *graph.Graph, a partition.Assignment, cfg Config) (*Result, error) {
-	if err := a.Validate(g); err != nil {
+	plan, tree, err := BuildPlan(g, a, cfg)
+	if err != nil {
 		return nil, err
-	}
-	if g.NumEdges() == 0 {
-		return nil, fmt.Errorf("euler: graph has no edges")
-	}
-	// One degree scan decides Eulerian-ness and names the evidence; the
-	// previous IsEulerian-then-OddVertices pair walked the graph twice.
-	if odd := g.OddVertices(); len(odd) > 0 {
-		return nil, fmt.Errorf("euler: graph is not Eulerian: %d odd-degree vertices (first: %d)", len(odd), odd[0])
-	}
-	strat := cfg.Strategy
-	if strat == nil {
-		strat = GreedyMaxWeight
 	}
 	store := cfg.Store
 	if store == nil {
 		store = spill.NewMemStore()
 	}
-
-	n := int(a.Parts)
-	meta := BuildMetaGraph(g, a)
-	tree := BuildMergeTree(meta, strat)
-	height := tree.Height()
-	states, parkedPools := BuildLeafStates(g, a, tree, cfg.Mode)
-
-	// Pre-encode leaf states: decoding them at superstep 0 is the paper's
-	// "create partition object from its storage format".
-	encodedInit := make([][]byte, n)
-	for i, s := range states {
-		encodedInit[i] = EncodeState(s)
-	}
-
-	// Static parked-volume series for the Fig. 8 report: parked[l] leaves
-	// leaf memory during superstep l.
-	parkedLongsAt := make([]int64, height+1)
-	for _, pool := range parkedPools {
-		for lvl, edges := range pool {
-			for s := 0; int32(s) <= lvl && s <= height; s++ {
-				parkedLongsAt[s] += 2 * int64(len(edges))
-			}
-		}
-	}
+	n := plan.NumWorkers
 
 	registry := NewRegistry(store, g.NumVertices(), n)
-	globallyVisited := registry.IsVisited
-
-	// Per-level schedule lookups, dense over the worker IDs: childTarget
-	// holds the merge parent per child rep (-1 when not merging), isParent
-	// flags the reps that receive a child state.
-	childTarget := make([][]int32, height)
-	isParent := make([][]bool, height)
-	for l := 0; l < height; l++ {
-		ct := make([]int32, n)
-		for i := range ct {
-			ct[i] = -1
-		}
-		ip := make([]bool, n)
-		for _, p := range tree.Levels[l] {
-			ct[p.Child] = int32(p.Parent)
-			ip[p.Parent] = true
-		}
-		childTarget[l] = ct
-		isParent[l] = ip
-	}
-
-	type workerState struct {
-		state   *PartState
-		parked  map[int32][]RemoteEdge
-		reports []PartReport
-		scratch *phase1Scratch
-		// stateBuf carries the one msgState payload a worker ever sends
-		// (after that its state is owned by the parent, forever).
-		stateBuf []byte
-		// parkBuf is reused across levels for msgParked payloads, double-
-		// buffered by superstep parity: a payload sent at superstep s is
-		// read by its receiver during s+1, so the buffer of parity s is
-		// free again at s+2 (after the barrier).
-		parkBuf [2][]byte
-	}
-	workers := make([]*workerState, n)
-	for i := range workers {
-		workers[i] = &workerState{parked: parkedPools[i], scratch: newPhase1Scratch()}
-	}
-	// liveLongs[w][s] is worker w's state size while superstep s ran:
-	// Phase 1 input size for computing partitions, the carried state for
-	// idle ones.  Fig. 8's per-level memory accounting needs both.
-	liveLongs := make([][]int64, n)
-	for i := range liveLongs {
-		liveLongs[i] = make([]int64, height+1)
-	}
-
-	program := bsp.ProgramFunc(func(ctx *bsp.Context) error {
-		w, s := ctx.Worker(), ctx.Superstep()
-		wc := workers[w]
-		var pr PartReport
-		computing := false
-
-		if s == 0 {
-			t0 := time.Now()
-			st, err := DecodeState(encodedInit[w])
-			if err != nil {
-				return fmt.Errorf("loading leaf state %d: %w", w, err)
-			}
-			pr.CreateObj = time.Since(t0)
-			wc.state = st
-			computing = true
-		} else {
-			var child *PartState
-			var delivered []RemoteEdge
-			for _, msg := range ctx.Received() {
-				if len(msg.Payload) == 0 {
-					return fmt.Errorf("worker %d: empty message from %d", w, msg.From)
-				}
-				switch msg.Payload[0] {
-				case msgState:
-					t0 := time.Now()
-					st, err := DecodeState(msg.Payload[1:])
-					if err != nil {
-						return fmt.Errorf("worker %d: decoding child state from %d: %w", w, msg.From, err)
-					}
-					pr.CopySrc += time.Since(t0)
-					if child != nil {
-						return fmt.Errorf("worker %d superstep %d: two child states", w, s)
-					}
-					child = st
-				case msgParked:
-					t0 := time.Now()
-					batch, err := DecodeRemoteBatch(msg.Payload[1:])
-					if err != nil {
-						return fmt.Errorf("worker %d: decoding parked batch from %d: %w", w, msg.From, err)
-					}
-					pr.CopySrc += time.Since(t0)
-					delivered = append(delivered, batch...)
-				default:
-					return fmt.Errorf("worker %d: unknown message tag %q", w, msg.Payload[0])
-				}
-			}
-			if isParent[s-1][w] {
-				if child == nil {
-					return fmt.Errorf("worker %d superstep %d: parent missing child state", w, s)
-				}
-				// Materialise own state into the new level's RDD, the
-				// paper's "copy sink partition" cost — a real deep copy,
-				// without the old EncodeState→DecodeState round trip.
-				t0 := time.Now()
-				own := wc.state.Clone()
-				pr.CopySink = time.Since(t0)
-				merged, err := MergeStates(own, child, s-1, cfg.Mode, delivered)
-				if err != nil {
-					return fmt.Errorf("worker %d superstep %d: %w", w, s, err)
-				}
-				wc.state = merged
-				computing = true
-			} else if child != nil || len(delivered) > 0 {
-				return fmt.Errorf("worker %d superstep %d: unexpected merge input", w, s)
-			}
-		}
-
-		if computing {
-			pr.Level, pr.Part = s, w
-			pr.LongsAtStart = wc.state.Longs()
-			pr.RemoteEdges = int64(len(wc.state.Remote))
-			pr.StubGroups = int64(len(wc.state.Stubs))
-			if cfg.Validate {
-				if err := wc.state.CheckParity(); err != nil {
-					return fmt.Errorf("worker %d superstep %d: %w", w, s, err)
-				}
-			}
-			res, err := phase1(wc.state, s, store, globallyVisited, wc.scratch)
-			if err != nil {
-				return err
-			}
-			pr.CreateObj += res.Prep
-			pr.Phase1 = res.Tour
-			pr.Stats = res.Stats
-			if cfg.Validate && res.Stats.Paths*2 != res.Stats.OB {
-				return fmt.Errorf("worker %d superstep %d: %d OB paths for %d OBs (Lemma 1 count violated)",
-					w, s, res.Stats.Paths, res.Stats.OB)
-			}
-			wc.state.Local = res.OBPairs
-			isRoot := s == height && w == tree.Root()
-			if err := registry.Absorb(w, res, isRoot); err != nil {
-				return err
-			}
-			wc.reports = append(wc.reports, pr)
-		}
-		if computing {
-			liveLongs[w][s] = pr.LongsAtStart
-		} else if wc.state != nil {
-			liveLongs[w][s] = wc.state.Longs()
-		}
-
-		if s < height {
-			if target := childTarget[s][w]; target >= 0 && wc.state != nil {
-				payload := append(wc.stateBuf[:0], msgState)
-				payload = AppendState(payload, wc.state)
-				wc.stateBuf = payload
-				ctx.Send(int(target), payload)
-				wc.state = nil // ownership transfers to the parent
-			}
-			if batch, ok := wc.parked[int32(s)]; ok && len(batch) > 0 {
-				// Deferred transfer: parked edges converting at level s go
-				// straight to the ancestor that merges at superstep s+1.
-				target := tree.RepAt(s+1, w)
-				payload := append(wc.parkBuf[s&1][:0], msgParked)
-				payload = AppendRemoteBatch(payload, batch)
-				wc.parkBuf[s&1] = payload
-				ctx.Send(target, payload)
-				delete(wc.parked, int32(s))
-			}
-		}
-		if s >= height {
-			ctx.VoteToHalt()
-		}
-		return nil
+	program := newPartProgram(plan, progDeps{
+		store:   store,
+		visited: registry.IsVisited,
+		absorb:  registry.Absorb,
 	})
 
-	engineOpts := []bsp.Option{bsp.WithCostModel(cfg.Cost)}
+	engineOpts := []bsp.Option{bsp.WithCostModel(cfg.Cost), bsp.WithTransport(bsp.LocalTransport{})}
 	if cfg.Sequential {
 		engineOpts = append(engineOpts, bsp.WithSequentialWorkers())
 	}
@@ -287,14 +91,20 @@ func Run(g *graph.Graph, a partition.Assignment, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	report := assembleReport(cfg.Mode, plan.Height, plan.ParkedLongsAt, program.liveLongs, program.parts(), metrics, wall)
+	return &Result{Registry: registry, Tree: tree, Report: report}, nil
+}
+
+// assembleReport builds the RunReport from per-worker instrumentation.
+// liveLongs rows cover workers in ID order (the full set for a local run;
+// the cluster coordinator concatenates the node slices before calling).
+func assembleReport(mode Mode, height int, parkedLongsAt []int64, liveLongs [][]int64, parts []PartReport, metrics bsp.Metrics, wall time.Duration) *RunReport {
 	report := &RunReport{
-		Mode:       cfg.Mode,
+		Mode:       mode,
 		TreeHeight: height,
 		BSP:        metrics,
 		Wall:       wall,
-	}
-	for _, wc := range workers {
-		report.Parts = append(report.Parts, wc.reports...)
+		Parts:      parts,
 	}
 	sort.Slice(report.Parts, func(i, j int) bool {
 		if report.Parts[i].Level != report.Parts[j].Level {
@@ -303,12 +113,15 @@ func Run(g *graph.Graph, a partition.Assignment, cfg Config) (*Result, error) {
 		return report.Parts[i].Part < report.Parts[j].Part
 	})
 	for l := 0; l <= height; l++ {
-		lr := LevelReport{Level: l, ParkedLongs: parkedLongsAt[l]}
+		lr := LevelReport{Level: l}
+		if l < len(parkedLongsAt) {
+			lr.ParkedLongs = parkedLongsAt[l]
+		}
 		lr.Active = len(report.PartsAt(l))
-		for w := 0; w < n; w++ {
-			if liveLongs[w][l] > 0 {
+		for _, row := range liveLongs {
+			if l < len(row) && row[l] > 0 {
 				lr.Live++
-				lr.CumulativeLongs += liveLongs[w][l]
+				lr.CumulativeLongs += row[l]
 			}
 		}
 		if lr.Live > 0 {
@@ -316,6 +129,5 @@ func Run(g *graph.Graph, a partition.Assignment, cfg Config) (*Result, error) {
 		}
 		report.Levels = append(report.Levels, lr)
 	}
-
-	return &Result{Registry: registry, Tree: tree, Report: report}, nil
+	return report
 }

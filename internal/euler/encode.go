@@ -83,6 +83,11 @@ func DecodeBody(buf []byte) ([]Item, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Each item takes at least 4 bytes (kind + 3 varints); bound the
+	// count before allocating from it.
+	if n > uint64(len(d.buf)-d.off)/4 {
+		return nil, fmt.Errorf("euler: body item count %d exceeds payload size", n)
+	}
 	items := make([]Item, 0, n)
 	for i := uint64(0); i < n; i++ {
 		if d.off >= len(d.buf) {
@@ -175,6 +180,9 @@ func DecodeState(buf []byte) (*PartState, error) {
 	if err != nil {
 		return nil, err
 	}
+	if ne > uint64(len(d.buf)-d.off)/4 {
+		return nil, fmt.Errorf("euler: local edge count %d exceeds payload size", ne)
+	}
 	if ne > 0 {
 		s.Local = make([]CoarseEdge, 0, ne)
 	}
@@ -201,6 +209,9 @@ func DecodeState(buf []byte) (*PartState, error) {
 	nr, err := d.uvarint()
 	if err != nil {
 		return nil, err
+	}
+	if nr > uint64(len(d.buf)-d.off)/4 {
+		return nil, fmt.Errorf("euler: remote edge count %d exceeds payload size", nr)
 	}
 	if nr > 0 {
 		s.Remote = make([]RemoteEdge, 0, nr)
@@ -272,35 +283,51 @@ func AppendRemoteBatch(dst []byte, edges []RemoteEdge) []byte {
 
 // DecodeRemoteBatch parses a batch written by EncodeRemoteBatch.
 func DecodeRemoteBatch(buf []byte) ([]RemoteEdge, error) {
-	d := &decoder{buf: buf}
-	n, err := d.uvarint()
+	edges, off, err := decodeRemoteBatchAt(buf, 0)
 	if err != nil {
 		return nil, err
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("euler: %d trailing bytes", len(buf)-off)
+	}
+	return edges, nil
+}
+
+// decodeRemoteBatchAt decodes one EncodeRemoteBatch payload embedded at
+// off inside buf, returning the batch and the offset after it (plan
+// slices embed batches mid-stream).
+func decodeRemoteBatchAt(buf []byte, off int) ([]RemoteEdge, int, error) {
+	d := &decoder{buf: buf, off: off}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, 0, err
+	}
+	// Each edge takes at least 4 varint bytes; bound the count before
+	// allocating from it.
+	if n > uint64(len(buf)-d.off)/4 {
+		return nil, 0, fmt.Errorf("euler: remote batch count %d exceeds payload size", n)
 	}
 	edges := make([]RemoteEdge, 0, n)
 	for i := uint64(0); i < n; i++ {
 		local, err := d.varint()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		remote, err := d.varint()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		edge, err := d.varint()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		lvl, err := d.varint()
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		edges = append(edges, RemoteEdge{
 			Local: local, Remote: remote, Edge: edge, ConvertLevel: int32(lvl),
 		})
 	}
-	if err := d.done(); err != nil {
-		return nil, err
-	}
-	return edges, nil
+	return edges, d.off, nil
 }

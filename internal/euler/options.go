@@ -1,0 +1,47 @@
+package euler
+
+import "fmt"
+
+// Facade-level run policy, shared by the single-process facade (repro's
+// root package) and the cluster runner so the two paths cannot drift: a
+// spec that relies on defaults must resolve identically wherever it runs,
+// or the cluster's byte-identical guarantee breaks.
+
+// DefaultParts is the partition count applied when a caller passes zero.
+const DefaultParts = 4
+
+// DefaultSeed is the partitioner seed applied when a caller passes zero.
+const DefaultSeed = 1
+
+// SpillLogName is the spill store's filename inside a run directory.
+const SpillLogName = "euler-spill.log"
+
+// ResolveParts applies the job-spec partition policy: zero (unset in a
+// spec) means DefaultParts; the rest is ClampParts.
+func ResolveParts(parts int32, numVertices int64) (int32, error) {
+	if parts == 0 {
+		parts = DefaultParts
+	}
+	return ClampParts(parts, numVertices)
+}
+
+// ClampParts rejects non-positive counts (the facade treats an explicit
+// zero as invalid, unlike a spec's unset zero) and clamps to the vertex
+// count.
+func ClampParts(parts int32, numVertices int64) (int32, error) {
+	if parts < 1 {
+		return 0, fmt.Errorf("euler: partition count %d < 1", parts)
+	}
+	if int64(parts) > numVertices {
+		parts = int32(numVertices)
+	}
+	return parts, nil
+}
+
+// ResolveSeed applies the partitioner-seed default.
+func ResolveSeed(seed int64) int64 {
+	if seed == 0 {
+		return DefaultSeed
+	}
+	return seed
+}

@@ -1,0 +1,215 @@
+package euler
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bsp"
+	"repro/internal/graph"
+	"repro/internal/spill"
+)
+
+// progDeps are the run-wide effects the per-partition program needs: where
+// path bodies go, the global visited-vertex query, and the registry absorb
+// path.  The single-process driver wires them straight into its Registry
+// and spill store; a cluster worker node wires them into a sideband that
+// ships to the coordinator at each barrier, so the program itself never
+// assumes shared memory.
+type progDeps struct {
+	store   spill.Store
+	visited func(graph.VertexID) bool
+	absorb  func(w int, res *Phase1Result, isRoot bool) error
+}
+
+// workerState is the per-worker mutable state of one run.
+type workerState struct {
+	state   *PartState
+	parked  map[int32][]RemoteEdge
+	reports []PartReport
+	scratch *phase1Scratch
+	// stateBuf carries the one msgState payload a worker ever sends
+	// (after that its state is owned by the parent, forever).
+	stateBuf []byte
+	// parkBuf is reused across levels for msgParked payloads, double-
+	// buffered by superstep parity: a payload sent at superstep s is
+	// read by its receiver during s+1, so the buffer of parity s is
+	// free again at s+2 (after the barrier).
+	parkBuf [2][]byte
+}
+
+// partProgram is the paper's partition-centric algorithm as a bsp.Program
+// over a plan slice: worker w hosts one (possibly merged) partition, one
+// superstep per merge-tree level plus one.  The engine instance hosting it
+// may cover only [plan.Lo, plan.Hi) of the job's workers; everything the
+// program touches is local except the three progDeps seams.
+type partProgram struct {
+	plan    *Plan
+	deps    progDeps
+	workers []*workerState // indexed w - plan.Lo
+	// liveLongs[w-plan.Lo][s] is the worker's state size while superstep
+	// s ran: Phase 1 input size for computing partitions, the carried
+	// state for idle ones (Fig. 8's per-level memory accounting).
+	liveLongs [][]int64
+}
+
+// newPartProgram builds the program for the plan's hosted worker range.
+func newPartProgram(plan *Plan, deps progDeps) *partProgram {
+	local := plan.Hi - plan.Lo
+	p := &partProgram{plan: plan, deps: deps}
+	p.workers = make([]*workerState, local)
+	for i := range p.workers {
+		p.workers[i] = &workerState{parked: plan.Parked[i], scratch: newPhase1Scratch()}
+	}
+	p.liveLongs = make([][]int64, local)
+	for i := range p.liveLongs {
+		p.liveLongs[i] = make([]int64, plan.Height+1)
+	}
+	return p
+}
+
+// Compute implements bsp.Program; see driver.go for the level-by-level
+// narrative.
+func (p *partProgram) Compute(ctx *bsp.Context) error {
+	w, s := ctx.Worker(), ctx.Superstep()
+	plan := p.plan
+	wc := p.workers[w-plan.Lo]
+	var pr PartReport
+	computing := false
+
+	if s == 0 {
+		t0 := time.Now()
+		st, err := DecodeState(plan.EncodedInit[w-plan.Lo])
+		if err != nil {
+			return fmt.Errorf("loading leaf state %d: %w", w, err)
+		}
+		pr.CreateObj = time.Since(t0)
+		wc.state = st
+		computing = true
+	} else {
+		var child *PartState
+		var delivered []RemoteEdge
+		// The local engine delivers mail in ascending sender order (its
+		// barrier walks workers in ID order); a distributed inbox sees
+		// same-node mail before routed mail instead.  Restoring sender
+		// order — a no-op locally — keeps parked-batch merge order, and
+		// with it the emitted circuit, identical across transports.
+		received := ctx.Received()
+		sort.SliceStable(received, func(i, j int) bool { return received[i].From < received[j].From })
+		for _, msg := range received {
+			if len(msg.Payload) == 0 {
+				return fmt.Errorf("worker %d: empty message from %d", w, msg.From)
+			}
+			switch msg.Payload[0] {
+			case msgState:
+				t0 := time.Now()
+				st, err := DecodeState(msg.Payload[1:])
+				if err != nil {
+					return fmt.Errorf("worker %d: decoding child state from %d: %w", w, msg.From, err)
+				}
+				pr.CopySrc += time.Since(t0)
+				if child != nil {
+					return fmt.Errorf("worker %d superstep %d: two child states", w, s)
+				}
+				child = st
+			case msgParked:
+				t0 := time.Now()
+				batch, err := DecodeRemoteBatch(msg.Payload[1:])
+				if err != nil {
+					return fmt.Errorf("worker %d: decoding parked batch from %d: %w", w, msg.From, err)
+				}
+				pr.CopySrc += time.Since(t0)
+				delivered = append(delivered, batch...)
+			default:
+				return fmt.Errorf("worker %d: unknown message tag %q", w, msg.Payload[0])
+			}
+		}
+		if plan.IsParent[s-1][w] {
+			if child == nil {
+				return fmt.Errorf("worker %d superstep %d: parent missing child state", w, s)
+			}
+			// Materialise own state into the new level's RDD, the
+			// paper's "copy sink partition" cost — a real deep copy,
+			// without the old EncodeState→DecodeState round trip.
+			t0 := time.Now()
+			own := wc.state.Clone()
+			pr.CopySink = time.Since(t0)
+			merged, err := MergeStates(own, child, s-1, plan.Mode, delivered)
+			if err != nil {
+				return fmt.Errorf("worker %d superstep %d: %w", w, s, err)
+			}
+			wc.state = merged
+			computing = true
+		} else if child != nil || len(delivered) > 0 {
+			return fmt.Errorf("worker %d superstep %d: unexpected merge input", w, s)
+		}
+	}
+
+	if computing {
+		pr.Level, pr.Part = s, w
+		pr.LongsAtStart = wc.state.Longs()
+		pr.RemoteEdges = int64(len(wc.state.Remote))
+		pr.StubGroups = int64(len(wc.state.Stubs))
+		if plan.Validate {
+			if err := wc.state.CheckParity(); err != nil {
+				return fmt.Errorf("worker %d superstep %d: %w", w, s, err)
+			}
+		}
+		res, err := phase1(wc.state, s, p.deps.store, p.deps.visited, wc.scratch)
+		if err != nil {
+			return err
+		}
+		pr.CreateObj += res.Prep
+		pr.Phase1 = res.Tour
+		pr.Stats = res.Stats
+		if plan.Validate && res.Stats.Paths*2 != res.Stats.OB {
+			return fmt.Errorf("worker %d superstep %d: %d OB paths for %d OBs (Lemma 1 count violated)",
+				w, s, res.Stats.Paths, res.Stats.OB)
+		}
+		wc.state.Local = res.OBPairs
+		isRoot := s == plan.Height && w == plan.Root
+		if err := p.deps.absorb(w, res, isRoot); err != nil {
+			return err
+		}
+		wc.reports = append(wc.reports, pr)
+	}
+	if computing {
+		p.liveLongs[w-plan.Lo][s] = pr.LongsAtStart
+	} else if wc.state != nil {
+		p.liveLongs[w-plan.Lo][s] = wc.state.Longs()
+	}
+
+	if s < plan.Height {
+		if target := plan.ChildTarget[s][w]; target >= 0 && wc.state != nil {
+			payload := append(wc.stateBuf[:0], msgState)
+			payload = AppendState(payload, wc.state)
+			wc.stateBuf = payload
+			ctx.Send(int(target), payload)
+			wc.state = nil // ownership transfers to the parent
+		}
+		if batch, ok := wc.parked[int32(s)]; ok && len(batch) > 0 {
+			// Deferred transfer: parked edges converting at level s go
+			// straight to the ancestor that merges at superstep s+1.
+			target := plan.RepAt[s+1][w]
+			payload := append(wc.parkBuf[s&1][:0], msgParked)
+			payload = AppendRemoteBatch(payload, batch)
+			wc.parkBuf[s&1] = payload
+			ctx.Send(int(target), payload)
+			delete(wc.parked, int32(s))
+		}
+	}
+	if s >= plan.Height {
+		ctx.VoteToHalt()
+	}
+	return nil
+}
+
+// parts collects the per-worker reports in worker order (the driver sorts
+// them by level afterwards).
+func (p *partProgram) parts() []PartReport {
+	var out []PartReport
+	for _, wc := range p.workers {
+		out = append(out, wc.reports...)
+	}
+	return out
+}

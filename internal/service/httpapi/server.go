@@ -26,11 +26,28 @@ import (
 // DefaultMaxUploadBytes bounds uploaded EULGRPH1 bodies (256 MiB).
 const DefaultMaxUploadBytes = 256 << 20
 
+// CircuitRunner executes one job's circuit computation: given the
+// validated spec, the job's scratch directory, and the built input graph,
+// it streams the circuit through emit and returns the run report.  The
+// default runner computes in-process; a cluster coordinator installs a
+// runner that fans the job out over its worker nodes instead.
+type CircuitRunner interface {
+	RunCircuit(ctx context.Context, spec job.Spec, dir string, g *graph.Graph, emit func(graph.Step) error) (*euler.Report, error)
+}
+
+// ClusterStatus supplies the GET /v1/cluster payload; a server without
+// one reports itself standalone.
+type ClusterStatus interface {
+	ClusterStatus() any
+}
+
 // Server wires the job store, the worker pool, and the HTTP handlers.
 type Server struct {
 	jobs    *job.Store
 	pool    *queue.Pool
 	dataDir string
+	runner  CircuitRunner
+	cluster ClusterStatus
 
 	maxUploadBytes int64
 	metrics        metrics
@@ -53,6 +70,10 @@ type Config struct {
 	// MaxUploadBytes caps uploaded graph bodies; 0 means
 	// DefaultMaxUploadBytes.
 	MaxUploadBytes int64
+	// Runner executes jobs; nil means the in-process engine.
+	Runner CircuitRunner
+	// Cluster, when set, serves cluster topology at GET /v1/cluster.
+	Cluster ClusterStatus
 }
 
 // New returns a Server for the given configuration.
@@ -61,10 +82,16 @@ func New(cfg Config) *Server {
 	if max <= 0 {
 		max = DefaultMaxUploadBytes
 	}
+	runner := cfg.Runner
+	if runner == nil {
+		runner = localRunner{}
+	}
 	return &Server{
 		jobs:           cfg.Store,
 		pool:           cfg.Pool,
 		dataDir:        cfg.DataDir,
+		runner:         runner,
+		cluster:        cfg.Cluster,
 		maxUploadBytes: max,
 	}
 }
@@ -79,7 +106,29 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	return mux
+}
+
+// localRunner is the single-process CircuitRunner: the facade engine over
+// goroutine workers and a LocalTransport.
+type localRunner struct{}
+
+// RunCircuit implements CircuitRunner.
+func (localRunner) RunCircuit(ctx context.Context, spec job.Spec, dir string, g *graph.Graph, emit func(graph.Step) error) (*euler.Report, error) {
+	var opts []euler.Option
+	if spec.Parts > 0 {
+		opts = append(opts, euler.WithPartitions(spec.Parts))
+	}
+	if spec.Seed != 0 {
+		opts = append(opts, euler.WithSeed(spec.Seed))
+	}
+	mode, _ := job.ParseMode(spec.Mode) // validated at submit
+	opts = append(opts, euler.WithMode(mode))
+	if spec.Spill {
+		opts = append(opts, euler.WithSpillDir(dir))
+	}
+	return euler.FindCircuitStream(g, emit, opts...)
 }
 
 // errorBody is the uniform error response shape.
@@ -274,26 +323,13 @@ func (s *Server) runJob(poolCtx context.Context, j *job.Job) {
 		return
 	}
 
-	var opts []euler.Option
-	if j.Spec.Parts > 0 {
-		opts = append(opts, euler.WithPartitions(j.Spec.Parts))
-	}
-	if j.Spec.Seed != 0 {
-		opts = append(opts, euler.WithSeed(j.Spec.Seed))
-	}
-	mode, _ := job.ParseMode(j.Spec.Mode) // validated at submit
-	opts = append(opts, euler.WithMode(mode))
-	if j.Spec.Spill {
-		opts = append(opts, euler.WithSpillDir(j.Dir))
-	}
-
 	emit := func(st graph.Step) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		return sink.Append(st)
 	}
-	report, err := euler.FindCircuitStream(g, emit, opts...)
+	report, err := s.runner.RunCircuit(ctx, j.Spec, j.Dir, g, emit)
 	if err != nil {
 		sink.Close()
 		fail(err)
@@ -393,6 +429,16 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusConflict, "job already %s", state)
 	}
+}
+
+// handleCluster reports cluster topology: role, joined nodes, epoch, and
+// job counters on a coordinator; {"role": "standalone"} otherwise.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"role": "standalone"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cluster.ClusterStatus())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

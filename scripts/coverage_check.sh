@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# coverage_check.sh <coverprofile> [min-percent]
+#
+# Fails when total statement coverage drops below the checked-in minimum
+# (scripts/coverage_min.txt), so coverage cannot silently collapse.  Bump
+# the minimum when coverage genuinely improves; never lower it to make CI
+# pass.
+set -euo pipefail
+
+profile=${1:?usage: coverage_check.sh <coverprofile> [min-percent]}
+min=${2:-$(cat "$(dirname "$0")/coverage_min.txt")}
+
+total=$(go tool cover -func="$profile" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+if [ -z "$total" ]; then
+    echo "coverage_check: no total in $profile" >&2
+    exit 1
+fi
+
+awk -v t="$total" -v m="$min" 'BEGIN {
+    if (t + 0 < m + 0) {
+        printf "coverage %.1f%% is below the checked-in minimum %.1f%%\n", t, m
+        exit 1
+    }
+    printf "coverage %.1f%% >= minimum %.1f%%\n", t, m
+}'
