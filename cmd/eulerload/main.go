@@ -1,0 +1,203 @@
+// Command eulerload is the scenario-driven load/soak harness for eulerd.
+// It drives real eulerd processes (standalone servers and coordinator+
+// worker clusters, including kill-one-worker chaos) through declarative
+// traffic scenarios, verifies every returned circuit, and writes a
+// machine-readable BenchReport that the CI perf gate diffs against the
+// checked-in BENCH_4.json baseline.
+//
+// Usage:
+//
+//	eulerload list [-profile ci]
+//	eulerload run -profile ci -out report.json [-eulerd path] [-mult 1] [-scenario name]
+//	eulerload compare -baseline BENCH_4.json -current report.json [-slack 1.5]
+//
+// run builds cmd/eulerd automatically when -eulerd is not given (the
+// working directory must then be the module root).  compare exits
+// non-zero when any gated metric falls outside its baseline tolerance
+// band; see CONTRIBUTING.md for refreshing the baseline.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"repro/internal/bench"
+	"repro/internal/load"
+)
+
+// newFlagSet returns a subcommand flag set that exits on parse errors.
+func newFlagSet(name string) *flag.FlagSet {
+	return flag.NewFlagSet("eulerload "+name, flag.ExitOnError)
+}
+
+func main() {
+	log.SetFlags(log.Ltime)
+	log.SetPrefix("eulerload: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		cmdList(os.Args[2:])
+	case "run":
+		cmdRun(os.Args[2:])
+	case "compare":
+		cmdCompare(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "eulerload: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  eulerload list [-profile ci]
+  eulerload run -profile ci [-out report.json] [-eulerd path] [-mult 1] [-scenario name] [-workdir dir]
+  eulerload compare -baseline BENCH_4.json -current report.json [-slack 1.5]
+`)
+}
+
+func cmdList(args []string) {
+	fs := newFlagSet("list")
+	profile := fs.String("profile", "", "only scenarios in this profile")
+	fs.Parse(args)
+	scenarios := load.Scenarios()
+	if *profile != "" {
+		scenarios = load.ByProfile(*profile)
+	}
+	for _, s := range scenarios {
+		tags := ""
+		if s.Topology == load.TopoCluster {
+			tags = " [cluster]"
+		}
+		if s.ChaosKillWorker {
+			tags += " [chaos]"
+		}
+		fmt.Printf("%-26s %d jobs%s  %s  (profiles: %v)\n", s.Name, s.Jobs, tags, s.Description, s.Profiles)
+	}
+}
+
+func cmdRun(args []string) {
+	fs := newFlagSet("run")
+	var (
+		profile  = fs.String("profile", "ci", "scenario profile to run")
+		scenario = fs.String("scenario", "", "run only this scenario (overrides -profile)")
+		out      = fs.String("out", "", "write the BenchReport JSON here")
+		binary   = fs.String("eulerd", "", "eulerd binary to drive (default: go build ./cmd/eulerd)")
+		mult     = fs.Float64("mult", 1, "job-count multiplier (soak runs pass > 1)")
+		workdir  = fs.String("workdir", "", "scratch directory for process state and logs")
+	)
+	fs.Parse(args)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var scenarios []load.Scenario
+	if *scenario != "" {
+		sc, err := load.ByName(*scenario)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scenarios = []load.Scenario{sc}
+	} else {
+		scenarios = load.ByProfile(*profile)
+		if len(scenarios) == 0 {
+			log.Fatalf("profile %q selects no scenarios", *profile)
+		}
+	}
+
+	workDir := *workdir
+	ownWorkDir := false
+	if workDir == "" {
+		d, err := os.MkdirTemp("", "eulerload-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		workDir, ownWorkDir = d, true
+	}
+	bin := *binary
+	if bin == "" {
+		b, err := buildEulerd(ctx, workDir)
+		if err != nil {
+			log.Fatalf("building eulerd: %v (pass -eulerd to use a prebuilt binary)", err)
+		}
+		bin = b
+	}
+
+	report, runErr := load.RunScenarios(ctx, scenarios, load.HarnessOptions{
+		Binary:         bin,
+		WorkDir:        workDir,
+		Profile:        *profile,
+		JobsMultiplier: *mult,
+		Logf:           log.Printf,
+	})
+	if report != nil && *out != "" {
+		if err := bench.WriteReportFile(*out, report); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("report written to %s (%d scenarios)", *out, len(report.Scenarios))
+	}
+	if runErr != nil {
+		// Keep the binary, data dirs, and process logs for post-mortems.
+		log.Printf("process state kept in %s", workDir)
+		log.Fatalf("run failed:\n%v", runErr)
+	}
+	if ownWorkDir {
+		os.RemoveAll(workDir)
+	}
+	log.Printf("all %d scenarios passed", len(report.Scenarios))
+}
+
+func cmdCompare(args []string) {
+	fs := newFlagSet("compare")
+	var (
+		baselinePath = fs.String("baseline", "BENCH_4.json", "checked-in baseline report")
+		currentPath  = fs.String("current", "", "freshly produced report (required)")
+		slack        = fs.Float64("slack", 1, "multiplier widening every tolerance band")
+	)
+	fs.Parse(args)
+	if *currentPath == "" {
+		log.Fatal("compare requires -current")
+	}
+	baseline, err := bench.ReadReportFile(*baselinePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	current, err := bench.ReadReportFile(*currentPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline: %s (%s/%s, %s)\ncurrent:  %s (%s/%s, %s)\nslack:    %.2fx\n\n",
+		*baselinePath, baseline.Machine.GOOS, baseline.Machine.GOARCH, baseline.Machine.GoVersion,
+		*currentPath, current.Machine.GOOS, current.Machine.GOARCH, current.Machine.GoVersion,
+		*slack)
+	cmp := bench.Compare(baseline, current, *slack)
+	fmt.Print(cmp.String())
+	if cmp.Regressions() > 0 {
+		os.Exit(1)
+	}
+}
+
+// buildEulerd compiles cmd/eulerd into workDir.
+func buildEulerd(ctx context.Context, workDir string) (string, error) {
+	bin := filepath.Join(workDir, "eulerd")
+	cmd := exec.CommandContext(ctx, "go", "build", "-o", bin, "./cmd/eulerd")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	log.Printf("building eulerd: %v", cmd.Args)
+	if err := cmd.Run(); err != nil {
+		return "", err
+	}
+	return bin, nil
+}

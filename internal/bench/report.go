@@ -1,0 +1,309 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// ReportSchemaVersion is the current BenchReport wire version.  Decoders
+// reject reports from a different major; bump it when a field changes
+// meaning, not when fields are added.
+const ReportSchemaVersion = 1
+
+// BenchReport is the machine-readable result format shared by the
+// experiment harness (cmd/eulerbench) and the load harness
+// (cmd/eulerload): one named scenario per entry, each carrying a flat
+// set of metrics with their regression-gate tolerances baked in.  The
+// checked-in BENCH_*.json baselines and the CI perf gate both speak this
+// schema.
+type BenchReport struct {
+	SchemaVersion int                       `json:"schema_version"`
+	Tool          string                    `json:"tool"`              // "eulerload" or "eulerbench"
+	Profile       string                    `json:"profile,omitempty"` // scenario profile that produced it
+	CreatedAt     string                    `json:"created_at,omitempty"`
+	Machine       MachineInfo               `json:"machine"`
+	Scenarios     map[string]ScenarioResult `json:"scenarios"`
+}
+
+// MachineInfo records where a report was produced; the comparator prints
+// it so cross-machine diffs are recognisable as such.
+type MachineInfo struct {
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	GoVersion string `json:"go"`
+	CPUs      int    `json:"cpus"`
+}
+
+// HostMachine describes the current process's machine.
+func HostMachine() MachineInfo {
+	return MachineInfo{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+	}
+}
+
+// ScenarioResult is one scenario's measured metrics plus free-form notes
+// (chaos events, truncations) that explain the numbers.
+type ScenarioResult struct {
+	Metrics map[string]Metric `json:"metrics"`
+	Notes   []string          `json:"notes,omitempty"`
+}
+
+// Metric is one measured value with its regression band.  Better names
+// the good direction; a metric without one is informational and never
+// gates.  The band a current value must stay inside is derived from the
+// *baseline* metric: RelTol scales the baseline value, AbsTol widens the
+// band absolutely so zero baselines (error rates, diff counts) still
+// admit a tolerance.
+type Metric struct {
+	Value  float64 `json:"value"`
+	Unit   string  `json:"unit,omitempty"`
+	Better string  `json:"better,omitempty"` // "lower", "higher", or "" (informational)
+	RelTol float64 `json:"rel_tol,omitempty"`
+	AbsTol float64 `json:"abs_tol,omitempty"`
+}
+
+// LowerBetter builds a gated metric where smaller values win.
+func LowerBetter(v float64, unit string, relTol, absTol float64) Metric {
+	return Metric{Value: v, Unit: unit, Better: "lower", RelTol: relTol, AbsTol: absTol}
+}
+
+// HigherBetter builds a gated metric where larger values win.
+func HigherBetter(v float64, unit string, relTol, absTol float64) Metric {
+	return Metric{Value: v, Unit: unit, Better: "higher", RelTol: relTol, AbsTol: absTol}
+}
+
+// Info builds an ungated, informational metric.
+func Info(v float64, unit string) Metric {
+	return Metric{Value: v, Unit: unit}
+}
+
+// NewReport returns an empty report for the given tool stamped with the
+// host machine.
+func NewReport(tool, profile string) *BenchReport {
+	return &BenchReport{
+		SchemaVersion: ReportSchemaVersion,
+		Tool:          tool,
+		Profile:       profile,
+		Machine:       HostMachine(),
+		Scenarios:     make(map[string]ScenarioResult),
+	}
+}
+
+// WriteReportFile writes the report as indented JSON.
+func WriteReportFile(path string, r *BenchReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encoding report: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReportFile reads and validates a BenchReport.
+func ReadReportFile(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: decoding %s: %w", path, err)
+	}
+	if r.SchemaVersion != ReportSchemaVersion {
+		return nil, fmt.Errorf("bench: %s has schema version %d, this build speaks %d",
+			path, r.SchemaVersion, ReportSchemaVersion)
+	}
+	return &r, nil
+}
+
+// CompareStatus classifies one compared metric.
+type CompareStatus string
+
+// Comparison row statuses.  Only StatusRegression and StatusMissing count
+// against the gate; everything else is reported but passes.
+const (
+	StatusOK         CompareStatus = "ok"
+	StatusRegression CompareStatus = "REGRESSION"
+	StatusMissing    CompareStatus = "MISSING"
+	StatusNew        CompareStatus = "new"
+	StatusSkipped    CompareStatus = "skipped"
+	StatusInfo       CompareStatus = "info"
+)
+
+// CompareRow is one metric's verdict.
+type CompareRow struct {
+	Scenario string
+	Metric   string
+	Baseline float64
+	Current  float64
+	Limit    float64 // the band edge the current value was held to
+	Status   CompareStatus
+	Note     string
+}
+
+// Comparison is the result of diffing a current report against a
+// baseline.
+type Comparison struct {
+	Rows []CompareRow
+}
+
+// Regressions counts the rows that fail the gate.
+func (c *Comparison) Regressions() int {
+	n := 0
+	for _, r := range c.Rows {
+		if r.Status == StatusRegression || r.Status == StatusMissing {
+			n++
+		}
+	}
+	return n
+}
+
+// Compare diffs current against baseline.  slack scales every tolerance
+// band (CI passes >1 so a laptop-recorded baseline does not gate a noisy
+// runner too tightly); slack <= 0 means 1.  Gate rules:
+//
+//   - a gated baseline metric missing from current is MISSING (schema or
+//     coverage drift fails the gate);
+//   - a gated metric whose current value falls outside its band is a
+//     REGRESSION;
+//   - NaN/Inf baselines are skipped (unmeasurable band), NaN currents on
+//     a gated metric are regressions;
+//   - scenarios or metrics only present in current are reported as new
+//     and pass.
+func Compare(baseline, current *BenchReport, slack float64) *Comparison {
+	if slack <= 0 {
+		slack = 1
+	}
+	cmp := &Comparison{}
+	for _, scName := range sortedKeys(baseline.Scenarios) {
+		base := baseline.Scenarios[scName]
+		cur, ok := current.Scenarios[scName]
+		if !ok {
+			cmp.Rows = append(cmp.Rows, CompareRow{
+				Scenario: scName, Metric: "*", Status: StatusMissing,
+				Note: "scenario absent from current report",
+			})
+			continue
+		}
+		for _, mName := range sortedKeys(base.Metrics) {
+			cmp.Rows = append(cmp.Rows, compareMetric(scName, mName, base.Metrics[mName], cur, slack))
+		}
+		// Metrics only the current report has.
+		for _, mName := range sortedKeys(cur.Metrics) {
+			if _, ok := base.Metrics[mName]; !ok {
+				cmp.Rows = append(cmp.Rows, CompareRow{
+					Scenario: scName, Metric: mName, Current: cur.Metrics[mName].Value,
+					Baseline: math.NaN(), Limit: math.NaN(),
+					Status: StatusNew, Note: "not in baseline",
+				})
+			}
+		}
+	}
+	for _, scName := range sortedKeys(current.Scenarios) {
+		if _, ok := baseline.Scenarios[scName]; !ok {
+			cmp.Rows = append(cmp.Rows, CompareRow{
+				Scenario: scName, Metric: "*", Status: StatusNew,
+				Note: "scenario not in baseline",
+			})
+		}
+	}
+	return cmp
+}
+
+// compareMetric applies one baseline metric's band to the current
+// scenario result.
+func compareMetric(scName, mName string, base Metric, cur ScenarioResult, slack float64) CompareRow {
+	row := CompareRow{Scenario: scName, Metric: mName, Baseline: base.Value,
+		Current: math.NaN(), Limit: math.NaN()}
+	c, ok := cur.Metrics[mName]
+	if base.Better == "" {
+		row.Status = StatusInfo
+		if ok {
+			row.Current = c.Value
+		}
+		return row
+	}
+	if !ok {
+		row.Status = StatusMissing
+		row.Note = "metric absent from current report"
+		return row
+	}
+	row.Current = c.Value
+	if math.IsNaN(base.Value) || math.IsInf(base.Value, 0) {
+		row.Status = StatusSkipped
+		row.Note = "baseline value is not finite"
+		return row
+	}
+	if math.IsNaN(c.Value) || math.IsInf(c.Value, 0) {
+		row.Status = StatusRegression
+		row.Note = "current value is not finite"
+		return row
+	}
+	margin := (math.Abs(base.Value)*base.RelTol + base.AbsTol) * slack
+	switch base.Better {
+	case "lower":
+		row.Limit = base.Value + margin
+		if c.Value > row.Limit {
+			row.Status = StatusRegression
+			return row
+		}
+	case "higher":
+		row.Limit = base.Value - margin
+		if row.Limit < 0 {
+			row.Limit = 0
+		}
+		if c.Value < row.Limit {
+			row.Status = StatusRegression
+			return row
+		}
+	default:
+		row.Status = StatusSkipped
+		row.Note = fmt.Sprintf("unknown better direction %q", base.Better)
+		return row
+	}
+	row.Status = StatusOK
+	return row
+}
+
+// String renders the comparison as an aligned table followed by a
+// verdict line, the output of `eulerload compare`.
+func (c *Comparison) String() string {
+	t := stats.NewTable("scenario", "metric", "baseline", "current", "limit", "status", "note")
+	for _, r := range c.Rows {
+		t.AddRow(r.Scenario, r.Metric, fmtVal(r.Baseline), fmtVal(r.Current),
+			fmtVal(r.Limit), string(r.Status), r.Note)
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	if n := c.Regressions(); n > 0 {
+		fmt.Fprintf(&b, "\nFAIL: %d metric(s) outside their tolerance band\n", n)
+	} else {
+		b.WriteString("\nOK: every gated metric inside its tolerance band\n")
+	}
+	return b.String()
+}
+
+func fmtVal(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *BenchReport {
+	r := NewReport("eulerload", "ci")
+	r.CreatedAt = "2026-07-28T00:00:00Z"
+	r.Scenarios["alpha"] = ScenarioResult{
+		Metrics: map[string]Metric{
+			"latency_p50_ms": LowerBetter(120, "ms", 1.5, 250),
+			"throughput":     HigherBetter(8, "jobs/s", 0.4, 0.2),
+			"error_rate":     LowerBetter(0, "frac", 0, 0.01),
+			"steps_total":    Info(4242, "count"),
+		},
+		Notes: []string{"chaos: killed one worker"},
+	}
+	return r
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	want := sampleReport()
+	if err := WriteReportFile(path, want); err != nil {
+		t.Fatalf("WriteReportFile: %v", err)
+	}
+	got, err := ReadReportFile(path)
+	if err != nil {
+		t.Fatalf("ReadReportFile: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+func TestReadReportRejectsWrongSchemaVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	data := `{"schema_version": 99, "tool": "eulerload", "machine": {}, "scenarios": {}}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReportFile(path); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Fatalf("want schema version error, got %v", err)
+	}
+}
+
+func TestCheckedInBaselineParses(t *testing.T) {
+	// The repo's own perf-gate baseline must always decode with the
+	// current schema.
+	path := filepath.Join("..", "..", "BENCH_4.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Skipf("no baseline checked in yet: %v", err)
+	}
+	r, err := ReadReportFile(path)
+	if err != nil {
+		t.Fatalf("BENCH_4.json does not parse: %v", err)
+	}
+	if len(r.Scenarios) < 8 {
+		t.Fatalf("BENCH_4.json has %d scenarios, the ci profile promises >= 8", len(r.Scenarios))
+	}
+}
+
+// statuses collects row statuses keyed by "scenario/metric".
+func statuses(c *Comparison) map[string]CompareStatus {
+	out := make(map[string]CompareStatus)
+	for _, r := range c.Rows {
+		out[r.Scenario+"/"+r.Metric] = r.Status
+	}
+	return out
+}
+
+func scenarioWith(metrics map[string]Metric) *BenchReport {
+	r := NewReport("eulerload", "ci")
+	r.Scenarios["s"] = ScenarioResult{Metrics: metrics}
+	return r
+}
+
+func TestCompareWithinBandPasses(t *testing.T) {
+	base := scenarioWith(map[string]Metric{
+		"lat": LowerBetter(100, "ms", 0.5, 0),     // band: <= 150
+		"tp":  HigherBetter(10, "jobs/s", 0.5, 0), // band: >= 5
+	})
+	cur := scenarioWith(map[string]Metric{
+		"lat": LowerBetter(149, "ms", 0.5, 0),
+		"tp":  HigherBetter(5.1, "jobs/s", 0.5, 0),
+	})
+	cmp := Compare(base, cur, 1)
+	if n := cmp.Regressions(); n != 0 {
+		t.Fatalf("want 0 regressions, got %d: %v", n, cmp.Rows)
+	}
+}
+
+func TestCompareFlagsRegressionsBothDirections(t *testing.T) {
+	base := scenarioWith(map[string]Metric{
+		"lat": LowerBetter(100, "ms", 0.5, 0),
+		"tp":  HigherBetter(10, "jobs/s", 0.5, 0),
+	})
+	cur := scenarioWith(map[string]Metric{
+		"lat": LowerBetter(151, "ms", 0.5, 0),
+		"tp":  HigherBetter(4.9, "jobs/s", 0.5, 0),
+	})
+	cmp := Compare(base, cur, 1)
+	if n := cmp.Regressions(); n != 2 {
+		t.Fatalf("want 2 regressions, got %d: %v", n, cmp.Rows)
+	}
+	if !strings.Contains(cmp.String(), "FAIL") {
+		t.Fatalf("rendered comparison should carry a FAIL verdict:\n%s", cmp.String())
+	}
+}
+
+func TestCompareSlackWidensBands(t *testing.T) {
+	base := scenarioWith(map[string]Metric{"lat": LowerBetter(100, "ms", 0.5, 0)})
+	cur := scenarioWith(map[string]Metric{"lat": LowerBetter(190, "ms", 0.5, 0)})
+	if n := Compare(base, cur, 1).Regressions(); n != 1 {
+		t.Fatalf("at slack 1, 190 > 150 must regress (got %d regressions)", n)
+	}
+	if n := Compare(base, cur, 2).Regressions(); n != 0 {
+		t.Fatalf("at slack 2, 190 <= 200 must pass (got %d regressions)", n)
+	}
+}
+
+func TestCompareMissingMetricFailsGate(t *testing.T) {
+	base := scenarioWith(map[string]Metric{"lat": LowerBetter(100, "ms", 0.5, 0)})
+	cur := scenarioWith(map[string]Metric{})
+	cmp := Compare(base, cur, 1)
+	if st := statuses(cmp)["s/lat"]; st != StatusMissing {
+		t.Fatalf("missing gated metric should be MISSING, got %s", st)
+	}
+	if cmp.Regressions() != 1 {
+		t.Fatalf("missing metric must fail the gate")
+	}
+}
+
+func TestCompareMissingScenarioFailsGate(t *testing.T) {
+	base := scenarioWith(map[string]Metric{"lat": LowerBetter(100, "ms", 0.5, 0)})
+	cur := NewReport("eulerload", "ci") // no scenarios at all
+	cmp := Compare(base, cur, 1)
+	if st := statuses(cmp)["s/*"]; st != StatusMissing {
+		t.Fatalf("missing scenario should be MISSING, got %s", st)
+	}
+	if cmp.Regressions() != 1 {
+		t.Fatalf("missing scenario must fail the gate")
+	}
+}
+
+func TestCompareNewScenarioAndMetricPass(t *testing.T) {
+	base := scenarioWith(map[string]Metric{"lat": LowerBetter(100, "ms", 0.5, 0)})
+	cur := scenarioWith(map[string]Metric{
+		"lat":   LowerBetter(100, "ms", 0.5, 0),
+		"fresh": Info(1, "count"),
+	})
+	cur.Scenarios["brand-new"] = ScenarioResult{Metrics: map[string]Metric{"x": Info(1, "")}}
+	cmp := Compare(base, cur, 1)
+	st := statuses(cmp)
+	if st["s/fresh"] != StatusNew || st["brand-new/*"] != StatusNew {
+		t.Fatalf("new metric/scenario should be reported as new: %v", st)
+	}
+	if cmp.Regressions() != 0 {
+		t.Fatalf("new entries must not fail the gate: %v", cmp.Rows)
+	}
+}
+
+func TestCompareNaNBaselineSkipped(t *testing.T) {
+	base := scenarioWith(map[string]Metric{"lat": LowerBetter(math.NaN(), "ms", 0.5, 0)})
+	cur := scenarioWith(map[string]Metric{"lat": LowerBetter(1e9, "ms", 0.5, 0)})
+	cmp := Compare(base, cur, 1)
+	if st := statuses(cmp)["s/lat"]; st != StatusSkipped {
+		t.Fatalf("NaN baseline should be skipped, got %s", st)
+	}
+	if cmp.Regressions() != 0 {
+		t.Fatalf("NaN baseline must not fail the gate")
+	}
+}
+
+func TestCompareNaNCurrentRegresses(t *testing.T) {
+	base := scenarioWith(map[string]Metric{"lat": LowerBetter(100, "ms", 0.5, 0)})
+	cur := scenarioWith(map[string]Metric{"lat": LowerBetter(math.NaN(), "ms", 0.5, 0)})
+	if n := Compare(base, cur, 1).Regressions(); n != 1 {
+		t.Fatalf("NaN current on a gated metric must regress, got %d", n)
+	}
+}
+
+func TestCompareZeroBaselineUsesAbsTol(t *testing.T) {
+	base := scenarioWith(map[string]Metric{
+		"errs": LowerBetter(0, "frac", 0.5, 0.05), // relative band collapses at 0
+	})
+	ok := scenarioWith(map[string]Metric{"errs": LowerBetter(0.04, "frac", 0, 0)})
+	bad := scenarioWith(map[string]Metric{"errs": LowerBetter(0.06, "frac", 0, 0)})
+	if n := Compare(base, ok, 1).Regressions(); n != 0 {
+		t.Fatalf("0.04 within abs band 0.05 must pass, got %d regressions", n)
+	}
+	if n := Compare(base, bad, 1).Regressions(); n != 1 {
+		t.Fatalf("0.06 outside abs band 0.05 must regress, got %d regressions", n)
+	}
+}
+
+func TestCompareHigherBetterBandClampsAtZero(t *testing.T) {
+	// A huge tolerance cannot drive the floor below zero and make the
+	// gate vacuous for negative values.
+	base := scenarioWith(map[string]Metric{"tp": HigherBetter(1, "jobs/s", 5, 0)})
+	cur := scenarioWith(map[string]Metric{"tp": HigherBetter(0, "jobs/s", 0, 0)})
+	cmp := Compare(base, cur, 1)
+	if n := cmp.Regressions(); n != 0 {
+		t.Fatalf("floor clamps to 0, so current 0 passes; got %d regressions", n)
+	}
+	if cmp.Rows[0].Limit != 0 {
+		t.Fatalf("limit should clamp to 0, got %v", cmp.Rows[0].Limit)
+	}
+}
+
+func TestCompareInfoMetricsNeverGate(t *testing.T) {
+	base := scenarioWith(map[string]Metric{"steps": Info(100, "count")})
+	cur := scenarioWith(map[string]Metric{}) // even absent is fine
+	if n := Compare(base, cur, 1).Regressions(); n != 0 {
+		t.Fatalf("informational metrics must never gate, got %d regressions", n)
+	}
+}

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"time"
+)
+
+// Spawner launches eulerd OS processes programmatically: the load
+// harness uses it to stand up standalone servers, coordinator+worker
+// topologies, and to kill workers mid-run for chaos scenarios.  It only
+// builds argv and manages process lifecycle; the binary is cmd/eulerd.
+type Spawner struct {
+	// Binary is the eulerd executable to launch (required).
+	Binary string
+	// WorkDir receives per-process scratch and log files (required).
+	WorkDir string
+	// Logf receives lifecycle diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (s *Spawner) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Proc is one spawned eulerd process.
+type Proc struct {
+	// Name labels the process in logs ("coordinator", "worker-1", ...).
+	Name string
+	// LogPath is the file capturing the process's stdout+stderr.
+	LogPath string
+
+	cmd  *exec.Cmd
+	done chan struct{} // closed when Wait returns
+	err  error
+}
+
+// Pid returns the OS process ID.
+func (p *Proc) Pid() int { return p.cmd.Process.Pid }
+
+// Err returns the process's exit error once it has exited (nil while it
+// is still running or when it exited cleanly).
+func (p *Proc) Err() error {
+	select {
+	case <-p.done:
+		return p.err
+	default:
+		return nil
+	}
+}
+
+// Alive reports whether the process has not yet exited.
+func (p *Proc) Alive() bool {
+	select {
+	case <-p.done:
+		return false
+	default:
+		return true
+	}
+}
+
+// Kill terminates the process immediately (SIGKILL) and reaps it; the
+// chaos scenarios use it so a worker dies without any graceful
+// handshake.  Killing an exited process is a no-op.
+func (p *Proc) Kill() {
+	if !p.Alive() {
+		return
+	}
+	p.cmd.Process.Kill()
+	<-p.done
+}
+
+// Stop asks the process to shut down gracefully (SIGTERM) and waits up
+// to grace before killing it.
+func (p *Proc) Stop(grace time.Duration) {
+	if !p.Alive() {
+		return
+	}
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case <-p.done:
+	case <-time.After(grace):
+		p.cmd.Process.Kill()
+		<-p.done
+	}
+}
+
+// start launches the binary with args, teeing output to a log file.
+func (s *Spawner) start(name string, args ...string) (*Proc, error) {
+	logPath := filepath.Join(s.WorkDir, name+".log")
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: creating %s: %w", logPath, err)
+	}
+	cmd := exec.Command(s.Binary, args...)
+	cmd.Stdout = logFile
+	cmd.Stderr = logFile
+	if err := cmd.Start(); err != nil {
+		logFile.Close()
+		return nil, fmt.Errorf("cluster: starting %s: %w", name, err)
+	}
+	p := &Proc{Name: name, LogPath: logPath, cmd: cmd, done: make(chan struct{})}
+	go func() {
+		p.err = cmd.Wait()
+		logFile.Close()
+		close(p.done)
+	}()
+	s.logf("spawned %s (pid %d): %s %v", name, p.Pid(), s.Binary, args)
+	return p, nil
+}
+
+// StartStandalone launches a standalone eulerd listening on httpAddr.
+// extra is appended verbatim (e.g. "-workers", "2").
+func (s *Spawner) StartStandalone(name, httpAddr string, extra ...string) (*Proc, error) {
+	dir := filepath.Join(s.WorkDir, name+"-data")
+	args := append([]string{"-role", "standalone", "-addr", httpAddr, "-data", dir}, extra...)
+	return s.start(name, args...)
+}
+
+// StartCoordinator launches a coordinator serving HTTP on httpAddr and
+// worker joins on clusterAddr.
+func (s *Spawner) StartCoordinator(name, httpAddr, clusterAddr string, minNodes int, extra ...string) (*Proc, error) {
+	dir := filepath.Join(s.WorkDir, name+"-data")
+	args := append([]string{
+		"-role", "coordinator", "-addr", httpAddr, "-cluster", clusterAddr,
+		"-min-nodes", strconv.Itoa(minNodes), "-data", dir,
+	}, extra...)
+	return s.start(name, args...)
+}
+
+// StartWorker launches a worker that joins the coordinator at
+// clusterAddr with the given engine capacity.
+func (s *Spawner) StartWorker(name, clusterAddr string, capacity int, extra ...string) (*Proc, error) {
+	args := append([]string{
+		"-role", "worker", "-join", clusterAddr,
+		"-capacity", strconv.Itoa(capacity), "-node-name", name,
+	}, extra...)
+	return s.start(name, args...)
+}
+
+// FreeAddr reserves an OS-assigned loopback TCP port and returns it as
+// host:port.  The listener is closed before returning, so the port is
+// only probabilistically free — fine for a test harness, matching what
+// scripts/cluster_smoke.sh did with fixed ports.
+func FreeAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}

@@ -1,0 +1,227 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+)
+
+// HarnessOptions configures a process-backed profile run.
+type HarnessOptions struct {
+	// Binary is the eulerd executable (required).
+	Binary string
+	// WorkDir receives per-scenario process state and logs; empty means
+	// a fresh temp dir that is kept on failure for post-mortems.
+	WorkDir string
+	// Profile stamps the report ("ci", "soak", ...).
+	Profile string
+	// JobsMultiplier scales every scenario's job count (nightly soak
+	// passes > 1); values <= 0 mean 1.
+	JobsMultiplier float64
+	// Logf receives progress; nil discards it.
+	Logf func(format string, args ...any)
+}
+
+func (o HarnessOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// RunScenarios drives each scenario against a freshly spawned eulerd
+// topology (processes are not shared between scenarios, so metrics and
+// chaos damage cannot leak across) and returns the combined report.
+// Scenario failures do not stop the run; they are joined into the
+// returned error after every scenario has reported.
+func RunScenarios(ctx context.Context, scenarios []Scenario, opts HarnessOptions) (*bench.BenchReport, error) {
+	if opts.Binary == "" {
+		return nil, errors.New("load: HarnessOptions.Binary is required")
+	}
+	workDir := opts.WorkDir
+	ownWorkDir := false
+	if workDir == "" {
+		d, err := os.MkdirTemp("", "eulerload-")
+		if err != nil {
+			return nil, err
+		}
+		workDir, ownWorkDir = d, true
+	}
+	mult := opts.JobsMultiplier
+	if mult <= 0 {
+		mult = 1
+	}
+
+	report := bench.NewReport("eulerload", opts.Profile)
+	report.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	var failures []error
+	for _, sc := range scenarios {
+		if err := ctx.Err(); err != nil {
+			failures = append(failures, fmt.Errorf("run interrupted before %s: %w", sc.Name, err))
+			break
+		}
+		scaled := sc
+		scaled.Jobs = int(float64(sc.Jobs) * mult)
+		if scaled.Jobs < 1 {
+			scaled.Jobs = 1
+		}
+		opts.logf("=== scenario %s (%d jobs): %s", sc.Name, scaled.Jobs, sc.Description)
+		start := time.Now()
+		result, err := runScenarioProcs(ctx, scaled, workDir, opts)
+		report.Scenarios[sc.Name] = result
+		if err != nil {
+			opts.logf("--- %s FAILED in %v: %v", sc.Name, time.Since(start).Round(time.Millisecond), err)
+			failures = append(failures, fmt.Errorf("%s: %w", sc.Name, err))
+			continue
+		}
+		opts.logf("--- %s ok in %v", sc.Name, time.Since(start).Round(time.Millisecond))
+	}
+	err := errors.Join(failures...)
+	if ownWorkDir {
+		if err == nil {
+			os.RemoveAll(workDir)
+		} else {
+			opts.logf("process state kept in %s for post-mortem", workDir)
+		}
+	}
+	return report, err
+}
+
+// runScenarioProcs spawns the scenario's topology, runs it, and tears
+// the processes down.
+func runScenarioProcs(ctx context.Context, sc Scenario, workDir string, opts HarnessOptions) (bench.ScenarioResult, error) {
+	scDir := filepath.Join(workDir, sc.Name)
+	if err := os.MkdirAll(scDir, 0o755); err != nil {
+		return bench.ScenarioResult{}, err
+	}
+	sp := &cluster.Spawner{Binary: opts.Binary, WorkDir: scDir, Logf: opts.Logf}
+
+	var procs []*cluster.Proc
+	var workerProcs []*cluster.Proc
+	defer func() {
+		for _, p := range procs {
+			p.Stop(5 * time.Second)
+		}
+	}()
+	spawn := func(p *cluster.Proc, err error) (*cluster.Proc, error) {
+		if err == nil {
+			procs = append(procs, p)
+		}
+		return p, err
+	}
+
+	setupCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+
+	env := Env{Logf: opts.Logf}
+	switch sc.Topology {
+	case TopoStandalone:
+		addr, err := cluster.FreeAddr()
+		if err != nil {
+			return bench.ScenarioResult{}, err
+		}
+		if _, err := spawn(sp.StartStandalone("server", addr, sc.ServerArgs...)); err != nil {
+			return bench.ScenarioResult{}, err
+		}
+		env.Client = NewClient("http://" + addr)
+		if err := env.Client.WaitHealthy(setupCtx); err != nil {
+			return bench.ScenarioResult{}, tailLogs(err, procs)
+		}
+
+	case TopoCluster:
+		httpAddr, err := cluster.FreeAddr()
+		if err != nil {
+			return bench.ScenarioResult{}, err
+		}
+		clusterAddr, err := cluster.FreeAddr()
+		if err != nil {
+			return bench.ScenarioResult{}, err
+		}
+		coordArgs := append([]string{"-wait-nodes", "60s", "-step-timeout", "15s"}, sc.ServerArgs...)
+		if _, err := spawn(sp.StartCoordinator("coordinator", httpAddr, clusterAddr, sc.MinNodes, coordArgs...)); err != nil {
+			return bench.ScenarioResult{}, err
+		}
+		capacity := sc.WorkerCapacity
+		if capacity < 1 {
+			capacity = 4
+		}
+		for i := 0; i < sc.Workers; i++ {
+			w, err := spawn(sp.StartWorker(fmt.Sprintf("worker-%d", i), clusterAddr, capacity))
+			if err != nil {
+				return bench.ScenarioResult{}, err
+			}
+			workerProcs = append(workerProcs, w)
+		}
+		env.Client = NewClient("http://" + httpAddr)
+		if err := env.Client.WaitHealthy(setupCtx); err != nil {
+			return bench.ScenarioResult{}, tailLogs(err, procs)
+		}
+		if err := env.Client.WaitNodes(setupCtx, sc.Workers); err != nil {
+			return bench.ScenarioResult{}, tailLogs(err, procs)
+		}
+		env.KillWorker = func() error {
+			for _, w := range workerProcs {
+				if w.Alive() {
+					opts.logf("chaos: killing %s (pid %d)", w.Name, w.Pid())
+					w.Kill()
+					return nil
+				}
+			}
+			return errors.New("no live worker to kill")
+		}
+	}
+
+	if sc.CompareSolo {
+		addr, err := cluster.FreeAddr()
+		if err != nil {
+			return bench.ScenarioResult{}, err
+		}
+		if _, err := spawn(sp.StartStandalone("solo", addr)); err != nil {
+			return bench.ScenarioResult{}, err
+		}
+		env.Solo = NewClient("http://" + addr)
+		if err := env.Solo.WaitHealthy(setupCtx); err != nil {
+			return bench.ScenarioResult{}, tailLogs(err, procs)
+		}
+	}
+
+	allocBefore, allocOK := env.Client.TotalAllocBytes()
+	result, err := RunScenario(ctx, sc, env)
+	if err != nil {
+		return result, tailLogs(err, procs)
+	}
+	if allocOK {
+		if after, ok := env.Client.TotalAllocBytes(); ok && result.Metrics != nil && sc.Jobs > 0 {
+			mb := float64(after-allocBefore) / float64(sc.Jobs) / (1 << 20)
+			result.Metrics["alloc_mb_per_job"] = bench.Info(mb, "MiB/job")
+		}
+	}
+	return result, nil
+}
+
+// tailLogs decorates err with the last lines of every process log so CI
+// failures are diagnosable from the job output alone.
+func tailLogs(err error, procs []*cluster.Proc) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v", err)
+	for _, p := range procs {
+		data, readErr := os.ReadFile(p.LogPath)
+		if readErr != nil {
+			continue
+		}
+		tail := data
+		if len(tail) > 2048 {
+			tail = tail[len(tail)-2048:]
+		}
+		if len(tail) > 0 {
+			fmt.Fprintf(&b, "\n--- %s log tail ---\n%s", p.Name, strings.TrimSpace(string(tail)))
+		}
+	}
+	return errors.New(b.String())
+}

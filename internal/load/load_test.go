@@ -1,0 +1,318 @@
+package load
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/service/httpapi"
+	"repro/internal/service/job"
+	"repro/internal/service/queue"
+)
+
+// TestRegistryMeetsCIContract pins the acceptance criteria of the ci
+// profile: at least 8 valid scenarios, at least one cluster chaos
+// scenario, every generator family, every engine mode, uploads, both
+// arrival disciplines, and the mid-stream-cancel and delete-while-running
+// consumer behaviors.
+func TestRegistryMeetsCIContract(t *testing.T) {
+	ci := ByProfile("ci")
+	if len(ci) < 8 {
+		t.Fatalf("ci profile has %d scenarios, want >= 8", len(ci))
+	}
+	seen := map[string]bool{}
+	families := map[string]bool{}
+	modes := map[string]bool{}
+	var chaos, cluster, upload, open, closed, cancelMid, deleteRun bool
+	for _, sc := range ci {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("scenario %s invalid: %v", sc.Name, err)
+		}
+		if seen[sc.Name] {
+			t.Errorf("duplicate scenario name %s", sc.Name)
+		}
+		seen[sc.Name] = true
+		chaos = chaos || sc.ChaosKillWorker
+		cluster = cluster || sc.Topology == TopoCluster
+		open = open || sc.OpenLoop()
+		closed = closed || !sc.OpenLoop()
+		cancelMid = cancelMid || sc.Behavior == BehaviorCancelMidStream
+		deleteRun = deleteRun || sc.Behavior == BehaviorDeleteWhileRunning
+		for _, tpl := range sc.Templates {
+			upload = upload || tpl.Upload
+			families[tpl.Spec.Generator.Family] = true
+			mode := tpl.Spec.Mode
+			if mode == "" {
+				mode = "current"
+			}
+			modes[mode] = true
+		}
+	}
+	for _, f := range []string{"rmat", "torus", "cliques"} {
+		if !families[f] {
+			t.Errorf("ci profile never exercises generator family %s", f)
+		}
+	}
+	for _, m := range []string{"current", "dedup", "proposed"} {
+		if !modes[m] {
+			t.Errorf("ci profile never exercises mode %s", m)
+		}
+	}
+	for name, ok := range map[string]bool{
+		"chaos": chaos, "cluster": cluster, "upload": upload,
+		"open-loop": open, "closed-loop": closed,
+		"cancel-mid-stream": cancelMid, "delete-while-running": deleteRun,
+	} {
+		if !ok {
+			t.Errorf("ci profile is missing a %s scenario", name)
+		}
+	}
+	// soak must be a superset of ci.
+	soakNames := map[string]bool{}
+	for _, sc := range ByProfile("soak") {
+		soakNames[sc.Name] = true
+	}
+	for _, sc := range ci {
+		if !soakNames[sc.Name] {
+			t.Errorf("ci scenario %s is not in the soak profile", sc.Name)
+		}
+	}
+}
+
+func TestScenarioValidateRejectsBadDeclarations(t *testing.T) {
+	good, err := ByName("closed-cliques-modes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"no jobs", func(s *Scenario) { s.Jobs = 0 }},
+		{"no templates", func(s *Scenario) { s.Templates = nil }},
+		{"no arrival", func(s *Scenario) { s.Concurrency = 0; s.RatePerSec = 0 }},
+		{"ambiguous arrival", func(s *Scenario) { s.RatePerSec = 5 }},
+		{"no profiles", func(s *Scenario) { s.Profiles = nil }},
+		{"chaos without cluster", func(s *Scenario) { s.ChaosKillWorker = true }},
+		{"bad budget", func(s *Scenario) { s.ErrorBudget = 1.5 }},
+		{"bad template", func(s *Scenario) { s.Templates[0].Spec.Generator.Family = "nope" }},
+	}
+	for _, c := range cases {
+		sc := good
+		sc.Templates = append([]JobTemplate(nil), good.Templates...)
+		g := *good.Templates[0].Spec.Generator
+		sc.Templates[0].Spec.Generator = &g
+		c.mutate(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid scenario", c.name)
+		}
+	}
+}
+
+// newTestServer runs the real HTTP API in-process so runner behaviors
+// are exercised without spawning eulerd binaries.
+func newTestServer(t *testing.T, workers int) *Client {
+	t.Helper()
+	pool := queue.New(workers, 64)
+	srv := httpapi.New(httpapi.Config{
+		Store:   job.NewStore(100),
+		Pool:    pool,
+		DataDir: t.TempDir(),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		pool.Drain(ctx)
+	})
+	return NewClient(ts.URL)
+}
+
+func mustMetric(t *testing.T, res map[string]float64, name string) float64 {
+	t.Helper()
+	v, ok := res[name]
+	if !ok {
+		t.Fatalf("metric %s missing from scenario result: %v", name, res)
+	}
+	return v
+}
+
+func TestRunScenarioCompleteVerifiesCircuits(t *testing.T) {
+	client := newTestServer(t, 4)
+	sc := Scenario{
+		Name:     "test-complete",
+		Profiles: []string{"test"},
+		Jobs:     6, Concurrency: 3,
+		Templates: []JobTemplate{
+			genTpl(cliques(6, 5, 3, "current")),
+			genTpl(torus(12, 12, 4, "proposed", false)),
+			uploadTpl(cliques(4, 5, 2, "dedup")),
+		},
+		JobTimeout: 60 * time.Second,
+	}
+	res, err := RunScenario(context.Background(), sc, Env{Client: client, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	vals := map[string]float64{}
+	for k, m := range res.Metrics {
+		vals[k] = m.Value
+	}
+	if got := mustMetric(t, vals, "jobs_done"); got != 6 {
+		t.Fatalf("jobs_done = %v, want 6", got)
+	}
+	if got := mustMetric(t, vals, "error_rate"); got != 0 {
+		t.Fatalf("error_rate = %v, want 0", got)
+	}
+	if got := mustMetric(t, vals, "verify_failures"); got != 0 {
+		t.Fatalf("verify_failures = %v, want 0", got)
+	}
+	if got := mustMetric(t, vals, "steps_total"); got <= 0 {
+		t.Fatalf("steps_total = %v, want > 0", got)
+	}
+	if got := mustMetric(t, vals, "latency_p95_ms"); got <= 0 {
+		t.Fatalf("latency_p95_ms = %v, want > 0", got)
+	}
+	for _, gated := range []string{"throughput_jobs_per_sec", "latency_p50_ms", "steps_per_sec"} {
+		if res.Metrics[gated].Better == "" {
+			t.Errorf("metric %s should carry a gate direction", gated)
+		}
+	}
+}
+
+func TestRunScenarioCancelMidStream(t *testing.T) {
+	client := newTestServer(t, 2)
+	sc := Scenario{
+		Name:     "test-cancel-midread",
+		Profiles: []string{"test"},
+		Jobs:     2, Concurrency: 2,
+		Behavior: BehaviorCancelMidStream,
+		Templates: []JobTemplate{
+			genTpl(cliques(64, 9, 6, "current")),
+		},
+		JobTimeout: 60 * time.Second,
+	}
+	res, err := RunScenario(context.Background(), sc, Env{Client: client})
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	if res.Metrics["verify_failures"].Value != 0 {
+		t.Fatalf("full re-read after a partial read must still verify: %+v", res.Metrics)
+	}
+	// The server must still be healthy after consumers walked away.
+	if err := client.Healthz(); err != nil {
+		t.Fatalf("server unhealthy after mid-stream cancels: %v", err)
+	}
+}
+
+func TestRunScenarioDeleteWhileRunning(t *testing.T) {
+	client := newTestServer(t, 1)
+	sc := Scenario{
+		Name:     "test-delete-running",
+		Profiles: []string{"test"},
+		Jobs:     2, Concurrency: 1,
+		Behavior: BehaviorDeleteWhileRunning,
+		Templates: []JobTemplate{
+			genTpl(rmat(150_000, 4, 8, "current")),
+		},
+		JobTimeout: 90 * time.Second,
+	}
+	res, err := RunScenario(context.Background(), sc, Env{Client: client})
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	done := res.Metrics["jobs_done"].Value
+	cancelled := res.Metrics["jobs_cancelled"].Value
+	if done+cancelled != 2 {
+		t.Fatalf("every job must end done or cancelled: done=%v cancelled=%v", done, cancelled)
+	}
+	if res.Metrics["error_rate"].Value != 0 {
+		t.Fatalf("delete-while-running must not count as failure: %+v", res.Metrics)
+	}
+}
+
+func TestRunScenarioOpenLoop(t *testing.T) {
+	client := newTestServer(t, 4)
+	sc := Scenario{
+		Name:     "test-open-loop",
+		Profiles: []string{"test"},
+		Jobs:     5, RatePerSec: 50,
+		Templates: []JobTemplate{
+			genTpl(cliques(4, 5, 2, "current")),
+		},
+		JobTimeout: 60 * time.Second,
+	}
+	res, err := RunScenario(context.Background(), sc, Env{Client: client})
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	if res.Metrics["jobs_done"].Value != 5 {
+		t.Fatalf("open-loop jobs_done = %v, want 5", res.Metrics["jobs_done"].Value)
+	}
+}
+
+func TestRunScenarioSurfacesVerifyDiffViaSolo(t *testing.T) {
+	// Two independent in-process servers given the same seeded spec must
+	// produce byte-identical streams, so CompareSolo passes.
+	client := newTestServer(t, 2)
+	solo := newTestServer(t, 2)
+	sc := Scenario{
+		Name:     "test-compare-solo",
+		Profiles: []string{"test"},
+		Jobs:     2, Concurrency: 1,
+		CompareSolo: true,
+		Templates: []JobTemplate{
+			genTpl(cliques(8, 5, 6, "current")),
+		},
+		JobTimeout: 60 * time.Second,
+	}
+	res, err := RunScenario(context.Background(), sc, Env{Client: client, Solo: solo})
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	if res.Metrics["circuit_diffs"].Value != 0 {
+		t.Fatalf("identical specs diverged across servers: %+v", res.Metrics)
+	}
+}
+
+func TestRunScenarioChaosWithoutWorkersFails(t *testing.T) {
+	client := newTestServer(t, 2)
+	sc, err := ByName("cluster-chaos-kill-worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.JobTimeout = 60 * time.Second
+	if _, err := RunScenario(context.Background(), sc, Env{Client: client}); err == nil {
+		t.Fatal("chaos scenario with no killable worker must fail the run")
+	}
+}
+
+func TestClientScrapesQueueMetrics(t *testing.T) {
+	client := newTestServer(t, 1)
+	sc := Scenario{
+		Name:     "test-metrics-scrape",
+		Profiles: []string{"test"},
+		Jobs:     3, Concurrency: 3,
+		Templates: []JobTemplate{
+			genTpl(cliques(4, 5, 2, "current")),
+		},
+		JobTimeout: 60 * time.Second,
+	}
+	if _, err := RunScenario(context.Background(), sc, Env{Client: client}); err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	m, err := client.Metrics()
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	for _, key := range []string{"jobs_started", "queue_wait_nanos", "exec_nanos", "queue_peak_depth"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("metrics snapshot missing %s: %v", key, m)
+		}
+	}
+	if v, ok := m["exec_nanos"].(float64); !ok || v <= 0 {
+		t.Errorf("exec_nanos = %v, want > 0", m["exec_nanos"])
+	}
+}

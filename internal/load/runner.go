@@ -1,0 +1,446 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/graph"
+	"repro/internal/service/job"
+	"repro/internal/stats"
+	"repro/internal/verify"
+)
+
+// Env is everything a scenario run needs from its surroundings: the
+// target server, an optional standalone reference, and an optional chaos
+// hook.  The process harness builds it from spawned eulerd processes;
+// tests point it at in-process httptest servers.
+type Env struct {
+	// Client targets the scenario's serving process (standalone server
+	// or cluster coordinator).
+	Client *Client
+	// Solo targets the standalone reference server for CompareSolo
+	// scenarios; nil otherwise.
+	Solo *Client
+	// KillWorker kills one live worker process; nil when the topology
+	// has none to kill.
+	KillWorker func() error
+	// Logf receives progress diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (e Env) logf(format string, args ...any) {
+	if e.Logf != nil {
+		e.Logf(format, args...)
+	}
+}
+
+// jobResult is one synthetic client's account of one job.
+type jobResult struct {
+	submitAt  time.Time
+	state     job.State
+	latency   time.Duration // submit → terminal observation
+	queueWait time.Duration // created → started, from server timestamps
+	exec      time.Duration // started → finished, from server timestamps
+	steps     int64
+	failed    bool // counts against the scenario's error budget
+	verifyErr error
+	diffErr   error
+	err       error // transport/infra error behind failed
+}
+
+// RunScenario drives one scenario against env and folds the measurements
+// into the shared report schema.  The returned error is a hard failure —
+// a verification mismatch, a blown error budget, or infrastructure
+// trouble — independent of any baseline comparison.
+func RunScenario(ctx context.Context, sc Scenario, env Env) (bench.ScenarioResult, error) {
+	if err := sc.Validate(); err != nil {
+		return bench.ScenarioResult{}, err
+	}
+	timeout := sc.JobTimeout
+	if timeout <= 0 {
+		timeout = 120 * time.Second
+	}
+
+	// Verification inputs: every template's graph is rebuilt locally
+	// once, from the same validated spec the server resolves.
+	graphs := make([]*graph.Graph, len(sc.Templates))
+	for i, tpl := range sc.Templates {
+		// Build from a deep copy: GenSpec.Build writes defaults in place
+		// and the template must reach the server exactly as declared.
+		gen := *tpl.Spec.Generator
+		g, err := gen.Build()
+		if err != nil {
+			return bench.ScenarioResult{}, fmt.Errorf("building template %d graph: %w", i, err)
+		}
+		graphs[i] = g
+	}
+
+	var (
+		doneCount  atomic.Int64
+		chaosOnce  sync.Once
+		chaosErr   error
+		killedAt   atomic.Int64 // unix nanos; 0 = not yet
+		notes      []string
+		notesMu    sync.Mutex
+		chaosAfter = int64(sc.Jobs / 3)
+	)
+	if chaosAfter < 1 {
+		chaosAfter = 1
+	}
+	addNote := func(format string, args ...any) {
+		notesMu.Lock()
+		notes = append(notes, fmt.Sprintf(format, args...))
+		notesMu.Unlock()
+	}
+
+	maybeChaos := func() {
+		if !sc.ChaosKillWorker || doneCount.Load() < chaosAfter {
+			return
+		}
+		chaosOnce.Do(func() {
+			if env.KillWorker == nil {
+				chaosErr = fmt.Errorf("scenario %s needs a worker to kill but the environment has none", sc.Name)
+				return
+			}
+			if err := env.KillWorker(); err != nil {
+				chaosErr = fmt.Errorf("killing worker: %w", err)
+				return
+			}
+			killedAt.Store(time.Now().UnixNano())
+			addNote("chaos: killed one worker after %d completed job(s)", doneCount.Load())
+			env.logf("%s: chaos kill fired", sc.Name)
+		})
+	}
+
+	results := make([]jobResult, sc.Jobs)
+	runOne := func(i int) {
+		res := &results[i]
+		res.submitAt = time.Now()
+		jobCtx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		tpl := sc.Templates[i%len(sc.Templates)]
+		g := graphs[i%len(sc.Templates)]
+
+		var snap job.Snapshot
+		var err error
+		if tpl.Upload {
+			snap, err = env.Client.SubmitUpload(g, tpl.Spec)
+		} else {
+			snap, err = env.Client.SubmitSpec(tpl.Spec)
+		}
+		if err != nil {
+			res.failed, res.err = true, fmt.Errorf("submit: %w", err)
+			return
+		}
+		id := snap.ID
+
+		switch sc.Behavior {
+		case BehaviorDeleteWhileRunning:
+			// Catch the job mid-flight; winning the race (already done)
+			// is fine, failing is not.
+			if snap, err = env.Client.WaitState(jobCtx, id, job.StateRunning, 0); err != nil {
+				res.failed, res.err = true, err
+				return
+			}
+			if !snap.State.Terminal() {
+				if _, err := env.Client.Cancel(id); err != nil {
+					res.failed, res.err = true, fmt.Errorf("cancel: %w", err)
+					return
+				}
+			}
+			snap, err = env.Client.WaitTerminal(jobCtx, id, 0)
+			res.finish(snap, time.Since(res.submitAt))
+			if err != nil {
+				res.failed, res.err = true, err
+				return
+			}
+			if snap.State != job.StateCancelled && snap.State != job.StateDone {
+				res.failed, res.err = true, fmt.Errorf("job %s ended %s (%s)", id, snap.State, snap.Error)
+			}
+			return
+
+		default:
+			snap, err = env.Client.WaitTerminal(jobCtx, id, 0)
+			res.finish(snap, time.Since(res.submitAt))
+			if err != nil {
+				res.failed, res.err = true, err
+				return
+			}
+			if snap.State != job.StateDone {
+				res.failed, res.err = true, fmt.Errorf("job %s ended %s (%s)", id, snap.State, snap.Error)
+				return
+			}
+			if sc.Behavior == BehaviorCancelMidStream {
+				// An impatient consumer walks away mid-stream; the
+				// server must survive and still serve the full read.
+				if _, err := env.Client.CircuitPartial(jobCtx, id, 64); err != nil {
+					res.failed, res.err = true, fmt.Errorf("partial read: %w", err)
+					return
+				}
+			}
+			// One full stream serves both verification and, for
+			// CompareSolo, the byte-identity diff.
+			raw, err := env.Client.CircuitRaw(jobCtx, id)
+			if err != nil {
+				res.failed, res.err = true, fmt.Errorf("streaming circuit: %w", err)
+				return
+			}
+			steps, err := ParseCircuit(raw)
+			if err != nil {
+				res.failed, res.err = true, fmt.Errorf("streaming circuit: %w", err)
+				return
+			}
+			res.steps = int64(len(steps))
+			if err := verify.Circuit(g, steps); err != nil {
+				res.verifyErr = err
+				res.failed = true
+				return
+			}
+			if sc.CompareSolo {
+				res.diffErr = compareSolo(jobCtx, env, tpl, raw)
+				if res.diffErr != nil {
+					res.failed = true
+				}
+			}
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	submitted := 0
+	if sc.OpenLoop() {
+		interval := time.Duration(float64(time.Second) / sc.RatePerSec)
+		for i := 0; i < sc.Jobs; i++ {
+			if i > 0 {
+				select {
+				case <-time.After(interval):
+				case <-ctx.Done():
+				}
+			}
+			if ctx.Err() != nil {
+				// Interrupted: stop submitting; jobs already in flight
+				// still drain below.
+				break
+			}
+			submitted++
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				runOne(i)
+				doneCount.Add(1)
+				maybeChaos()
+			}(i)
+		}
+	} else {
+		sem := make(chan struct{}, sc.Concurrency)
+		for i := 0; i < sc.Jobs; i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			submitted++
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer func() { <-sem; wg.Done() }()
+				runOne(i)
+				doneCount.Add(1)
+				maybeChaos()
+			}(i)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	// The report accounts only for jobs that actually ran; an interrupt
+	// fails the run below rather than skewing the metrics.
+	results = results[:submitted]
+
+	res := summarize(sc, results, elapsed, killedAt.Load(), notes)
+	if err := ctx.Err(); err != nil {
+		return res, fmt.Errorf("scenario %s interrupted after %d of %d jobs: %w", sc.Name, submitted, sc.Jobs, err)
+	}
+	if chaosErr != nil {
+		return res, chaosErr
+	}
+	if sc.ChaosKillWorker && killedAt.Load() == 0 {
+		return res, fmt.Errorf("scenario %s never fired its chaos kill", sc.Name)
+	}
+	return res, hardFailures(sc, results)
+}
+
+// finish records the terminal snapshot's timings.
+func (r *jobResult) finish(snap job.Snapshot, latency time.Duration) {
+	r.state = snap.State
+	r.latency = latency
+	r.steps = snap.Steps
+	if snap.Started != nil {
+		r.queueWait = snap.Started.Sub(snap.Created)
+		if snap.Finished != nil {
+			r.exec = snap.Finished.Sub(*snap.Started)
+		}
+	}
+}
+
+// compareSolo replays the template on the standalone reference and
+// requires a circuit stream byte-identical to clusterRaw.
+func compareSolo(ctx context.Context, env Env, tpl JobTemplate, clusterRaw []byte) error {
+	if env.Solo == nil {
+		return fmt.Errorf("scenario compares against a standalone server but none is running")
+	}
+	snap, err := env.Solo.SubmitSpec(tpl.Spec)
+	if err != nil {
+		return fmt.Errorf("solo submit: %w", err)
+	}
+	snap, err = env.Solo.WaitTerminal(ctx, snap.ID, 0)
+	if err != nil {
+		return err
+	}
+	if snap.State != job.StateDone {
+		return fmt.Errorf("solo job ended %s (%s)", snap.State, snap.Error)
+	}
+	soloRaw, err := env.Solo.CircuitRaw(ctx, snap.ID)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(soloRaw, clusterRaw) {
+		return fmt.Errorf("cluster circuit differs from standalone circuit (%d vs %d bytes)",
+			len(clusterRaw), len(soloRaw))
+	}
+	return nil
+}
+
+// hardFailures folds per-job outcomes into the scenario's pass/fail
+// verdict: any verification or diff mismatch fails outright; other
+// failures are held to the error budget.
+func hardFailures(sc Scenario, results []jobResult) error {
+	var verifyErrs, failures int
+	var firstErr error
+	for i := range results {
+		r := &results[i]
+		if r.verifyErr != nil || r.diffErr != nil {
+			verifyErrs++
+			if firstErr == nil {
+				firstErr = r.verifyErr
+				if firstErr == nil {
+					firstErr = r.diffErr
+				}
+			}
+		}
+		if r.failed {
+			failures++
+			if firstErr == nil {
+				firstErr = r.err
+			}
+		}
+	}
+	if verifyErrs > 0 {
+		return fmt.Errorf("scenario %s: %d circuit verification failure(s): %v", sc.Name, verifyErrs, firstErr)
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("scenario %s: no jobs ran", sc.Name)
+	}
+	rate := float64(failures) / float64(len(results))
+	if rate > sc.ErrorBudget {
+		return fmt.Errorf("scenario %s: error rate %.2f exceeds budget %.2f (first failure: %v)",
+			sc.Name, rate, sc.ErrorBudget, firstErr)
+	}
+	return nil
+}
+
+// summarize converts raw job results into the report's metric set with
+// the regression-band tolerances the perf gate reads back out of the
+// baseline.
+func summarize(sc Scenario, results []jobResult, elapsed time.Duration, killedAtNanos int64, notes []string) bench.ScenarioResult {
+	var (
+		done, cancelled, failures, verifyFailures, diffs int
+		stepsTotal                                       int64
+		latMS, waitMS, execMS                            []float64
+		postChaosSuccess                                 float64
+	)
+	for i := range results {
+		r := &results[i]
+		switch r.state {
+		case job.StateDone:
+			done++
+		case job.StateCancelled:
+			cancelled++
+		}
+		if r.failed {
+			failures++
+		}
+		if r.verifyErr != nil {
+			verifyFailures++
+		}
+		if r.diffErr != nil {
+			diffs++
+		}
+		stepsTotal += r.steps
+		if r.state == job.StateDone {
+			latMS = append(latMS, float64(r.latency)/float64(time.Millisecond))
+			waitMS = append(waitMS, float64(r.queueWait)/float64(time.Millisecond))
+			execMS = append(execMS, float64(r.exec)/float64(time.Millisecond))
+			if killedAtNanos != 0 && r.submitAt.UnixNano() > killedAtNanos {
+				postChaosSuccess = 1
+			}
+		}
+	}
+	lat := stats.Summarize(latMS)
+	wait := stats.Summarize(waitMS)
+	execS := stats.Summarize(execMS)
+	errRate := 0.0
+	if len(results) > 0 {
+		errRate = float64(failures) / float64(len(results))
+	}
+	secs := elapsed.Seconds()
+	if secs <= 0 {
+		secs = math.SmallestNonzeroFloat64
+	}
+
+	// Throughput/latency bands are deliberately loose: the baseline is
+	// recorded on one machine and gated on another, and short scenarios
+	// finish in tens of milliseconds where scheduler noise alone moves
+	// throughput several-x between runs — so only order-of-magnitude
+	// drift should trip these (compare's -slack widens them further;
+	// the latency gates' absolute floors backstop them).
+	throughput := bench.HigherBetter(float64(done)/secs, "jobs/s", 0.45, 0.2)
+	p50 := bench.LowerBetter(lat.P50, "ms", 1.5, 250)
+	p95 := bench.LowerBetter(lat.P95, "ms", 1.5, 500)
+	stepsRate := bench.HigherBetter(float64(stepsTotal)/secs, "steps/s", 0.45, 100)
+	if sc.Behavior == BehaviorDeleteWhileRunning {
+		// Done-job counts here depend on the cancel race, so the sample
+		// behind these metrics is not stable run to run; record them
+		// without a gate.
+		throughput = bench.Info(throughput.Value, throughput.Unit)
+		p50 = bench.Info(p50.Value, p50.Unit)
+		p95 = bench.Info(p95.Value, p95.Unit)
+		stepsRate = bench.Info(stepsRate.Value, stepsRate.Unit)
+	}
+	m := map[string]bench.Metric{
+		"jobs":                    bench.Info(float64(len(results)), "count"),
+		"jobs_done":               bench.Info(float64(done), "count"),
+		"jobs_cancelled":          bench.Info(float64(cancelled), "count"),
+		"error_rate":              bench.LowerBetter(errRate, "frac", 0, math.Max(sc.ErrorBudget, 0.01)),
+		"throughput_jobs_per_sec": throughput,
+		"latency_p50_ms":          p50,
+		"latency_p95_ms":          p95,
+		"latency_max_ms":          bench.Info(lat.Max, "ms"),
+		"queue_wait_p95_ms":       bench.Info(wait.P95, "ms"),
+		"exec_p50_ms":             bench.Info(execS.P50, "ms"),
+		"steps_total":             bench.Info(float64(stepsTotal), "count"),
+		"steps_per_sec":           stepsRate,
+		"verify_failures":         bench.LowerBetter(float64(verifyFailures), "count", 0, 0),
+		"wall_seconds":            bench.Info(elapsed.Seconds(), "s"),
+	}
+	if sc.CompareSolo {
+		m["circuit_diffs"] = bench.LowerBetter(float64(diffs), "count", 0, 0)
+	}
+	if sc.ChaosKillWorker {
+		m["post_chaos_success"] = bench.HigherBetter(postChaosSuccess, "bool", 0, 0)
+	}
+	return bench.ScenarioResult{Metrics: m, Notes: notes}
+}

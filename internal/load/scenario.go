@@ -1,0 +1,349 @@
+// Package load is the scenario-driven load/soak harness for eulerd: a
+// declarative registry of traffic scenarios (mixed generator families
+// and engine modes, open- and closed-loop arrival, uploads, streaming
+// consumers that abort mid-read, delete-while-running, cluster
+// topologies including kill-one-worker chaos) and a runner that drives a
+// real eulerd process over HTTP, verifies every returned circuit, and
+// records throughput, latency quantiles, and error budgets into the
+// shared bench.BenchReport schema.  cmd/eulerload is the CLI; the CI
+// perf gate diffs its reports against the checked-in BENCH_4.json.
+package load
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/service/job"
+)
+
+// Behavior is what the synthetic client does with each job it submits.
+type Behavior int
+
+// Client behaviors.
+const (
+	// BehaviorComplete waits for the job, streams the full circuit, and
+	// verifies it against a locally built copy of the input graph.
+	BehaviorComplete Behavior = iota
+	// BehaviorCancelMidStream additionally starts a circuit read that
+	// aborts after a few steps (a consumer going away mid-stream) before
+	// the full verified read.
+	BehaviorCancelMidStream
+	// BehaviorDeleteWhileRunning cancels the job once it is observed
+	// running; the job must end cancelled (or done, if it won the race).
+	BehaviorDeleteWhileRunning
+)
+
+// Topology is the server shape a scenario runs against.
+type Topology int
+
+// Topologies.
+const (
+	// TopoStandalone is a single eulerd process.
+	TopoStandalone Topology = iota
+	// TopoCluster is a coordinator plus Workers worker processes.
+	TopoCluster
+)
+
+// JobTemplate describes one kind of job a scenario submits.  Spec always
+// carries a generator so the harness can rebuild the identical input
+// graph locally for verification; Upload switches the transport to an
+// EULGRPH1 body POST (the generator runs client-side instead).
+type JobTemplate struct {
+	Spec   job.Spec
+	Upload bool
+}
+
+// Scenario is one declarative load scenario.  Jobs are assigned to
+// templates round-robin.
+type Scenario struct {
+	Name        string
+	Description string
+	// Profiles name the run profiles this scenario belongs to ("ci" is
+	// the CI smoke + perf gate; "soak" is the nightly superset).
+	Profiles []string
+
+	Topology Topology
+	// Workers, MinNodes, WorkerCapacity shape a TopoCluster run.
+	Workers        int
+	MinNodes       int
+	WorkerCapacity int
+	// ServerArgs are extra eulerd flags for the HTTP-serving process
+	// (e.g. a deliberately small -workers for backpressure scenarios).
+	ServerArgs []string
+
+	// Jobs is the total job count (scaled by the profile multiplier).
+	Jobs int
+	// Concurrency > 0 selects closed-loop arrival with that many
+	// in-flight jobs; otherwise RatePerSec selects open-loop arrival.
+	Concurrency int
+	RatePerSec  float64
+
+	Templates []JobTemplate
+	Behavior  Behavior
+
+	// ChaosKillWorker kills one worker process once roughly a third of
+	// the jobs have finished; requires TopoCluster and Workers >= 2.
+	ChaosKillWorker bool
+	// CompareSolo replays every job on a standalone reference server
+	// and requires byte-identical circuit streams (the old
+	// cluster_smoke.sh check).
+	CompareSolo bool
+
+	// ErrorBudget is the tolerated fraction of jobs that may end failed
+	// (chaos scenarios budget for the jobs the killed worker takes
+	// down); exceeding it fails the run regardless of any baseline.
+	ErrorBudget float64
+
+	// JobTimeout bounds one job's submit-to-terminal wait (default 120s).
+	JobTimeout time.Duration
+}
+
+// OpenLoop reports whether the scenario uses open-loop (timed) arrivals.
+func (s Scenario) OpenLoop() bool { return s.Concurrency <= 0 && s.RatePerSec > 0 }
+
+// InProfile reports whether the scenario belongs to the named profile.
+func (s Scenario) InProfile(profile string) bool {
+	for _, p := range s.Profiles {
+		if p == profile {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the scenario's declaration, including that every job
+// template is a spec the service would accept.
+func (s Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("load: scenario without a name")
+	}
+	if s.Jobs < 1 {
+		return fmt.Errorf("load: scenario %s has no jobs", s.Name)
+	}
+	if len(s.Templates) == 0 {
+		return fmt.Errorf("load: scenario %s has no job templates", s.Name)
+	}
+	if s.Concurrency <= 0 && s.RatePerSec <= 0 {
+		return fmt.Errorf("load: scenario %s declares neither closed-loop concurrency nor open-loop rate", s.Name)
+	}
+	if s.Concurrency > 0 && s.RatePerSec > 0 {
+		return fmt.Errorf("load: scenario %s declares both closed-loop concurrency and open-loop rate; pick one arrival discipline", s.Name)
+	}
+	if len(s.Profiles) == 0 {
+		return fmt.Errorf("load: scenario %s belongs to no profile", s.Name)
+	}
+	if s.ChaosKillWorker && (s.Topology != TopoCluster || s.Workers < 2) {
+		return fmt.Errorf("load: chaos scenario %s needs a cluster with >= 2 workers", s.Name)
+	}
+	if s.Topology == TopoCluster && s.Workers < 1 {
+		return fmt.Errorf("load: cluster scenario %s declares no workers", s.Name)
+	}
+	for i, tpl := range s.Templates {
+		if tpl.Spec.Generator == nil {
+			return fmt.Errorf("load: scenario %s template %d has no generator (the harness rebuilds inputs locally to verify)", s.Name, i)
+		}
+		// Validate a deep copy: Spec.Validate writes defaults through the
+		// generator pointer, and the caller's template must stay as
+		// declared.
+		spec := tpl.Spec
+		g := *spec.Generator
+		spec.Generator = &g
+		if err := spec.Validate(); err != nil {
+			return fmt.Errorf("load: scenario %s template %d: %w", s.Name, i, err)
+		}
+	}
+	if s.ErrorBudget < 0 || s.ErrorBudget > 1 {
+		return fmt.Errorf("load: scenario %s error budget %v outside [0, 1]", s.Name, s.ErrorBudget)
+	}
+	return nil
+}
+
+// gen builds a generator template for the given family parameters.
+func genTpl(spec job.Spec) JobTemplate    { return JobTemplate{Spec: spec} }
+func uploadTpl(spec job.Spec) JobTemplate { return JobTemplate{Spec: spec, Upload: true} }
+
+func cliques(k, c int64, parts int32, mode string) job.Spec {
+	return job.Spec{Generator: &job.GenSpec{Family: "cliques", K: k, C: c}, Parts: parts, Mode: mode, Seed: 7}
+}
+
+func rmat(vertices int64, degree int, parts int32, mode string) job.Spec {
+	return job.Spec{Generator: &job.GenSpec{Family: "rmat", Vertices: vertices, Degree: degree, Seed: 42}, Parts: parts, Mode: mode, Seed: 7}
+}
+
+func torus(w, h int64, parts int32, mode string, spill bool) job.Spec {
+	return job.Spec{Generator: &job.GenSpec{Family: "torus", Width: w, Height: h}, Parts: parts, Mode: mode, Seed: 7, Spill: spill}
+}
+
+// Scenarios is the full registry, in run order.  The "ci" profile is the
+// PR smoke + perf gate (small, minutes total); "soak" is the nightly
+// superset whose job counts the profile multiplier scales up.
+func Scenarios() []Scenario {
+	both := []string{"ci", "soak"}
+	return []Scenario{
+		{
+			Name:        "closed-cliques-modes",
+			Description: "closed-loop ring-of-cliques jobs across all three remote-edge modes",
+			Profiles:    both,
+			Jobs:        9, Concurrency: 3,
+			Templates: []JobTemplate{
+				genTpl(cliques(12, 5, 4, "current")),
+				genTpl(cliques(12, 5, 4, "dedup")),
+				genTpl(cliques(12, 5, 4, "proposed")),
+			},
+		},
+		{
+			Name:        "closed-rmat-modes",
+			Description: "closed-loop Eulerised RMAT jobs across all three remote-edge modes",
+			Profiles:    both,
+			Jobs:        6, Concurrency: 2,
+			Templates: []JobTemplate{
+				genTpl(rmat(20_000, 4, 4, "current")),
+				genTpl(rmat(20_000, 4, 4, "dedup")),
+				genTpl(rmat(20_000, 4, 4, "proposed")),
+			},
+		},
+		{
+			Name:        "closed-torus-spill",
+			Description: "closed-loop torus jobs with the engine spilling path bodies to disk",
+			Profiles:    both,
+			Jobs:        4, Concurrency: 2,
+			Templates: []JobTemplate{
+				genTpl(torus(48, 48, 4, "current", true)),
+				genTpl(torus(48, 48, 6, "proposed", true)),
+			},
+		},
+		{
+			Name:        "open-mixed-arrivals",
+			Description: "open-loop Poisson-ish arrivals mixing all generator families and sizes",
+			Profiles:    both,
+			Jobs:        10, RatePerSec: 8,
+			Templates: []JobTemplate{
+				genTpl(cliques(8, 5, 3, "current")),
+				genTpl(torus(24, 24, 4, "dedup", false)),
+				genTpl(rmat(8_000, 4, 4, "proposed")),
+			},
+		},
+		{
+			Name:        "upload-graphs",
+			Description: "EULGRPH1 uploads (client-side generation) for torus and cliques inputs",
+			Profiles:    both,
+			Jobs:        4, Concurrency: 2,
+			Templates: []JobTemplate{
+				uploadTpl(torus(32, 32, 4, "current", false)),
+				uploadTpl(cliques(8, 5, 4, "dedup")),
+			},
+		},
+		{
+			Name:        "stream-cancel-midread",
+			Description: "streaming consumers that abort the circuit read a few steps in, then re-read fully",
+			Profiles:    both,
+			Jobs:        4, Concurrency: 2,
+			Behavior: BehaviorCancelMidStream,
+			Templates: []JobTemplate{
+				genTpl(cliques(128, 9, 8, "current")),
+			},
+		},
+		{
+			Name:        "delete-while-running",
+			Description: "DELETE lands while the job is generating/running; it must end cancelled or done, never failed",
+			Profiles:    both,
+			Jobs:        3, Concurrency: 1,
+			Behavior: BehaviorDeleteWhileRunning,
+			Templates: []JobTemplate{
+				genTpl(rmat(300_000, 4, 8, "current")),
+			},
+		},
+		{
+			Name:        "queue-backpressure",
+			Description: "more in-flight jobs than pool workers, measuring queue wait under backlog",
+			Profiles:    both,
+			ServerArgs:  []string{"-workers", "2"},
+			Jobs:        12, Concurrency: 6,
+			Templates: []JobTemplate{
+				genTpl(cliques(16, 7, 4, "current")),
+				genTpl(cliques(16, 7, 4, "proposed")),
+			},
+		},
+		{
+			Name:        "cluster-basic",
+			Description: "coordinator + 2 worker processes serving generator jobs over the BSP wire",
+			Profiles:    both,
+			Topology:    TopoCluster,
+			Workers:     2, MinNodes: 2, WorkerCapacity: 4,
+			Jobs: 4, Concurrency: 2,
+			Templates: []JobTemplate{
+				genTpl(cliques(10, 5, 4, "current")),
+				genTpl(torus(24, 24, 4, "proposed", false)),
+			},
+		},
+		{
+			Name:        "cluster-vs-solo",
+			Description: "the same seeded job on a cluster and a standalone server must stream byte-identical circuits",
+			Profiles:    both,
+			Topology:    TopoCluster,
+			Workers:     1, MinNodes: 1, WorkerCapacity: 4,
+			CompareSolo: true,
+			Jobs:        2, Concurrency: 1,
+			Templates: []JobTemplate{
+				genTpl(cliques(8, 5, 6, "current")),
+			},
+		},
+		{
+			Name:        "cluster-chaos-kill-worker",
+			Description: "kill one of two workers mid-run; the survivor must keep completing jobs",
+			Profiles:    both,
+			Topology:    TopoCluster,
+			Workers:     2, MinNodes: 1, WorkerCapacity: 4,
+			ChaosKillWorker: true,
+			// In-flight jobs may die with the worker; later ones must not.
+			ErrorBudget: 0.5,
+			Jobs:        6, Concurrency: 1,
+			Templates: []JobTemplate{
+				genTpl(cliques(10, 5, 4, "current")),
+			},
+		},
+		{
+			Name:        "soak-rmat-large",
+			Description: "sustained large Eulerised RMAT jobs (nightly only)",
+			Profiles:    []string{"soak"},
+			Jobs:        4, Concurrency: 2,
+			Templates: []JobTemplate{
+				genTpl(rmat(1_000_000, 4, 8, "current")),
+				genTpl(rmat(1_000_000, 4, 8, "proposed")),
+			},
+		},
+		{
+			Name:        "soak-sustained-mix",
+			Description: "long closed-loop mix over every family and mode (nightly only)",
+			Profiles:    []string{"soak"},
+			Jobs:        40, Concurrency: 4,
+			Templates: []JobTemplate{
+				genTpl(cliques(24, 7, 6, "current")),
+				genTpl(torus(64, 64, 6, "dedup", true)),
+				genTpl(rmat(100_000, 4, 8, "proposed")),
+				uploadTpl(cliques(16, 5, 4, "current")),
+			},
+		},
+	}
+}
+
+// ByProfile returns the registry scenarios in the named profile.
+func ByProfile(profile string) []Scenario {
+	var out []Scenario
+	for _, s := range Scenarios() {
+		if s.InProfile(profile) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ByName returns the named scenario.
+func ByName(name string) (Scenario, error) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("load: unknown scenario %q", name)
+}

@@ -12,16 +12,37 @@ import (
 // (the user-compute split of the paper's Fig. 6 plus wall clock).
 type metrics struct {
 	submitted atomic.Int64
+	started   atomic.Int64
 	completed atomic.Int64
 	failed    atomic.Int64
 	cancelled atomic.Int64
 	steps     atomic.Int64
+
+	// Scheduling timings: how long jobs sat queued before a worker
+	// picked them up and how long the worker held them, plus the
+	// deepest backlog observed.  Exposed via /v1/metrics so operators
+	// and tooling can read aggregate queue pressure in one scrape
+	// (the load harness itself derives per-job quantiles from each
+	// job's Created/Started/Finished timestamps).
+	queueWaitNanos atomic.Int64
+	execNanos      atomic.Int64
+	peakQueueDepth atomic.Int64
 
 	copySrcNanos   atomic.Int64
 	copySinkNanos  atomic.Int64
 	createObjNanos atomic.Int64
 	phase1Nanos    atomic.Int64
 	wallNanos      atomic.Int64
+}
+
+// observeDepth raises the high-water queue-depth mark to d if deeper.
+func (m *metrics) observeDepth(d int64) {
+	for {
+		cur := m.peakQueueDepth.Load()
+		if d <= cur || m.peakQueueDepth.CompareAndSwap(cur, d) {
+			return
+		}
+	}
 }
 
 func (m *metrics) addReport(r *euler.RunReport) {
@@ -43,15 +64,19 @@ func (m *metrics) addReport(r *euler.RunReport) {
 // map; cmd/eulerd also publishes it through expvar.
 func (s *Server) MetricsSnapshot() map[string]any {
 	return map[string]any{
-		"queue_depth":    s.pool.Depth(),
-		"running":        s.pool.Running(),
-		"workers":        s.pool.Workers(),
-		"jobs_retained":  s.jobs.Len(),
-		"jobs_submitted": s.metrics.submitted.Load(),
-		"jobs_completed": s.metrics.completed.Load(),
-		"jobs_failed":    s.metrics.failed.Load(),
-		"jobs_cancelled": s.metrics.cancelled.Load(),
-		"circuit_steps":  s.metrics.steps.Load(),
+		"queue_depth":      s.pool.Depth(),
+		"running":          s.pool.Running(),
+		"workers":          s.pool.Workers(),
+		"jobs_retained":    s.jobs.Len(),
+		"jobs_submitted":   s.metrics.submitted.Load(),
+		"jobs_started":     s.metrics.started.Load(),
+		"jobs_completed":   s.metrics.completed.Load(),
+		"jobs_failed":      s.metrics.failed.Load(),
+		"jobs_cancelled":   s.metrics.cancelled.Load(),
+		"circuit_steps":    s.metrics.steps.Load(),
+		"queue_wait_nanos": s.metrics.queueWaitNanos.Load(),
+		"exec_nanos":       s.metrics.execNanos.Load(),
+		"queue_peak_depth": s.metrics.peakQueueDepth.Load(),
 		"phase_nanos": map[string]int64{
 			"copy_src":   s.metrics.copySrcNanos.Load(),
 			"copy_sink":  s.metrics.copySinkNanos.Load(),

@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"time"
 
 	euler "repro"
 	"repro/internal/graph"
@@ -174,6 +175,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.submitted.Add(1)
+	s.metrics.observeDepth(int64(s.pool.Depth()))
 	writeJSON(w, http.StatusAccepted, j.Snapshot())
 }
 
@@ -270,6 +272,10 @@ func (s *Server) runJob(poolCtx context.Context, j *job.Job) {
 		// pool.
 		return
 	}
+	runStart := time.Now()
+	s.metrics.started.Add(1)
+	s.metrics.queueWaitNanos.Add(runStart.Sub(j.Snapshot().Created).Nanoseconds())
+	defer func() { s.metrics.execNanos.Add(time.Since(runStart).Nanoseconds()) }()
 	if s.beforeRun != nil {
 		s.beforeRun(j)
 	}

@@ -190,6 +190,62 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// Quantile returns the q-quantile (q in [0, 1]) of xs by linear
+// interpolation between order statistics, the estimator the load harness
+// uses for latency percentiles.  It copies and sorts; NaN for empty
+// input, and q is clamped to [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted is Quantile over an already ascending-sorted slice.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Summary is the standard latency digest recorded per load scenario.
+type Summary struct {
+	N                  int
+	Min, Max, Mean     float64
+	P50, P90, P95, P99 float64
+}
+
+// Summarize computes the digest of xs; a zero Summary for empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Summary{
+		N:    len(sorted),
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+		Mean: Mean(sorted),
+		P50:  quantileSorted(sorted, 0.50),
+		P90:  quantileSorted(sorted, 0.90),
+		P95:  quantileSorted(sorted, 0.95),
+		P99:  quantileSorted(sorted, 0.99),
+	}
+}
+
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -135,3 +135,46 @@ func TestMeanAndRatio(t *testing.T) {
 		t.Errorf("Ratio = %s", Ratio(38, 100))
 	}
 }
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 4}, {-0.5, 1}, {1.5, 4},
+		{0.5, 2.5}, // midpoint interpolation
+		{0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v, %v) = %v, want %v", xs, c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("single-element quantile = %v, want 7", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Errorf("empty quantile should be NaN")
+	}
+	// The input must not be reordered.
+	if xs[0] != 4 || xs[3] != 2 {
+		t.Errorf("Quantile mutated its input: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{10, 20, 30, 40})
+	if s.N != 4 || s.Min != 10 || s.Max != 40 || s.Mean != 25 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if s.P50 != 25 {
+		t.Fatalf("P50 = %v, want 25", s.P50)
+	}
+	if s.P99 <= s.P50 || s.P99 > s.Max {
+		t.Fatalf("P99 = %v out of order", s.P99)
+	}
+	zero := Summarize(nil)
+	if zero.N != 0 || zero.Max != 0 {
+		t.Fatalf("empty summary should be zero: %+v", zero)
+	}
+}

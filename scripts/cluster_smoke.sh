@@ -1,97 +1,13 @@
 #!/usr/bin/env bash
 # cluster_smoke.sh — two-process cluster end-to-end smoke test.
 #
-# Builds eulerd, starts a coordinator and one worker as separate
-# processes plus a standalone reference server, submits the same seeded
-# generator job to both, and asserts the streamed circuits are
-# byte-identical.  Everything runs on loopback with OS-assigned ports.
+# Thin wrapper over the load harness: the cluster-vs-solo scenario spins
+# up a real coordinator + worker plus a standalone reference server,
+# submits the same seeded generator job to both, and requires the
+# streamed circuits to be byte-identical.  The topology setup, polling,
+# and diff logic all live in internal/load (cmd/eulerload) so this
+# script cannot drift from what CI's load-smoke job runs.
 set -euo pipefail
+cd "$(dirname "$0")/.."
 
-workdir=$(mktemp -d)
-pids=()
-cleanup() {
-    for pid in "${pids[@]}"; do
-        kill "$pid" 2>/dev/null || true
-    done
-    wait 2>/dev/null || true
-    rm -rf "$workdir"
-}
-trap cleanup EXIT
-
-go build -o "$workdir/eulerd" ./cmd/eulerd
-
-COORD_HTTP=127.0.0.1:18080
-COORD_CLUSTER=127.0.0.1:19090
-SOLO_HTTP=127.0.0.1:18081
-
-"$workdir/eulerd" -role coordinator -addr "$COORD_HTTP" -cluster "$COORD_CLUSTER" \
-    -min-nodes 1 -wait-nodes 30s -data "$workdir/coord" >"$workdir/coord.log" 2>&1 &
-pids+=($!)
-"$workdir/eulerd" -role worker -join "$COORD_CLUSTER" -capacity 4 \
-    -node-name smoke-worker >"$workdir/worker.log" 2>&1 &
-pids+=($!)
-"$workdir/eulerd" -role standalone -addr "$SOLO_HTTP" \
-    -data "$workdir/solo" >"$workdir/solo.log" 2>&1 &
-pids+=($!)
-
-wait_healthy() {
-    local url=$1
-    for _ in $(seq 1 100); do
-        if curl -fsS "$url/v1/healthz" >/dev/null 2>&1; then
-            return 0
-        fi
-        sleep 0.2
-    done
-    echo "smoke: $url never became healthy" >&2
-    return 1
-}
-wait_healthy "http://$COORD_HTTP"
-wait_healthy "http://$SOLO_HTTP"
-
-# Wait for the worker to join the cluster.
-for _ in $(seq 1 100); do
-    nodes=$(curl -fsS "http://$COORD_HTTP/v1/cluster" | python3 -c 'import json,sys; print(len(json.load(sys.stdin).get("nodes", [])))')
-    [ "$nodes" -ge 1 ] && break
-    sleep 0.2
-done
-if [ "${nodes:-0}" -lt 1 ]; then
-    echo "smoke: worker never joined the cluster" >&2
-    cat "$workdir/coord.log" "$workdir/worker.log" >&2
-    exit 1
-fi
-echo "smoke: cluster has $nodes worker node(s)"
-
-SPEC='{"generator":{"family":"cliques","k":8,"c":5},"parts":6,"seed":7}'
-
-submit_and_fetch() {
-    local base=$1 out=$2
-    local id state
-    id=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$SPEC" "$base/v1/jobs" \
-        | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
-    for _ in $(seq 1 300); do
-        state=$(curl -fsS "$base/v1/jobs/$id" | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')
-        case "$state" in
-            done) break ;;
-            failed|cancelled)
-                echo "smoke: job $id on $base reached $state" >&2
-                curl -fsS "$base/v1/jobs/$id" >&2 || true
-                return 1 ;;
-        esac
-        sleep 0.2
-    done
-    if [ "$state" != done ]; then
-        echo "smoke: job $id on $base never finished (last state: $state)" >&2
-        return 1
-    fi
-    curl -fsS "$base/v1/jobs/$id/circuit" >"$out"
-}
-
-submit_and_fetch "http://$COORD_HTTP" "$workdir/cluster.ndjson" || { cat "$workdir/coord.log" "$workdir/worker.log" >&2; exit 1; }
-submit_and_fetch "http://$SOLO_HTTP" "$workdir/solo.ndjson" || { cat "$workdir/solo.log" >&2; exit 1; }
-
-if ! cmp -s "$workdir/cluster.ndjson" "$workdir/solo.ndjson"; then
-    echo "smoke: cluster circuit differs from standalone circuit" >&2
-    exit 1
-fi
-steps=$(wc -l <"$workdir/cluster.ndjson")
-echo "smoke: OK — cluster and standalone circuits identical ($steps steps)"
+exec go run ./cmd/eulerload run -scenario cluster-vs-solo
