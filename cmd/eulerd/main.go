@@ -6,6 +6,16 @@
 //
 //	eulerd -addr :8080 -workers 4 -backlog 64 -data /var/lib/eulerd
 //
+// Scheduling is multi-tenant by default (-sched fair): the tenant comes
+// from the X-Tenant header (or a digest of X-API-Key), submissions are
+// dispatched by weighted fair queueing with per-tenant queue and
+// concurrency quotas (-tenants, -max-queue-per-tenant,
+// -max-running-per-tenant), over-quota submissions are rejected early
+// with 429 + Retry-After, and identical submissions are coalesced and
+// served from a content-addressed result cache (-cache-bytes).  `-sched
+// fifo` restores the original single-queue behavior (and, unless
+// -cache-bytes is set explicitly, disables the result cache).
+//
 // Cluster mode splits the BSP engine across processes: a coordinator
 // serves the HTTP API and fans each job's partitions out over joined
 // worker processes, which host the engine workers and exchange superstep
@@ -42,14 +52,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/sched"
 	"repro/internal/service/httpapi"
 	"repro/internal/service/job"
-	"repro/internal/service/queue"
 )
 
 func main() {
@@ -57,11 +68,18 @@ func main() {
 		role      = flag.String("role", "standalone", "process role: standalone, coordinator, or worker")
 		addr      = flag.String("addr", ":8080", "HTTP listen address (standalone/coordinator)")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent jobs")
-		backlog   = flag.Int("backlog", 64, "queued-job capacity")
+		backlog   = flag.Int("backlog", 64, "queued-job capacity (fifo: the shared backlog; fair: ignored, see the per-tenant quotas)")
 		dataDir   = flag.String("data", "", "scratch directory (default: a fresh temp dir)")
 		retention = flag.Int("retention", 100, "finished jobs to retain")
 		maxUpload = flag.Int64("max-upload", httpapi.DefaultMaxUploadBytes, "max uploaded graph bytes")
 		grace     = flag.Duration("grace", 30*time.Second, "shutdown grace period")
+
+		schedMode   = flag.String("sched", "fair", "scheduler: fair (multi-tenant WFQ) or fifo (legacy single queue)")
+		tenants     = flag.String("tenants", "", "per-tenant overrides, name:weight[:maxqueue[:maxrunning]],... (e.g. gold:4,free:1:8:2)")
+		maxQueueTen = flag.Int("max-queue-per-tenant", 64, "fair: default per-tenant queued-job quota")
+		maxRunTen   = flag.Int("max-running-per-tenant", 0, "fair: default per-tenant concurrency quota (0 = workers)")
+		maxQueueAll = flag.Int("max-queue-total", 1024, "fair: global queued-job backstop across all tenants (0 = unlimited); also caps attached-graph memory at ~4 MiB per queued job")
+		cacheBytes  = flag.Int64("cache-bytes", 256<<20, "result-cache live-entry byte budget; 0 disables dedup and caching (the backing log is append-only: disk is reclaimed on restart, watch cache_log_bytes)")
 
 		clusterAddr = flag.String("cluster", ":9090", "coordinator: cluster listen address for worker joins")
 		minNodes    = flag.Int("min-nodes", 1, "coordinator: worker nodes a job waits for")
@@ -74,6 +92,22 @@ func main() {
 	)
 	flag.Parse()
 
+	// `-sched fifo` is the reproduce-old-behavior switch: unless the
+	// operator asked for a cache explicitly, it turns dedup off too.
+	cacheSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "cache-bytes" {
+			cacheSet = true
+		}
+	})
+	if *schedMode == "fifo" && !cacheSet {
+		*cacheBytes = 0
+	}
+	tenantCfg, err := sched.ParseTenantSpec(*tenants)
+	if err != nil {
+		fatal(err)
+	}
+
 	switch *role {
 	case "worker":
 		runWorkerRole(*join, *capacity, *nodeName)
@@ -83,6 +117,9 @@ func main() {
 			retention: *retention, maxUpload: *maxUpload, grace: *grace,
 			clusterAddr: *clusterAddr, minNodes: *minNodes, waitNodes: *waitNodes,
 			stepTimeout: *stepTimeout,
+			schedMode:   *schedMode, tenants: tenantCfg,
+			maxQueuePerTenant: *maxQueueTen, maxRunningPerTenant: *maxRunTen,
+			maxQueueTotal: *maxQueueAll, cacheBytes: *cacheBytes,
 		})
 	default:
 		fatal(fmt.Errorf("unknown role %q (want standalone, coordinator, or worker)", *role))
@@ -125,6 +162,13 @@ type serverConfig struct {
 	minNodes    int
 	waitNodes   time.Duration
 	stepTimeout time.Duration
+
+	schedMode           string
+	tenants             map[string]sched.TenantConfig
+	maxQueuePerTenant   int
+	maxRunningPerTenant int
+	maxQueueTotal       int
+	cacheBytes          int64
 }
 
 // runServerRole runs the HTTP job service; as a coordinator it also opens
@@ -141,11 +185,34 @@ func runServerRole(coordinator bool, cfg serverConfig) {
 		fatal(err)
 	}
 
-	pool := queue.New(cfg.workers, cfg.backlog)
+	var scheduler sched.Scheduler
+	switch cfg.schedMode {
+	case "fifo":
+		scheduler = sched.NewFIFO(cfg.workers, cfg.backlog)
+	case "fair":
+		scheduler = sched.NewFair(sched.FairConfig{
+			Workers:             cfg.workers,
+			MaxQueuePerTenant:   cfg.maxQueuePerTenant,
+			MaxRunningPerTenant: cfg.maxRunningPerTenant,
+			MaxQueueTotal:       cfg.maxQueueTotal,
+			Tenants:             cfg.tenants,
+		})
+	default:
+		fatal(fmt.Errorf("unknown scheduler %q (want fair or fifo)", cfg.schedMode))
+	}
+	var cache *sched.ResultCache
+	if cfg.cacheBytes > 0 {
+		c, err := sched.NewResultCache(filepath.Join(dir, "result-cache.log"), cfg.cacheBytes)
+		if err != nil {
+			fatal(err)
+		}
+		cache = c
+	}
 	store := job.NewStore(cfg.retention)
 	apiCfg := httpapi.Config{
 		Store:          store,
-		Pool:           pool,
+		Sched:          scheduler,
+		Cache:          cache,
 		DataDir:        dir,
 		MaxUploadBytes: cfg.maxUpload,
 	}
@@ -181,12 +248,16 @@ func runServerRole(coordinator bool, cfg serverConfig) {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
+	cacheDesc := "off"
+	if cache != nil {
+		cacheDesc = fmt.Sprintf("%d MiB", cfg.cacheBytes>>20)
+	}
 	if coordinator {
-		fmt.Printf("eulerd: coordinator listening on %s (cluster %s, min %d nodes, %d job slots, data %s)\n",
-			cfg.addr, coord.Addr(), cfg.minNodes, pool.Workers(), dir)
+		fmt.Printf("eulerd: coordinator listening on %s (cluster %s, min %d nodes, %d job slots, sched %s, cache %s, data %s)\n",
+			cfg.addr, coord.Addr(), cfg.minNodes, scheduler.Workers(), cfg.schedMode, cacheDesc, dir)
 	} else {
-		fmt.Printf("eulerd: listening on %s (%d workers, backlog %d, data %s)\n",
-			cfg.addr, pool.Workers(), cfg.backlog, dir)
+		fmt.Printf("eulerd: listening on %s (%d workers, sched %s, cache %s, data %s)\n",
+			cfg.addr, scheduler.Workers(), cfg.schedMode, cacheDesc, dir)
 	}
 
 	select {
@@ -201,8 +272,13 @@ func runServerRole(coordinator bool, cfg serverConfig) {
 	if err := srv.Shutdown(graceCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "eulerd: http shutdown: %v\n", err)
 	}
-	if err := pool.Drain(graceCtx); err != nil && !errors.Is(err, context.Canceled) {
-		fmt.Fprintf(os.Stderr, "eulerd: pool drain: %v\n", err)
+	if err := scheduler.Drain(graceCtx); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "eulerd: scheduler drain: %v\n", err)
+	}
+	if cache != nil {
+		if err := cache.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "eulerd: cache close: %v\n", err)
+		}
 	}
 	fmt.Println("eulerd: bye")
 }

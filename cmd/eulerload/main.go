@@ -84,6 +84,12 @@ func cmdList(args []string) {
 		if s.ChaosKillWorker {
 			tags += " [chaos]"
 		}
+		if s.ExpectDedup {
+			tags += " [dedup]"
+		}
+		if s.ExpectThrottle {
+			tags += " [fairness]"
+		}
 		fmt.Printf("%-26s %d jobs%s  %s  (profiles: %v)\n", s.Name, s.Jobs, tags, s.Description, s.Profiles)
 	}
 }

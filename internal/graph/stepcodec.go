@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Step batch codec: a frame is (uvarint count, then per step uvarint
+// edge, from, to).  IDs are non-negative by construction, so the
+// unsigned encoding is loss-free.  The service's circuit sink and the
+// scheduler's result cache share this framing, which keeps their disk
+// payloads interchangeable.
+
+// AppendSteps frames steps onto dst and returns the extended slice.
+func AppendSteps(dst []byte, steps []Step) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(steps)))
+	for _, s := range steps {
+		dst = binary.AppendUvarint(dst, uint64(s.Edge))
+		dst = binary.AppendUvarint(dst, uint64(s.From))
+		dst = binary.AppendUvarint(dst, uint64(s.To))
+	}
+	return dst
+}
+
+// DecodeSteps parses one frame produced by AppendSteps.
+func DecodeSteps(data []byte) ([]Step, error) {
+	next := func() (int64, error) {
+		x, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, fmt.Errorf("graph: truncated step batch")
+		}
+		data = data[n:]
+		return int64(x), nil
+	}
+	count, err := next()
+	if err != nil {
+		return nil, err
+	}
+	steps := make([]Step, 0, count)
+	for i := int64(0); i < count; i++ {
+		e, err := next()
+		if err != nil {
+			return nil, err
+		}
+		u, err := next()
+		if err != nil {
+			return nil, err
+		}
+		v, err := next()
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, Step{Edge: e, From: u, To: v})
+	}
+	return steps, nil
+}

@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestStepCodecRoundTrip(t *testing.T) {
+	steps := []Step{
+		{Edge: 0, From: 0, To: 1},
+		{Edge: 12345, From: 7, To: 99},
+		{Edge: 1 << 40, From: 1 << 33, To: 3},
+	}
+	enc := AppendSteps(nil, steps)
+	got, err := DecodeSteps(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, steps) {
+		t.Fatalf("round trip: got %v, want %v", got, steps)
+	}
+
+	empty := AppendSteps(nil, nil)
+	got, err = DecodeSteps(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty batch decoded to %v", got)
+	}
+}
+
+func TestStepCodecTruncated(t *testing.T) {
+	enc := AppendSteps(nil, []Step{{Edge: 1, From: 2, To: 3}, {Edge: 4, From: 5, To: 6}})
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := DecodeSteps(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d of %d decoded without error", cut, len(enc))
+		}
+	}
+	if _, err := DecodeSteps(nil); err == nil {
+		t.Fatal("empty input must not decode")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -38,8 +39,36 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// APIError is a non-2xx server answer with its structured error body
+// decoded, so callers can distinguish admission throttling (429 +
+// Retry-After) from hard failures.
+type APIError struct {
+	Status     int
+	Code       string // "throttled", "draining", or "" for plain errors
+	Msg        string
+	Tenant     string
+	RetryAfter time.Duration // from the Retry-After header / body hint
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("server answered %d (%s, retry after %s): %s", e.Status, e.Code, e.RetryAfter, e.Msg)
+	}
+	return fmt.Sprintf("server answered %d: %s", e.Status, e.Msg)
+}
+
+// Throttled reports whether err is an admission-control 429.
+func Throttled(err error) (*APIError, bool) {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests {
+		return apiErr, true
+	}
+	return nil, false
+}
+
 // decodeInto performs req and decodes a JSON body, surfacing the
-// server's error payload on non-2xx statuses.
+// server's structured error payload as *APIError on non-2xx statuses.
 func (c *Client) decodeInto(req *http.Request, out any) error {
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -51,13 +80,23 @@ func (c *Client) decodeInto(req *http.Request, out any) error {
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
+		apiErr := &APIError{Status: resp.StatusCode, Msg: resp.Status}
 		var e struct {
-			Error string `json:"error"`
+			Error             string `json:"error"`
+			Code              string `json:"code"`
+			Tenant            string `json:"tenant"`
+			RetryAfterSeconds int    `json:"retry_after_seconds"`
 		}
 		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			return fmt.Errorf("%s %s: %s (%s)", req.Method, req.URL.Path, resp.Status, e.Error)
+			apiErr.Msg = e.Error
+			apiErr.Code = e.Code
+			apiErr.Tenant = e.Tenant
+			apiErr.RetryAfter = time.Duration(e.RetryAfterSeconds) * time.Second
 		}
-		return fmt.Errorf("%s %s: %s", req.Method, req.URL.Path, resp.Status)
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return apiErr
 	}
 	if out == nil {
 		return nil
@@ -65,8 +104,32 @@ func (c *Client) decodeInto(req *http.Request, out any) error {
 	return json.Unmarshal(body, out)
 }
 
+// SubmitOpts carries the identity headers of a submission.
+type SubmitOpts struct {
+	// Tenant is sent as X-Tenant (empty omits the header: the server's
+	// default tenant).
+	Tenant string
+	// Class is sent as X-Class ("interactive" or "batch"; empty omits
+	// the header: batch).
+	Class string
+}
+
+func (o SubmitOpts) apply(req *http.Request) {
+	if o.Tenant != "" {
+		req.Header.Set("X-Tenant", o.Tenant)
+	}
+	if o.Class != "" {
+		req.Header.Set("X-Class", o.Class)
+	}
+}
+
 // SubmitSpec submits a generator job as a JSON spec.
 func (c *Client) SubmitSpec(spec job.Spec) (job.Snapshot, error) {
+	return c.SubmitSpecAs(spec, SubmitOpts{})
+}
+
+// SubmitSpecAs submits a generator job under the given tenant/class.
+func (c *Client) SubmitSpecAs(spec job.Spec, opts SubmitOpts) (job.Snapshot, error) {
 	var snap job.Snapshot
 	body, err := json.Marshal(spec)
 	if err != nil {
@@ -77,6 +140,7 @@ func (c *Client) SubmitSpec(spec job.Spec) (job.Snapshot, error) {
 		return snap, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	opts.apply(req)
 	err = c.decodeInto(req, &snap)
 	return snap, err
 }
@@ -84,6 +148,11 @@ func (c *Client) SubmitSpec(spec job.Spec) (job.Snapshot, error) {
 // SubmitUpload submits g as an EULGRPH1 body, carrying the spec's engine
 // options (parts, seed, mode, spill) in the query string.
 func (c *Client) SubmitUpload(g *graph.Graph, spec job.Spec) (job.Snapshot, error) {
+	return c.SubmitUploadAs(g, spec, SubmitOpts{})
+}
+
+// SubmitUploadAs is SubmitUpload under the given tenant/class.
+func (c *Client) SubmitUploadAs(g *graph.Graph, spec job.Spec, opts SubmitOpts) (job.Snapshot, error) {
 	var snap job.Snapshot
 	var buf bytes.Buffer
 	if err := graph.Write(&buf, g); err != nil {
@@ -111,6 +180,7 @@ func (c *Client) SubmitUpload(g *graph.Graph, spec job.Spec) (job.Snapshot, erro
 		return snap, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	opts.apply(req)
 	err = c.decodeInto(req, &snap)
 	return snap, err
 }

@@ -3,12 +3,13 @@ package load
 import (
 	"context"
 	"net/http/httptest"
+	"path/filepath"
 	"testing"
 	"time"
 
+	"repro/internal/sched"
 	"repro/internal/service/httpapi"
 	"repro/internal/service/job"
-	"repro/internal/service/queue"
 )
 
 // TestRegistryMeetsCIContract pins the acceptance criteria of the ci
@@ -68,6 +69,27 @@ func TestRegistryMeetsCIContract(t *testing.T) {
 			t.Errorf("ci profile is missing a %s scenario", name)
 		}
 	}
+
+	// The scheduler scenarios are part of the ci contract: a dedup
+	// storm and a multi-tenant fairness scenario with a protected
+	// interactive tenant.
+	var dedup, fairness bool
+	for _, sc := range ci {
+		dedup = dedup || sc.ExpectDedup
+		if sc.ExpectThrottle {
+			for _, tpl := range sc.Templates {
+				if !tpl.MayThrottle && tpl.Class == "interactive" {
+					fairness = true
+				}
+			}
+		}
+	}
+	if !dedup {
+		t.Error("ci profile is missing a dedup-storm scenario (ExpectDedup)")
+	}
+	if !fairness {
+		t.Error("ci profile is missing a tenant-fairness scenario (ExpectThrottle + protected interactive tenant)")
+	}
 	// soak must be a superset of ci.
 	soakNames := map[string]bool{}
 	for _, sc := range ByProfile("soak") {
@@ -114,18 +136,41 @@ func TestScenarioValidateRejectsBadDeclarations(t *testing.T) {
 // are exercised without spawning eulerd binaries.
 func newTestServer(t *testing.T, workers int) *Client {
 	t.Helper()
-	pool := queue.New(workers, 64)
-	srv := httpapi.New(httpapi.Config{
+	return newTestServerOpts(t, workers, 64, true)
+}
+
+// newTestServerOpts exposes the scheduler quota and cache switches the
+// scheduler-focused runner tests need.
+func newTestServerOpts(t *testing.T, workers, maxQueuePerTenant int, withCache bool) *Client {
+	t.Helper()
+	return newTestServerCfg(t, sched.FairConfig{Workers: workers, MaxQueuePerTenant: maxQueuePerTenant}, withCache)
+}
+
+// newTestServerCfg runs the in-process API over an explicit scheduler
+// configuration (declared tenants, quotas).
+func newTestServerCfg(t *testing.T, fcfg sched.FairConfig, withCache bool) *Client {
+	t.Helper()
+	sc := sched.NewFair(fcfg)
+	cfg := httpapi.Config{
 		Store:   job.NewStore(100),
-		Pool:    pool,
+		Sched:   sc,
 		DataDir: t.TempDir(),
-	})
+	}
+	if withCache {
+		cache, err := sched.NewResultCache(filepath.Join(t.TempDir(), "cache.log"), 64<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Cache = cache
+		t.Cleanup(func() { cache.Close() })
+	}
+	srv := httpapi.New(cfg)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		pool.Drain(ctx)
+		sc.Drain(ctx)
 	})
 	return NewClient(ts.URL)
 }
@@ -286,6 +331,107 @@ func TestRunScenarioChaosWithoutWorkersFails(t *testing.T) {
 	sc.JobTimeout = 60 * time.Second
 	if _, err := RunScenario(context.Background(), sc, Env{Client: client}); err == nil {
 		t.Fatal("chaos scenario with no killable worker must fail the run")
+	}
+}
+
+// TestRunScenarioDedupStorm drives identical submissions at an
+// in-process cached server: exactly one execution, everything else
+// hits or coalesces, every circuit verifies.
+func TestRunScenarioDedupStorm(t *testing.T) {
+	client := newTestServer(t, 4)
+	sc := Scenario{
+		Name:     "test-dedup-storm",
+		Profiles: []string{"test"},
+		Jobs:     20, Concurrency: 5,
+		ExpectDedup: true,
+		Templates: []JobTemplate{
+			genTpl(cliques(16, 7, 4, "current")),
+		},
+		JobTimeout: 60 * time.Second,
+	}
+	res, err := RunScenario(context.Background(), sc, Env{Client: client, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	if got := res.Metrics["server_jobs_started"].Value; got != 1 {
+		t.Fatalf("server_jobs_started = %v, want 1", got)
+	}
+	if got := res.Metrics["dedup_hits"].Value; got != 19 {
+		t.Fatalf("dedup_hits = %v, want 19", got)
+	}
+	if got := res.Metrics["verify_failures"].Value; got != 0 {
+		t.Fatalf("verify_failures = %v, want 0", got)
+	}
+	if got := res.Metrics["jobs_done"].Value; got != 20 {
+		t.Fatalf("jobs_done = %v, want 20", got)
+	}
+}
+
+// TestRunScenarioDedupStormFailsWithoutCache: the same scenario against
+// a cache-less server must fail its dedup contract — the gate actually
+// gates.
+func TestRunScenarioDedupStormFailsWithoutCache(t *testing.T) {
+	client := newTestServerOpts(t, 4, 64, false)
+	sc := Scenario{
+		Name:     "test-dedup-nocache",
+		Profiles: []string{"test"},
+		Jobs:     4, Concurrency: 2,
+		ExpectDedup: true,
+		Templates: []JobTemplate{
+			genTpl(cliques(8, 5, 2, "current")),
+		},
+		JobTimeout: 60 * time.Second,
+	}
+	if _, err := RunScenario(context.Background(), sc, Env{Client: client}); err == nil {
+		t.Fatal("dedup contract passed against a server without a result cache")
+	}
+}
+
+// TestRunScenarioTenantThrottle: a flooding tenant is throttled with
+// well-formed 429s while the protected interactive tenant completes
+// everything; throttles are not failures and the per-tenant latency
+// metrics land in the report.
+func TestRunScenarioTenantThrottle(t *testing.T) {
+	// Like the registry's tenant-fairness scenario, the protected vip
+	// tenant gets a declared roomy quota: the tight default quota is
+	// the greedy tenant's, and vip must never 429 even when several of
+	// its jobs are in flight at once on a slow machine.
+	client := newTestServerCfg(t, sched.FairConfig{
+		Workers:           1,
+		MaxQueuePerTenant: 2,
+		Tenants:           map[string]sched.TenantConfig{"vip": {Weight: 1, MaxQueue: 16}},
+	}, false)
+	sc := Scenario{
+		Name:     "test-tenant-throttle",
+		Profiles: []string{"test"},
+		Jobs:     18, Concurrency: 6,
+		ExpectThrottle: true,
+		Templates: []JobTemplate{
+			{Spec: cliques(32, 7, 4, "current"), Tenant: "greedy", Class: "batch", MayThrottle: true},
+			{Spec: cliques(32, 7, 4, "current"), Tenant: "greedy", Class: "batch", MayThrottle: true},
+			{Spec: cliques(32, 7, 4, "current"), Tenant: "greedy", Class: "batch", MayThrottle: true},
+			{Spec: cliques(32, 7, 4, "current"), Tenant: "greedy", Class: "batch", MayThrottle: true},
+			{Spec: cliques(32, 7, 4, "current"), Tenant: "greedy", Class: "batch", MayThrottle: true},
+			{Spec: cliques(4, 5, 2, "current"), Tenant: "vip", Class: "interactive"},
+		},
+		JobTimeout: 60 * time.Second,
+	}
+	res, err := RunScenario(context.Background(), sc, Env{Client: client, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	if got := res.Metrics["throttled_jobs"].Value; got < 1 {
+		t.Fatalf("throttled_jobs = %v, want >= 1", got)
+	}
+	if got := res.Metrics["error_rate"].Value; got != 0 {
+		t.Fatalf("error_rate = %v: throttling must not count as failure", got)
+	}
+	vip, ok := res.Metrics["tenant_vip_latency_p95_ms"]
+	if !ok || vip.Better != "lower" {
+		t.Fatalf("protected tenant p95 missing or ungated: %+v", res.Metrics)
+	}
+	if greedy, ok := res.Metrics["tenant_greedy_latency_p95_ms"]; ok && greedy.Better != "" {
+		t.Fatalf("throttleable tenant p95 must be informational, got %+v", greedy)
 	}
 }
 

@@ -43,11 +43,14 @@ func (e Env) logf(format string, args ...any) {
 // jobResult is one synthetic client's account of one job.
 type jobResult struct {
 	submitAt  time.Time
+	tenant    string
 	state     job.State
 	latency   time.Duration // submit → terminal observation
 	queueWait time.Duration // created → started, from server timestamps
 	exec      time.Duration // started → finished, from server timestamps
 	steps     int64
+	executed  bool // the server actually ran it (vs. served from cache)
+	throttled bool // admission-rejected on a MayThrottle template
 	failed    bool // counts against the scenario's error budget
 	verifyErr error
 	diffErr   error
@@ -126,15 +129,27 @@ func RunScenario(ctx context.Context, sc Scenario, env Env) (bench.ScenarioResul
 		defer cancel()
 		tpl := sc.Templates[i%len(sc.Templates)]
 		g := graphs[i%len(sc.Templates)]
+		res.tenant = tpl.Tenant
 
+		opts := SubmitOpts{Tenant: tpl.Tenant, Class: tpl.Class}
 		var snap job.Snapshot
 		var err error
 		if tpl.Upload {
-			snap, err = env.Client.SubmitUpload(g, tpl.Spec)
+			snap, err = env.Client.SubmitUploadAs(g, tpl.Spec, opts)
 		} else {
-			snap, err = env.Client.SubmitSpec(tpl.Spec)
+			snap, err = env.Client.SubmitSpecAs(tpl.Spec, opts)
 		}
 		if err != nil {
+			if apiErr, ok := Throttled(err); ok && tpl.MayThrottle {
+				// Expected back-pressure — but only well-formed
+				// back-pressure: a 429 without a Retry-After hint is a
+				// server bug, not throttling.
+				res.throttled = true
+				if apiErr.RetryAfter <= 0 {
+					res.failed, res.err = true, fmt.Errorf("throttled without a Retry-After hint: %w", err)
+				}
+				return
+			}
 			res.failed, res.err = true, fmt.Errorf("submit: %w", err)
 			return
 		}
@@ -270,15 +285,74 @@ func RunScenario(ctx context.Context, sc Scenario, env Env) (bench.ScenarioResul
 	if sc.ChaosKillWorker && killedAt.Load() == 0 {
 		return res, fmt.Errorf("scenario %s never fired its chaos kill", sc.Name)
 	}
+	if err := checkSchedContracts(sc, results, env, &res); err != nil {
+		return res, err
+	}
 	return res, hardFailures(sc, results)
 }
 
-// finish records the terminal snapshot's timings.
+// checkSchedContracts enforces the scheduler-specific scenario
+// assertions (ExpectThrottle, ExpectDedup) and folds the server's
+// dedup counters into the report.
+func checkSchedContracts(sc Scenario, results []jobResult, env Env, res *bench.ScenarioResult) error {
+	if sc.ExpectThrottle {
+		throttled := 0
+		for i := range results {
+			if results[i].throttled {
+				throttled++
+			}
+		}
+		if throttled == 0 {
+			return fmt.Errorf("scenario %s expected admission throttling but no submission was rejected", sc.Name)
+		}
+	}
+	if !sc.ExpectDedup {
+		return nil
+	}
+	m, err := env.Client.Metrics()
+	if err != nil {
+		return fmt.Errorf("scenario %s: scraping dedup metrics: %w", sc.Name, err)
+	}
+	num := func(key string) (float64, error) {
+		v, ok := m[key].(float64)
+		if !ok {
+			return 0, fmt.Errorf("scenario %s: metric %s missing or non-numeric (%v)", sc.Name, key, m[key])
+		}
+		return v, nil
+	}
+	started, err := num("jobs_started")
+	if err != nil {
+		return err
+	}
+	hits, err := num("cache_hits")
+	if err != nil {
+		return err
+	}
+	coalesced, err := num("coalesced_jobs")
+	if err != nil {
+		return err
+	}
+	res.Metrics["server_jobs_started"] = bench.LowerBetter(started, "count", 0, 0)
+	res.Metrics["dedup_hits"] = bench.Info(hits+coalesced, "count")
+	if started != 1 {
+		return fmt.Errorf("scenario %s: %v executions for %d identical submissions, want exactly 1", sc.Name, started, len(results))
+	}
+	if want := float64(len(results) - 1); hits+coalesced < want {
+		return fmt.Errorf("scenario %s: %v cache/coalesce hits for %d submissions, want %v", sc.Name, hits+coalesced, len(results), want)
+	}
+	return nil
+}
+
+// finish records the terminal snapshot's timings.  A job the server
+// served from its result cache never started, so it contributes no
+// queue-wait/exec samples (a cache-heavy scenario would otherwise
+// dilute those distributions with zeros).
 func (r *jobResult) finish(snap job.Snapshot, latency time.Duration) {
 	r.state = snap.State
 	r.latency = latency
 	r.steps = snap.Steps
 	if snap.Started != nil {
+		r.executed = true
 		r.queueWait = snap.Started.Sub(snap.Created)
 		if snap.Finished != nil {
 			r.exec = snap.Finished.Sub(*snap.Started)
@@ -357,10 +431,11 @@ func hardFailures(sc Scenario, results []jobResult) error {
 // baseline.
 func summarize(sc Scenario, results []jobResult, elapsed time.Duration, killedAtNanos int64, notes []string) bench.ScenarioResult {
 	var (
-		done, cancelled, failures, verifyFailures, diffs int
-		stepsTotal                                       int64
-		latMS, waitMS, execMS                            []float64
-		postChaosSuccess                                 float64
+		done, cancelled, failures, verifyFailures, diffs, throttled int
+		stepsTotal                                                  int64
+		latMS, waitMS, execMS                                       []float64
+		postChaosSuccess                                            float64
+		tenantLatMS                                                 = map[string][]float64{}
 	)
 	for i := range results {
 		r := &results[i]
@@ -373,6 +448,9 @@ func summarize(sc Scenario, results []jobResult, elapsed time.Duration, killedAt
 		if r.failed {
 			failures++
 		}
+		if r.throttled {
+			throttled++
+		}
 		if r.verifyErr != nil {
 			verifyFailures++
 		}
@@ -381,9 +459,15 @@ func summarize(sc Scenario, results []jobResult, elapsed time.Duration, killedAt
 		}
 		stepsTotal += r.steps
 		if r.state == job.StateDone {
-			latMS = append(latMS, float64(r.latency)/float64(time.Millisecond))
-			waitMS = append(waitMS, float64(r.queueWait)/float64(time.Millisecond))
-			execMS = append(execMS, float64(r.exec)/float64(time.Millisecond))
+			ms := float64(r.latency) / float64(time.Millisecond)
+			latMS = append(latMS, ms)
+			if r.executed {
+				waitMS = append(waitMS, float64(r.queueWait)/float64(time.Millisecond))
+				execMS = append(execMS, float64(r.exec)/float64(time.Millisecond))
+			}
+			if r.tenant != "" {
+				tenantLatMS[r.tenant] = append(tenantLatMS[r.tenant], ms)
+			}
 			if killedAtNanos != 0 && r.submitAt.UnixNano() > killedAtNanos {
 				postChaosSuccess = 1
 			}
@@ -441,6 +525,29 @@ func summarize(sc Scenario, results []jobResult, elapsed time.Duration, killedAt
 	}
 	if sc.ChaosKillWorker {
 		m["post_chaos_success"] = bench.HigherBetter(postChaosSuccess, "bool", 0, 0)
+	}
+	if throttled > 0 || sc.ExpectThrottle {
+		m["throttled_jobs"] = bench.Info(float64(throttled), "count")
+	}
+	// Per-tenant latency: tenants the scenario protects (no template of
+	// theirs may throttle) gate their p95 inside an error-budget band;
+	// tenants that are expected to be throttled record theirs as
+	// informational, since their sample shifts with how much was
+	// admitted.
+	mayThrottle := map[string]bool{}
+	for _, tpl := range sc.Templates {
+		if tpl.Tenant != "" && tpl.MayThrottle {
+			mayThrottle[tpl.Tenant] = true
+		}
+	}
+	for tenant, ms := range tenantLatMS {
+		p95 := stats.Summarize(ms).P95
+		key := "tenant_" + tenant + "_latency_p95_ms"
+		if mayThrottle[tenant] {
+			m[key] = bench.Info(p95, "ms")
+		} else {
+			m[key] = bench.LowerBetter(p95, "ms", 1.5, 2000)
+		}
 	}
 	return bench.ScenarioResult{Metrics: m, Notes: notes}
 }

@@ -51,6 +51,15 @@ const (
 type JobTemplate struct {
 	Spec   job.Spec
 	Upload bool
+	// Tenant/Class ride as X-Tenant/X-Class submission headers.
+	Tenant string
+	Class  string
+	// MayThrottle marks templates whose submissions the server is
+	// allowed (even expected) to reject with 429: a throttled
+	// submission counts as throttled, not failed — but it must carry a
+	// Retry-After hint, and a 429 on a template without MayThrottle
+	// fails the scenario.
+	MayThrottle bool
 }
 
 // Scenario is one declarative load scenario.  Jobs are assigned to
@@ -93,6 +102,15 @@ type Scenario struct {
 	// (chaos scenarios budget for the jobs the killed worker takes
 	// down); exceeding it fails the run regardless of any baseline.
 	ErrorBudget float64
+
+	// ExpectDedup asserts the dedup-storm contract after the run: the
+	// server's jobs_started counter must be exactly 1 and every other
+	// submission must be a cache hit or a coalesced duplicate.
+	ExpectDedup bool
+	// ExpectThrottle asserts that at least one MayThrottle submission
+	// was rejected with 429 — the admission-control path actually
+	// fired.
+	ExpectThrottle bool
 
 	// JobTimeout bounds one job's submit-to-terminal wait (default 120s).
 	JobTimeout time.Duration
@@ -151,6 +169,20 @@ func (s Scenario) Validate() error {
 		if err := spec.Validate(); err != nil {
 			return fmt.Errorf("load: scenario %s template %d: %w", s.Name, i, err)
 		}
+		switch tpl.Class {
+		case "", "batch", "interactive":
+		default:
+			return fmt.Errorf("load: scenario %s template %d: unknown class %q", s.Name, i, tpl.Class)
+		}
+	}
+	if s.ExpectThrottle {
+		any := false
+		for _, tpl := range s.Templates {
+			any = any || tpl.MayThrottle
+		}
+		if !any {
+			return fmt.Errorf("load: scenario %s expects throttling but no template may throttle", s.Name)
+		}
 	}
 	if s.ErrorBudget < 0 || s.ErrorBudget > 1 {
 		return fmt.Errorf("load: scenario %s error budget %v outside [0, 1]", s.Name, s.ErrorBudget)
@@ -184,7 +216,11 @@ func Scenarios() []Scenario {
 			Name:        "closed-cliques-modes",
 			Description: "closed-loop ring-of-cliques jobs across all three remote-edge modes",
 			Profiles:    both,
-			Jobs:        9, Concurrency: 3,
+			// Cache off: these gate ENGINE throughput/latency; repeat
+			// submissions must execute, not replay from the result cache
+			// (dedup has its own dedicated scenario).
+			ServerArgs: []string{"-cache-bytes", "0"},
+			Jobs:       9, Concurrency: 3,
 			Templates: []JobTemplate{
 				genTpl(cliques(12, 5, 4, "current")),
 				genTpl(cliques(12, 5, 4, "dedup")),
@@ -195,7 +231,11 @@ func Scenarios() []Scenario {
 			Name:        "closed-rmat-modes",
 			Description: "closed-loop Eulerised RMAT jobs across all three remote-edge modes",
 			Profiles:    both,
-			Jobs:        6, Concurrency: 2,
+			// Cache off: these gate ENGINE throughput/latency; repeat
+			// submissions must execute, not replay from the result cache
+			// (dedup has its own dedicated scenario).
+			ServerArgs: []string{"-cache-bytes", "0"},
+			Jobs:       6, Concurrency: 2,
 			Templates: []JobTemplate{
 				genTpl(rmat(20_000, 4, 4, "current")),
 				genTpl(rmat(20_000, 4, 4, "dedup")),
@@ -206,7 +246,11 @@ func Scenarios() []Scenario {
 			Name:        "closed-torus-spill",
 			Description: "closed-loop torus jobs with the engine spilling path bodies to disk",
 			Profiles:    both,
-			Jobs:        4, Concurrency: 2,
+			// Cache off: these gate ENGINE throughput/latency; repeat
+			// submissions must execute, not replay from the result cache
+			// (dedup has its own dedicated scenario).
+			ServerArgs: []string{"-cache-bytes", "0"},
+			Jobs:       4, Concurrency: 2,
 			Templates: []JobTemplate{
 				genTpl(torus(48, 48, 4, "current", true)),
 				genTpl(torus(48, 48, 6, "proposed", true)),
@@ -216,7 +260,11 @@ func Scenarios() []Scenario {
 			Name:        "open-mixed-arrivals",
 			Description: "open-loop Poisson-ish arrivals mixing all generator families and sizes",
 			Profiles:    both,
-			Jobs:        10, RatePerSec: 8,
+			// Cache off: these gate ENGINE throughput/latency; repeat
+			// submissions must execute, not replay from the result cache
+			// (dedup has its own dedicated scenario).
+			ServerArgs: []string{"-cache-bytes", "0"},
+			Jobs:       10, RatePerSec: 8,
 			Templates: []JobTemplate{
 				genTpl(cliques(8, 5, 3, "current")),
 				genTpl(torus(24, 24, 4, "dedup", false)),
@@ -227,7 +275,11 @@ func Scenarios() []Scenario {
 			Name:        "upload-graphs",
 			Description: "EULGRPH1 uploads (client-side generation) for torus and cliques inputs",
 			Profiles:    both,
-			Jobs:        4, Concurrency: 2,
+			// Cache off: these gate ENGINE throughput/latency; repeat
+			// submissions must execute, not replay from the result cache
+			// (dedup has its own dedicated scenario).
+			ServerArgs: []string{"-cache-bytes", "0"},
+			Jobs:       4, Concurrency: 2,
 			Templates: []JobTemplate{
 				uploadTpl(torus(32, 32, 4, "current", false)),
 				uploadTpl(cliques(8, 5, 4, "dedup")),
@@ -237,7 +289,11 @@ func Scenarios() []Scenario {
 			Name:        "stream-cancel-midread",
 			Description: "streaming consumers that abort the circuit read a few steps in, then re-read fully",
 			Profiles:    both,
-			Jobs:        4, Concurrency: 2,
+			// Cache off: these gate ENGINE throughput/latency; repeat
+			// submissions must execute, not replay from the result cache
+			// (dedup has its own dedicated scenario).
+			ServerArgs: []string{"-cache-bytes", "0"},
+			Jobs:       4, Concurrency: 2,
 			Behavior: BehaviorCancelMidStream,
 			Templates: []JobTemplate{
 				genTpl(cliques(128, 9, 8, "current")),
@@ -247,7 +303,11 @@ func Scenarios() []Scenario {
 			Name:        "delete-while-running",
 			Description: "DELETE lands while the job is generating/running; it must end cancelled or done, never failed",
 			Profiles:    both,
-			Jobs:        3, Concurrency: 1,
+			// Identical specs, and the point is cancelling *running*
+			// jobs — without this the first completed run would serve
+			// the rest from cache before a DELETE can land.
+			ServerArgs: []string{"-cache-bytes", "0"},
+			Jobs:       3, Concurrency: 1,
 			Behavior: BehaviorDeleteWhileRunning,
 			Templates: []JobTemplate{
 				genTpl(rmat(300_000, 4, 8, "current")),
@@ -257,11 +317,55 @@ func Scenarios() []Scenario {
 			Name:        "queue-backpressure",
 			Description: "more in-flight jobs than pool workers, measuring queue wait under backlog",
 			Profiles:    both,
-			ServerArgs:  []string{"-workers", "2"},
-			Jobs:        12, Concurrency: 6,
+			// Cache off: repeated specs must actually queue, or there
+			// is no backlog to measure.
+			ServerArgs: []string{"-workers", "2", "-cache-bytes", "0"},
+			Jobs:       12, Concurrency: 6,
 			Templates: []JobTemplate{
 				genTpl(cliques(16, 7, 4, "current")),
 				genTpl(cliques(16, 7, 4, "proposed")),
+			},
+		},
+		{
+			Name:        "tenant-fairness",
+			Description: "a greedy batch tenant floods a small server; it must throttle with 429+Retry-After while the interactive tenant's latency stays budgeted",
+			Profiles:    both,
+			// Two workers, a tight default per-tenant queue (which the
+			// greedy tenant gets), a declared roomier quota for the
+			// protected vip tenant, and no result cache (the greedy
+			// tenant submits identical specs; dedup would absorb the
+			// flood this scenario exists to create).
+			ServerArgs: []string{
+				"-workers", "2",
+				"-max-queue-per-tenant", "3",
+				"-tenants", "vip:1:16",
+				"-cache-bytes", "0",
+			},
+			Jobs: 32, Concurrency: 10,
+			ExpectThrottle: true,
+			// Greedy jobs are deliberately heavy so the two workers
+			// saturate and the greedy queue actually fills even on fast
+			// machines; the interactive tenant's jobs stay small.
+			Templates: []JobTemplate{
+				{Spec: cliques(96, 9, 6, "current"), Tenant: "greedy", Class: "batch", MayThrottle: true},
+				{Spec: cliques(96, 9, 6, "current"), Tenant: "greedy", Class: "batch", MayThrottle: true},
+				{Spec: cliques(96, 9, 6, "current"), Tenant: "greedy", Class: "batch", MayThrottle: true},
+				{Spec: cliques(6, 5, 2, "current"), Tenant: "vip", Class: "interactive"},
+			},
+		},
+		{
+			Name:        "dedup-storm",
+			Description: "many identical submissions coalesce onto one execution; every response is the byte-identical cached circuit",
+			Profiles:    both,
+			// Retention must hold every storm job: the runner streams
+			// each circuit after the fact, and soak multipliers scale
+			// the count.
+			ServerArgs: []string{"-retention", "1000"},
+			Jobs:       50, Concurrency: 10,
+			ExpectDedup: true,
+			CompareSolo: true,
+			Templates: []JobTemplate{
+				genTpl(cliques(32, 7, 6, "current")),
 			},
 		},
 		{
@@ -270,7 +374,10 @@ func Scenarios() []Scenario {
 			Profiles:    both,
 			Topology:    TopoCluster,
 			Workers:     2, MinNodes: 2, WorkerCapacity: 4,
-			Jobs: 4, Concurrency: 2,
+			// Cache off: every job must actually cross the BSP wire,
+			// not replay the first execution from the coordinator cache.
+			ServerArgs: []string{"-cache-bytes", "0"},
+			Jobs:       4, Concurrency: 2,
 			Templates: []JobTemplate{
 				genTpl(cliques(10, 5, 4, "current")),
 				genTpl(torus(24, 24, 4, "proposed", false)),
@@ -282,6 +389,9 @@ func Scenarios() []Scenario {
 			Profiles:    both,
 			Topology:    TopoCluster,
 			Workers:     1, MinNodes: 1, WorkerCapacity: 4,
+			// Cache off so both identical jobs execute over the wire
+			// and each is independently diffed against the solo server.
+			ServerArgs:  []string{"-cache-bytes", "0"},
 			CompareSolo: true,
 			Jobs:        2, Concurrency: 1,
 			Templates: []JobTemplate{
@@ -294,6 +404,9 @@ func Scenarios() []Scenario {
 			Profiles:    both,
 			Topology:    TopoCluster,
 			Workers:     2, MinNodes: 1, WorkerCapacity: 4,
+			// Cache off: post-chaos jobs must really execute on the
+			// surviving worker, not replay the pre-chaos circuit.
+			ServerArgs:      []string{"-cache-bytes", "0"},
 			ChaosKillWorker: true,
 			// In-flight jobs may die with the worker; later ones must not.
 			ErrorBudget: 0.5,
@@ -306,7 +419,10 @@ func Scenarios() []Scenario {
 			Name:        "soak-rmat-large",
 			Description: "sustained large Eulerised RMAT jobs (nightly only)",
 			Profiles:    []string{"soak"},
-			Jobs:        4, Concurrency: 2,
+			// Soak scenarios exist to sustain engine load; dedup would
+			// collapse their repeated specs into single executions.
+			ServerArgs: []string{"-cache-bytes", "0"},
+			Jobs:       4, Concurrency: 2,
 			Templates: []JobTemplate{
 				genTpl(rmat(1_000_000, 4, 8, "current")),
 				genTpl(rmat(1_000_000, 4, 8, "proposed")),
@@ -316,6 +432,7 @@ func Scenarios() []Scenario {
 			Name:        "soak-sustained-mix",
 			Description: "long closed-loop mix over every family and mode (nightly only)",
 			Profiles:    []string{"soak"},
+			ServerArgs:  []string{"-cache-bytes", "0"},
 			Jobs:        40, Concurrency: 4,
 			Templates: []JobTemplate{
 				genTpl(cliques(24, 7, 6, "current")),

@@ -1,0 +1,161 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service/queue"
+	"repro/internal/stats"
+)
+
+// FIFO adapts the original single-queue worker pool to the Scheduler
+// contract.  Tenant and class are ignored for ordering — every
+// submission shares one backlog, exactly the pre-scheduler behavior —
+// but rejections still carry a Retry-After hint derived from the
+// observed service rate so the HTTP layer answers 429s uniformly in
+// both modes.
+type FIFO struct {
+	pool    *queue.Pool
+	backlog int
+	rate    *stats.Rate
+	// retries tracks Resubmit's background retry goroutines so Drain
+	// can wait for parked promotions to resolve before returning.
+	retries  sync.WaitGroup
+	rejected atomic.Int64
+}
+
+// NewFIFO returns a FIFO scheduler over a fresh worker pool with the
+// given worker count and backlog capacity.
+func NewFIFO(workers, backlog int) *FIFO {
+	return &FIFO{
+		pool:    queue.New(workers, backlog),
+		backlog: backlog,
+		rate:    stats.NewRate(30 * time.Second),
+	}
+}
+
+// Submit implements Scheduler.
+func (f *FIFO) Submit(tenant string, class Class, task Task) error {
+	err := f.pool.Submit(func(ctx context.Context) {
+		task(ctx)
+		f.rate.Observe(1)
+	})
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, queue.ErrClosed):
+		return ErrClosed
+	case errors.Is(err, queue.ErrBacklogFull):
+		f.rejected.Add(1)
+		return &Rejected{
+			Reason:     "backlog full",
+			RetryAfter: f.retryAfter(),
+		}
+	default:
+		return err
+	}
+}
+
+// Resubmit implements Scheduler.  The FIFO's backlog is a fixed-size
+// channel that cannot be bypassed, so a full backlog is retried in the
+// background until a slot frees (promotions are rare and bounded by
+// the cache's follower cap); a closed pool surfaces as ErrClosed via
+// the task never running — the drain cancels the job's context.
+func (f *FIFO) Resubmit(tenant string, class Class, task Task) error {
+	err := f.Submit(tenant, class, task)
+	var rej *Rejected
+	if !errors.As(err, &rej) {
+		return err
+	}
+	f.rejected.Add(-1) // not an admission decision; undo Submit's count
+	f.retries.Add(1)
+	go func() {
+		defer f.retries.Done()
+		for {
+			time.Sleep(50 * time.Millisecond)
+			err := f.Submit(tenant, class, task)
+			switch {
+			case errors.As(err, &rej):
+				f.rejected.Add(-1)
+			case errors.Is(err, ErrClosed):
+				// The drain won the race: run the task with a cancelled
+				// context so it resolves its job as cancelled instead
+				// of leaving it queued forever.
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel()
+				task(ctx)
+				return
+			default:
+				return // accepted
+			}
+		}
+	}()
+	return nil
+}
+
+// Admit implements Scheduler.  The check is advisory: the backlog may
+// fill (or drain) between Admit and Submit.  A refusal counts as a
+// rejection, since the caller surfaces it as 429.
+func (f *FIFO) Admit(tenant string) error {
+	if f.pool.Depth() >= f.backlog && f.backlog > 0 {
+		f.rejected.Add(1)
+		return &Rejected{Reason: "backlog full", RetryAfter: f.retryAfter()}
+	}
+	return nil
+}
+
+// retryAfter estimates how long until one backlog slot frees up: one
+// job interval at the observed service rate (a dispatch from the full
+// backlog is what makes room, not a full drain).
+func (f *FIFO) retryAfter() time.Duration {
+	rate := f.rate.PerSecond()
+	if rate <= 0 {
+		return time.Second
+	}
+	return clampRetry(time.Duration(float64(time.Second) / rate))
+}
+
+// Depth implements Scheduler.
+func (f *FIFO) Depth() int { return f.pool.Depth() }
+
+// Running implements Scheduler.
+func (f *FIFO) Running() int64 { return f.pool.Running() }
+
+// Workers implements Scheduler.
+func (f *FIFO) Workers() int { return f.pool.Workers() }
+
+// Tenants implements Scheduler.  The FIFO has no per-tenant state; the
+// single queue is reported under the default tenant name.
+func (f *FIFO) Tenants() []TenantStat {
+	return []TenantStat{{
+		Name:     DefaultTenant,
+		Weight:   1,
+		Queued:   f.pool.Depth(),
+		Running:  int(f.pool.Running()),
+		Rejected: f.rejected.Load(),
+	}}
+}
+
+// Drain implements Scheduler.  After the pool drains, any Resubmit
+// retry goroutines still parked on a full backlog observe the closed
+// pool, resolve their tasks with a cancelled context, and are waited
+// for here — a promoted job is never silently dropped at shutdown.
+func (f *FIFO) Drain(ctx context.Context) error {
+	err := f.pool.Drain(ctx)
+	done := make(chan struct{})
+	go func() {
+		f.retries.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}

@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFIFOOrderAndTenants: dispatch is strict submission order no
+// matter the tenant, and the stats aggregate under the default tenant.
+func TestFIFOOrder(t *testing.T) {
+	f := NewFIFO(1, 16)
+	release := make(chan struct{})
+	if err := f.Submit("x", Batch, func(context.Context) { <-release }); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Running() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("gate task never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var mu sync.Mutex
+	var order []string
+	for _, name := range []string{"b1", "a1", "b2", "a2"} {
+		name := name
+		tenant := "alice"
+		if name[0] == 'b' {
+			tenant = "bob"
+		}
+		if err := f.Submit(tenant, Interactive, func(context.Context) {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	drain(t, f)
+	want := []string{"b1", "a1", "b2", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("FIFO dispatch order %v, want %v", order, want)
+		}
+	}
+	if err := f.Submit("x", Batch, func(context.Context) {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after drain = %v, want ErrClosed", err)
+	}
+}
+
+// TestFIFOBacklogRejects: a full backlog rejects with Retry-After, and
+// Admit mirrors the refusal.
+func TestFIFOBacklogRejects(t *testing.T) {
+	f := NewFIFO(1, 1)
+	release := make(chan struct{})
+	defer func() { close(release); drain(t, f) }()
+	if err := f.Submit("x", Batch, func(context.Context) { <-release }); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Running() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("gate task never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := f.Submit("x", Batch, func(context.Context) {}); err != nil {
+		t.Fatal(err)
+	}
+	var rej *Rejected
+	if err := f.Submit("x", Batch, func(context.Context) {}); !errors.As(err, &rej) {
+		t.Fatalf("full backlog submit = %v, want *Rejected", err)
+	}
+	if rej.RetryAfter < time.Second {
+		t.Fatalf("RetryAfter = %v, want >= 1s", rej.RetryAfter)
+	}
+	if err := f.Admit("x"); err == nil {
+		t.Fatal("Admit must refuse on a full backlog")
+	}
+	stats := f.Tenants()
+	// One Submit rejection + one Admit refusal above.
+	if len(stats) != 1 || stats[0].Name != DefaultTenant || stats[0].Rejected != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+// TestFIFOResubmitRetriesFullBacklog: a promotion re-enqueue into a
+// full FIFO backlog retries in the background instead of failing, and
+// the rejected counter is not charged for it.
+func TestFIFOResubmitRetriesFullBacklog(t *testing.T) {
+	f := NewFIFO(1, 1)
+	release := make(chan struct{})
+	if err := f.Submit("x", Batch, func(context.Context) { <-release }); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Running() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("gate task never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var ran sync.WaitGroup
+	ran.Add(2)
+	if err := f.Submit("x", Batch, func(context.Context) { ran.Done() }); err != nil {
+		t.Fatal(err) // fills the one backlog slot
+	}
+	if err := f.Resubmit("x", Batch, func(context.Context) { ran.Done() }); err != nil {
+		t.Fatalf("resubmit into full backlog: %v", err)
+	}
+	close(release)
+	ran.Wait()
+	if got := f.Tenants()[0].Rejected; got != 0 {
+		t.Fatalf("rejected = %d after resubmit retries, want 0", got)
+	}
+	drain(t, f)
+}
+
+func TestParseClass(t *testing.T) {
+	for in, want := range map[string]Class{"": Batch, "batch": Batch, "interactive": Interactive} {
+		got, err := ParseClass(in)
+		if err != nil || got != want {
+			t.Errorf("ParseClass(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseClass("realtime"); err == nil {
+		t.Error("ParseClass accepted an unknown class")
+	}
+	if Interactive.String() != "interactive" || Batch.String() != "batch" {
+		t.Error("Class.String round trip broken")
+	}
+}

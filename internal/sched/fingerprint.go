@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"slices"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Fingerprint is the content address of one circuit computation: a
+// SHA-256 over the canonical form of the input graph plus the solve
+// options that influence the output bytes.  Two submissions with equal
+// fingerprints are guaranteed the same NDJSON circuit stream, so the
+// scheduler may coalesce them onto one execution or serve one from the
+// result cache.
+type Fingerprint [sha256.Size]byte
+
+// String returns the fingerprint as hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// fingerprintVersion is hashed first so a future canonicalization
+// change cannot alias entries produced by an old scheme.
+const fingerprintVersion = "eulerfp1"
+
+// SolveOptions is the option subset that determines the output circuit
+// for a given input graph.  Spill location and transport topology are
+// deliberately excluded: they move intermediate state around without
+// changing the streamed result (the cluster-vs-solo byte-identity
+// scenario is exactly that guarantee).
+type SolveOptions struct {
+	// Parts is the partition count as submitted (0 = engine default;
+	// kept verbatim because the resolved default is process-local).
+	Parts int32
+	// Mode is the remote-edge strategy; "" canonicalises to "current".
+	Mode string
+	// Seed drives the partitioner as submitted.
+	Seed int64
+}
+
+// FingerprintGraph computes the canonical fingerprint of g under opts.
+//
+// Canonical graph form: vertex count, edge count, then the multiset of
+// undirected edges as (min endpoint, max endpoint) pairs in sorted
+// order — so edge insertion order, edge IDs, and endpoint orientation
+// (all artifacts of how the graph was submitted: generator walk order,
+// shuffled upload, etc.) do not affect the hash.
+//
+// Consequence of that normalization: the deduplicated circuit stream's
+// edge IDs are those of the execution that computed it.  A client that
+// uploaded the same edge multiset in a different order must read each
+// step's from/to endpoints (always the true traversal) rather than
+// mapping the stream's edge numbers back onto its own file's ordering;
+// this is the documented contract of the `edge` field under dedup.
+func FingerprintGraph(g *graph.Graph, opts SolveOptions) Fingerprint {
+	h := sha256.New()
+	var buf [4 * binary.MaxVarintLen64]byte
+
+	n := copy(buf[:], fingerprintVersion)
+	n += binary.PutUvarint(buf[n:], uint64(g.NumVertices()))
+	n += binary.PutUvarint(buf[n:], uint64(g.NumEdges()))
+	h.Write(buf[:n])
+
+	edges := g.Edges()
+	if g.NumVertices() <= 1<<31 {
+		// Pack each normalised pair into one uint64 for a fast sort.
+		packed := make([]uint64, len(edges))
+		for i, e := range edges {
+			lo, hi := e.U, e.V
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			packed[i] = uint64(lo)<<32 | uint64(hi)
+		}
+		slices.Sort(packed)
+		for _, p := range packed {
+			n = binary.PutUvarint(buf[:], p>>32)
+			n += binary.PutUvarint(buf[n:], p&0xffffffff)
+			h.Write(buf[:n])
+		}
+	} else {
+		pairs := make([][2]int64, len(edges))
+		for i, e := range edges {
+			lo, hi := e.U, e.V
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			pairs[i] = [2]int64{lo, hi}
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i][0] != pairs[j][0] {
+				return pairs[i][0] < pairs[j][0]
+			}
+			return pairs[i][1] < pairs[j][1]
+		})
+		for _, p := range pairs {
+			n = binary.PutUvarint(buf[:], uint64(p[0]))
+			n += binary.PutUvarint(buf[n:], uint64(p[1]))
+			h.Write(buf[:n])
+		}
+	}
+
+	mode := opts.Mode
+	if mode == "" {
+		mode = "current"
+	}
+	n = binary.PutVarint(buf[:], int64(opts.Parts))
+	n += binary.PutVarint(buf[n:], opts.Seed)
+	h.Write(buf[:n])
+	h.Write([]byte(mode))
+
+	var fp Fingerprint
+	h.Sum(fp[:0])
+	return fp
+}

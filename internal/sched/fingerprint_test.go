@@ -1,0 +1,89 @@
+package sched
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// shuffleGraph rebuilds g with its edge list in random order and random
+// endpoint orientation — the strongest "same graph, different
+// submission bytes" transform the canonical form must erase.
+func shuffleGraph(t *testing.T, g *graph.Graph, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([][2]graph.VertexID, g.NumEdges())
+	for i, e := range g.Edges() {
+		if rng.Intn(2) == 0 {
+			edges[i] = [2]graph.VertexID{e.U, e.V}
+		} else {
+			edges[i] = [2]graph.VertexID{e.V, e.U}
+		}
+	}
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	return graph.FromEdges(g.NumVertices(), edges)
+}
+
+// TestFingerprintCanonicalization is the acceptance test for the
+// content address: the same graph reaching the server as a generator
+// spec, as a shuffled explicit edge list, and as an EULGRPH1 upload
+// round trip must fingerprint identically; any solve-option change
+// must not.
+func TestFingerprintCanonicalization(t *testing.T) {
+	opts := SolveOptions{Parts: 4, Mode: "current", Seed: 7}
+	generated := gen.Torus(6, 4)
+	base := FingerprintGraph(generated, opts)
+
+	// Shuffled edge lists, several permutations.
+	for seed := int64(1); seed <= 3; seed++ {
+		if got := FingerprintGraph(shuffleGraph(t, generated, seed), opts); got != base {
+			t.Fatalf("shuffle seed %d changed the fingerprint: %s vs %s", seed, got, base)
+		}
+	}
+
+	// EULGRPH1 upload round trip.
+	var buf bytes.Buffer
+	if err := graph.Write(&buf, generated); err != nil {
+		t.Fatal(err)
+	}
+	uploaded, err := graph.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FingerprintGraph(uploaded, opts); got != base {
+		t.Fatalf("upload round trip changed the fingerprint: %s vs %s", got, base)
+	}
+
+	// The default mode spelling is canonical.
+	if got := FingerprintGraph(generated, SolveOptions{Parts: 4, Mode: "", Seed: 7}); got != base {
+		t.Fatalf("mode \"\" and \"current\" must fingerprint identically")
+	}
+
+	// Any differing option produces a different address.
+	for name, other := range map[string]SolveOptions{
+		"parts": {Parts: 5, Mode: "current", Seed: 7},
+		"mode":  {Parts: 4, Mode: "proposed", Seed: 7},
+		"seed":  {Parts: 4, Mode: "current", Seed: 8},
+	} {
+		if got := FingerprintGraph(generated, other); got == base {
+			t.Errorf("changing %s did not change the fingerprint", name)
+		}
+	}
+
+	// A different graph produces a different address, including the
+	// near-miss with one extra parallel edge.
+	if got := FingerprintGraph(gen.Torus(4, 6), opts); got == base {
+		t.Error("transposed torus fingerprinted like the original")
+	}
+	edges := make([][2]graph.VertexID, 0, generated.NumEdges()+1)
+	for _, e := range generated.Edges() {
+		edges = append(edges, [2]graph.VertexID{e.U, e.V})
+	}
+	edges = append(edges, edges[0])
+	if got := FingerprintGraph(graph.FromEdges(generated.NumVertices(), edges), opts); got == base {
+		t.Error("adding a parallel edge did not change the fingerprint")
+	}
+}

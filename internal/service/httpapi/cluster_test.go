@@ -13,8 +13,8 @@ import (
 	"repro/internal/bsp"
 	"repro/internal/cluster"
 	"repro/internal/euler"
+	"repro/internal/sched"
 	"repro/internal/service/job"
-	"repro/internal/service/queue"
 )
 
 // newClusterServer wires an API server whose jobs run over a real
@@ -35,10 +35,10 @@ func newClusterServer(t *testing.T, nodes int) (*cluster.Coordinator, *httptest.
 			Name: fmt.Sprintf("api-w%d", i), Capacity: 4,
 		})
 	}
-	pool := queue.New(2, 8)
+	sc := sched.NewFair(sched.FairConfig{Workers: 2, MaxQueuePerTenant: 8})
 	s := New(Config{
 		Store:   job.NewStore(50),
-		Pool:    pool,
+		Sched:   sc,
 		DataDir: t.TempDir(),
 		Runner:  &cluster.Runner{Coordinator: coord},
 		Cluster: coord,
@@ -48,7 +48,7 @@ func newClusterServer(t *testing.T, nodes int) (*cluster.Coordinator, *httptest.
 		ts.Close()
 		drainCtx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer dcancel()
-		pool.Drain(drainCtx)
+		sc.Drain(drainCtx)
 		cancel()
 		coord.Close()
 	})

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/euler"
+	"repro/internal/sched"
 )
 
 // metrics holds the service counters: job outcomes, emitted steps, and
@@ -16,6 +17,7 @@ type metrics struct {
 	completed atomic.Int64
 	failed    atomic.Int64
 	cancelled atomic.Int64
+	rejected  atomic.Int64 // admission-control refusals (429/503)
 	steps     atomic.Int64
 
 	// Scheduling timings: how long jobs sat queued before a worker
@@ -61,22 +63,48 @@ func (m *metrics) addReport(r *euler.RunReport) {
 }
 
 // MetricsSnapshot returns the current counters as a flat JSON-friendly
-// map; cmd/eulerd also publishes it through expvar.
+// map; cmd/eulerd also publishes it through expvar.  Per-tenant gauges
+// ride under "tenants" and the result-cache counters are always
+// present (zero when no cache is configured) so scrapers need no
+// schema branching.
 func (s *Server) MetricsSnapshot() map[string]any {
+	tenants := make(map[string]map[string]any)
+	for _, t := range s.sched.Tenants() {
+		tenants[t.Name] = map[string]any{
+			"queue_depth": t.Queued,
+			"running":     t.Running,
+			"rejected":    t.Rejected,
+			"weight":      t.Weight,
+		}
+	}
+	var cache sched.CacheStats
+	if s.cache != nil {
+		cache = s.cache.Stats()
+	}
 	return map[string]any{
-		"queue_depth":      s.pool.Depth(),
-		"running":          s.pool.Running(),
-		"workers":          s.pool.Workers(),
+		"queue_depth":      s.sched.Depth(),
+		"running":          s.sched.Running(),
+		"workers":          s.sched.Workers(),
+		"tenants":          tenants,
 		"jobs_retained":    s.jobs.Len(),
 		"jobs_submitted":   s.metrics.submitted.Load(),
 		"jobs_started":     s.metrics.started.Load(),
 		"jobs_completed":   s.metrics.completed.Load(),
 		"jobs_failed":      s.metrics.failed.Load(),
 		"jobs_cancelled":   s.metrics.cancelled.Load(),
+		"jobs_rejected":    s.metrics.rejected.Load(),
 		"circuit_steps":    s.metrics.steps.Load(),
 		"queue_wait_nanos": s.metrics.queueWaitNanos.Load(),
 		"exec_nanos":       s.metrics.execNanos.Load(),
 		"queue_peak_depth": s.metrics.peakQueueDepth.Load(),
+		"cache_hits":       cache.Hits,
+		"cache_misses":     cache.Misses,
+		"coalesced_jobs":   cache.Coalesced,
+		"cache_entries":    cache.Entries,
+		"cache_bytes":      cache.LiveBytes,
+		"cache_log_bytes":  cache.LogBytes,
+		"cache_evictions":  cache.Evictions,
+		"cache_overflows":  cache.Overflows,
 		"phase_nanos": map[string]int64{
 			"copy_src":   s.metrics.copySrcNanos.Load(),
 			"copy_sink":  s.metrics.copySinkNanos.Load(),

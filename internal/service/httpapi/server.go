@@ -1,16 +1,25 @@
 // Package httpapi is eulerd's HTTP/JSON layer: it decodes job
-// submissions, schedules them on the worker pool, and serves job
-// lifecycle, circuit streaming, health, and metrics endpoints.  The
-// engine computes; this package only schedules and transports.
+// submissions, hands them to the multi-tenant scheduler, and serves
+// job lifecycle, circuit streaming, health, and metrics endpoints.
+// The engine computes; this package only schedules and transports.
+//
+// Tenancy: the tenant is taken from the X-Tenant header, else derived
+// from the X-API-Key header, else "default"; the priority class comes
+// from X-Class ("interactive" or "batch", default batch).  Admission
+// rejections answer 429 with a Retry-After header and a structured
+// JSON error body (see README, "Error responses").
 package httpapi
 
 import (
 	"bufio"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"mime"
 	"net/http"
 	"os"
@@ -20,12 +29,27 @@ import (
 
 	euler "repro"
 	"repro/internal/graph"
+	"repro/internal/sched"
 	"repro/internal/service/job"
-	"repro/internal/service/queue"
 )
 
 // DefaultMaxUploadBytes bounds uploaded EULGRPH1 bodies (256 MiB).
 const DefaultMaxUploadBytes = 256 << 20
+
+// buildSlotWait bounds how long a submission waits for one of the
+// workers-many submission-time graph-build slots before being bounced
+// with 429; it keeps a burst of slow builds from parking handler
+// goroutines indefinitely.
+const buildSlotWait = 10 * time.Second
+
+// keepGraphMaxEdges is the largest input graph a queued job keeps
+// attached after submission-time fingerprinting (~4 MiB of CSR);
+// bigger graphs are rebuilt by the worker.  Together with the
+// scheduler's global queue cap this bounds worst-case attached-graph
+// memory to max-queue-total × ~4 MiB — pre-scheduler, queued jobs
+// pinned no graph memory at all, so this product is the figure to
+// watch when raising either knob.
+const keepGraphMaxEdges = 1 << 16
 
 // CircuitRunner executes one job's circuit computation: given the
 // validated spec, the job's scratch directory, and the built input graph,
@@ -42,16 +66,23 @@ type ClusterStatus interface {
 	ClusterStatus() any
 }
 
-// Server wires the job store, the worker pool, and the HTTP handlers.
+// Server wires the job store, the scheduler, and the HTTP handlers.
 type Server struct {
 	jobs    *job.Store
-	pool    *queue.Pool
+	sched   sched.Scheduler
+	cache   *sched.ResultCache
 	dataDir string
 	runner  CircuitRunner
 	cluster ClusterStatus
 
 	maxUploadBytes int64
 	metrics        metrics
+	// buildSem bounds concurrent submission-time graph builds to the
+	// worker count: admission quotas only cover queued jobs, and
+	// without this a burst of accepted submissions would materialise
+	// arbitrarily many graphs on handler goroutines at once (pre-
+	// scheduler, builds were naturally bounded by the pool).
+	buildSem chan struct{}
 
 	// beforeRun, when set, is called by the worker after a job leaves
 	// the queue and before the engine starts; tests use it to hold a
@@ -63,8 +94,9 @@ type Server struct {
 type Config struct {
 	// Store is the job registry (required).
 	Store *job.Store
-	// Pool is the worker pool (required).
-	Pool *queue.Pool
+	// Sched is the scheduler feeding the worker pool (required); see
+	// sched.NewFair and sched.NewFIFO.
+	Sched sched.Scheduler
 	// DataDir is where per-job scratch directories are created
 	// (required; must exist).
 	DataDir string
@@ -75,6 +107,9 @@ type Config struct {
 	Runner CircuitRunner
 	// Cluster, when set, serves cluster topology at GET /v1/cluster.
 	Cluster ClusterStatus
+	// Cache, when set, coalesces duplicate submissions and serves
+	// completed circuits by content address.
+	Cache *sched.ResultCache
 }
 
 // New returns a Server for the given configuration.
@@ -87,13 +122,19 @@ func New(cfg Config) *Server {
 	if runner == nil {
 		runner = localRunner{}
 	}
+	builds := 1
+	if cfg.Sched != nil && cfg.Sched.Workers() > 1 {
+		builds = cfg.Sched.Workers()
+	}
 	return &Server{
 		jobs:           cfg.Store,
-		pool:           cfg.Pool,
+		sched:          cfg.Sched,
+		cache:          cfg.Cache,
 		dataDir:        cfg.DataDir,
 		runner:         runner,
 		cluster:        cfg.Cluster,
 		maxUploadBytes: max,
+		buildSem:       make(chan struct{}, builds),
 	}
 }
 
@@ -132,9 +173,14 @@ func (localRunner) RunCircuit(ctx context.Context, spec job.Spec, dir string, g 
 	return euler.FindCircuitStream(g, emit, opts...)
 }
 
-// errorBody is the uniform error response shape.
+// errorBody is the uniform error response shape.  Code, Tenant, and
+// RetryAfterSeconds are set on scheduler refusals (429/503) so clients
+// can back off programmatically; the schema is documented in README.
 type errorBody struct {
-	Error string `json:"error"`
+	Error             string `json:"error"`
+	Code              string `json:"code,omitempty"`
+	Tenant            string `json:"tenant,omitempty"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -147,10 +193,79 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeSchedError maps a scheduler refusal onto the wire: admission
+// rejections are 429 with a Retry-After hint, a draining scheduler is
+// 503.  Anything else is an internal error.
+func writeSchedError(w http.ResponseWriter, err error) {
+	var rej *sched.Rejected
+	switch {
+	case errors.As(err, &rej):
+		secs := int(math.Ceil(rej.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{
+			Error:             rej.Error(),
+			Code:              "throttled",
+			Tenant:            rej.Tenant,
+			RetryAfterSeconds: secs,
+		})
+	case errors.Is(err, sched.ErrClosed):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{
+			Error:             "server is draining",
+			Code:              "draining",
+			RetryAfterSeconds: 1,
+		})
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// tenantOf resolves the request's tenant: X-Tenant verbatim when it is
+// a short identifier, a digest of it when over-long (truncation would
+// silently merge distinct tenants sharing a prefix — and could split a
+// multi-byte rune), else a digest of X-API-Key so keys never appear in
+// metrics or logs, else the default tenant.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		if len(t) > 64 {
+			sum := sha256.Sum256([]byte(t))
+			return "tenant-" + hex.EncodeToString(sum[:8])
+		}
+		return t
+	}
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		// 64 digest bits, like over-long tenant names: a 32-bit digest
+		// would birthday-collide distinct keys into one quota bucket at
+		// realistic key counts.
+		sum := sha256.Sum256([]byte(k))
+		return "key-" + hex.EncodeToString(sum[:8])
+	}
+	return sched.DefaultTenant
+}
+
 // handleSubmit accepts either an application/json Spec (generator jobs)
 // or a raw EULGRPH1 body (upload jobs, engine options in the query
-// string), registers the job, and enqueues it.
+// string), builds and fingerprints the input graph, and either serves
+// the result from the cache, coalesces onto an identical in-flight
+// execution, or enqueues the job with the tenant's scheduler quota.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tenant := tenantOf(r)
+	class, err := sched.ParseClass(r.Header.Get("X-Class"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "X-Class: %v", err)
+		return
+	}
+	// Refuse over-quota tenants before the request does any heavy
+	// lifting (saving the upload, building the graph); Submit below
+	// remains the authoritative check.
+	if err := s.sched.Admit(tenant); err != nil {
+		s.metrics.rejected.Add(1)
+		writeSchedError(w, err)
+		return
+	}
 	dir, err := os.MkdirTemp(s.dataDir, "job-")
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "creating job dir: %v", err)
@@ -163,20 +278,135 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j := s.jobs.New(spec, dir)
-	if err := s.pool.Submit(func(ctx context.Context) { s.runJob(ctx, j) }); err != nil {
-		s.jobs.Remove(j.ID)
-		// A full backlog is retryable back-pressure; a closed pool
-		// means the server is draining.
-		status := http.StatusTooManyRequests
-		if errors.Is(err, queue.ErrClosed) {
-			status = http.StatusServiceUnavailable
+
+	var lease *sched.Lease
+	if s.cache != nil {
+		// The input graph is built at submission time only on the
+		// cached path: the scheduler needs its content address before
+		// queueing.  Without a cache the worker builds it as before,
+		// bounded by the worker count — and buildSem imposes the same
+		// bound here, so a submission burst cannot materialise
+		// arbitrarily many graphs at once.  The wait for a build slot
+		// is itself bounded: when large builds saturate it, further
+		// submissions get explicit 429 back-pressure instead of
+		// handler goroutines piling up behind the semaphore.
+		select {
+		case s.buildSem <- struct{}{}:
+		case <-time.After(buildSlotWait):
+			s.jobs.Remove(j.ID)
+			s.metrics.rejected.Add(1)
+			writeSchedError(w, &sched.Rejected{
+				Tenant:     tenant,
+				Reason:     "graph-build capacity saturated",
+				RetryAfter: time.Second,
+			})
+			return
+		case <-r.Context().Done():
+			s.jobs.Remove(j.ID)
+			return // client gone; nothing to answer
 		}
-		writeError(w, status, "%v", err)
+		g, err := spec.BuildGraph()
+		if err != nil {
+			<-s.buildSem
+			s.jobs.Remove(j.ID)
+			writeError(w, http.StatusBadRequest, "building input graph: %v", err)
+			return
+		}
+		// Small graphs stay attached for the worker to reuse; big ones
+		// are rebuilt there instead, so a deep queue pins at most
+		// quota × keepGraphMaxEdges of graph memory, not quota ×
+		// upload cap.
+		if g.NumEdges() <= keepGraphMaxEdges {
+			j.AttachGraph(g)
+		}
+		fp := sched.FingerprintGraph(g, sched.SolveOptions{
+			Parts: spec.Parts, Mode: spec.Mode, Seed: spec.Seed,
+		})
+		<-s.buildSem
+		outcome, reader, l := s.cache.Acquire(fp, &sched.Follower{OnReady: s.followerReady(j, tenant, class)})
+		switch outcome {
+		case sched.OutcomeHit:
+			if j.FinishCached(reader) {
+				s.metrics.completed.Add(1)
+				s.metrics.steps.Add(reader.Steps())
+			}
+			s.metrics.submitted.Add(1)
+			writeJSON(w, http.StatusAccepted, j.Snapshot())
+			return
+		case sched.OutcomeCoalesced:
+			// The job rides the in-flight execution: it completes from
+			// the leader's commit without consuming queue quota or a
+			// worker.  Drop its graph now — N coalesced duplicates must
+			// not pin N copies while one leader computes; the rare
+			// promoted follower rebuilds from its spec in runJob.
+			j.AttachGraph(nil)
+			s.metrics.submitted.Add(1)
+			writeJSON(w, http.StatusAccepted, j.Snapshot())
+			return
+		case sched.OutcomeOverflow:
+			// Followers bypass queue quotas, so without this bound an
+			// identical-spec flood would accumulate jobs without limit.
+			s.jobs.Remove(j.ID)
+			s.metrics.rejected.Add(1)
+			writeSchedError(w, &sched.Rejected{
+				Tenant:     tenant,
+				Reason:     "too many identical submissions waiting on one execution",
+				RetryAfter: time.Second,
+			})
+			return
+		case sched.OutcomeLead:
+			lease = l
+		}
+	}
+	if err := s.enqueue(tenant, class, j, lease); err != nil {
+		if lease != nil {
+			lease.Abort()
+		}
+		s.jobs.Remove(j.ID)
+		s.metrics.rejected.Add(1)
+		writeSchedError(w, err)
 		return
 	}
 	s.metrics.submitted.Add(1)
-	s.metrics.observeDepth(int64(s.pool.Depth()))
+	s.metrics.observeDepth(int64(s.sched.Depth()))
 	writeJSON(w, http.StatusAccepted, j.Snapshot())
+}
+
+// enqueue submits the job's execution task under the tenant's quota.
+func (s *Server) enqueue(tenant string, class sched.Class, j *job.Job, lease *sched.Lease) error {
+	return s.sched.Submit(tenant, class, func(ctx context.Context) { s.runJob(ctx, j, lease) })
+}
+
+// followerReady builds the callback a coalesced job hands the cache:
+// it fires with the leader's circuit on commit, or with a fresh lease
+// when the leader aborted and this job is promoted to execute instead.
+func (s *Server) followerReady(j *job.Job, tenant string, class sched.Class) func(*sched.Reader, *sched.Lease) {
+	return func(r *sched.Reader, promoted *sched.Lease) {
+		if r != nil {
+			// FinishCached refuses if the job was cancelled while
+			// waiting; nothing to count in that case (the cancel did).
+			if j.FinishCached(r) {
+				s.metrics.completed.Add(1)
+				s.metrics.steps.Add(r.Steps())
+			}
+			return
+		}
+		// Resubmit, not Submit: this job was already accepted (202)
+		// when it attached as a follower, so tenant back-pressure at
+		// promotion time must not convert it into a failure.  Only a
+		// draining scheduler can refuse.
+		err := s.sched.Resubmit(tenant, class, func(ctx context.Context) { s.runJob(ctx, j, promoted) })
+		if err != nil {
+			promoted.Abort()
+			if !j.State().Terminal() {
+				if j.Fail(fmt.Errorf("re-queueing after coalesced leader aborted: %w", err)) == job.StateCancelled {
+					s.metrics.cancelled.Add(1)
+				} else {
+					s.metrics.failed.Add(1)
+				}
+			}
+		}
+	}
 }
 
 // decodeSubmission parses the request into a validated Spec, writing
@@ -259,9 +489,11 @@ func saveUpload(path string, body io.Reader) error {
 	return f.Close()
 }
 
-// runJob executes one job on a pool worker: build the input graph,
-// stream the circuit into a disk-backed sink, record the report.
-func (s *Server) runJob(poolCtx context.Context, j *job.Job) {
+// runJob executes one job on a pool worker: stream the circuit into a
+// disk-backed sink, record the report, and resolve the job's result-
+// cache lease (commit on success, abort — promoting a waiting
+// duplicate — on any other exit).
+func (s *Server) runJob(poolCtx context.Context, j *job.Job, lease *sched.Lease) {
 	// A pool drain deadline cancels the job's own context so the
 	// streaming emit path aborts promptly.
 	stop := context.AfterFunc(poolCtx, func() { j.Cancel() })
@@ -269,7 +501,10 @@ func (s *Server) runJob(poolCtx context.Context, j *job.Job) {
 
 	if !j.Start() {
 		// Cancelled while queued; the slot goes straight back to the
-		// pool.
+		// pool, and leadership of the fingerprint moves on.
+		if lease != nil {
+			lease.Abort()
+		}
 		return
 	}
 	runStart := time.Now()
@@ -282,6 +517,10 @@ func (s *Server) runJob(poolCtx context.Context, j *job.Job) {
 	ctx := j.Context()
 
 	fail := func(err error) {
+		if lease != nil {
+			lease.Abort()
+			lease = nil
+		}
 		if j.Fail(err) == job.StateCancelled {
 			s.metrics.cancelled.Add(1)
 		} else {
@@ -302,14 +541,21 @@ func (s *Server) runJob(poolCtx context.Context, j *job.Job) {
 		}
 	}()
 
-	g, err := j.Spec.BuildGraph()
-	if err != nil {
-		fail(fmt.Errorf("building input graph: %w", err))
-		return
+	// Small cached-path graphs arrive prebuilt from submission-time
+	// fingerprinting; everything else (no cache, big graphs, promoted
+	// followers) is built here on the worker, bounded by the pool.
+	g := j.Graph()
+	if g == nil {
+		var err error
+		g, err = j.Spec.BuildGraph()
+		if err != nil {
+			fail(fmt.Errorf("building input graph: %w", err))
+			return
+		}
 	}
-	// Graph generation and the engine's merge phases are not
-	// context-aware; observe a cancellation that arrived during
-	// generation here rather than launching the engine.
+	// The engine's merge phases are not context-aware; observe a
+	// cancellation that arrived while queued here rather than
+	// launching the engine.
 	if err := ctx.Err(); err != nil {
 		fail(err)
 		return
@@ -323,6 +569,7 @@ func (s *Server) runJob(poolCtx context.Context, j *job.Job) {
 		}
 	}
 
+	var err error
 	sink, err = job.NewCircuitSink(filepath.Join(j.Dir, "circuit.log"), 0)
 	if err != nil {
 		fail(fmt.Errorf("creating circuit sink: %w", err))
@@ -345,6 +592,17 @@ func (s *Server) runJob(poolCtx context.Context, j *job.Job) {
 		sink.Close()
 		fail(fmt.Errorf("persisting circuit: %w", err))
 		return
+	}
+	if lease != nil {
+		// Publish the circuit under its content address and complete
+		// any coalesced duplicates.  This must happen BEFORE j.Finish:
+		// once the job is terminal it is eligible for retention
+		// eviction, which would close the sink under Commit's read.
+		// A commit error only degrades the cache (the lease aborts
+		// internally, promoting a waiter); this job's own result still
+		// lands below.
+		lease.Commit(sink)
+		lease = nil
 	}
 	j.Finish(report, sink)
 	s.metrics.completed.Add(1)
@@ -375,17 +633,17 @@ func (s *Server) handleCircuit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such job")
 		return
 	}
-	sink, ok := j.Circuit()
+	src, release, ok := j.Circuit()
 	if !ok {
 		writeError(w, http.StatusConflict, "job is %s, circuit available only when done", j.State())
 		return
 	}
-	defer sink.Release()
+	defer release()
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.Header().Set("X-Circuit-Steps", strconv.FormatInt(sink.Steps(), 10))
+	w.Header().Set("X-Circuit-Steps", strconv.FormatInt(src.Steps(), 10))
 	cw := &countedWriter{w: w}
 	bw := bufio.NewWriterSize(cw, 1<<16)
-	err := sink.Iterate(func(st graph.Step) error {
+	err := src.Iterate(func(st graph.Step) error {
 		_, err := fmt.Fprintf(bw, "{\"edge\":%d,\"from\":%d,\"to\":%d}\n", st.Edge, st.From, st.To)
 		return err
 	})
@@ -450,9 +708,9 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":      "ok",
-		"queue_depth": s.pool.Depth(),
-		"running":     s.pool.Running(),
-		"workers":     s.pool.Workers(),
+		"queue_depth": s.sched.Depth(),
+		"running":     s.sched.Running(),
+		"workers":     s.sched.Workers(),
 	})
 }
 

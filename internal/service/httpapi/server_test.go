@@ -7,8 +7,10 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -16,16 +18,18 @@ import (
 	euler "repro"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/sched"
 	"repro/internal/service/job"
-	"repro/internal/service/queue"
 )
 
-func newTestServer(t *testing.T, workers, backlog int) (*Server, *httptest.Server) {
+// newSchedServer wires an API server over the given scheduler, with an
+// optional result cache.
+func newSchedServer(t *testing.T, sc sched.Scheduler, cache *sched.ResultCache) (*Server, *httptest.Server) {
 	t.Helper()
-	pool := queue.New(workers, backlog)
 	s := New(Config{
 		Store:   job.NewStore(50),
-		Pool:    pool,
+		Sched:   sc,
+		Cache:   cache,
 		DataDir: t.TempDir(),
 	})
 	ts := httptest.NewServer(s.Handler())
@@ -33,9 +37,29 @@ func newTestServer(t *testing.T, workers, backlog int) (*Server, *httptest.Serve
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		pool.Drain(ctx)
+		sc.Drain(ctx)
+		if cache != nil {
+			cache.Close()
+		}
 	})
 	return s, ts
+}
+
+// newTestServer is the plain fair-scheduled server most tests use; no
+// result cache, so every submission executes.
+func newTestServer(t *testing.T, workers, backlog int) (*Server, *httptest.Server) {
+	t.Helper()
+	return newSchedServer(t, sched.NewFair(sched.FairConfig{Workers: workers, MaxQueuePerTenant: backlog}), nil)
+}
+
+// newCacheServer adds a result cache on top of newTestServer.
+func newCacheServer(t *testing.T, workers, backlog int) (*Server, *httptest.Server) {
+	t.Helper()
+	cache, err := sched.NewResultCache(filepath.Join(t.TempDir(), "cache.log"), 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newSchedServer(t, sched.NewFair(sched.FairConfig{Workers: workers, MaxQueuePerTenant: backlog}), cache)
 }
 
 func submitJSON(t *testing.T, ts *httptest.Server, spec string) job.Snapshot {
@@ -281,6 +305,180 @@ func TestUploadJob(t *testing.T) {
 	}
 }
 
+// TestTenantOf pins the identity derivation: short names pass through,
+// over-long names digest (no silent prefix merging), API keys digest,
+// and no header means the default tenant.
+func TestTenantOf(t *testing.T) {
+	mk := func(header, value string) *http.Request {
+		req, _ := http.NewRequest(http.MethodPost, "/v1/jobs", nil)
+		if header != "" {
+			req.Header.Set(header, value)
+		}
+		return req
+	}
+	if got := tenantOf(mk("X-Tenant", "alice")); got != "alice" {
+		t.Fatalf("short tenant = %q", got)
+	}
+	long := strings.Repeat("org/acme/teams/platform/", 4) // 96 bytes
+	a := tenantOf(mk("X-Tenant", long+"ingest-a"))
+	b := tenantOf(mk("X-Tenant", long+"ingest-b"))
+	if a == b {
+		t.Fatal("distinct over-long tenants merged into one identity")
+	}
+	if !strings.HasPrefix(a, "tenant-") || len(a) > 64 {
+		t.Fatalf("long tenant digest = %q", a)
+	}
+	key := tenantOf(mk("X-API-Key", "sk-very-secret"))
+	if !strings.HasPrefix(key, "key-") || strings.Contains(key, "secret") {
+		t.Fatalf("api-key tenant = %q must be a digest", key)
+	}
+	if got := tenantOf(mk("", "")); got != sched.DefaultTenant {
+		t.Fatalf("default tenant = %q", got)
+	}
+}
+
+// TestDedupAcrossSubmissionForms: the same graph with the same solve
+// options reaching the server as a generator spec and as an EULGRPH1
+// upload is one execution — the second submission is a cache hit whose
+// circuit stream is byte-identical.
+func TestDedupAcrossSubmissionForms(t *testing.T) {
+	s, ts := newCacheServer(t, 2, 8)
+
+	a := submitJSON(t, ts, `{"generator":{"family":"torus","width":7,"height":5},"parts":3,"seed":7}`)
+	a = waitState(t, ts, a.ID, job.StateDone)
+	rawA := fetchBody(t, ts.URL+"/v1/jobs/"+a.ID+"/circuit")
+
+	g := gen.Torus(7, 5)
+	var buf bytes.Buffer
+	if err := graph.Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs?parts=3&seed=7", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b job.Snapshot
+	json.NewDecoder(resp.Body).Decode(&b)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("upload: status %d", resp.StatusCode)
+	}
+	// A cache hit completes at submission: the response snapshot is
+	// already done, with the circuit length filled in.
+	if b.State != job.StateDone || b.Steps != a.Steps {
+		t.Fatalf("upload snapshot = %s with %d steps, want done with %d", b.State, b.Steps, a.Steps)
+	}
+	rawB := fetchBody(t, ts.URL+"/v1/jobs/"+b.ID+"/circuit")
+	if !bytes.Equal(rawA, rawB) {
+		t.Fatal("cached circuit differs from the computed one")
+	}
+
+	m := s.MetricsSnapshot()
+	if m["jobs_started"].(int64) != 1 {
+		t.Fatalf("jobs_started = %v, want 1", m["jobs_started"])
+	}
+
+	// Different solve options are a different content address.
+	c := submitJSON(t, ts, `{"generator":{"family":"torus","width":7,"height":5},"parts":4,"seed":7}`)
+	waitState(t, ts, c.ID, job.StateDone)
+	if m := s.MetricsSnapshot(); m["jobs_started"].(int64) != 2 {
+		t.Fatalf("jobs_started after option change = %v, want 2", m["jobs_started"])
+	}
+}
+
+// TestCoalescedDuplicateRidesLeader: a duplicate submitted while its
+// twin is still executing never queues or runs; it completes from the
+// leader's commit with an identical stream.
+func TestCoalescedDuplicateRidesLeader(t *testing.T) {
+	s, ts := newCacheServer(t, 1, 8)
+	release := make(chan struct{})
+	s.beforeRun = func(j *job.Job) { <-release }
+
+	const spec = `{"generator":{"family":"torus","width":6,"height":4},"parts":2}`
+	a := submitJSON(t, ts, spec)
+	waitState(t, ts, a.ID, job.StateRunning)
+	b := submitJSON(t, ts, spec)
+	if b.State != job.StateQueued {
+		t.Fatalf("duplicate state = %s, want queued (riding the leader)", b.State)
+	}
+	close(release)
+	waitState(t, ts, a.ID, job.StateDone)
+	waitState(t, ts, b.ID, job.StateDone)
+	rawA := fetchBody(t, ts.URL+"/v1/jobs/"+a.ID+"/circuit")
+	rawB := fetchBody(t, ts.URL+"/v1/jobs/"+b.ID+"/circuit")
+	if !bytes.Equal(rawA, rawB) {
+		t.Fatal("coalesced circuit differs from the leader's")
+	}
+	m := s.MetricsSnapshot()
+	if m["jobs_started"].(int64) != 1 || m["coalesced_jobs"].(int64) != 1 {
+		t.Fatalf("started=%v coalesced=%v, want 1/1", m["jobs_started"], m["coalesced_jobs"])
+	}
+}
+
+// TestCoalesceOverflowRejects: duplicates beyond the per-flight
+// follower bound are rejected with 429 rather than accumulating
+// unbounded jobs outside the queue quotas.
+func TestCoalesceOverflowRejects(t *testing.T) {
+	cache, err := sched.NewResultCache(filepath.Join(t.TempDir(), "cache.log"), 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.MaxFollowers = 1
+	s, ts := newSchedServer(t, sched.NewFair(sched.FairConfig{Workers: 1, MaxQueuePerTenant: 8}), cache)
+	release := make(chan struct{})
+	s.beforeRun = func(j *job.Job) { <-release }
+
+	const spec = `{"generator":{"family":"torus","width":6,"height":4}}`
+	a := submitJSON(t, ts, spec)
+	waitState(t, ts, a.ID, job.StateRunning)
+	submitJSON(t, ts, spec) // the one allowed follower
+
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap duplicate: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("overflow 429 without a Retry-After header")
+	}
+	if s.jobs.Len() != 2 {
+		t.Fatalf("store len = %d after overflow bounce, want 2", s.jobs.Len())
+	}
+	close(release)
+	waitState(t, ts, a.ID, job.StateDone)
+}
+
+// TestCancelledLeaderPromotesFollower: cancelling the executing leader
+// promotes the waiting duplicate, which then runs to completion
+// itself.
+func TestCancelledLeaderPromotesFollower(t *testing.T) {
+	s, ts := newCacheServer(t, 1, 8)
+	release := make(chan struct{})
+	s.beforeRun = func(j *job.Job) { <-release }
+
+	const spec = `{"generator":{"family":"torus","width":6,"height":6}}`
+	a := submitJSON(t, ts, spec)
+	waitState(t, ts, a.ID, job.StateRunning)
+	b := submitJSON(t, ts, spec)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+a.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	close(release)
+	waitState(t, ts, a.ID, job.StateCancelled)
+	waitState(t, ts, b.ID, job.StateDone)
+	g := gen.Torus(6, 6)
+	if err := euler.Verify(g, streamCircuit(t, ts, b.ID)); err != nil {
+		t.Fatalf("promoted follower circuit: %v", err)
+	}
+}
+
 // TestJSONContentTypeWithCharset ensures a spec posted with
 // "application/json; charset=utf-8" is routed to the JSON path, not
 // treated as a binary upload.
@@ -363,7 +561,8 @@ func TestBacklogFullRejectsSubmission(t *testing.T) {
 	s.beforeRun = func(j *job.Job) { <-release }
 
 	// The first job occupies the single worker; the second fills the
-	// one backlog slot; the third must bounce with 429.
+	// tenant's one queue slot; the third must bounce with 429, a
+	// Retry-After header, and the structured error body.
 	a := submitJSON(t, ts, `{"generator":{"family":"torus","width":4,"height":4}}`)
 	waitState(t, ts, a.ID, job.StateRunning)
 	submitJSON(t, ts, `{"generator":{"family":"torus","width":4,"height":4}}`)
@@ -377,19 +576,140 @@ func TestBacklogFullRejectsSubmission(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("full backlog: status %d, want 429", resp.StatusCode)
 	}
-	// The bounced job must not linger in the store.
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
 	var e errorBody
-	json.NewDecoder(resp.Body).Decode(&e)
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != "throttled" || e.RetryAfterSeconds < 1 || e.Error == "" {
+		t.Fatalf("structured 429 body = %+v", e)
+	}
+	// The bounced job must not linger in the store.
 	if s.jobs.Len() != 2 {
 		t.Fatalf("store len = %d after bounce, want 2", s.jobs.Len())
 	}
 }
 
-func TestHealthAndMetrics(t *testing.T) {
-	_, ts := newTestServer(t, 2, 8)
+// TestFIFOFallbackRejectsLikeLegacy: the FIFO scheduler reproduces the
+// single-backlog behavior (any tenant fills the shared queue) while
+// still answering with the structured throttle response.
+func TestFIFOFallbackRejectsLikeLegacy(t *testing.T) {
+	s, ts := newSchedServer(t, sched.NewFIFO(1, 1), nil)
+	release := make(chan struct{})
+	defer close(release)
+	s.beforeRun = func(j *job.Job) { <-release }
 
-	a := submitJSON(t, ts, `{"generator":{"family":"torus","width":6,"height":4}}`)
+	a := submitJSON(t, ts, `{"generator":{"family":"torus","width":4,"height":4}}`)
+	waitState(t, ts, a.ID, job.StateRunning)
+	submitJSON(t, ts, `{"generator":{"family":"torus","width":4,"height":4}}`)
+
+	// A different tenant shares the FIFO backlog, so it bounces too —
+	// the pre-scheduler behavior.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs",
+		strings.NewReader(`{"generator":{"family":"torus"}}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", "someone-else")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("FIFO full backlog: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("FIFO 429 without a Retry-After header")
+	}
+}
+
+// TestTenantIsolation: one tenant at its queue quota does not block
+// another tenant's submissions under the fair scheduler.
+func TestTenantIsolation(t *testing.T) {
+	s, ts := newTestServer(t, 1, 1)
+	release := make(chan struct{})
+	defer close(release)
+	s.beforeRun = func(j *job.Job) { <-release }
+
+	post := func(tenant string) int {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs",
+			strings.NewReader(`{"generator":{"family":"torus","width":4,"height":4}}`))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	// Greedy: one running + one queued fills its quota; the third bounces.
+	if code := post("greedy"); code != http.StatusAccepted {
+		t.Fatalf("greedy #1: %d", code)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.sched.Running() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code := post("greedy"); code != http.StatusAccepted {
+		t.Fatalf("greedy #2: %d", code)
+	}
+	if code := post("greedy"); code != http.StatusTooManyRequests {
+		t.Fatalf("greedy #3: %d, want 429", code)
+	}
+	// The other tenant still has its own quota.
+	if code := post("polite"); code != http.StatusAccepted {
+		t.Fatalf("polite tenant bounced with %d while greedy was throttled", code)
+	}
+	if code := post(""); code != http.StatusAccepted {
+		t.Fatalf("default tenant bounced with %d while greedy was throttled", code)
+	}
+	// An invalid class is a client error, not a scheduler decision.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs",
+		strings.NewReader(`{"generator":{"family":"torus","width":4,"height":4}}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Class", "warp-speed")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad class: %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHealthAndMetrics(t *testing.T) {
+	_, ts := newCacheServer(t, 2, 8)
+
+	submit := func(tenant string) job.Snapshot {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs",
+			strings.NewReader(`{"generator":{"family":"torus","width":6,"height":4}}`))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit as %s: status %d", tenant, resp.StatusCode)
+		}
+		var snap job.Snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+	a := submit("alice")
 	waitState(t, ts, a.ID, job.StateDone)
+	b := submit("bob") // identical spec: a cache hit attributed to bob
+	waitState(t, ts, b.ID, job.StateDone)
 
 	resp, err := http.Get(ts.URL + "/v1/healthz")
 	if err != nil {
@@ -407,21 +727,92 @@ func TestHealthAndMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	var m struct {
-		Submitted  int64            `json:"jobs_submitted"`
-		Completed  int64            `json:"jobs_completed"`
-		Steps      int64            `json:"circuit_steps"`
-		PhaseNanos map[string]int64 `json:"phase_nanos"`
+		Submitted  int64                     `json:"jobs_submitted"`
+		Started    int64                     `json:"jobs_started"`
+		Completed  int64                     `json:"jobs_completed"`
+		Steps      int64                     `json:"circuit_steps"`
+		PhaseNanos map[string]int64          `json:"phase_nanos"`
+		Tenants    map[string]map[string]any `json:"tenants"`
 	}
-	json.NewDecoder(resp.Body).Decode(&m)
+	body, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if m.Submitted < 1 || m.Completed < 1 {
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Submitted != 2 || m.Completed != 2 {
 		t.Fatalf("metrics counters: %+v", m)
 	}
-	if m.Steps != 6*4*2 { // torus has 2wh edges, circuit covers each once
-		t.Fatalf("circuit_steps = %d, want %d", m.Steps, 6*4*2)
+	if m.Started != 1 {
+		t.Fatalf("jobs_started = %d, want 1 (second submission was a cache hit)", m.Started)
+	}
+	if m.Steps != 2*6*4*2 { // torus has 2wh edges; both jobs report full circuits
+		t.Fatalf("circuit_steps = %d, want %d", m.Steps, 2*6*4*2)
 	}
 	if m.PhaseNanos["wall"] <= 0 {
 		t.Fatalf("phase wall time not aggregated: %+v", m.PhaseNanos)
+	}
+
+	// Satellite contract: per-tenant gauges and the cache counters are
+	// always present in the snapshot.
+	var flat map[string]any
+	if err := json.Unmarshal(body, &flat); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"tenants", "cache_hits", "cache_misses", "coalesced_jobs", "cache_entries", "cache_bytes", "jobs_rejected"} {
+		if _, ok := flat[key]; !ok {
+			t.Errorf("metrics snapshot missing %q", key)
+		}
+	}
+	if flat["cache_hits"].(float64) != 1 || flat["cache_misses"].(float64) != 1 {
+		t.Fatalf("cache counters: hits=%v misses=%v, want 1/1", flat["cache_hits"], flat["cache_misses"])
+	}
+	// Tenant gauges exist while the tenant has live state; both jobs
+	// are terminal here, so the map may legitimately be empty — what
+	// must hold is the per-tenant shape when a tenant is active.
+	for name, gauges := range m.Tenants {
+		for _, key := range []string{"queue_depth", "running", "rejected"} {
+			if _, ok := gauges[key]; !ok {
+				t.Errorf("tenant %s gauges missing %q: %+v", name, key, gauges)
+			}
+		}
+	}
+}
+
+// TestPerTenantGaugesWhileActive pins the per-tenant gauge shape with
+// a job actually running.
+func TestPerTenantGaugesWhileActive(t *testing.T) {
+	s, ts := newTestServer(t, 1, 4)
+	release := make(chan struct{})
+	defer close(release)
+	s.beforeRun = func(j *job.Job) { <-release }
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs",
+		strings.NewReader(`{"generator":{"family":"torus","width":4,"height":4}}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", "alice")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap job.Snapshot
+	json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	waitState(t, ts, snap.ID, job.StateRunning)
+
+	m := s.MetricsSnapshot()
+	tenants, ok := m["tenants"].(map[string]map[string]any)
+	if !ok {
+		t.Fatalf("tenants gauge has unexpected shape: %T", m["tenants"])
+	}
+	alice, ok := tenants["alice"]
+	if !ok {
+		t.Fatalf("active tenant alice missing from gauges: %+v", tenants)
+	}
+	if alice["running"].(int) != 1 || alice["queue_depth"].(int) != 0 {
+		t.Fatalf("alice gauges = %+v, want running=1 queue_depth=0", alice)
 	}
 }
 

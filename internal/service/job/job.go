@@ -13,7 +13,18 @@ import (
 	"time"
 
 	"repro/internal/euler"
+	"repro/internal/graph"
 )
+
+// CircuitSource is a readable completed circuit.  A job's own disk
+// sink implements it, and so does the scheduler's result-cache reader,
+// which is how a deduplicated job serves a circuit it never computed.
+type CircuitSource interface {
+	// Steps returns the circuit length.
+	Steps() int64
+	// Iterate replays the circuit in order.
+	Iterate(fn func(graph.Step) error) error
+}
 
 // State is a job lifecycle state.
 type State string
@@ -55,6 +66,27 @@ type Job struct {
 	steps    int64
 	report   *euler.RunReport
 	sink     *CircuitSink
+	cached   CircuitSource
+	// graph is the input graph, built at submission time (where the
+	// scheduler fingerprints it) and dropped at the first terminal
+	// transition so retained jobs do not pin graph memory.
+	graph *graph.Graph
+}
+
+// AttachGraph stores the prebuilt input graph for the worker to pick
+// up; the HTTP layer calls it between registration and enqueue.
+func (j *Job) AttachGraph(g *graph.Graph) {
+	j.mu.Lock()
+	j.graph = g
+	j.mu.Unlock()
+}
+
+// Graph returns the prebuilt input graph, or nil once the job reached
+// a terminal state (or if none was attached).
+func (j *Job) Graph() *graph.Graph {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.graph
 }
 
 // Context returns the job's cancellation context; the worker threads it
@@ -85,6 +117,33 @@ func (j *Job) Finish(report *euler.RunReport, sink *CircuitSink) {
 	j.report = report
 	j.sink = sink
 	j.steps = sink.Steps()
+	j.graph = nil
+}
+
+// FinishCached completes a still-queued job straight from a cached or
+// coalesced circuit, skipping the running state entirely.  It reports
+// false — and stores nothing — if the job is no longer queued (e.g.
+// cancelled while waiting on the leader).  The job's scratch directory
+// (holding the saved upload body, when there is one) is released
+// immediately: a cache-served job will never execute, so keeping the
+// input until retention eviction would pin dead disk for every
+// deduplicated upload.
+func (j *Job) FinishCached(src CircuitSource) bool {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = StateDone
+	j.finished = time.Now()
+	j.cached = src
+	j.steps = src.Steps()
+	j.graph = nil
+	j.mu.Unlock()
+	if j.Dir != "" {
+		os.RemoveAll(j.Dir) // cleanup at eviction is a no-op on the missing dir
+	}
+	return true
 }
 
 // Fail records a failed run.  If the job's context was cancelled the
@@ -100,6 +159,7 @@ func (j *Job) Fail(err error) State {
 	}
 	j.errMsg = err.Error()
 	j.finished = time.Now()
+	j.graph = nil
 	return j.state
 }
 
@@ -117,22 +177,31 @@ func (j *Job) Cancel() (State, bool) {
 		j.state = StateCancelled
 		j.finished = time.Now()
 		j.errMsg = "cancelled before running"
+		j.graph = nil
 		return j.state, true
 	}
 	return j.state, false
 }
 
-// Circuit returns the circuit sink of a successfully completed job
-// with a reader reference already held, so a concurrent eviction
-// cannot close the sink before the caller starts reading.  The caller
-// must Release the sink when done.
-func (j *Job) Circuit() (*CircuitSink, bool) {
+// Circuit returns the circuit source of a successfully completed job.
+// For sink-backed jobs a reader reference is already held, so a
+// concurrent eviction cannot close the sink before the caller starts
+// reading; the caller must invoke the returned release function when
+// done.  Cache-backed sources need no reference (the cache log is
+// append-only), so their release is a no-op.
+func (j *Job) Circuit() (CircuitSource, func(), bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.state != StateDone || j.sink == nil || !j.sink.Acquire() {
-		return nil, false
+	if j.state != StateDone {
+		return nil, nil, false
 	}
-	return j.sink, true
+	if j.cached != nil {
+		return j.cached, func() {}, true
+	}
+	if j.sink == nil || !j.sink.Acquire() {
+		return nil, nil, false
+	}
+	return j.sink, j.sink.Release, true
 }
 
 // cleanup releases the job's disk footprint.  Called by the store on

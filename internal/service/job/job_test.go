@@ -170,7 +170,7 @@ func TestCircuitSurvivesEviction(t *testing.T) {
 	a.Start()
 	a.Finish(&euler.RunReport{}, sink)
 
-	got, ok := a.Circuit() // reference held from here
+	got, release, ok := a.Circuit() // reference held from here
 	if !ok {
 		t.Fatal("Circuit on done job failed")
 	}
@@ -194,11 +194,61 @@ func TestCircuitSurvivesEviction(t *testing.T) {
 	if n != 5 {
 		t.Fatalf("saw %d steps, want 5", n)
 	}
-	got.Release()
+	release()
 
 	// With the last reference gone the deferred close lands.
-	if _, ok := a.Circuit(); ok {
+	if _, _, ok := a.Circuit(); ok {
 		t.Fatal("Circuit should refuse after the deferred close")
+	}
+}
+
+// fakeSource is an in-memory CircuitSource.
+type fakeSource []graph.Step
+
+func (f fakeSource) Steps() int64 { return int64(len(f)) }
+func (f fakeSource) Iterate(fn func(graph.Step) error) error {
+	for _, s := range f {
+		if err := fn(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestFinishCached: a queued job completes straight from a cached
+// source, serves it through Circuit, and drops its prebuilt graph; a
+// cancelled job refuses the cached completion.
+func TestFinishCached(t *testing.T) {
+	s := NewStore(10)
+	j := s.New(Spec{Generator: &GenSpec{Family: "torus"}}, "")
+	j.AttachGraph(graph.FromEdges(2, [][2]graph.VertexID{{0, 1}}))
+	src := fakeSource{{Edge: 0, From: 0, To: 1}, {Edge: 1, From: 1, To: 0}}
+	if !j.FinishCached(src) {
+		t.Fatal("FinishCached on a queued job must succeed")
+	}
+	if j.Graph() != nil {
+		t.Fatal("terminal job must drop its prebuilt graph")
+	}
+	snap := j.Snapshot()
+	if snap.State != StateDone || snap.Steps != 2 || snap.Started != nil {
+		t.Fatalf("cached snapshot = %+v, want done with 2 steps and no start time", snap)
+	}
+	got, release, ok := j.Circuit()
+	if !ok || got.Steps() != 2 {
+		t.Fatal("Circuit must serve the cached source")
+	}
+	release()
+	if j.Start() {
+		t.Fatal("Start after a cached completion must fail")
+	}
+
+	c := s.New(Spec{Generator: &GenSpec{Family: "torus"}}, "")
+	c.Cancel()
+	if c.FinishCached(src) {
+		t.Fatal("FinishCached on a cancelled job must refuse")
+	}
+	if st := c.State(); st != StateCancelled {
+		t.Fatalf("state = %s after refused cached finish, want cancelled", st)
 	}
 }
 

@@ -1,7 +1,6 @@
 package job
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sync"
 
@@ -93,7 +92,7 @@ func (c *CircuitSink) flushLocked() error {
 	}
 	// The DiskStore writes the payload through its bufio writer before Put
 	// returns, so one encode buffer serves every batch of the job.
-	c.enc = appendBatch(c.enc[:0], c.buf)
+	c.enc = graph.AppendSteps(c.enc[:0], c.buf)
 	if err := c.store.Put(c.records, c.enc); err != nil {
 		return err
 	}
@@ -107,6 +106,37 @@ func (c *CircuitSink) Steps() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.steps
+}
+
+// IterateBatches replays the persisted circuit's raw batch frames (as
+// written by graph.AppendSteps) without decoding them, for consumers
+// that re-persist the frames verbatim — the scheduler's result cache
+// copies a multi-million-step circuit this way with no decode/encode
+// pass.  Like Iterate it requires Finish and holds the sink open.
+func (c *CircuitSink) IterateBatches(fn func(frame []byte) error) error {
+	c.mu.Lock()
+	if !c.finished {
+		c.mu.Unlock()
+		return fmt.Errorf("job: iterate before Finish")
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("job: iterate after Close")
+	}
+	c.refs++
+	records := c.records
+	c.mu.Unlock()
+	defer c.release()
+	for i := int64(0); i < records; i++ {
+		data, err := c.store.Get(i)
+		if err != nil {
+			return err
+		}
+		if err := fn(data); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Iterate replays the persisted circuit in order, calling fn for each
@@ -131,7 +161,7 @@ func (c *CircuitSink) Iterate(fn func(graph.Step) error) error {
 		if err != nil {
 			return err
 		}
-		steps, err := decodeBatch(data)
+		steps, err := graph.DecodeSteps(data)
 		if err != nil {
 			return fmt.Errorf("job: circuit batch %d: %w", i, err)
 		}
@@ -193,46 +223,5 @@ func (c *CircuitSink) Close() error {
 	return c.store.Close()
 }
 
-// appendBatch frames steps as (uvarint count, then per step uvarint
-// edge, from, to) appended to dst; IDs are non-negative by construction.
-func appendBatch(dst []byte, steps []graph.Step) []byte {
-	dst = binary.AppendUvarint(dst, uint64(len(steps)))
-	for _, s := range steps {
-		dst = binary.AppendUvarint(dst, uint64(s.Edge))
-		dst = binary.AppendUvarint(dst, uint64(s.From))
-		dst = binary.AppendUvarint(dst, uint64(s.To))
-	}
-	return dst
-}
-
-func decodeBatch(data []byte) ([]graph.Step, error) {
-	next := func() (int64, error) {
-		x, n := binary.Uvarint(data)
-		if n <= 0 {
-			return 0, fmt.Errorf("truncated batch")
-		}
-		data = data[n:]
-		return int64(x), nil
-	}
-	count, err := next()
-	if err != nil {
-		return nil, err
-	}
-	steps := make([]graph.Step, 0, count)
-	for i := int64(0); i < count; i++ {
-		e, err := next()
-		if err != nil {
-			return nil, err
-		}
-		u, err := next()
-		if err != nil {
-			return nil, err
-		}
-		v, err := next()
-		if err != nil {
-			return nil, err
-		}
-		steps = append(steps, graph.Step{Edge: e, From: u, To: v})
-	}
-	return steps, nil
-}
+// Batch framing lives in graph.AppendSteps/DecodeSteps, shared with the
+// scheduler's result cache so both speak the same disk payload format.

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"sync"
+	"time"
+)
+
+// rateBuckets is the fixed bucket count a Rate window is divided into;
+// finer buckets would only matter for windows shorter than a second.
+const rateBuckets = 10
+
+// Rate estimates an event rate over a sliding time window with a ring
+// of fixed-width buckets.  The scheduler feeds it job completions and
+// reads the observed service rate back out to compute Retry-After
+// hints for admission rejections.  Safe for concurrent use.
+type Rate struct {
+	mu        sync.Mutex
+	bucketDur time.Duration
+	counts    [rateBuckets]int64
+	epochs    [rateBuckets]int64 // which bucket period each slot holds
+	firstNano int64              // when the first event landed; 0 = none yet
+	now       func() time.Time   // clock seam for tests
+}
+
+// NewRate returns an estimator over the given window (minimum 1s).
+func NewRate(window time.Duration) *Rate {
+	if window < time.Second {
+		window = time.Second
+	}
+	return &Rate{bucketDur: window / rateBuckets, now: time.Now}
+}
+
+// Observe records n events at the current time.
+func (r *Rate) Observe(n int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	nanos := r.now().UnixNano()
+	if r.firstNano == 0 {
+		r.firstNano = nanos
+	}
+	epoch := nanos / int64(r.bucketDur)
+	slot := int(epoch % rateBuckets)
+	if r.epochs[slot] != epoch {
+		r.epochs[slot] = epoch
+		r.counts[slot] = 0
+	}
+	r.counts[slot] += n
+}
+
+// PerSecond returns the event rate over the window ending now.  It is
+// 0 until the first observation; before a full window of history has
+// accumulated the divisor is the elapsed time (floored at one bucket),
+// so a freshly started server does not report a rate diluted by empty
+// window it never lived through — with a 30s window that dilution
+// would inflate early Retry-After hints up to 30×.
+func (r *Rate) PerSecond() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.firstNano == 0 {
+		return 0
+	}
+	nanos := r.now().UnixNano()
+	epoch := nanos / int64(r.bucketDur)
+	var total int64
+	for slot := 0; slot < rateBuckets; slot++ {
+		// A slot is live when its period falls inside the last
+		// rateBuckets periods (the current, partially filled one
+		// included).
+		if age := epoch - r.epochs[slot]; age >= 0 && age < rateBuckets && r.epochs[slot] != 0 {
+			total += r.counts[slot]
+		}
+	}
+	window := time.Duration(rateBuckets) * r.bucketDur
+	if elapsed := time.Duration(nanos - r.firstNano); elapsed < window {
+		if elapsed < r.bucketDur {
+			elapsed = r.bucketDur
+		}
+		window = elapsed
+	}
+	return float64(total) / window.Seconds()
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock steps a Rate's clock deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeRate(window time.Duration) (*Rate, *fakeClock) {
+	r := NewRate(window)
+	c := &fakeClock{t: time.Unix(1_000_000, 0)}
+	r.now = c.now
+	return r, c
+}
+
+func TestRateEmpty(t *testing.T) {
+	r, _ := newFakeRate(10 * time.Second)
+	if got := r.PerSecond(); got != 0 {
+		t.Fatalf("empty rate = %v, want 0", got)
+	}
+}
+
+func TestRateSteadyStream(t *testing.T) {
+	r, c := newFakeRate(10 * time.Second)
+	// 2 events per second for 20 seconds; the window should settle at 2/s.
+	for i := 0; i < 20; i++ {
+		r.Observe(2)
+		c.advance(time.Second)
+	}
+	got := r.PerSecond()
+	if got < 1.5 || got > 2.5 {
+		t.Fatalf("steady 2/s stream measured %v", got)
+	}
+}
+
+func TestRateExpiresOldEvents(t *testing.T) {
+	r, c := newFakeRate(10 * time.Second)
+	r.Observe(100)
+	// With no elapsed history the divisor floors at one bucket (1s).
+	if got := r.PerSecond(); got != 100 {
+		t.Fatalf("fresh burst = %v/s, want 100", got)
+	}
+	c.advance(11 * time.Second)
+	if got := r.PerSecond(); got != 0 {
+		t.Fatalf("rate after window expiry = %v, want 0", got)
+	}
+}
+
+// TestRateEarlyLifeUsesElapsedTime: before a full window has passed,
+// the rate reflects the history that actually exists — a young server
+// must not report a 30×-diluted rate (and hand out 30× Retry-After).
+func TestRateEarlyLifeUsesElapsedTime(t *testing.T) {
+	r, c := newFakeRate(30 * time.Second)
+	r.Observe(1)
+	c.advance(2 * time.Second)
+	r.Observe(1)
+	// 2 events over ~2s of life: ~1/s, not 2/30.
+	if got := r.PerSecond(); got < 0.5 || got > 2 {
+		t.Fatalf("early-life rate = %v/s, want ~1", got)
+	}
+	// Once the window has fully elapsed, the divisor is the window.
+	for i := 0; i < 40; i++ {
+		r.Observe(1)
+		c.advance(time.Second)
+	}
+	if got := r.PerSecond(); got < 0.8 || got > 1.2 {
+		t.Fatalf("steady rate = %v/s, want ~1", got)
+	}
+}
+
+func TestRateMinimumWindow(t *testing.T) {
+	r := NewRate(0) // clamps to a 1s window, 100ms buckets
+	r.Observe(5)
+	if got := r.PerSecond(); got != 50 { // 5 events over the 100ms floor
+		t.Fatalf("fresh burst = %v/s, want 50", got)
+	}
+}
