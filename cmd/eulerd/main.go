@@ -6,6 +6,14 @@
 //
 //	eulerd -addr :8080 -workers 4 -backlog 64 -data /var/lib/eulerd
 //
+// Beyond plain Euler circuits, the spec's "kind" field selects a
+// workload family from the internal/jobkind registry — "euler"
+// (default), "postman" (covering tours of non-Eulerian graphs),
+// "debruijn" (de Bruijn sequences), and "superwalk" (DNA-assembly
+// superwalks) — all sharing the same job pipeline, result cache, and
+// cluster path, with kind-isolated fingerprints and per-kind
+// kinds.<name>.{started,completed,cache_hits} metrics.
+//
 // Scheduling is multi-tenant by default (-sched fair): the tenant comes
 // from the X-Tenant header (or a digest of X-API-Key), submissions are
 // dispatched by weighted fair queueing with per-tenant queue and

@@ -1,63 +1,61 @@
 // De Bruijn sequence generation — the classic constructive application of
 // directed Euler circuits: B(k, n), the shortest cyclic sequence containing
-// every length-n string over a k-letter alphabet exactly once, is the edge
-// sequence of an Euler circuit of the de Bruijn graph on (n-1)-mers.
+// every length-n string over a k-letter alphabet exactly once, served
+// through the "debruijn" workload kind.  The example is a thin client of
+// the jobkind registry: the same normalised request a
+// {"kind":"debruijn"} submission resolves to, solved through the
+// registry's library path and re-verified with the kind's verifier.
 //
 //	go run ./examples/debruijnseq
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
 
-	"repro/internal/seq"
+	"repro/internal/graph"
+	"repro/internal/jobkind"
 )
 
 const (
 	k = 2  // alphabet size
-	n = 12 // substring length: B(2,12) has 4096 symbols
+	n = 12 // window length: B(2,12) has 4096 symbols
 )
 
 func main() {
-	// Vertices are (n-1)-symbol states; each edge appends one symbol.
-	// Vertex IDs encode the state in base k.
-	states := int64(1)
-	for i := 0; i < n-1; i++ {
-		states *= k
-	}
-	d := seq.NewDigraph()
-	for state := int64(0); state < states; state++ {
-		for sym := int64(0); sym < k; sym++ {
-			next := (state*k + sym) % states
-			d.AddEdge(state, next, fmt.Sprintf("%d", sym))
-		}
-	}
-	fmt.Printf("de Bruijn graph B(%d,%d): %d states, %d edges\n", k, n, states, d.NumEdges())
-
-	labels, err := d.EulerPath()
-	if err != nil {
+	kind := jobkind.MustGet("debruijn")
+	req := jobkind.Request{DeBruijn: &jobkind.DeBruijnSpec{Alphabet: k, Length: n}}
+	if err := kind.Normalize(&req); err != nil {
 		log.Fatal(err)
 	}
-	sequence := strings.Join(labels, "")
-	fmt.Printf("sequence length: %d (want %d)\n", len(sequence), d.NumEdges())
 
-	// Verify the defining property: every n-symbol window (cyclically)
-	// appears exactly once.
-	cyclic := sequence + sequence[:n-1]
-	windows := make(map[string]int)
-	for i := 0; i+n <= len(cyclic); i++ {
-		windows[cyclic[i:i+n]]++
+	// Solve in-process: the kind walks an Euler circuit of the directed
+	// de Bruijn graph on (n-1)-mers, one appended symbol per edge.  The
+	// sink frame packs each symbol into Step.Edge.
+	var steps []graph.Step
+	if _, err := kind.Solve(context.Background(), req, nil, nil, func(st graph.Step) error {
+		steps = append(steps, st)
+		return nil
+	}); err != nil {
+		log.Fatal(err)
 	}
-	want := int(d.NumEdges())
-	if len(windows) != want {
-		log.Fatalf("distinct windows = %d, want %d", len(windows), want)
+	fmt.Printf("de Bruijn sequence B(%d,%d): %d symbols\n", k, n, len(steps))
+
+	// Re-verify, as the load harness does for every served result: every
+	// length-n window occurs exactly once cyclically.
+	if err := kind.Verify(req, nil, steps); err != nil {
+		log.Fatal(err)
 	}
-	for w, c := range windows {
-		if c != 1 {
-			log.Fatalf("window %s appears %d times", w, c)
-		}
+	fmt.Printf("verified: all %d length-%d windows occur exactly once ✓\n", len(steps), n)
+
+	var b strings.Builder
+	for _, st := range steps[:64] {
+		fmt.Fprintf(&b, "%d", st.Edge)
 	}
-	fmt.Printf("verified: all %d length-%d windows occur exactly once ✓\n", want, n)
-	fmt.Printf("first 64 symbols: %s…\n", sequence[:64])
+	fmt.Printf("first 64 symbols: %s…\n", b.String())
+
+	// The wire form GET /v1/jobs/{id}/circuit streams:
+	fmt.Printf("first wire line: %s", kind.AppendLine(nil, steps[0]))
 }

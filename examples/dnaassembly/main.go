@@ -1,106 +1,77 @@
-// DNA fragment assembly by Eulerian path — the application the paper's
-// introduction cites (Pevzner et al., PNAS 2001).  A synthetic genome is
-// shredded into overlapping k-mers; each k-mer is a directed edge between
-// its (k-1)-mer prefix and suffix in the de Bruijn graph; an Euler path
-// over those edges spells the genome back out.
+// DNA fragment assembly by Eulerian superwalk — the application the
+// paper's introduction cites (Pevzner et al., PNAS 2001), served through
+// the "superwalk" workload kind.  A synthetic genome is shredded into
+// overlapping k-mers; each k-mer is a directed edge between its
+// (k-1)-mer prefix and suffix in the de Bruijn graph; an Euler path over
+// those edges spells the genome back out.  The example is a thin client
+// of the jobkind registry: the same normalised request a
+// {"kind":"superwalk"} submission resolves to, solved through the
+// registry's library path and re-verified with the kind's verifier.
 //
 //	go run ./examples/dnaassembly
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 	"strings"
 
+	"repro/internal/graph"
+	"repro/internal/jobkind"
 	"repro/internal/seq"
 )
 
 const (
 	genomeLen = 5_000
 	k         = 21 // k-mer length
+	seed      = 7
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(7))
-	genome := randomGenome(rng, genomeLen)
+	kind := jobkind.MustGet("superwalk")
+	req := jobkind.Request{Superwalk: &jobkind.SuperwalkSpec{GenomeLen: genomeLen, K: k, Seed: seed}}
+	if err := kind.Normalize(&req); err != nil {
+		log.Fatal(err)
+	}
+
+	genome := seq.SyntheticGenome(genomeLen, seed)
 	fmt.Printf("synthetic genome: %d bases (first 60: %s…)\n", genomeLen, genome[:60])
+	fmt.Printf("shredded into %d %d-mers\n", genomeLen-k+1, k)
 
-	// Shred into every k-mer, as an idealised error-free sequencer would.
-	kmers := make([]string, 0, genomeLen-k+1)
-	for i := 0; i+k <= len(genome); i++ {
-		kmers = append(kmers, genome[i:i+k])
-	}
-	fmt.Printf("shredded into %d %d-mers\n", len(kmers), k)
-
-	// Build the de Bruijn graph: vertices are (k-1)-mers, each k-mer is a
-	// directed edge prefix→suffix labelled with the k-mer itself.
-	ids := make(map[string]int64)
-	vertexID := func(s string) int64 {
-		if id, ok := ids[s]; ok {
-			return id
-		}
-		id := int64(len(ids))
-		ids[s] = id
-		return id
-	}
-	d := seq.NewDigraph()
-	for _, km := range kmers {
-		d.AddEdge(vertexID(km[:k-1]), vertexID(km[1:]), km)
-	}
-	fmt.Printf("de Bruijn graph: %d vertices, %d edges\n", len(ids), d.NumEdges())
-
-	// Walk the Euler path and re-spell the genome: the first k-mer whole,
-	// then the last base of each subsequent k-mer.
-	ordered, err := d.EulerPath()
-	if err != nil {
+	// Solve in-process: the kind shreds the same genome server-side,
+	// builds the de Bruijn graph, and walks the superwalk.  The sink
+	// frame packs one base per Step.Edge.
+	var steps []graph.Step
+	if _, err := kind.Solve(context.Background(), req, nil, nil, func(st graph.Step) error {
+		steps = append(steps, st)
+		return nil
+	}); err != nil {
 		log.Fatalf("assembly failed: %v", err)
 	}
+
+	// Re-verify, as the load harness does for every served result: the
+	// assembled string shreds into exactly the input k-mer spectrum —
+	// the actual invariant Eulerian assembly guarantees.
+	if err := kind.Verify(req, nil, steps); err != nil {
+		log.Fatal(err)
+	}
+
 	var b strings.Builder
-	b.WriteString(ordered[0])
-	for _, km := range ordered[1:] {
-		b.WriteByte(km[k-1])
+	for _, st := range steps {
+		b.WriteByte(byte(st.Edge))
 	}
 	assembled := b.String()
-
 	if assembled == genome {
 		fmt.Printf("assembled %d bases: exact reconstruction ✓\n", len(assembled))
 	} else {
 		// With repeats longer than k-1 the Euler path need not be unique;
-		// any valid path is still a consistent assembly of all k-mers.
-		fmt.Printf("assembled %d bases: valid alternative Eulerian assembly (genome has repeats ≥ %d)\n",
+		// any valid superwalk is still a consistent assembly of all
+		// k-mers, and Verify above has pinned the spectrum.
+		fmt.Printf("assembled %d bases: valid alternative Eulerian assembly (genome has repeats ≥ %d), spectrum identical ✓\n",
 			len(assembled), k-1)
-		verifyKmerSpectrum(assembled, genome)
 	}
-}
 
-// verifyKmerSpectrum checks both strings shred into the same k-mer
-// multiset — the actual invariant Eulerian assembly guarantees.
-func verifyKmerSpectrum(a, b string) {
-	spec := func(s string) map[string]int {
-		m := make(map[string]int)
-		for i := 0; i+k <= len(s); i++ {
-			m[s[i:i+k]]++
-		}
-		return m
-	}
-	sa, sb := spec(a), spec(b)
-	if len(sa) != len(sb) {
-		log.Fatalf("k-mer spectra differ in size: %d vs %d", len(sa), len(sb))
-	}
-	for km, c := range sa {
-		if sb[km] != c {
-			log.Fatalf("k-mer %s count %d vs %d", km, c, sb[km])
-		}
-	}
-	fmt.Println("k-mer spectra identical ✓")
-}
-
-func randomGenome(rng *rand.Rand, n int) string {
-	const bases = "ACGT"
-	b := make([]byte, n)
-	for i := range b {
-		b[i] = bases[rng.Intn(4)]
-	}
-	return string(b)
+	// The wire form GET /v1/jobs/{id}/circuit streams:
+	fmt.Printf("first wire line: %s", kind.AppendLine(nil, steps[0]))
 }

@@ -1,89 +1,79 @@
 // Snow-plow route planning — the arc-routing application the paper cites
-// (districting for salt spreading, Euler tours and the Chinese postman).
-// A synthetic city grid with some closed streets is Eulerised (deadheading
-// edges added between odd intersections, the classic Chinese-postman
-// repair) and the distributed algorithm produces a single plow tour that
-// covers every street exactly once and returns to the depot.
+// (districting for salt spreading, Euler tours and the Chinese postman),
+// served through the "postman" workload kind.  The example is a thin
+// client of the jobkind registry: it submits the same normalised request
+// an eulerd server would resolve, solves it through the registry's
+// library path, and re-verifies the tour with the kind's own verifier.
 //
 //	go run ./examples/snowplow
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
-	euler "repro"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/jobkind"
 )
 
 const (
-	blocksX = 60
-	blocksY = 40
+	blocksX  = 60
+	blocksY  = 40
+	closures = 0.10 // fraction of streets closed for construction
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(11))
-
-	// 1. Build the street network: a grid with ~10% of streets closed for
-	//    construction, keeping the largest connected piece.
-	city := buildCity(rng)
+	// 1. Build the street network: a grid with ~10% of streets closed,
+	//    reduced to its largest connected piece — the same "grid"
+	//    generator family a {"kind":"postman"} submission names.
+	city := gen.StreetGrid(blocksX, blocksY, closures, 11)
 	fmt.Printf("city: %d intersections, %d streets\n", city.NumVertices(), city.NumEdges())
 
-	// 2. Chinese-postman repair: add deadheading edges pairing odd-degree
-	//    intersections so a closed tour exists.  gen.Eulerize pairs odd
-	//    vertices by degree, the same tool the paper uses on RMAT graphs.
-	plowable, stats := gen.Eulerize(city)
-	fmt.Printf("deadheading: %d odd intersections paired with %d extra traversals (%.1f%% overhead)\n",
-		stats.OddVertices, stats.AddedEdges, stats.ExtraPercent)
-
-	// 3. One plow tour over the whole city, computed across 6 partitions
-	//    (think: 6 dispatch zones, merged pairwise per the merge tree).
-	c, err := euler.FindCircuit(plowable, euler.WithPartitions(6), euler.WithSeed(3))
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := euler.Verify(plowable, c.Steps); err != nil {
+	// 2. Resolve and normalise the request exactly as the server would.
+	kind := jobkind.MustGet("postman")
+	req := jobkind.Request{Options: jobkind.Options{Parts: 6, Seed: 3}}
+	if err := kind.Normalize(&req); err != nil {
 		log.Fatal(err)
 	}
 
-	depot := c.Steps[0].From
-	fmt.Printf("plow tour: %d street traversals, depot at intersection %d, closed loop ✓\n",
-		len(c.Steps), depot)
-	fmt.Printf("deadheading share of the tour: %.1f%%\n",
-		100*float64(stats.AddedEdges)/float64(len(c.Steps)))
-	fmt.Printf("coordination: %d supersteps over %d zones (merge-tree height %d)\n",
-		c.Report.BSP.Supersteps, 6, c.Report.TreeHeight)
-
-	// 4. Print the first few turns of the route sheet.
-	fmt.Println("\nroute sheet (first 10 turns):")
-	for i, s := range c.Steps[:10] {
-		fmt.Printf("  %2d. %s -> %s\n", i+1, corner(s.From), corner(s.To))
+	// 3. Solve through the registry: the postman kind Eulerises the grid
+	//    (deadheading edges pairing odd intersections, the classic
+	//    Chinese-postman repair) and routes the multigraph through the
+	//    paper's partition-centric engine.  A nil runner solves
+	//    in-process, as a standalone eulerd does.
+	var steps []graph.Step
+	if _, err := kind.Solve(context.Background(), req, city, nil, func(st graph.Step) error {
+		steps = append(steps, st)
+		return nil
+	}); err != nil {
+		log.Fatal(err)
 	}
-}
 
-// buildCity returns a blocksX×blocksY street grid with random closures,
-// reduced to its largest connected component.
-func buildCity(rng *rand.Rand) *graph.Graph {
-	id := func(x, y int64) graph.VertexID { return y*blocksX + x }
-	b := graph.NewBuilder(blocksX*blocksY, 2*blocksX*blocksY)
-	for y := int64(0); y < blocksY; y++ {
-		for x := int64(0); x < blocksX; x++ {
-			if x+1 < blocksX && rng.Float64() > 0.10 {
-				b.AddEdge(id(x, y), id(x+1, y))
-			}
-			if y+1 < blocksY && rng.Float64() > 0.10 {
-				b.AddEdge(id(x, y), id(x, y+1))
-			}
+	// 4. Re-verify, as the load harness does for every served result.
+	if err := kind.Verify(req, city, steps); err != nil {
+		log.Fatal(err)
+	}
+
+	deadheads := 0
+	for _, st := range steps {
+		if st.Edge < 0 { // the sink codec packs "revisit" into the sign
+			deadheads++
 		}
 	}
-	g, _ := graph.LargestComponent(b.Build())
-	return g
-}
+	depot := steps[0].From
+	fmt.Printf("plow tour: %d street traversals (%d deadheading), depot at intersection %d, closed loop ✓\n",
+		len(steps), deadheads, depot)
+	fmt.Printf("deadheading share of the tour: %.1f%%\n",
+		100*float64(deadheads)/float64(len(steps)))
 
-// corner renders an intersection as its grid coordinates (approximate for
-// the renumbered component).
-func corner(v graph.VertexID) string {
-	return fmt.Sprintf("(%d,%d)", v%blocksX, v/blocksX)
+	// 5. Print the first few turns of the route sheet, in the same NDJSON
+	//    frames GET /v1/jobs/{id}/circuit streams.
+	fmt.Println("\nroute sheet (first 5 wire lines):")
+	var buf []byte
+	for _, st := range steps[:5] {
+		buf = kind.AppendLine(buf[:0], st)
+		fmt.Printf("  %s", buf)
+	}
 }

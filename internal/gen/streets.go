@@ -1,0 +1,38 @@
+package gen
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// StreetGrid returns a w×h city street network: the planar grid (no
+// wrap-around, unlike Torus) with a closures fraction of streets removed
+// at random, reduced to its largest connected component.  Boundary
+// intersections have odd degree 3 and closures strand more, so the
+// result is connected but essentially never Eulerian — the covering-tour
+// (Chinese postman) input family, deterministic in (w, h, closures,
+// seed).  Vertex (x, y) has ID y*w+x before component renumbering.
+func StreetGrid(w, h int64, closures float64, seed int64) *graph.Graph {
+	if w < 2 || h < 2 {
+		panic("gen: street grid requires w, h >= 2")
+	}
+	if closures < 0 || closures >= 1 {
+		panic("gen: street closure fraction must be in [0, 1)")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	id := func(x, y int64) graph.VertexID { return y*w + x }
+	b := graph.NewBuilder(w*h, int(2*w*h))
+	for y := int64(0); y < h; y++ {
+		for x := int64(0); x < w; x++ {
+			if x+1 < w && rng.Float64() >= closures {
+				b.AddEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < h && rng.Float64() >= closures {
+				b.AddEdge(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	g, _ := graph.LargestComponent(b.Build())
+	return g
+}

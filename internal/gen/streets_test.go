@@ -1,0 +1,64 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestStreetGrid(t *testing.T) {
+	g := StreetGrid(10, 8, 0, 1)
+	// No closures: the full planar grid survives as one component.
+	if g.NumVertices() != 80 {
+		t.Fatalf("vertices = %d, want 80", g.NumVertices())
+	}
+	if want := int64(10*7 + 9*8); g.NumEdges() != want {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), want)
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("grid disconnected")
+	}
+	// Corners have degree 2, other boundary vertices degree 3: the grid
+	// is postman input, never Eulerian.
+	if len(g.OddVertices()) == 0 {
+		t.Fatal("grid has no odd intersections; StreetGrid should not be Eulerian")
+	}
+}
+
+func TestStreetGridClosures(t *testing.T) {
+	full := StreetGrid(12, 12, 0, 3)
+	closed := StreetGrid(12, 12, 0.2, 3)
+	if closed.NumEdges() >= full.NumEdges() {
+		t.Fatalf("closures removed nothing: %d >= %d", closed.NumEdges(), full.NumEdges())
+	}
+	if !graph.IsConnected(closed) {
+		t.Fatal("largest-component reduction left a disconnected graph")
+	}
+	// Determinism: same parameters, same network.
+	again := StreetGrid(12, 12, 0.2, 3)
+	if again.NumEdges() != closed.NumEdges() || again.NumVertices() != closed.NumVertices() {
+		t.Fatal("StreetGrid is not deterministic in its parameters")
+	}
+	other := StreetGrid(12, 12, 0.2, 4)
+	if other.NumEdges() == closed.NumEdges() && other.NumVertices() == closed.NumVertices() {
+		t.Log("different seeds produced same-shape grids (possible, but suspicious)")
+	}
+}
+
+func TestStreetGridPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"narrow":       func() { StreetGrid(1, 5, 0, 1) },
+		"flat":         func() { StreetGrid(5, 1, 0, 1) },
+		"neg closures": func() { StreetGrid(5, 5, -0.1, 1) },
+		"all closed":   func() { StreetGrid(5, 5, 1.0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,231 @@
+// Package jobkind is the workload-family registry: the single place
+// where a served job kind plugs in its spec validation/normalization,
+// canonical fingerprint material, solver invocation, result-stream
+// codec, and result verification.
+//
+// Four kinds ship today, all powered by the paper's partition-centric
+// Euler machinery or its direct generalisations:
+//
+//   - "euler" (the default): an Euler circuit of an Eulerian input
+//     graph, streamed as {"edge","from","to"} steps.
+//   - "postman": a covering tour (Chinese postman) of a connected but
+//     non-Eulerian graph; steps may carry "revisit":true for
+//     deadheading traversals, so the tour is longer than the edge set.
+//   - "debruijn": a de Bruijn sequence B(k, n), streamed one
+//     {"sym":s} symbol per line.
+//   - "superwalk": a DNA-assembly superwalk over a read set (explicit
+//     or a shredded synthetic genome), streamed one {"base":"A"} line
+//     per base.
+//
+// Every kind shares one persistence contract: results are framed as
+// graph.Step values over the existing spill-backed sink (sequence kinds
+// pack one symbol/base into Step.Edge; postman packs the revisit flag
+// into the edge's sign), so the scheduler's content-addressed result
+// cache copies and replays any kind's stream without knowing the kind.
+// The HTTP layer renders steps to NDJSON through the kind's codec.
+package jobkind
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	euler "repro"
+	"repro/internal/graph"
+)
+
+// DefaultName is the kind an empty spec resolves to.
+const DefaultName = "euler"
+
+// Options are the engine knobs shared by the graph-backed kinds;
+// sequence kinds must leave all of them zero.
+type Options struct {
+	Parts int32
+	Mode  string
+	Seed  int64
+	Spill bool
+}
+
+// Request is the kind-relevant portion of one submission: the engine
+// options plus whichever kind-specific spec the kind consumes.
+// Normalize validates it and writes defaults in place.
+type Request struct {
+	Options   Options
+	DeBruijn  *DeBruijnSpec
+	Superwalk *SuperwalkSpec
+}
+
+// SpecError is a structured kind/spec rejection, rendered by the HTTP
+// layer as a 400 with machine-readable code ("unknown_kind" or
+// "invalid_kind_spec") and kind fields, consistent with the scheduler's
+// 429/503 bodies.
+type SpecError struct {
+	Code string
+	Kind string
+	Msg  string
+}
+
+// Error implements error.
+func (e *SpecError) Error() string { return e.Msg }
+
+func badSpec(kind, format string, args ...any) *SpecError {
+	return &SpecError{Code: "invalid_kind_spec", Kind: kind, Msg: fmt.Sprintf(format, args...)}
+}
+
+// GraphRunner computes an Euler circuit of g, streaming steps through
+// emit and returning the engine report.  The serving layer injects its
+// CircuitRunner here (cluster coordinators fan the run out over worker
+// nodes); a nil runner makes the kind solve in-process via
+// DefaultRunner.
+type GraphRunner func(ctx context.Context, g *graph.Graph, emit func(graph.Step) error) (*euler.Report, error)
+
+// Kind is one workload family's plug-in surface.
+type Kind interface {
+	// Name is the registry key and the wire value of the spec's "kind"
+	// field.
+	Name() string
+	// NeedsGraph reports whether the kind consumes an input graph
+	// (generator spec or upload); sequence kinds are graphless.
+	NeedsGraph() bool
+	// Normalize validates the request and writes kind defaults in
+	// place; rejections are *SpecError values.
+	Normalize(req *Request) error
+	// Material returns the kind-specific canonical fingerprint bytes of
+	// a normalised request.  The kind name itself and the engine options
+	// are hashed by sched.FingerprintGraph; Material covers only what
+	// the kind adds (nil when the graph and engine options say it all).
+	Material(req Request) []byte
+	// Solve executes a normalised request, streaming the encoded result
+	// through emit.  g is the built input graph (nil for graphless
+	// kinds); run is the serving layer's circuit runner (nil = solve
+	// in-process).  The report is nil for kinds that never run the
+	// engine.
+	Solve(ctx context.Context, req Request, g *graph.Graph, run GraphRunner, emit func(graph.Step) error) (*euler.Report, error)
+	// Verify checks a decoded result stream against the request (and
+	// input graph, when there is one); the load runner re-verifies
+	// every returned result through this.
+	Verify(req Request, g *graph.Graph, steps []graph.Step) error
+	// AppendLine appends one step's NDJSON line (with trailing newline)
+	// to dst, and ParseLine is its inverse over one line without the
+	// newline.
+	AppendLine(dst []byte, st graph.Step) []byte
+	ParseLine(line []byte) (graph.Step, error)
+}
+
+var registry = map[string]Kind{
+	"euler":     eulerKind{},
+	"postman":   postmanKind{},
+	"debruijn":  debruijnKind{},
+	"superwalk": superwalkKind{},
+}
+
+// Get resolves a kind name ("" means DefaultName).  Unknown names come
+// back as a *SpecError with code "unknown_kind".
+func Get(name string) (Kind, error) {
+	if name == "" {
+		name = DefaultName
+	}
+	k, ok := registry[name]
+	if !ok {
+		return nil, &SpecError{
+			Code: "unknown_kind",
+			Kind: name,
+			Msg:  fmt.Sprintf("unknown job kind %q (want %s)", name, strings.Join(Names(), ", ")),
+		}
+	}
+	return k, nil
+}
+
+// MustGet is Get for names the caller already validated.
+func MustGet(name string) Kind {
+	k, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Names returns the registered kind names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseMode maps the wire name of a remote-edge strategy to the engine
+// mode; "" means the default (current).
+func ParseMode(s string) (euler.Mode, error) {
+	switch s {
+	case "", "current":
+		return euler.ModeCurrent, nil
+	case "dedup":
+		return euler.ModeDedup, nil
+	case "proposed":
+		return euler.ModeProposed, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want current, dedup, or proposed)", s)
+}
+
+// DefaultRunner returns the in-process GraphRunner for the given engine
+// options: the facade engine over goroutine workers, exactly what a
+// standalone eulerd runs.  Library clients (the examples) and kinds
+// handed a nil runner use it.
+func DefaultRunner(opts Options) GraphRunner {
+	return func(ctx context.Context, g *graph.Graph, emit func(graph.Step) error) (*euler.Report, error) {
+		mode, err := ParseMode(opts.Mode)
+		if err != nil {
+			return nil, err
+		}
+		eopts := []euler.Option{euler.WithMode(mode)}
+		if opts.Parts > 0 {
+			eopts = append(eopts, euler.WithPartitions(opts.Parts))
+		}
+		if opts.Seed != 0 {
+			eopts = append(eopts, euler.WithSeed(opts.Seed))
+		}
+		// The engine's merge phases are not context-aware; callers that
+		// need cancellation observe ctx in their emit wrapper.
+		wrapped := emit
+		if ctx != nil {
+			wrapped = func(st graph.Step) error {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				return emit(st)
+			}
+		}
+		return euler.FindCircuitStream(g, wrapped, eopts...)
+	}
+}
+
+// normalizeEngineOptions is the shared Normalize logic of the
+// graph-backed kinds.
+func normalizeEngineOptions(kind string, req *Request) error {
+	if req.DeBruijn != nil {
+		return badSpec(kind, "%s jobs take no debruijn spec", kind)
+	}
+	if req.Superwalk != nil {
+		return badSpec(kind, "%s jobs take no superwalk spec", kind)
+	}
+	if req.Options.Parts < 0 {
+		return badSpec(kind, "parts %d < 0", req.Options.Parts)
+	}
+	if _, err := ParseMode(req.Options.Mode); err != nil {
+		return badSpec(kind, "%v", err)
+	}
+	return nil
+}
+
+// requireNoEngineOptions is the shared Normalize guard of the sequence
+// kinds: their output is fully determined by the kind spec, so engine
+// knobs would silently not apply — reject them instead.
+func requireNoEngineOptions(kind string, o Options) error {
+	if o.Parts != 0 || o.Mode != "" || o.Seed != 0 || o.Spill {
+		return badSpec(kind, "%s jobs take no engine options (parts, mode, seed, spill)", kind)
+	}
+	return nil
+}

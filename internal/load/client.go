@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/jobkind"
 	"repro/internal/service/job"
 )
 
@@ -159,6 +160,9 @@ func (c *Client) SubmitUploadAs(g *graph.Graph, spec job.Spec, opts SubmitOpts) 
 		return snap, err
 	}
 	q := url.Values{}
+	if spec.Kind != "" {
+		q.Set("kind", spec.Kind)
+	}
 	if spec.Parts > 0 {
 		q.Set("parts", strconv.FormatInt(int64(spec.Parts), 10))
 	}
@@ -263,19 +267,25 @@ func (c *Client) CircuitRaw(ctx context.Context, id string) ([]byte, error) {
 
 // ParseCircuit parses an NDJSON circuit stream into steps.
 func ParseCircuit(data []byte) ([]graph.Step, error) {
+	return ParseResult(jobkind.DefaultName, data)
+}
+
+// ParseResult parses a result stream through the named kind's line
+// codec, back into the sink-step form its verifier consumes.
+func ParseResult(kind string, data []byte) ([]graph.Step, error) {
+	k, err := jobkind.Get(kind)
+	if err != nil {
+		return nil, err
+	}
 	var steps []graph.Step
 	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	for sc.Scan() {
-		var line struct {
-			Edge int64 `json:"edge"`
-			From int64 `json:"from"`
-			To   int64 `json:"to"`
+		st, err := k.ParseLine(sc.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s line %d: %w", kind, len(steps), err)
 		}
-		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
-			return nil, fmt.Errorf("parsing circuit line %d: %w", len(steps), err)
-		}
-		steps = append(steps, graph.Step{Edge: line.Edge, From: line.From, To: line.To})
+		steps = append(steps, st)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/jobkind"
 	"repro/internal/sched"
 	"repro/internal/service/httpapi"
 	"repro/internal/service/job"
@@ -25,6 +26,7 @@ func TestRegistryMeetsCIContract(t *testing.T) {
 	seen := map[string]bool{}
 	families := map[string]bool{}
 	modes := map[string]bool{}
+	kinds := map[string]bool{}
 	var chaos, cluster, upload, open, closed, cancelMid, deleteRun bool
 	for _, sc := range ci {
 		if err := sc.Validate(); err != nil {
@@ -42,7 +44,14 @@ func TestRegistryMeetsCIContract(t *testing.T) {
 		deleteRun = deleteRun || sc.Behavior == BehaviorDeleteWhileRunning
 		for _, tpl := range sc.Templates {
 			upload = upload || tpl.Upload
-			families[tpl.Spec.Generator.Family] = true
+			if tpl.Spec.Generator != nil {
+				families[tpl.Spec.Generator.Family] = true
+			}
+			if tpl.Spec.Kind == "" {
+				kinds[jobkind.DefaultName] = true
+			} else {
+				kinds[tpl.Spec.Kind] = true
+			}
 			mode := tpl.Spec.Mode
 			if mode == "" {
 				mode = "current"
@@ -50,7 +59,7 @@ func TestRegistryMeetsCIContract(t *testing.T) {
 			modes[mode] = true
 		}
 	}
-	for _, f := range []string{"rmat", "torus", "cliques"} {
+	for _, f := range []string{"rmat", "torus", "cliques", "grid"} {
 		if !families[f] {
 			t.Errorf("ci profile never exercises generator family %s", f)
 		}
@@ -58,6 +67,11 @@ func TestRegistryMeetsCIContract(t *testing.T) {
 	for _, m := range []string{"current", "dedup", "proposed"} {
 		if !modes[m] {
 			t.Errorf("ci profile never exercises mode %s", m)
+		}
+	}
+	for _, k := range jobkind.Names() {
+		if !kinds[k] {
+			t.Errorf("ci profile never exercises workload kind %s", k)
 		}
 	}
 	for name, ok := range map[string]bool{
@@ -86,6 +100,13 @@ func TestRegistryMeetsCIContract(t *testing.T) {
 	}
 	if !dedup {
 		t.Error("ci profile is missing a dedup-storm scenario (ExpectDedup)")
+	}
+	var kindDedup bool
+	for _, sc := range ci {
+		kindDedup = kindDedup || (sc.ExpectDedup && sc.DedupKind != "")
+	}
+	if !kindDedup {
+		t.Error("ci profile is missing a per-kind dedup scenario (ExpectDedup + DedupKind)")
 	}
 	if !fairness {
 		t.Error("ci profile is missing a tenant-fairness scenario (ExpectThrottle + protected interactive tenant)")
@@ -119,6 +140,9 @@ func TestScenarioValidateRejectsBadDeclarations(t *testing.T) {
 		{"chaos without cluster", func(s *Scenario) { s.ChaosKillWorker = true }},
 		{"bad budget", func(s *Scenario) { s.ErrorBudget = 1.5 }},
 		{"bad template", func(s *Scenario) { s.Templates[0].Spec.Generator.Family = "nope" }},
+		{"dedup kind without dedup", func(s *Scenario) { s.DedupKind = "postman" }},
+		{"unknown dedup kind", func(s *Scenario) { s.ExpectDedup = true; s.DedupKind = "hamilton" }},
+		{"graphless upload", func(s *Scenario) { s.Templates[0] = JobTemplate{Spec: debruijn(2, 8), Upload: true} }},
 	}
 	for _, c := range cases {
 		sc := good
@@ -384,6 +408,70 @@ func TestRunScenarioDedupStormFailsWithoutCache(t *testing.T) {
 	}
 	if _, err := RunScenario(context.Background(), sc, Env{Client: client}); err == nil {
 		t.Fatal("dedup contract passed against a server without a result cache")
+	}
+}
+
+// TestRunScenarioKindMix drives all three non-default workload kinds
+// through the runner in one scenario: every result re-verifies through
+// its kind and the report gains per-kind p95 latency gates.
+func TestRunScenarioKindMix(t *testing.T) {
+	client := newTestServer(t, 4)
+	sc := Scenario{
+		Name:     "test-kind-mix",
+		Profiles: []string{"test"},
+		Jobs:     6, Concurrency: 3,
+		Templates: []JobTemplate{
+			{Spec: postmanGrid(10, 8, 0.1, 3, 3), Class: "interactive"},
+			{Spec: debruijn(2, 9), Class: "batch"},
+			{Spec: superwalk(500, 11, 2), Class: "batch"},
+		},
+		JobTimeout: 60 * time.Second,
+	}
+	res, err := RunScenario(context.Background(), sc, Env{Client: client, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	if got := res.Metrics["jobs_done"].Value; got != 6 {
+		t.Fatalf("jobs_done = %v, want 6", got)
+	}
+	if got := res.Metrics["verify_failures"].Value; got != 0 {
+		t.Fatalf("verify_failures = %v, want 0", got)
+	}
+	for _, k := range []string{"postman", "debruijn", "superwalk"} {
+		m, ok := res.Metrics["kind_"+k+"_latency_p95_ms"]
+		if !ok || m.Better != "lower" {
+			t.Errorf("kind %s p95 missing or ungated: %+v", k, res.Metrics)
+		}
+	}
+}
+
+// TestRunScenarioPostmanDedup: identical postman submissions must
+// coalesce onto one execution, and the per-kind ledger proves it.
+func TestRunScenarioPostmanDedup(t *testing.T) {
+	client := newTestServer(t, 4)
+	sc := Scenario{
+		Name:     "test-postman-dedup",
+		Profiles: []string{"test"},
+		Jobs:     8, Concurrency: 4,
+		ExpectDedup: true,
+		DedupKind:   "postman",
+		Templates: []JobTemplate{
+			{Spec: postmanGrid(12, 10, 0.1, 4, 3), Class: "interactive"},
+		},
+		JobTimeout: 60 * time.Second,
+	}
+	res, err := RunScenario(context.Background(), sc, Env{Client: client, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	if got := res.Metrics["server_jobs_started"].Value; got != 1 {
+		t.Fatalf("server_jobs_started = %v, want 1", got)
+	}
+	if got := res.Metrics["kind_postman_jobs_started"].Value; got != 1 {
+		t.Fatalf("kind_postman_jobs_started = %v, want 1", got)
+	}
+	if got := res.Metrics["verify_failures"].Value; got != 0 {
+		t.Fatalf("verify_failures = %v, want 0", got)
 	}
 }
 

@@ -11,9 +11,9 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/graph"
+	"repro/internal/jobkind"
 	"repro/internal/service/job"
 	"repro/internal/stats"
-	"repro/internal/verify"
 )
 
 // Env is everything a scenario run needs from its surroundings: the
@@ -44,6 +44,7 @@ func (e Env) logf(format string, args ...any) {
 type jobResult struct {
 	submitAt  time.Time
 	tenant    string
+	kind      string
 	state     job.State
 	latency   time.Duration // submit → terminal observation
 	queueWait time.Duration // created → started, from server timestamps
@@ -70,14 +71,25 @@ func RunScenario(ctx context.Context, sc Scenario, env Env) (bench.ScenarioResul
 		timeout = 120 * time.Second
 	}
 
-	// Verification inputs: every template's graph is rebuilt locally
-	// once, from the same validated spec the server resolves.
+	// Verification inputs: each template's validated spec (defaults
+	// applied, exactly as the server resolves it), its kind, and — for
+	// graph-backed kinds — the input graph rebuilt locally once.
+	specs := make([]job.Spec, len(sc.Templates))
+	kinds := make([]jobkind.Kind, len(sc.Templates))
 	graphs := make([]*graph.Graph, len(sc.Templates))
 	for i, tpl := range sc.Templates {
-		// Build from a deep copy: GenSpec.Build writes defaults in place
-		// and the template must reach the server exactly as declared.
-		gen := *tpl.Spec.Generator
-		g, err := gen.Build()
+		// Validate a deep copy: defaults are written in place and the
+		// template must reach the server exactly as declared.
+		spec := tpl.Spec.Clone()
+		if err := spec.Validate(); err != nil {
+			return bench.ScenarioResult{}, fmt.Errorf("validating template %d: %w", i, err)
+		}
+		specs[i] = spec
+		kinds[i] = jobkind.MustGet(spec.Kind)
+		if !kinds[i].NeedsGraph() {
+			continue
+		}
+		g, err := spec.Generator.Build()
 		if err != nil {
 			return bench.ScenarioResult{}, fmt.Errorf("building template %d graph: %w", i, err)
 		}
@@ -127,9 +139,11 @@ func RunScenario(ctx context.Context, sc Scenario, env Env) (bench.ScenarioResul
 		res.submitAt = time.Now()
 		jobCtx, cancel := context.WithTimeout(ctx, timeout)
 		defer cancel()
-		tpl := sc.Templates[i%len(sc.Templates)]
-		g := graphs[i%len(sc.Templates)]
+		tplIdx := i % len(sc.Templates)
+		tpl := sc.Templates[tplIdx]
+		g := graphs[tplIdx]
 		res.tenant = tpl.Tenant
+		res.kind = specs[tplIdx].Kind
 
 		opts := SubmitOpts{Tenant: tpl.Tenant, Class: tpl.Class}
 		var snap job.Snapshot
@@ -206,13 +220,13 @@ func RunScenario(ctx context.Context, sc Scenario, env Env) (bench.ScenarioResul
 				res.failed, res.err = true, fmt.Errorf("streaming circuit: %w", err)
 				return
 			}
-			steps, err := ParseCircuit(raw)
+			steps, err := ParseResult(res.kind, raw)
 			if err != nil {
 				res.failed, res.err = true, fmt.Errorf("streaming circuit: %w", err)
 				return
 			}
 			res.steps = int64(len(steps))
-			if err := verify.Circuit(g, steps); err != nil {
+			if err := kinds[tplIdx].Verify(specs[tplIdx].KindRequest(), g, steps); err != nil {
 				res.verifyErr = err
 				res.failed = true
 				return
@@ -340,6 +354,29 @@ func checkSchedContracts(sc Scenario, results []jobResult, env Env, res *bench.S
 	if want := float64(len(results) - 1); hits+coalesced < want {
 		return fmt.Errorf("scenario %s: %v cache/coalesce hits for %d submissions, want %v", sc.Name, hits+coalesced, len(results), want)
 	}
+	if sc.DedupKind != "" {
+		// The dedup contract must hold on the per-kind ledger too: the
+		// named kind's own started counter is exactly 1, proving the
+		// coalescing happened inside that kind rather than globally by
+		// accident.
+		kindsAny, ok := m["kinds"].(map[string]any)
+		if !ok {
+			return fmt.Errorf("scenario %s: metric kinds missing or malformed (%v)", sc.Name, m["kinds"])
+		}
+		entry, ok := kindsAny[sc.DedupKind].(map[string]any)
+		if !ok {
+			return fmt.Errorf("scenario %s: metrics carry no kind %q (%v)", sc.Name, sc.DedupKind, kindsAny)
+		}
+		kindStarted, ok := entry["started"].(float64)
+		if !ok {
+			return fmt.Errorf("scenario %s: kinds.%s.started missing or non-numeric (%v)", sc.Name, sc.DedupKind, entry["started"])
+		}
+		res.Metrics["kind_"+sc.DedupKind+"_jobs_started"] = bench.LowerBetter(kindStarted, "count", 0, 0)
+		if kindStarted != 1 {
+			return fmt.Errorf("scenario %s: %v %s executions for %d identical submissions, want exactly 1",
+				sc.Name, kindStarted, sc.DedupKind, len(results))
+		}
+	}
 	return nil
 }
 
@@ -436,6 +473,7 @@ func summarize(sc Scenario, results []jobResult, elapsed time.Duration, killedAt
 		latMS, waitMS, execMS                                       []float64
 		postChaosSuccess                                            float64
 		tenantLatMS                                                 = map[string][]float64{}
+		kindLatMS                                                   = map[string][]float64{}
 	)
 	for i := range results {
 		r := &results[i]
@@ -467,6 +505,9 @@ func summarize(sc Scenario, results []jobResult, elapsed time.Duration, killedAt
 			}
 			if r.tenant != "" {
 				tenantLatMS[r.tenant] = append(tenantLatMS[r.tenant], ms)
+			}
+			if r.kind != "" {
+				kindLatMS[r.kind] = append(kindLatMS[r.kind], ms)
 			}
 			if killedAtNanos != 0 && r.submitAt.UnixNano() > killedAtNanos {
 				postChaosSuccess = 1
@@ -547,6 +588,14 @@ func summarize(sc Scenario, results []jobResult, elapsed time.Duration, killedAt
 			m[key] = bench.Info(p95, "ms")
 		} else {
 			m[key] = bench.LowerBetter(p95, "ms", 1.5, 2000)
+		}
+	}
+	// Per-kind latency: legacy all-euler scenarios keep their historical
+	// metric set; once a scenario mixes in another workload kind, every
+	// kind (euler included) gates its own p95.
+	if len(kindLatMS) > 1 || (len(kindLatMS) == 1 && kindLatMS[jobkind.DefaultName] == nil) {
+		for kind, ms := range kindLatMS {
+			m["kind_"+kind+"_latency_p95_ms"] = bench.LowerBetter(stats.Summarize(ms).P95, "ms", 1.5, 2000)
 		}
 	}
 	return bench.ScenarioResult{Metrics: m, Notes: notes}

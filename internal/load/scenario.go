@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/jobkind"
 	"repro/internal/service/job"
 )
 
@@ -44,10 +45,12 @@ const (
 	TopoCluster
 )
 
-// JobTemplate describes one kind of job a scenario submits.  Spec always
-// carries a generator so the harness can rebuild the identical input
-// graph locally for verification; Upload switches the transport to an
-// EULGRPH1 body POST (the generator runs client-side instead).
+// JobTemplate describes one kind of job a scenario submits.  Graph-
+// backed kinds always carry a generator so the harness can rebuild the
+// identical input graph locally for verification; graphless kinds
+// (debruijn, superwalk) carry their kind spec instead and are verified
+// straight from it.  Upload switches the transport to an EULGRPH1 body
+// POST (the generator runs client-side instead).
 type JobTemplate struct {
 	Spec   job.Spec
 	Upload bool
@@ -107,6 +110,10 @@ type Scenario struct {
 	// server's jobs_started counter must be exactly 1 and every other
 	// submission must be a cache hit or a coalesced duplicate.
 	ExpectDedup bool
+	// DedupKind additionally pins the dedup assertion to one workload
+	// kind: the server's per-kind kinds.<DedupKind>.started counter must
+	// also be exactly 1.  Only meaningful with ExpectDedup.
+	DedupKind string
 	// ExpectThrottle asserts that at least one MayThrottle submission
 	// was rejected with 429 — the admission-control path actually
 	// fired.
@@ -157,17 +164,19 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("load: cluster scenario %s declares no workers", s.Name)
 	}
 	for i, tpl := range s.Templates {
-		if tpl.Spec.Generator == nil {
-			return fmt.Errorf("load: scenario %s template %d has no generator (the harness rebuilds inputs locally to verify)", s.Name, i)
-		}
 		// Validate a deep copy: Spec.Validate writes defaults through the
-		// generator pointer, and the caller's template must stay as
+		// kind-spec pointers, and the caller's template must stay as
 		// declared.
-		spec := tpl.Spec
-		g := *spec.Generator
-		spec.Generator = &g
+		spec := tpl.Spec.Clone()
 		if err := spec.Validate(); err != nil {
 			return fmt.Errorf("load: scenario %s template %d: %w", s.Name, i, err)
+		}
+		if jobkind.MustGet(spec.Kind).NeedsGraph() {
+			if tpl.Spec.Generator == nil {
+				return fmt.Errorf("load: scenario %s template %d has no generator (the harness rebuilds inputs locally to verify)", s.Name, i)
+			}
+		} else if tpl.Upload {
+			return fmt.Errorf("load: scenario %s template %d uploads a graph for graphless kind %s", s.Name, i, spec.Kind)
 		}
 		switch tpl.Class {
 		case "", "batch", "interactive":
@@ -187,6 +196,14 @@ func (s Scenario) Validate() error {
 	if s.ErrorBudget < 0 || s.ErrorBudget > 1 {
 		return fmt.Errorf("load: scenario %s error budget %v outside [0, 1]", s.Name, s.ErrorBudget)
 	}
+	if s.DedupKind != "" {
+		if !s.ExpectDedup {
+			return fmt.Errorf("load: scenario %s sets DedupKind without ExpectDedup", s.Name)
+		}
+		if _, err := jobkind.Get(s.DedupKind); err != nil {
+			return fmt.Errorf("load: scenario %s: %w", s.Name, err)
+		}
+	}
 	return nil
 }
 
@@ -204,6 +221,18 @@ func rmat(vertices int64, degree int, parts int32, mode string) job.Spec {
 
 func torus(w, h int64, parts int32, mode string, spill bool) job.Spec {
 	return job.Spec{Generator: &job.GenSpec{Family: "torus", Width: w, Height: h}, Parts: parts, Mode: mode, Seed: 7, Spill: spill}
+}
+
+func postmanGrid(w, h int64, closures float64, gseed int64, parts int32) job.Spec {
+	return job.Spec{Kind: "postman", Generator: &job.GenSpec{Family: "grid", Width: w, Height: h, Closures: closures, Seed: gseed}, Parts: parts, Seed: 7}
+}
+
+func debruijn(alphabet, length int64) job.Spec {
+	return job.Spec{Kind: "debruijn", DeBruijn: &jobkind.DeBruijnSpec{Alphabet: alphabet, Length: length}}
+}
+
+func superwalk(genomeLen, k, seed int64) job.Spec {
+	return job.Spec{Kind: "superwalk", Superwalk: &jobkind.SuperwalkSpec{GenomeLen: genomeLen, K: k, Seed: seed}}
 }
 
 // Scenarios is the full registry, in run order.  The "ci" profile is the
@@ -366,6 +395,39 @@ func Scenarios() []Scenario {
 			CompareSolo: true,
 			Templates: []JobTemplate{
 				genTpl(cliques(32, 7, 6, "current")),
+			},
+		},
+		{
+			Name:        "postman-routing",
+			Description: "identical covering-tour requests over a street grid coalesce onto one postman execution and replay byte-identically",
+			Profiles:    both,
+			// Retention must hold every routing job: the runner streams
+			// each tour after the fact, and soak multipliers scale the
+			// count.
+			ServerArgs: []string{"-retention", "1000"},
+			Jobs:       10, Concurrency: 5,
+			ExpectDedup: true,
+			DedupKind:   "postman",
+			CompareSolo: true,
+			Templates: []JobTemplate{
+				{Spec: postmanGrid(24, 16, 0.12, 5, 4), Class: "interactive"},
+			},
+		},
+		{
+			Name:        "assembly-batch",
+			Description: "many small distinct superwalk assembly jobs plus a de Bruijn build served as batch traffic",
+			Profiles:    both,
+			// Cache off: distinct seeds per template plus round-robin
+			// repeats must each assemble, gating the sequence kinds'
+			// solve path rather than cache replay.
+			ServerArgs: []string{"-cache-bytes", "0"},
+			Jobs:       12, Concurrency: 4,
+			Templates: []JobTemplate{
+				{Spec: superwalk(1200, 15, 1), Class: "batch"},
+				{Spec: superwalk(1200, 15, 2), Class: "batch"},
+				{Spec: superwalk(1500, 17, 3), Class: "batch"},
+				{Spec: superwalk(1500, 17, 4), Class: "batch"},
+				{Spec: debruijn(2, 10), Class: "batch"},
 			},
 		},
 		{

@@ -37,6 +37,11 @@ type Config struct {
 	Mode euler.Mode
 	// Seed drives the partitioner.
 	Seed int64
+	// Circuit, when set, replaces the built-in in-process pipeline for
+	// the Euler-circuit runs over the closed/Eulerised graphs; the
+	// serving layer injects its (possibly cluster-backed) runner here.
+	// It receives the normalised Config.
+	Circuit func(g *graph.Graph, c Config) ([]graph.Step, error)
 }
 
 func (c Config) normalise(g *graph.Graph) Config {
@@ -52,8 +57,13 @@ func (c Config) normalise(g *graph.Graph) Config {
 	return c
 }
 
-// runCircuit executes the distributed pipeline over g.
+// runCircuit executes the configured circuit pipeline over g: the
+// injected Config.Circuit when one is set, else the in-process
+// distributed pipeline.
 func runCircuit(g *graph.Graph, c Config) ([]graph.Step, error) {
+	if c.Circuit != nil {
+		return c.Circuit(g, c)
+	}
 	a := partition.LDG(g, c.Parts, c.Seed)
 	res, err := euler.Run(g, a, euler.Config{Mode: c.Mode})
 	if err != nil {

@@ -1,0 +1,137 @@
+package postman
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// tourOf builds a small covering tour to corrupt in the rejection tests.
+func tourOf(t *testing.T, g *graph.Graph) *Tour {
+	t.Helper()
+	tour, err := CoveringTour(g, Config{Parts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTour(g, tour); err != nil {
+		t.Fatal(err)
+	}
+	return tour
+}
+
+func cloneTour(t *Tour) *Tour {
+	return &Tour{Steps: append([]TourStep(nil), t.Steps...), Revisits: t.Revisits}
+}
+
+func TestVerifyTourRejections(t *testing.T) {
+	g := gen.Torus(4, 4) // Eulerian: tour == circuit, Revisits 0
+	base := tourOf(t, g)
+
+	for name, tc := range map[string]struct {
+		mutate func(*Tour)
+		want   string
+	}{
+		"unknown edge":  {func(tr *Tour) { tr.Steps[3].Edge = g.NumEdges() + 5 }, "unknown edge"},
+		"negative edge": {func(tr *Tour) { tr.Steps[3].Edge = -1 }, "unknown edge"},
+		"orientation": {func(tr *Tour) {
+			// Point the step at vertices that are not the edge's endpoints.
+			tr.Steps[2].From, tr.Steps[2].To = tr.Steps[2].To+1, tr.Steps[2].From+1
+		}, "orientation"},
+		"broken walk": {func(tr *Tour) {
+			a := tr.Steps[4]
+			tr.Steps[4] = tr.Steps[8]
+			tr.Steps[8] = a
+		}, ""}, // swap breaks continuity or orientation; either message is fine
+		"length mismatch": {func(tr *Tour) { tr.Revisits++ }, "steps"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			tr := cloneTour(base)
+			tc.mutate(tr)
+			err := VerifyTour(g, tr)
+			if err == nil {
+				t.Fatal("corrupted tour accepted")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	if err := VerifyTour(graph.FromEdges(2, nil), &Tour{Steps: base.Steps[:1]}); err == nil {
+		t.Fatal("non-empty tour of edgeless graph accepted")
+	}
+}
+
+func TestVerifyTourCatchesOpenWalk(t *testing.T) {
+	// Triangle 0-1-2 plus pendant 2-3: a perfect Euler path 2→0→1→2→3
+	// passes every check except closure.
+	g := graph.FromEdges(4, [][2]graph.VertexID{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	open := &Tour{Steps: []TourStep{
+		{Step: graph.Step{Edge: 2, From: 2, To: 0}},
+		{Step: graph.Step{Edge: 0, From: 0, To: 1}},
+		{Step: graph.Step{Edge: 1, From: 1, To: 2}},
+		{Step: graph.Step{Edge: 3, From: 2, To: 3}},
+	}}
+	err := VerifyTour(g, open)
+	if err == nil || !strings.Contains(err.Error(), "not closed") {
+		t.Fatalf("open walk: got %v", err)
+	}
+}
+
+func TestVerifyTourCatchesUncoveredEdges(t *testing.T) {
+	// Square cycle 0-1-2-3-0; a back-and-forth over edge 0 is a closed
+	// walk of the right length (with no declared revisits) that leaves
+	// three edges uncovered.
+	g := gen.Cycle(4)
+	bad := &Tour{Steps: []TourStep{
+		{Step: graph.Step{Edge: 0, From: 0, To: 1}},
+		{Step: graph.Step{Edge: 0, From: 1, To: 0}},
+		{Step: graph.Step{Edge: 0, From: 0, To: 1}},
+		{Step: graph.Step{Edge: 0, From: 1, To: 0}},
+	}}
+	err := VerifyTour(g, bad)
+	if err == nil || !strings.Contains(err.Error(), "never covered") {
+		t.Fatalf("uncovered edges: got %v", err)
+	}
+}
+
+// TestCircuitSeam checks the injected Circuit hook: the serving layer
+// routes the Eulerised multigraph's circuit through its own runner, and
+// postman must use it (with the normalised config) instead of the
+// in-process pipeline.
+func TestCircuitSeam(t *testing.T) {
+	g := gen.StreetGrid(6, 5, 0, 2)
+	var calls int
+	var sawParts int32
+	cfg := Config{
+		Parts: 3,
+		Circuit: func(mg *graph.Graph, c Config) ([]graph.Step, error) {
+			calls++
+			sawParts = c.Parts
+			if mg.NumEdges() <= g.NumEdges() {
+				t.Errorf("seam received %d edges, want more than the %d originals (Eulerised multigraph)",
+					mg.NumEdges(), g.NumEdges())
+			}
+			// Delegate to the default pipeline so the tour stays valid.
+			return runCircuit(mg, Config{Parts: c.Parts, Seed: c.Seed})
+		},
+	}
+	tour, err := CoveringTour(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("seam called %d times, want 1", calls)
+	}
+	if sawParts != 3 {
+		t.Fatalf("seam saw parts %d, want the normalised 3", sawParts)
+	}
+	if err := VerifyTour(g, tour); err != nil {
+		t.Fatal(err)
+	}
+	if tour.Revisits == 0 {
+		t.Fatal("street grid tour needs deadheading")
+	}
+}

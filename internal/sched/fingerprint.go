@@ -22,10 +22,11 @@ type Fingerprint [sha256.Size]byte
 func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
 
 // fingerprintVersion is hashed first so a future canonicalization
-// change cannot alias entries produced by an old scheme.
-const fingerprintVersion = "eulerfp1"
+// change cannot alias entries produced by an old scheme.  fp2 added the
+// workload kind and its kind-specific material to the hash.
+const fingerprintVersion = "eulerfp2"
 
-// SolveOptions is the option subset that determines the output circuit
+// SolveOptions is the option subset that determines the output stream
 // for a given input graph.  Spill location and transport topology are
 // deliberately excluded: they move intermediate state around without
 // changing the streamed result (the cluster-vs-solo byte-identity
@@ -38,6 +39,13 @@ type SolveOptions struct {
 	Mode string
 	// Seed drives the partitioner as submitted.
 	Seed int64
+	// Kind is the workload family ("" canonicalises to "euler").  It is
+	// always hashed, so the same input graph submitted under two kinds
+	// can never share a fingerprint.
+	Kind string
+	// KindMaterial is the kind's canonical option bytes (normalised
+	// kind-specific spec fields); nil and empty hash identically.
+	KindMaterial []byte
 }
 
 // FingerprintGraph computes the canonical fingerprint of g under opts.
@@ -54,17 +62,25 @@ type SolveOptions struct {
 // step's from/to endpoints (always the true traversal) rather than
 // mapping the stream's edge numbers back onto its own file's ordering;
 // this is the documented contract of the `edge` field under dedup.
+//
+// Graphless workload kinds (whose input is entirely kind material, e.g.
+// a de Bruijn spec) pass g == nil, which hashes as the empty graph.
 func FingerprintGraph(g *graph.Graph, opts SolveOptions) Fingerprint {
 	h := sha256.New()
 	var buf [4 * binary.MaxVarintLen64]byte
 
+	var vertices, numEdges int64
+	var edges []graph.Edge
+	if g != nil {
+		vertices, numEdges = g.NumVertices(), g.NumEdges()
+		edges = g.Edges()
+	}
 	n := copy(buf[:], fingerprintVersion)
-	n += binary.PutUvarint(buf[n:], uint64(g.NumVertices()))
-	n += binary.PutUvarint(buf[n:], uint64(g.NumEdges()))
+	n += binary.PutUvarint(buf[n:], uint64(vertices))
+	n += binary.PutUvarint(buf[n:], uint64(numEdges))
 	h.Write(buf[:n])
 
-	edges := g.Edges()
-	if g.NumVertices() <= 1<<31 {
+	if vertices <= 1<<31 {
 		// Pack each normalised pair into one uint64 for a fast sort.
 		packed := make([]uint64, len(edges))
 		for i, e := range edges {
@@ -106,10 +122,20 @@ func FingerprintGraph(g *graph.Graph, opts SolveOptions) Fingerprint {
 	if mode == "" {
 		mode = "current"
 	}
+	kind := opts.Kind
+	if kind == "" {
+		kind = "euler"
+	}
 	n = binary.PutVarint(buf[:], int64(opts.Parts))
 	n += binary.PutVarint(buf[n:], opts.Seed)
 	h.Write(buf[:n])
-	h.Write([]byte(mode))
+	// Length-prefix the variable-length trailing fields so no two
+	// (mode, kind, material) triples can concatenate to the same bytes.
+	for _, field := range [][]byte{[]byte(mode), []byte(kind), opts.KindMaterial} {
+		n = binary.PutUvarint(buf[:], uint64(len(field)))
+		h.Write(buf[:n])
+		h.Write(field)
+	}
 
 	var fp Fingerprint
 	h.Sum(fp[:0])

@@ -1,0 +1,62 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestFingerprintKindIsolation is the cross-kind collision suite: the
+// result cache is shared by every workload kind, so two kinds must
+// never alias one content address — not even over the identical input
+// graph — while shuffled submissions within one kind still must.
+func TestFingerprintKindIsolation(t *testing.T) {
+	g := gen.StreetGrid(8, 6, 0.1, 3)
+	euler := FingerprintGraph(g, SolveOptions{Parts: 4, Seed: 7, Kind: "euler"})
+	postman := FingerprintGraph(g, SolveOptions{Parts: 4, Seed: 7, Kind: "postman"})
+	if euler == postman {
+		t.Fatal("euler and postman alias one fingerprint over the same graph")
+	}
+
+	// The default kind spelling is canonical, like mode's.
+	if got := FingerprintGraph(g, SolveOptions{Parts: 4, Seed: 7}); got != euler {
+		t.Fatal(`kind "" and "euler" must fingerprint identically`)
+	}
+
+	// Same kind, shuffled edges: still one address.
+	for seed := int64(1); seed <= 3; seed++ {
+		if got := FingerprintGraph(shuffleGraph(t, g, seed), SolveOptions{Parts: 4, Seed: 7, Kind: "postman"}); got != postman {
+			t.Fatalf("shuffle seed %d changed the postman fingerprint", seed)
+		}
+	}
+
+	// Kind material separates jobs of one kind: B(2,8) vs B(2,9) vs the
+	// same bytes under another kind.
+	mat28 := []byte{2, 8}
+	mat29 := []byte{2, 9}
+	db28 := FingerprintGraph(nil, SolveOptions{Kind: "debruijn", KindMaterial: mat28})
+	db29 := FingerprintGraph(nil, SolveOptions{Kind: "debruijn", KindMaterial: mat29})
+	sw28 := FingerprintGraph(nil, SolveOptions{Kind: "superwalk", KindMaterial: mat28})
+	if db28 == db29 {
+		t.Error("different kind material aliased one fingerprint")
+	}
+	if db28 == sw28 {
+		t.Error("same material under different kinds aliased one fingerprint")
+	}
+	if again := FingerprintGraph(nil, SolveOptions{Kind: "debruijn", KindMaterial: []byte{2, 8}}); again != db28 {
+		t.Error("equal graphless submissions must share one fingerprint")
+	}
+
+	// Kind and material are length-prefixed, so shifting bytes between
+	// adjacent variable-length fields cannot collide.
+	a := FingerprintGraph(nil, SolveOptions{Kind: "ab", KindMaterial: []byte("c")})
+	b := FingerprintGraph(nil, SolveOptions{Kind: "a", KindMaterial: []byte("bc")})
+	if a == b {
+		t.Error("kind/material boundary shift collided")
+	}
+
+	// A graphless fingerprint never collides with a graph-backed one.
+	if db28 == euler || db28 == postman {
+		t.Error("graphless fingerprint aliased a graph-backed one")
+	}
+}

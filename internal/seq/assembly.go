@@ -1,0 +1,125 @@
+package seq
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Assembly caps: the registry's superwalk job kind accepts explicit read
+// sets or shreds a synthetic genome server-side, and one server bounds
+// both forms.
+const (
+	MinReadLength = int64(2)
+	MaxReadLength = int64(64)
+	MaxReads      = int64(1) << 16
+	MaxGenomeLen  = int64(1) << 20
+)
+
+// SyntheticGenome returns a deterministic pseudo-random ACGT string of n
+// bases; equal (n, seed) pairs always spell the same genome, so a client
+// and a server can each materialise the identical read set from the two
+// integers alone.
+func SyntheticGenome(n, seed int64) string {
+	const bases = "ACGT"
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = bases[rng.Intn(4)]
+	}
+	return string(b)
+}
+
+// Shred cuts a genome into its overlapping k-mer reads, as an idealised
+// error-free sequencer would.
+func Shred(genome string, k int64) ([]string, error) {
+	if k < MinReadLength || k > MaxReadLength {
+		return nil, fmt.Errorf("seq: read length %d out of range [%d, %d]", k, MinReadLength, MaxReadLength)
+	}
+	if int64(len(genome)) < k {
+		return nil, fmt.Errorf("seq: genome of %d bases is shorter than read length %d", len(genome), k)
+	}
+	reads := make([]string, 0, int64(len(genome))-k+1)
+	for i := int64(0); i+k <= int64(len(genome)); i++ {
+		reads = append(reads, genome[i:i+k])
+	}
+	return reads, nil
+}
+
+// Assemble reconstructs a superstring from an error-free read set by
+// Eulerian path: each read is a directed edge from its (k-1)-mer prefix
+// to its (k-1)-mer suffix, and the Euler path over those edges spells a
+// superwalk containing every read.  The reads must all share one length
+// and form a connected de Bruijn graph with an Euler path (at most one
+// unbalanced start/end vertex pair); anything else is not assemblable
+// and errors.
+func Assemble(reads []string) (string, error) {
+	if len(reads) == 0 {
+		return "", fmt.Errorf("seq: no reads to assemble")
+	}
+	k := int64(len(reads[0]))
+	if k < MinReadLength || k > MaxReadLength {
+		return "", fmt.Errorf("seq: read length %d out of range [%d, %d]", k, MinReadLength, MaxReadLength)
+	}
+	ids := make(map[string]int64)
+	vertexID := func(s string) int64 {
+		if id, ok := ids[s]; ok {
+			return id
+		}
+		id := int64(len(ids))
+		ids[s] = id
+		return id
+	}
+	d := NewDigraph()
+	for i, r := range reads {
+		if int64(len(r)) != k {
+			return "", fmt.Errorf("seq: read %d has %d bases, read 0 has %d; reads must share one length", i, len(r), k)
+		}
+		d.AddEdge(vertexID(r[:k-1]), vertexID(r[1:]), r)
+	}
+	ordered, err := d.EulerPath()
+	if err != nil {
+		return "", fmt.Errorf("seq: reads do not assemble into one superwalk: %w", err)
+	}
+	var b strings.Builder
+	b.Grow(len(ordered) + int(k) - 1)
+	b.WriteString(ordered[0])
+	for _, r := range ordered[1:] {
+		b.WriteByte(r[k-1])
+	}
+	return b.String(), nil
+}
+
+// VerifySpectrum checks the invariant Eulerian assembly guarantees: the
+// assembled string has |reads| + k - 1 bases and shreds into exactly the
+// submitted read multiset (with repeats longer than k-1 the assembly
+// need not equal the source genome, but its k-mer spectrum must).
+func VerifySpectrum(assembled string, reads []string) error {
+	if len(reads) == 0 {
+		return fmt.Errorf("seq: no reads to verify against")
+	}
+	k := int64(len(reads[0]))
+	if want := int64(len(reads)) + k - 1; int64(len(assembled)) != want {
+		return fmt.Errorf("seq: assembled %d bases, %d reads of length %d need %d", len(assembled), len(reads), k, want)
+	}
+	spectrum := make(map[string]int, len(reads))
+	for i, r := range reads {
+		if int64(len(r)) != k {
+			return fmt.Errorf("seq: read %d has %d bases, read 0 has %d; reads must share one length", i, len(r), k)
+		}
+		spectrum[r]++
+	}
+	for i := int64(0); i+k <= int64(len(assembled)); i++ {
+		km := assembled[i : i+k]
+		if spectrum[km] == 0 {
+			return fmt.Errorf("seq: assembled k-mer %q at offset %d is not in the read set (or appears too often)", km, i)
+		}
+		spectrum[km]--
+	}
+	for km, c := range spectrum {
+		if c != 0 {
+			return fmt.Errorf("seq: read %q missing %d occurrence(s) in the assembly", km, c)
+		}
+	}
+	return nil
+}

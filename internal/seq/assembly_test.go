@@ -1,0 +1,112 @@
+package seq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSyntheticGenomeDeterministic(t *testing.T) {
+	a := SyntheticGenome(500, 7)
+	b := SyntheticGenome(500, 7)
+	if a != b {
+		t.Fatal("same (n, seed) spelled different genomes")
+	}
+	if c := SyntheticGenome(500, 8); c == a {
+		t.Fatal("different seeds spelled the same genome")
+	}
+	for i := 0; i < len(a); i++ {
+		switch a[i] {
+		case 'A', 'C', 'G', 'T':
+		default:
+			t.Fatalf("non-ACGT base %q at %d", a[i], i)
+		}
+	}
+}
+
+func TestShredErrors(t *testing.T) {
+	if _, err := Shred("ACGT", 1); err == nil {
+		t.Error("k below MinReadLength accepted")
+	}
+	if _, err := Shred("ACGT", 65); err == nil {
+		t.Error("k above MaxReadLength accepted")
+	}
+	if _, err := Shred("ACG", 4); err == nil {
+		t.Error("genome shorter than k accepted")
+	}
+	reads, err := Shred("ACGTA", 3)
+	if err != nil || len(reads) != 3 || reads[0] != "ACG" || reads[2] != "GTA" {
+		t.Fatalf("Shred = %v, %v", reads, err)
+	}
+}
+
+func TestAssembleRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		n, k, seed int64
+	}{
+		{100, 5, 1}, {1000, 15, 2}, {5000, 21, 7}, {60, 31, 3},
+	} {
+		genome := SyntheticGenome(tc.n, tc.seed)
+		reads, err := Shred(genome, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assembled, err := Assemble(reads)
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		if err := VerifySpectrum(assembled, reads); err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	for name, reads := range map[string][]string{
+		"empty":        nil,
+		"short reads":  {"A", "C"},
+		"long reads":   {strings.Repeat("A", 65)},
+		"mixed length": {"ACG", "ACGT"},
+		// Two disjoint cycles: the de Bruijn digraph is balanced but
+		// disconnected, so no single superwalk exists.
+		"disconnected": {"ACA", "CAC", "GTG", "TGT"},
+		// Three reads leaving the same prefix with nothing returning:
+		// more than one unbalanced start candidate.
+		"unbalanced": {"AAC", "AAG", "AAT"},
+	} {
+		if _, err := Assemble(reads); err == nil {
+			t.Errorf("%s: assembled successfully", name)
+		}
+	}
+}
+
+func TestVerifySpectrumRejects(t *testing.T) {
+	reads, err := Shred(SyntheticGenome(200, 9), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assembled, err := Assemble(reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySpectrum(assembled, reads); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySpectrum(assembled[:len(assembled)-1], reads); err == nil {
+		t.Error("truncated assembly accepted")
+	}
+	mutated := []byte(assembled)
+	if mutated[10] == 'A' {
+		mutated[10] = 'C'
+	} else {
+		mutated[10] = 'A'
+	}
+	if err := VerifySpectrum(string(mutated), reads); err == nil {
+		t.Error("mutated assembly accepted")
+	}
+	if err := VerifySpectrum(assembled, nil); err == nil {
+		t.Error("empty read set accepted")
+	}
+	if err := VerifySpectrum(assembled, append(append([]string(nil), reads[:5]...), "ACG")); err == nil {
+		t.Error("mixed-length read set accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package seq
+
+import "fmt"
+
+// De Bruijn sequence caps: B(k, n) has k^n symbols, and the registry's
+// debruijn job kind materialises the whole sequence in the result sink,
+// so one server bounds what it will generate.
+const (
+	MaxDeBruijnAlphabet = int64(10)
+	MaxDeBruijnLength   = int64(1) << 20 // symbols in B(k, n)
+)
+
+// DeBruijnSize returns k^n, the symbol count of B(k, n), erroring when
+// the parameters are out of the served range (alphabet in [2, 10],
+// window length >= 1, total size <= MaxDeBruijnLength).
+func DeBruijnSize(k, n int64) (int64, error) {
+	if k < 2 || k > MaxDeBruijnAlphabet {
+		return 0, fmt.Errorf("seq: de Bruijn alphabet size %d out of range [2, %d]", k, MaxDeBruijnAlphabet)
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("seq: de Bruijn window length %d < 1", n)
+	}
+	size := int64(1)
+	for i := int64(0); i < n; i++ {
+		size *= k
+		if size > MaxDeBruijnLength {
+			return 0, fmt.Errorf("seq: B(%d,%d) has more than %d symbols", k, n, MaxDeBruijnLength)
+		}
+	}
+	return size, nil
+}
+
+// DeBruijn returns the symbols of a de Bruijn sequence B(k, n): the
+// shortest cyclic sequence over a k-letter alphabet containing every
+// length-n string exactly once, spelled by an Euler circuit of the
+// de Bruijn graph on (n-1)-mers.  Symbols are values in [0, k).
+func DeBruijn(k, n int64) ([]byte, error) {
+	if _, err := DeBruijnSize(k, n); err != nil {
+		return nil, err
+	}
+	states := int64(1)
+	for i := int64(1); i < n; i++ {
+		states *= k
+	}
+	d := NewDigraph()
+	labels := make([]string, k)
+	for sym := int64(0); sym < k; sym++ {
+		labels[sym] = string([]byte{byte(sym)})
+	}
+	for state := int64(0); state < states; state++ {
+		for sym := int64(0); sym < k; sym++ {
+			d.AddEdge(state, (state*k+sym)%states, labels[sym])
+		}
+	}
+	path, err := d.EulerPath()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(path))
+	for i, l := range path {
+		out[i] = l[0]
+	}
+	return out, nil
+}
+
+// VerifyDeBruijn checks the defining property of B(k, n): the sequence
+// has k^n symbols in [0, k) and every length-n window (cyclically)
+// appears exactly once.
+func VerifyDeBruijn(symbols []byte, k, n int64) error {
+	size, err := DeBruijnSize(k, n)
+	if err != nil {
+		return err
+	}
+	if int64(len(symbols)) != size {
+		return fmt.Errorf("seq: sequence has %d symbols, B(%d,%d) needs %d", len(symbols), k, n, size)
+	}
+	for i, s := range symbols {
+		if int64(s) >= k {
+			return fmt.Errorf("seq: symbol %d at position %d outside alphabet [0, %d)", s, i, k)
+		}
+	}
+	cyclic := append(append([]byte(nil), symbols...), symbols[:n-1]...)
+	windows := make(map[string]int, size)
+	for i := int64(0); i+n <= int64(len(cyclic)); i++ {
+		windows[string(cyclic[i:i+n])]++
+	}
+	if int64(len(windows)) != size {
+		return fmt.Errorf("seq: %d distinct length-%d windows, want %d", len(windows), n, size)
+	}
+	for w, c := range windows {
+		if c != 1 {
+			return fmt.Errorf("seq: window %q appears %d times, want exactly once", w, c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package seq
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeBruijnSize(t *testing.T) {
+	got, err := DeBruijnSize(2, 10)
+	if err != nil || got != 1024 {
+		t.Fatalf("DeBruijnSize(2,10) = %d, %v", got, err)
+	}
+	for _, tc := range []struct {
+		k, n int64
+		want string
+	}{
+		{1, 3, "alphabet"},
+		{0, 3, "alphabet"},
+		{11, 3, "alphabet"},
+		{2, 0, "window length"},
+		{2, -1, "window length"},
+		{2, 21, "more than"},      // 2^21 > 1<<20
+		{10, 63, "more than"},     // would overflow int64 without the cap
+		{2, 1 << 40, "more than"}, // astronomically long window
+	} {
+		if _, err := DeBruijnSize(tc.k, tc.n); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("DeBruijnSize(%d,%d) = %v, want error containing %q", tc.k, tc.n, err, tc.want)
+		}
+	}
+	// The cap boundary itself is servable.
+	if got, err := DeBruijnSize(2, 20); err != nil || got != MaxDeBruijnLength {
+		t.Fatalf("DeBruijnSize(2,20) = %d, %v", got, err)
+	}
+}
+
+func TestDeBruijnSequences(t *testing.T) {
+	for _, tc := range []struct{ k, n int64 }{
+		{2, 1}, {2, 3}, {2, 8}, {3, 4}, {4, 3}, {10, 2},
+	} {
+		symbols, err := DeBruijn(tc.k, tc.n)
+		if err != nil {
+			t.Fatalf("DeBruijn(%d,%d): %v", tc.k, tc.n, err)
+		}
+		if err := VerifyDeBruijn(symbols, tc.k, tc.n); err != nil {
+			t.Fatalf("B(%d,%d) fails its own verifier: %v", tc.k, tc.n, err)
+		}
+	}
+	if _, err := DeBruijn(1, 4); err == nil {
+		t.Fatal("empty/unary alphabet accepted")
+	}
+	if _, err := DeBruijn(3, 19); err == nil {
+		t.Fatal("over-cap sequence accepted")
+	}
+}
+
+func TestDeBruijnDeterministic(t *testing.T) {
+	a, err := DeBruijn(2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := DeBruijn(2, 9)
+	if string(a) != string(b) {
+		t.Fatal("B(2,9) is not deterministic across runs")
+	}
+}
+
+func TestVerifyDeBruijnRejects(t *testing.T) {
+	good, err := DeBruijn(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-1] = 1 - flipped[len(flipped)-1]
+	cases := map[string][]byte{
+		"short":      good[:len(good)-1],
+		"bad symbol": append([]byte{9}, good[1:]...),
+		"dup window": flipped, // flipping one symbol duplicates some window
+		"all zero":   make([]byte, len(good)),
+	}
+	for name, symbols := range cases {
+		if err := VerifyDeBruijn(symbols, 2, 4); err == nil {
+			t.Errorf("%s: corrupted sequence accepted", name)
+		}
+	}
+	// Bad parameters surface the size error.
+	if err := VerifyDeBruijn(good, 1, 4); err == nil {
+		t.Error("alphabet 1 accepted by verifier")
+	}
+}

@@ -5,8 +5,16 @@ import (
 	"time"
 
 	"repro/internal/euler"
+	"repro/internal/jobkind"
 	"repro/internal/sched"
 )
+
+// kindCounters are one workload kind's outcome gauges.
+type kindCounters struct {
+	started   atomic.Int64
+	completed atomic.Int64
+	cacheHits atomic.Int64
+}
 
 // metrics holds the service counters: job outcomes, emitted steps, and
 // per-phase engine timings aggregated from completed jobs' RunReports
@@ -19,6 +27,11 @@ type metrics struct {
 	cancelled atomic.Int64
 	rejected  atomic.Int64 // admission-control refusals (429/503)
 	steps     atomic.Int64
+
+	// kinds carries per-workload-kind outcome counters, one fixed entry
+	// per registered kind (populated by newKindCounters, then only read
+	// structurally — so the atomic adds need no map lock).
+	kinds map[string]*kindCounters
 
 	// Scheduling timings: how long jobs sat queued before a worker
 	// picked them up and how long the worker held them, plus the
@@ -37,6 +50,25 @@ type metrics struct {
 	wallNanos      atomic.Int64
 }
 
+// newKindCounters returns one counter set per registered workload kind.
+func newKindCounters() map[string]*kindCounters {
+	m := make(map[string]*kindCounters, 4)
+	for _, name := range jobkind.Names() {
+		m[name] = &kindCounters{}
+	}
+	return m
+}
+
+// kind returns the counters for a validated spec's kind; unknown names
+// (impossible after validation) fall back to a discarded counter set so
+// metrics can never panic a worker.
+func (m *metrics) kind(name string) *kindCounters {
+	if c, ok := m.kinds[name]; ok {
+		return c
+	}
+	return &kindCounters{}
+}
+
 // observeDepth raises the high-water queue-depth mark to d if deeper.
 func (m *metrics) observeDepth(d int64) {
 	for {
@@ -48,6 +80,10 @@ func (m *metrics) observeDepth(d int64) {
 }
 
 func (m *metrics) addReport(r *euler.RunReport) {
+	if r == nil {
+		// Sequence kinds solve without the engine and report nothing.
+		return
+	}
 	var copySrc, copySink, createObj, phase1 time.Duration
 	for _, p := range r.Parts {
 		copySrc += p.CopySrc
@@ -81,7 +117,16 @@ func (s *Server) MetricsSnapshot() map[string]any {
 	if s.cache != nil {
 		cache = s.cache.Stats()
 	}
+	kinds := make(map[string]map[string]int64, len(s.metrics.kinds))
+	for name, c := range s.metrics.kinds {
+		kinds[name] = map[string]int64{
+			"started":    c.started.Load(),
+			"completed":  c.completed.Load(),
+			"cache_hits": c.cacheHits.Load(),
+		}
+	}
 	return map[string]any{
+		"kinds":            kinds,
 		"queue_depth":      s.sched.Depth(),
 		"running":          s.sched.Running(),
 		"workers":          s.sched.Workers(),

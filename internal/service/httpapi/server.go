@@ -29,6 +29,7 @@ import (
 
 	euler "repro"
 	"repro/internal/graph"
+	"repro/internal/jobkind"
 	"repro/internal/sched"
 	"repro/internal/service/job"
 )
@@ -126,7 +127,7 @@ func New(cfg Config) *Server {
 	if cfg.Sched != nil && cfg.Sched.Workers() > 1 {
 		builds = cfg.Sched.Workers()
 	}
-	return &Server{
+	s := &Server{
 		jobs:           cfg.Store,
 		sched:          cfg.Sched,
 		cache:          cfg.Cache,
@@ -136,6 +137,8 @@ func New(cfg Config) *Server {
 		maxUploadBytes: max,
 		buildSem:       make(chan struct{}, builds),
 	}
+	s.metrics.kinds = newKindCounters()
+	return s
 }
 
 // Handler returns the service's route table.
@@ -174,11 +177,13 @@ func (localRunner) RunCircuit(ctx context.Context, spec job.Spec, dir string, g 
 }
 
 // errorBody is the uniform error response shape.  Code, Tenant, and
-// RetryAfterSeconds are set on scheduler refusals (429/503) so clients
-// can back off programmatically; the schema is documented in README.
+// RetryAfterSeconds are set on scheduler refusals (429/503); Code and
+// Kind are set on workload-kind spec rejections (400) — so clients can
+// branch programmatically.  The schema is documented in README.
 type errorBody struct {
 	Error             string `json:"error"`
 	Code              string `json:"code,omitempty"`
+	Kind              string `json:"kind,omitempty"`
 	Tenant            string `json:"tenant,omitempty"`
 	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
 }
@@ -191,6 +196,22 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeSpecError renders a submission rejection: workload-kind spec
+// errors answer with their structured code/kind body ("unknown_kind",
+// "invalid_kind_spec"); everything else keeps the plain error shape.
+func writeSpecError(w http.ResponseWriter, status int, err error) {
+	var spec *jobkind.SpecError
+	if errors.As(err, &spec) {
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: spec.Msg,
+			Code:  spec.Code,
+			Kind:  spec.Kind,
+		})
+		return
+	}
+	writeError(w, status, "%v", err)
 }
 
 // writeSchedError maps a scheduler refusal onto the wire: admission
@@ -274,60 +295,71 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	spec, status, err := s.decodeSubmission(r, dir)
 	if err != nil {
 		os.RemoveAll(dir)
-		writeError(w, status, "%v", err)
+		writeSpecError(w, status, err)
 		return
 	}
 	j := s.jobs.New(spec, dir)
 
 	var lease *sched.Lease
 	if s.cache != nil {
-		// The input graph is built at submission time only on the
-		// cached path: the scheduler needs its content address before
-		// queueing.  Without a cache the worker builds it as before,
-		// bounded by the worker count — and buildSem imposes the same
-		// bound here, so a submission burst cannot materialise
-		// arbitrarily many graphs at once.  The wait for a build slot
-		// is itself bounded: when large builds saturate it, further
-		// submissions get explicit 429 back-pressure instead of
-		// handler goroutines piling up behind the semaphore.
-		select {
-		case s.buildSem <- struct{}{}:
-		case <-time.After(buildSlotWait):
-			s.jobs.Remove(j.ID)
-			s.metrics.rejected.Add(1)
-			writeSchedError(w, &sched.Rejected{
-				Tenant:     tenant,
-				Reason:     "graph-build capacity saturated",
-				RetryAfter: time.Second,
-			})
-			return
-		case <-r.Context().Done():
-			s.jobs.Remove(j.ID)
-			return // client gone; nothing to answer
-		}
-		g, err := spec.BuildGraph()
-		if err != nil {
-			<-s.buildSem
-			s.jobs.Remove(j.ID)
-			writeError(w, http.StatusBadRequest, "building input graph: %v", err)
-			return
-		}
-		// Small graphs stay attached for the worker to reuse; big ones
-		// are rebuilt there instead, so a deep queue pins at most
-		// quota × keepGraphMaxEdges of graph memory, not quota ×
-		// upload cap.
-		if g.NumEdges() <= keepGraphMaxEdges {
-			j.AttachGraph(g)
+		kind := jobkind.MustGet(spec.Kind) // canonical since Validate
+		var g *graph.Graph
+		if kind.NeedsGraph() {
+			// The input graph is built at submission time only on the
+			// cached path: the scheduler needs its content address before
+			// queueing.  Without a cache the worker builds it as before,
+			// bounded by the worker count — and buildSem imposes the same
+			// bound here, so a submission burst cannot materialise
+			// arbitrarily many graphs at once.  The wait for a build slot
+			// is itself bounded: when large builds saturate it, further
+			// submissions get explicit 429 back-pressure instead of
+			// handler goroutines piling up behind the semaphore.
+			// (Graphless kinds fingerprint straight from their spec and
+			// skip the slot entirely.)
+			select {
+			case s.buildSem <- struct{}{}:
+			case <-time.After(buildSlotWait):
+				s.jobs.Remove(j.ID)
+				s.metrics.rejected.Add(1)
+				writeSchedError(w, &sched.Rejected{
+					Tenant:     tenant,
+					Reason:     "graph-build capacity saturated",
+					RetryAfter: time.Second,
+				})
+				return
+			case <-r.Context().Done():
+				s.jobs.Remove(j.ID)
+				return // client gone; nothing to answer
+			}
+			g, err = spec.BuildGraph()
+			if err != nil {
+				<-s.buildSem
+				s.jobs.Remove(j.ID)
+				writeError(w, http.StatusBadRequest, "building input graph: %v", err)
+				return
+			}
+			// Small graphs stay attached for the worker to reuse; big ones
+			// are rebuilt there instead, so a deep queue pins at most
+			// quota × keepGraphMaxEdges of graph memory, not quota ×
+			// upload cap.
+			if g.NumEdges() <= keepGraphMaxEdges {
+				j.AttachGraph(g)
+			}
 		}
 		fp := sched.FingerprintGraph(g, sched.SolveOptions{
 			Parts: spec.Parts, Mode: spec.Mode, Seed: spec.Seed,
+			Kind: spec.Kind, KindMaterial: kind.Material(spec.KindRequest()),
 		})
-		<-s.buildSem
+		if kind.NeedsGraph() {
+			<-s.buildSem
+		}
 		outcome, reader, l := s.cache.Acquire(fp, &sched.Follower{OnReady: s.followerReady(j, tenant, class)})
 		switch outcome {
 		case sched.OutcomeHit:
+			s.metrics.kind(spec.Kind).cacheHits.Add(1)
 			if j.FinishCached(reader) {
 				s.metrics.completed.Add(1)
+				s.metrics.kind(spec.Kind).completed.Add(1)
 				s.metrics.steps.Add(reader.Steps())
 			}
 			s.metrics.submitted.Add(1)
@@ -387,6 +419,7 @@ func (s *Server) followerReady(j *job.Job, tenant string, class sched.Class) fun
 			// waiting; nothing to count in that case (the cancel did).
 			if j.FinishCached(r) {
 				s.metrics.completed.Add(1)
+				s.metrics.kind(j.Spec.Kind).completed.Add(1)
 				s.metrics.steps.Add(r.Steps())
 			}
 			return
@@ -419,9 +452,10 @@ func (s *Server) decodeSubmission(r *http.Request, dir string) (job.Spec, int, e
 			return spec, http.StatusBadRequest, fmt.Errorf("decoding spec: %v", err)
 		}
 	} else {
-		// Anything else is an EULGRPH1 upload; engine options ride in
-		// the query string.
+		// Anything else is an EULGRPH1 upload; the workload kind and
+		// engine options ride in the query string.
 		q := r.URL.Query()
+		spec.Kind = q.Get("kind")
 		if v := q.Get("parts"); v != "" {
 			parts, err := strconv.ParseInt(v, 10, 32)
 			if err != nil {
@@ -509,6 +543,7 @@ func (s *Server) runJob(poolCtx context.Context, j *job.Job, lease *sched.Lease)
 	}
 	runStart := time.Now()
 	s.metrics.started.Add(1)
+	s.metrics.kind(j.Spec.Kind).started.Add(1)
 	s.metrics.queueWaitNanos.Add(runStart.Sub(j.Snapshot().Created).Nanoseconds())
 	defer func() { s.metrics.execNanos.Add(time.Since(runStart).Nanoseconds()) }()
 	if s.beforeRun != nil {
@@ -541,11 +576,14 @@ func (s *Server) runJob(poolCtx context.Context, j *job.Job, lease *sched.Lease)
 		}
 	}()
 
+	kind := jobkind.MustGet(j.Spec.Kind) // canonical since Validate
+
 	// Small cached-path graphs arrive prebuilt from submission-time
 	// fingerprinting; everything else (no cache, big graphs, promoted
 	// followers) is built here on the worker, bounded by the pool.
+	// Graphless kinds carry their whole input in the spec.
 	g := j.Graph()
-	if g == nil {
+	if g == nil && kind.NeedsGraph() {
 		var err error
 		g, err = j.Spec.BuildGraph()
 		if err != nil {
@@ -560,9 +598,11 @@ func (s *Server) runJob(poolCtx context.Context, j *job.Job, lease *sched.Lease)
 		fail(err)
 		return
 	}
-	if j.Spec.Uploaded {
+	if j.Spec.Uploaded && j.Spec.Kind == jobkind.DefaultName {
 		// Generated inputs are Eulerian by construction; uploads get
 		// the explicit precondition check for a clear client error.
+		// (Postman uploads are allowed odd degrees — covering them is
+		// the job — and the kind reports imbalance itself if any.)
 		if err := euler.CheckInput(g); err != nil {
 			fail(err)
 			return
@@ -582,7 +622,13 @@ func (s *Server) runJob(poolCtx context.Context, j *job.Job, lease *sched.Lease)
 		}
 		return sink.Append(st)
 	}
-	report, err := s.runner.RunCircuit(ctx, j.Spec, j.Dir, g, emit)
+	// The kind drives the solve; graph-backed kinds route their circuit
+	// runs through the server's CircuitRunner (engine options, spill,
+	// cluster mode), sequence kinds solve in-process from the spec.
+	run := func(ctx context.Context, rg *graph.Graph, emit func(graph.Step) error) (*euler.Report, error) {
+		return s.runner.RunCircuit(ctx, j.Spec, j.Dir, rg, emit)
+	}
+	report, err := kind.Solve(ctx, j.Spec.KindRequest(), g, run, emit)
 	if err != nil {
 		sink.Close()
 		fail(err)
@@ -606,13 +652,31 @@ func (s *Server) runJob(poolCtx context.Context, j *job.Job, lease *sched.Lease)
 	}
 	j.Finish(report, sink)
 	s.metrics.completed.Add(1)
+	s.metrics.kind(j.Spec.Kind).completed.Add(1)
 	s.metrics.steps.Add(sink.Steps())
 	s.metrics.addReport(report)
 	sink = nil // owned by the job now; keep the panic path off it
 }
 
+// handleList returns the retained jobs, optionally filtered to one
+// workload kind with ?kind=; unknown kinds get the structured 400.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.List()})
+	jobs := s.jobs.List()
+	if want := r.URL.Query().Get("kind"); want != "" {
+		k, err := jobkind.Get(want)
+		if err != nil {
+			writeSpecError(w, http.StatusBadRequest, err)
+			return
+		}
+		kept := jobs[:0]
+		for _, snap := range jobs {
+			if snap.Spec.Kind == k.Name() {
+				kept = append(kept, snap)
+			}
+		}
+		jobs = kept
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -624,9 +688,11 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.Snapshot())
 }
 
-// handleCircuit streams a finished job's circuit as NDJSON, one
-// {"edge":e,"from":u,"to":v} object per step, reading batches back from
-// the disk sink so the response never materialises in memory.
+// handleCircuit streams a finished job's result as NDJSON in the job
+// kind's line format — {"edge":e,"from":u,"to":v} circuit steps for
+// euler (plus "revisit" markers for postman tours), {"sym":s} and
+// {"base":"A"} for the sequence kinds — reading batches back from the
+// disk sink so the response never materialises in memory.
 func (s *Server) handleCircuit(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
@@ -639,12 +705,15 @@ func (s *Server) handleCircuit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	kind := jobkind.MustGet(j.Spec.Kind)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Circuit-Steps", strconv.FormatInt(src.Steps(), 10))
 	cw := &countedWriter{w: w}
 	bw := bufio.NewWriterSize(cw, 1<<16)
+	var buf []byte
 	err := src.Iterate(func(st graph.Step) error {
-		_, err := fmt.Fprintf(bw, "{\"edge\":%d,\"from\":%d,\"to\":%d}\n", st.Edge, st.From, st.To)
+		buf = kind.AppendLine(buf[:0], st)
+		_, err := bw.Write(buf)
 		return err
 	})
 	if err != nil {

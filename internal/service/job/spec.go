@@ -6,6 +6,7 @@ import (
 	"repro/internal/euler"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/jobkind"
 )
 
 // Generator size caps: the service refuses specs whose output would not
@@ -16,6 +17,8 @@ const (
 	maxTorusSide    = int64(4096)
 	maxCliques      = int64(1) << 16
 	maxCliqueSize   = int64(99)
+	maxGridSide     = int64(512)
+	maxGridClosures = 0.5
 )
 
 // Upload caps: an EULGRPH1 header declares its counts up front, and the
@@ -38,23 +41,28 @@ func ValidateUploadCounts(vertices, edges uint64) error {
 	return nil
 }
 
-// GenSpec describes a generated input graph, one of the paper's three
-// families (Sec. 4.2).
+// GenSpec describes a generated input graph: one of the paper's three
+// Eulerian families (Sec. 4.2) or the street-grid family, whose odd
+// intersections make it covering-tour (postman) input.
 type GenSpec struct {
-	Family string `json:"family"` // "rmat", "torus", or "cliques"
+	Family string `json:"family"` // "rmat", "torus", "cliques", or "grid"
 
 	// RMAT parameters (Graph500 skew, Eulerised largest component).
 	Vertices int64 `json:"vertices,omitempty"`
 	Degree   int   `json:"degree,omitempty"`
 	Seed     int64 `json:"seed,omitempty"`
 
-	// Torus parameters.
+	// Torus and street-grid dimensions.
 	Width  int64 `json:"width,omitempty"`
 	Height int64 `json:"height,omitempty"`
 
 	// Ring-of-cliques parameters (C must be odd).
 	K int64 `json:"k,omitempty"`
 	C int64 `json:"c,omitempty"`
+
+	// Closures is the street-grid closed-street fraction (grid also
+	// reads Width, Height, and Seed).
+	Closures float64 `json:"closures,omitempty"`
 }
 
 // Validate checks family and parameter ranges, applying defaults in
@@ -102,10 +110,26 @@ func (g *GenSpec) Validate() error {
 		if g.C < 3 || g.C > maxCliqueSize || g.C%2 == 0 {
 			return fmt.Errorf("clique size %d must be odd and in [3, %d]", g.C, maxCliqueSize)
 		}
+	case "grid":
+		if g.Width == 0 {
+			g.Width = 20
+		}
+		if g.Height == 0 {
+			g.Height = 20
+		}
+		if g.Seed == 0 {
+			g.Seed = 1
+		}
+		if g.Width < 2 || g.Width > maxGridSide || g.Height < 2 || g.Height > maxGridSide {
+			return fmt.Errorf("grid %dx%d out of range [2, %d] per side", g.Width, g.Height, maxGridSide)
+		}
+		if g.Closures < 0 || g.Closures > maxGridClosures {
+			return fmt.Errorf("grid closures %v out of range [0, %v]", g.Closures, maxGridClosures)
+		}
 	case "":
 		return fmt.Errorf("generator family is required")
 	default:
-		return fmt.Errorf("unknown generator family %q (want rmat, torus, or cliques)", g.Family)
+		return fmt.Errorf("unknown generator family %q (want rmat, torus, cliques, or grid)", g.Family)
 	}
 	return nil
 }
@@ -126,14 +150,22 @@ func (g *GenSpec) Build() (*graph.Graph, error) {
 		return gen.Torus(g.Width, g.Height), nil
 	case "cliques":
 		return gen.RingOfCliques(g.K, g.C), nil
+	case "grid":
+		return gen.StreetGrid(g.Width, g.Height, g.Closures, g.Seed), nil
 	}
 	return nil, fmt.Errorf("unknown generator family %q", g.Family)
 }
 
-// Spec is a job submission: either a generator spec or an uploaded
-// EULGRPH1 graph file, plus engine options.
+// Spec is a job submission: the workload kind, its input (a generator
+// spec or uploaded EULGRPH1 graph for graph-backed kinds, a kind spec
+// for sequence kinds), and the engine options.
 type Spec struct {
-	// Generator describes a generated input; nil for uploads.
+	// Kind names the workload family ("euler", "postman", "debruijn",
+	// "superwalk"); "" means euler.  Validate canonicalises it.
+	Kind string `json:"kind,omitempty"`
+
+	// Generator describes a generated input; nil for uploads and for
+	// graphless kinds.
 	Generator *GenSpec `json:"generator,omitempty"`
 	// Uploaded marks jobs whose input was POSTed as an EULGRPH1 body.
 	Uploaded bool `json:"uploaded,omitempty"`
@@ -151,46 +183,91 @@ type Spec struct {
 	// Spill makes the engine spill path bodies to the job directory
 	// instead of keeping them in memory.
 	Spill bool `json:"spill,omitempty"`
+
+	// DeBruijn and Superwalk are the sequence kinds' specs; exactly the
+	// matching kind may carry one.
+	DeBruijn  *jobkind.DeBruijnSpec  `json:"debruijn,omitempty"`
+	Superwalk *jobkind.SuperwalkSpec `json:"superwalk,omitempty"`
 }
 
-// Validate checks the spec, applying generator defaults in place.
-func (s *Spec) Validate() error {
-	if (s.Generator == nil) == (s.GraphFile == "") {
-		return fmt.Errorf("exactly one of generator spec or uploaded graph is required")
+// KindRequest projects the spec onto the kind registry's request form.
+// The kind-spec pointers are shared, so jobkind.Kind.Normalize writes
+// defaults back into the spec (like GenSpec.Validate does).
+func (s *Spec) KindRequest() jobkind.Request {
+	return jobkind.Request{
+		Options:   jobkind.Options{Parts: s.Parts, Mode: s.Mode, Seed: s.Seed, Spill: s.Spill},
+		DeBruijn:  s.DeBruijn,
+		Superwalk: s.Superwalk,
 	}
+}
+
+// Clone returns a deep copy: Validate writes defaults through the
+// spec's pointers, and callers holding declarative templates (the load
+// registry) must keep theirs as declared.
+func (s Spec) Clone() Spec {
 	if s.Generator != nil {
-		if err := s.Generator.Validate(); err != nil {
-			return err
-		}
+		g := *s.Generator
+		s.Generator = &g
 	}
-	if s.Parts < 0 {
-		return fmt.Errorf("parts %d < 0", s.Parts)
+	if s.DeBruijn != nil {
+		d := *s.DeBruijn
+		s.DeBruijn = &d
 	}
-	if _, err := ParseMode(s.Mode); err != nil {
+	if s.Superwalk != nil {
+		sw := *s.Superwalk
+		sw.Reads = append([]string(nil), sw.Reads...)
+		s.Superwalk = &sw
+	}
+	return s
+}
+
+// Validate checks the spec against its kind, applying kind and
+// generator defaults in place.  Kind rejections are *jobkind.SpecError
+// values, which the HTTP layer renders as structured 400s.
+func (s *Spec) Validate() error {
+	k, err := jobkind.Get(s.Kind)
+	if err != nil {
 		return err
 	}
+	s.Kind = k.Name()
+	if k.NeedsGraph() {
+		if (s.Generator == nil) == (s.GraphFile == "") {
+			return fmt.Errorf("exactly one of generator spec or uploaded graph is required")
+		}
+		if s.Generator != nil {
+			if err := s.Generator.Validate(); err != nil {
+				return err
+			}
+		}
+	} else if s.Generator != nil || s.GraphFile != "" {
+		return &jobkind.SpecError{
+			Code: "invalid_kind_spec", Kind: s.Kind,
+			Msg: fmt.Sprintf("%s jobs take no input graph", s.Kind),
+		}
+	}
+	req := s.KindRequest()
+	if err := k.Normalize(&req); err != nil {
+		return err
+	}
+	s.DeBruijn, s.Superwalk = req.DeBruijn, req.Superwalk
 	return nil
 }
 
 // BuildGraph materialises the input graph for the spec, generating or
-// reading the uploaded file as appropriate.
+// reading the uploaded file as appropriate; graphless kinds have none
+// and get nil.
 func (s *Spec) BuildGraph() (*graph.Graph, error) {
 	if s.Generator != nil {
 		return s.Generator.Build()
 	}
-	return graph.ReadFile(s.GraphFile)
+	if s.GraphFile != "" {
+		return graph.ReadFile(s.GraphFile)
+	}
+	return nil, nil
 }
 
 // ParseMode maps the wire name of a remote-edge strategy to the engine
 // mode; "" means the default (current).
 func ParseMode(s string) (euler.Mode, error) {
-	switch s {
-	case "", "current":
-		return euler.ModeCurrent, nil
-	case "dedup":
-		return euler.ModeDedup, nil
-	case "proposed":
-		return euler.ModeProposed, nil
-	}
-	return 0, fmt.Errorf("unknown mode %q (want current, dedup, or proposed)", s)
+	return jobkind.ParseMode(s)
 }
