@@ -66,6 +66,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/faultpoint"
 	"repro/internal/sched"
 	"repro/internal/service/httpapi"
 	"repro/internal/service/job"
@@ -89,16 +90,28 @@ func main() {
 		maxQueueAll = flag.Int("max-queue-total", 1024, "fair: global queued-job backstop across all tenants (0 = unlimited); also caps attached-graph memory at ~4 MiB per queued job")
 		cacheBytes  = flag.Int64("cache-bytes", 256<<20, "result-cache live-entry byte budget; 0 disables dedup and caching (the backing log is append-only: disk is reclaimed on restart, watch cache_log_bytes)")
 
-		clusterAddr = flag.String("cluster", ":9090", "coordinator: cluster listen address for worker joins")
-		minNodes    = flag.Int("min-nodes", 1, "coordinator: worker nodes a job waits for")
-		waitNodes   = flag.Duration("wait-nodes", 30*time.Second, "coordinator: how long a job waits for min-nodes")
-		stepTimeout = flag.Duration("step-timeout", 2*time.Minute, "coordinator: per-superstep barrier timeout")
+		clusterAddr  = flag.String("cluster", ":9090", "coordinator: cluster listen address for worker joins")
+		minNodes     = flag.Int("min-nodes", 1, "coordinator: worker nodes a job waits for")
+		waitNodes    = flag.Duration("wait-nodes", 30*time.Second, "coordinator: how long a job waits for min-nodes")
+		stepTimeout  = flag.Duration("step-timeout", 2*time.Minute, "coordinator: per-superstep barrier timeout")
+		jobRetries   = flag.Int("job-retries", 2, "coordinator: retries per job after a retryable cluster failure (node lost, step timeout); each retry re-plans over the surviving nodes")
+		retryBackoff = flag.Duration("retry-backoff", 500*time.Millisecond, "coordinator: pause before each job retry")
+		degraded     = flag.Bool("degraded-local", false, "coordinator: when quorum is unreachable (or retries are exhausted), complete the job in-process and flag it degraded")
 
 		join     = flag.String("join", "", "worker: coordinator cluster address to join")
 		capacity = flag.Int("capacity", runtime.GOMAXPROCS(0), "worker: engine workers this node hosts")
 		nodeName = flag.String("node-name", "", "worker: name reported to the coordinator (default: hostname)")
+
+		faultSpec = flag.String("faultpoints", "", "arm fault-injection points, e.g. 'bsp.node.wire=drop,step=1' (testing; also via "+faultpoint.EnvVar+")")
 	)
 	flag.Parse()
+
+	if err := faultpoint.Arm(*faultSpec); err != nil {
+		fatal(err)
+	}
+	if err := faultpoint.ArmFromEnv(); err != nil {
+		fatal(err)
+	}
 
 	// `-sched fifo` is the reproduce-old-behavior switch: unless the
 	// operator asked for a cache explicitly, it turns dedup off too.
@@ -124,8 +137,9 @@ func main() {
 			addr: *addr, workers: *workers, backlog: *backlog, dataDir: *dataDir,
 			retention: *retention, maxUpload: *maxUpload, grace: *grace,
 			clusterAddr: *clusterAddr, minNodes: *minNodes, waitNodes: *waitNodes,
-			stepTimeout: *stepTimeout,
-			schedMode:   *schedMode, tenants: tenantCfg,
+			stepTimeout: *stepTimeout, jobRetries: *jobRetries,
+			retryBackoff: *retryBackoff, degradedLocal: *degraded,
+			schedMode: *schedMode, tenants: tenantCfg,
 			maxQueuePerTenant: *maxQueueTen, maxRunningPerTenant: *maxRunTen,
 			maxQueueTotal: *maxQueueAll, cacheBytes: *cacheBytes,
 		})
@@ -159,17 +173,20 @@ func runWorkerRole(join string, capacity int, name string) {
 }
 
 type serverConfig struct {
-	addr        string
-	workers     int
-	backlog     int
-	dataDir     string
-	retention   int
-	maxUpload   int64
-	grace       time.Duration
-	clusterAddr string
-	minNodes    int
-	waitNodes   time.Duration
-	stepTimeout time.Duration
+	addr          string
+	workers       int
+	backlog       int
+	dataDir       string
+	retention     int
+	maxUpload     int64
+	grace         time.Duration
+	clusterAddr   string
+	minNodes      int
+	waitNodes     time.Duration
+	stepTimeout   time.Duration
+	jobRetries    int
+	retryBackoff  time.Duration
+	degradedLocal bool
 
 	schedMode           string
 	tenants             map[string]sched.TenantConfig
@@ -229,10 +246,13 @@ func runServerRole(coordinator bool, cfg serverConfig) {
 	if coordinator {
 		logf := log.New(os.Stderr, "eulerd: ", log.LstdFlags).Printf
 		c, err := cluster.NewCoordinator(cfg.clusterAddr, cluster.Options{
-			MinNodes:    cfg.minNodes,
-			WaitNodes:   cfg.waitNodes,
-			StepTimeout: cfg.stepTimeout,
-			Logf:        logf,
+			MinNodes:      cfg.minNodes,
+			WaitNodes:     cfg.waitNodes,
+			StepTimeout:   cfg.stepTimeout,
+			JobRetries:    cfg.jobRetries,
+			RetryBackoff:  cfg.retryBackoff,
+			DegradedLocal: cfg.degradedLocal,
+			Logf:          logf,
 		})
 		if err != nil {
 			fatal(err)

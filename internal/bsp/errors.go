@@ -1,0 +1,125 @@
+package bsp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// The hub classifies job failures into typed errors so callers can decide
+// whether a retry is worth anything.  Losing a node mid-barrier or timing
+// out a superstep are transient cluster conditions — the coordinator can
+// re-wait for quorum, re-plan over the survivors, and go again.  Protocol
+// violations (future epochs, malformed frames, unroutable messages) and
+// node-reported engine errors are deterministic and stay plain errors: a
+// retry would only reproduce them.
+
+// NodeLostError reports that a node's connection died (or it violated the
+// barrier) at a superstep.  Retryable: the survivors can take over.
+type NodeLostError struct {
+	Node uint64 // hub-assigned node id
+	Name string // node's self-reported name, when known
+	Step int    // superstep at failure; -1 during result collection
+	Err  error  // underlying cause
+}
+
+func (e *NodeLostError) Error() string {
+	who := fmt.Sprintf("node %d", e.Node)
+	if e.Name != "" {
+		who = fmt.Sprintf("node %d (%s)", e.Node, e.Name)
+	}
+	if e.Step < 0 {
+		return fmt.Sprintf("bsp: lost %s while collecting results: %v", who, e.Err)
+	}
+	return fmt.Sprintf("bsp: lost %s at superstep %d: %v", who, e.Step, e.Err)
+}
+
+func (e *NodeLostError) Unwrap() error   { return e.Err }
+func (e *NodeLostError) Retryable() bool { return true }
+
+// StepTimeoutError reports that a node failed to reach the superstep
+// barrier within the hub's StepTimeout.  Retryable: a wedged or
+// partitioned node is dropped and the survivors re-plan.
+type StepTimeoutError struct {
+	Node    uint64
+	Name    string
+	Step    int
+	Timeout time.Duration
+}
+
+func (e *StepTimeoutError) Error() string {
+	who := fmt.Sprintf("node %d", e.Node)
+	if e.Name != "" {
+		who = fmt.Sprintf("node %d (%s)", e.Node, e.Name)
+	}
+	return fmt.Sprintf("bsp: %s missed the superstep %d barrier within %v", who, e.Step, e.Timeout)
+}
+
+func (e *StepTimeoutError) Retryable() bool { return true }
+
+// AbortReason is the machine-readable cause carried in a frameAbort, so
+// workers can log why their job died without parsing prose.
+type AbortReason byte
+
+const (
+	AbortUnknown     AbortReason = 0
+	AbortNodeLost    AbortReason = 1 // a participant's conn died or left the barrier
+	AbortStepTimeout AbortReason = 2 // a participant missed the barrier deadline
+	AbortCancelled   AbortReason = 3 // the coordinator's context was cancelled
+	AbortProtocol    AbortReason = 4 // a frame violated the wire protocol
+	AbortCoordinator AbortReason = 5 // the coordinator's own hooks failed
+)
+
+func (r AbortReason) String() string {
+	switch r {
+	case AbortNodeLost:
+		return "node-lost"
+	case AbortStepTimeout:
+		return "step-timeout"
+	case AbortCancelled:
+		return "cancelled"
+	case AbortProtocol:
+		return "protocol"
+	case AbortCoordinator:
+		return "coordinator"
+	default:
+		return "unknown"
+	}
+}
+
+// AbortError is the node-side error for a job the hub aborted, carrying
+// the structured reason code off the wire.
+type AbortError struct {
+	Code   AbortReason
+	Reason string
+}
+
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("bsp: job aborted by hub [%s]: %s", e.Code, e.Reason)
+}
+
+// Retryable: an abort reaching a healthy node means some *other*
+// participant failed; the job as a whole may succeed on retry.
+func (e *AbortError) Retryable() bool { return true }
+
+// abortReasonFor maps a gathered job failure to the code broadcast to
+// workers when the abort site has no more specific knowledge.
+func abortReasonFor(err error) AbortReason {
+	var nl *NodeLostError
+	var st *StepTimeoutError
+	switch {
+	case errors.As(err, &st):
+		return AbortStepTimeout
+	case errors.As(err, &nl):
+		return AbortNodeLost
+	default:
+		return AbortUnknown
+	}
+}
+
+// Retryable reports whether err (anywhere in its chain) is a transient
+// cluster failure worth re-planning and retrying.
+func Retryable(err error) bool {
+	var r interface{ Retryable() bool }
+	return errors.As(err, &r) && r.Retryable()
+}

@@ -17,12 +17,13 @@ const (
 	frameStep      byte = 4 // node → hub: epoch, step, flags, sideband, messages
 	frameStepOK    byte = 5 // hub → node: epoch, step, flags, sideband, messages
 	frameJobResult byte = 6 // node → hub: epoch, error string, result payload
-	frameAbort     byte = 7 // hub → node: epoch, reason
+	frameAbort     byte = 7 // hub → node: epoch, reason code byte, reason text
 )
 
 // protoVersion is bumped whenever the frame layout changes incompatibly;
-// the hub refuses hellos from other versions.
-const protoVersion = 1
+// the hub refuses hellos from other versions.  v2 added the machine-
+// readable reason code byte to frameAbort.
+const protoVersion = 2
 
 // maxFramePayload bounds a single frame so a corrupt length prefix cannot
 // demand gigabytes (1 GiB still comfortably fits a full partition plan).

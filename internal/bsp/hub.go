@@ -10,6 +10,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/faultpoint"
 )
 
 // Hub is the coordinator side of the distributed barrier: it accepts node
@@ -258,6 +260,16 @@ func (h *Hub) dropPeer(p *hubPeer, why string) {
 	}
 }
 
+// peerIOErr classifies a raw read/write failure on p's conn: a deadline
+// miss is a StepTimeoutError, anything else means the node is gone.
+func (h *Hub) peerIOErr(p *hubPeer, step int, err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return &StepTimeoutError{Node: p.id, Name: p.name, Step: step, Timeout: h.opts.StepTimeout}
+	}
+	return &NodeLostError{Node: p.id, Name: p.name, Step: step, Err: err}
+}
+
 // Nodes returns the registered nodes, ordered by id.
 func (h *Hub) Nodes() []NodeInfo {
 	h.mu.Lock()
@@ -268,6 +280,13 @@ func (h *Hub) Nodes() []NodeInfo {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// NumNodes returns the current live membership count.
+func (h *Hub) NumNodes() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.peers)
 }
 
 // Epoch returns the epoch of the most recently started job.
@@ -386,9 +405,10 @@ func (h *Hub) RunJob(ctx context.Context, spec JobSpec, hooks JobHooks) (*JobSta
 		start = append(start, plan...)
 		err = h.writePeer(p, frameJobStart, start)
 		if err != nil {
-			h.abortJob(epoch, peers, fmt.Sprintf("plan delivery to node %d failed", p.id))
+			lost := h.peerIOErr(p, 0, err)
+			h.abortJob(epoch, peers, abortReasonFor(lost), fmt.Sprintf("plan delivery to node %d failed", p.id))
 			h.dropPeer(p, "job start write failed")
-			return nil, fmt.Errorf("bsp: starting job on node %d: %w", p.id, err)
+			return nil, lost
 		}
 	}
 
@@ -401,23 +421,27 @@ func (h *Hub) RunJob(ctx context.Context, spec JobSpec, hooks JobHooks) (*JobSta
 	}
 	for step := 0; ; step++ {
 		if err := ctx.Err(); err != nil {
-			h.abortJob(epoch, peers, "job cancelled")
+			h.abortJob(epoch, peers, AbortCancelled, "job cancelled")
 			return nil, err
 		}
 		ins := make([]stepIn, len(peers))
 		if err := h.gatherFrames(epoch, step, peers, func(i int, fr *frameIn) {
 			ins[i] = stepIn{localActive: fr.localActive, sideband: fr.sideband, msgs: fr.msgs, result: fr.result}
 		}); err != nil {
-			h.abortJob(epoch, peers, err.Error())
+			h.abortJob(epoch, peers, abortReasonFor(err), err.Error())
 			return nil, err
 		}
 		for i, p := range peers {
 			if r := ins[i].result; r != nil {
+				// A node that bailed out of the barrier with an engine
+				// error reported it itself — that is deterministic node
+				// work failing, not cluster weather, so it stays a plain
+				// (non-retryable) error.
 				err := fmt.Errorf("bsp: node %d left the barrier at superstep %d: %s", p.id, step, r.errMsg)
 				if r.errMsg == "" {
 					err = fmt.Errorf("bsp: node %d finished at superstep %d while the job was still running", p.id, step)
 				}
-				h.abortJob(epoch, peers, err.Error())
+				h.abortJob(epoch, peers, AbortNodeLost, err.Error())
 				return nil, err
 			}
 		}
@@ -426,7 +450,7 @@ func (h *Hub) RunJob(ctx context.Context, spec JobSpec, hooks JobHooks) (*JobSta
 		if hooks.OnSideband != nil {
 			for i, p := range peers {
 				if err := hooks.OnSideband(step, p.lo, p.hi, ins[i].sideband); err != nil {
-					h.abortJob(epoch, peers, err.Error())
+					h.abortJob(epoch, peers, AbortCoordinator, err.Error())
 					return nil, fmt.Errorf("bsp: superstep %d sideband from node %d: %w", step, p.id, err)
 				}
 			}
@@ -435,7 +459,7 @@ func (h *Hub) RunJob(ctx context.Context, spec JobSpec, hooks JobHooks) (*JobSta
 		if hooks.Broadcast != nil {
 			b, err := hooks.Broadcast(step)
 			if err != nil {
-				h.abortJob(epoch, peers, err.Error())
+				h.abortJob(epoch, peers, AbortCoordinator, err.Error())
 				return nil, fmt.Errorf("bsp: superstep %d broadcast: %w", step, err)
 			}
 			broadcast = b
@@ -449,7 +473,7 @@ func (h *Hub) RunJob(ctx context.Context, spec JobSpec, hooks JobHooks) (*JobSta
 				j := peerForWorker(peers, msg.To)
 				if j < 0 {
 					err := fmt.Errorf("bsp: superstep %d: message for worker %d outside every range", step, msg.To)
-					h.abortJob(epoch, peers, err.Error())
+					h.abortJob(epoch, peers, AbortProtocol, err.Error())
 					return nil, err
 				}
 				outPer[j] = append(outPer[j], msg)
@@ -475,9 +499,10 @@ func (h *Hub) RunJob(ctx context.Context, spec JobSpec, hooks JobHooks) (*JobSta
 			reply = appendMessages(reply, outPer[i])
 			err := h.writePeer(p, frameStepOK, reply)
 			if err != nil {
-				h.abortJob(epoch, peers, fmt.Sprintf("barrier reply to node %d failed", p.id))
+				lost := h.peerIOErr(p, step, err)
+				h.abortJob(epoch, peers, abortReasonFor(lost), fmt.Sprintf("barrier reply to node %d failed", p.id))
 				h.dropPeer(p, "barrier reply write failed")
-				return nil, fmt.Errorf("bsp: superstep %d reply to node %d: %w", step, p.id, err)
+				return nil, lost
 			}
 		}
 		stats.Supersteps = step + 1
@@ -489,7 +514,7 @@ func (h *Hub) RunJob(ctx context.Context, spec JobSpec, hooks JobHooks) (*JobSta
 	// Collect results.
 	results := make([]*nodeResultFrame, len(peers))
 	if err := h.gatherResults(epoch, peers, results); err != nil {
-		h.abortJob(epoch, peers, err.Error())
+		h.abortJob(epoch, peers, abortReasonFor(err), err.Error())
 		return nil, err
 	}
 	for i, p := range peers {
@@ -540,6 +565,9 @@ func (h *Hub) gatherFrames(epoch uint64, step int, peers []*hubPeer, set func(i 
 	for i, err := range errs {
 		if err != nil {
 			h.dropPeer(peers[i], err.Error())
+			if Retryable(err) {
+				return err // typed and self-describing: NodeLost / StepTimeout
+			}
 			return fmt.Errorf("bsp: node %d at superstep %d: %w", peers[i].id, step, err)
 		}
 	}
@@ -553,12 +581,24 @@ func (h *Hub) gatherFrames(epoch uint64, step int, peers []*hubPeer, set func(i 
 // frameStep for step (or the node's frameJobResult), enforcing the step
 // timeout.  A negative step means only a job result is acceptable.
 func (h *Hub) readPeerFrame(epoch uint64, step int, p *hubPeer) (*frameIn, error) {
+	if o := faultpoint.Eval(FaultHubRead, step); o.Fired() {
+		switch o.Act {
+		case faultpoint.Drop:
+			p.conn.Close()
+		case faultpoint.Delay:
+			time.Sleep(o.Sleep)
+		case faultpoint.Error:
+			return nil, &NodeLostError{Node: p.id, Name: p.name, Step: step, Err: o.Err}
+		}
+	}
 	p.conn.SetReadDeadline(time.Now().Add(h.opts.StepTimeout))
 	defer p.conn.SetReadDeadline(time.Time{})
 	for {
 		typ, body, err := p.r.readFrame()
 		if err != nil {
-			return nil, err
+			// The raw read failing means the node is gone (or wedged past
+			// the deadline); protocol decode failures below stay plain.
+			return nil, h.peerIOErr(p, step, err)
 		}
 		fr := &fieldReader{buf: body}
 		gotEpoch, err := fr.uvarint()
@@ -634,6 +674,9 @@ func (h *Hub) gatherResults(epoch uint64, peers []*hubPeer, results []*nodeResul
 	for i, err := range errs {
 		if err != nil {
 			h.dropPeer(peers[i], err.Error())
+			if Retryable(err) {
+				return err
+			}
 			return fmt.Errorf("bsp: collecting result from node %d: %w", peers[i].id, err)
 		}
 	}
@@ -648,8 +691,9 @@ func (h *Hub) gatherResults(epoch uint64, peers []*hubPeer, results []*nodeResul
 // unknown and re-registers from scratch (see serveNodeConn), so keeping
 // the old registration would leave a ghost peer that poisons the next
 // job with a dead conn.
-func (h *Hub) abortJob(epoch uint64, peers []*hubPeer, reason string) {
+func (h *Hub) abortJob(epoch uint64, peers []*hubPeer, code AbortReason, reason string) {
 	msg := binary.AppendUvarint(nil, epoch)
+	msg = append(msg, byte(code))
 	msg = append(msg, reason...)
 	for _, p := range peers {
 		h.writePeer(p, frameAbort, msg)

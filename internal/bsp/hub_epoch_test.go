@@ -1,0 +1,267 @@
+package bsp
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// rawNode speaks the wire protocol by hand, so tests can inject exactly
+// the frame sequences a well-behaved ServeNode never produces.
+type rawNode struct {
+	t    *testing.T
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+func dialRawNode(t *testing.T, addr, name string) *rawNode {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	n := &rawNode{t: t, conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	hello := binary.AppendUvarint(nil, protoVersion)
+	hello = binary.AppendUvarint(hello, 1)
+	hello = append(hello, name...)
+	n.send(frameHello, hello)
+	typ, _ := n.recv()
+	if typ != frameWelcome {
+		t.Fatalf("expected welcome, got frame %d", typ)
+	}
+	return n
+}
+
+func (n *rawNode) send(typ byte, payload []byte) {
+	n.t.Helper()
+	if err := writeFrame(n.w, typ, payload); err != nil {
+		n.t.Fatal(err)
+	}
+	if err := n.w.Flush(); err != nil {
+		n.t.Fatal(err)
+	}
+}
+
+func (n *rawNode) recv() (byte, []byte) {
+	n.t.Helper()
+	n.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	typ, body, err := readFrame(n.r)
+	if err != nil {
+		n.t.Fatal(err)
+	}
+	return typ, body
+}
+
+func stepFrame(epoch uint64, step int, active bool) []byte {
+	p := binary.AppendUvarint(nil, epoch)
+	p = binary.AppendUvarint(p, uint64(step))
+	var flags byte
+	if active {
+		flags |= 1
+	}
+	p = append(p, flags)
+	p = appendBytesField(p, nil)
+	p = appendMessages(p, nil)
+	return p
+}
+
+func resultFrame(epoch uint64, errMsg string, payload []byte) []byte {
+	p := binary.AppendUvarint(nil, epoch)
+	p = appendBytesField(p, []byte(errMsg))
+	return append(p, payload...)
+}
+
+func jobStartEpoch(t *testing.T, body []byte) uint64 {
+	t.Helper()
+	fr := &fieldReader{buf: body}
+	epoch, err := fr.uvarint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return epoch
+}
+
+// TestHubRejectsFutureEpochFrame: a frame claiming an epoch the hub has
+// not started yet is a protocol violation — the job fails with a
+// non-retryable error and the offending node is dropped.
+func TestHubRejectsFutureEpochFrame(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := NewHub(ln, HubOptions{StepTimeout: 5 * time.Second})
+	defer hub.Close()
+	ctx := context.Background()
+
+	n := dialRawNode(t, ln.Addr().String(), "fortune-teller")
+	if err := hub.WaitNodes(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{NumWorkers: 1, MinNodes: 1, PlanFor: func(lo, hi int) ([]byte, error) { return nil, nil }}
+	done := make(chan error, 1)
+	go func() {
+		_, err := hub.RunJob(ctx, spec, JobHooks{})
+		done <- err
+	}()
+	typ, body := n.recv()
+	if typ != frameJobStart {
+		t.Fatalf("expected job start, got frame %d", typ)
+	}
+	epoch := jobStartEpoch(t, body)
+	n.send(frameStep, stepFrame(epoch+5, 0, false))
+
+	jobErr := <-done
+	if jobErr == nil || !strings.Contains(jobErr.Error(), "future epoch") {
+		t.Fatalf("err = %v, want future-epoch rejection", jobErr)
+	}
+	if Retryable(jobErr) {
+		t.Fatalf("protocol violation classified retryable: %v", jobErr)
+	}
+	if hub.NumNodes() != 0 {
+		t.Fatal("offending node still registered")
+	}
+}
+
+// TestHubDropsStragglerResultAfterAbort: a result frame from an aborted
+// epoch arriving during the next job must be dropped by the epoch check,
+// not delivered into the new job's barrier.
+func TestHubDropsStragglerResultAfterAbort(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := NewHub(ln, HubOptions{StepTimeout: 5 * time.Second})
+	defer hub.Close()
+	ctx := context.Background()
+	addr := ln.Addr().String()
+	spec := JobSpec{NumWorkers: 1, MinNodes: 1, PlanFor: func(lo, hi int) ([]byte, error) { return nil, nil }}
+
+	// Job 1: the node bails out of the barrier with an engine error; the
+	// hub aborts the epoch and deregisters it.
+	n1 := dialRawNode(t, addr, "bailer")
+	if err := hub.WaitNodes(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := hub.RunJob(ctx, spec, JobHooks{})
+		done <- err
+	}()
+	typ, body := n1.recv()
+	if typ != frameJobStart {
+		t.Fatalf("expected job start, got frame %d", typ)
+	}
+	epoch1 := jobStartEpoch(t, body)
+	n1.send(frameJobResult, resultFrame(epoch1, "synthetic engine failure", nil))
+	if err := <-done; err == nil || !strings.Contains(err.Error(), "left the barrier") {
+		t.Fatalf("job 1 err = %v, want left-the-barrier failure", err)
+	}
+
+	// Job 2 on a fresh registration: replay a straggler result from the
+	// dead epoch before the real barrier frame.
+	n2 := dialRawNode(t, addr, "survivor")
+	if err := hub.WaitNodes(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	type jobRes struct {
+		stats *JobStats
+		err   error
+	}
+	rc := make(chan jobRes, 1)
+	go func() {
+		st, err := hub.RunJob(ctx, spec, JobHooks{})
+		rc <- jobRes{st, err}
+	}()
+	typ, body = n2.recv()
+	if typ != frameJobStart {
+		t.Fatalf("expected job start, got frame %d", typ)
+	}
+	epoch2 := jobStartEpoch(t, body)
+	if epoch2 != epoch1+1 {
+		t.Fatalf("job 2 epoch = %d, want %d", epoch2, epoch1+1)
+	}
+	n2.send(frameJobResult, resultFrame(epoch1, "straggler from the dead epoch", nil))
+	n2.send(frameStep, stepFrame(epoch2, 0, false))
+	if typ, _ = n2.recv(); typ != frameStepOK {
+		t.Fatalf("expected barrier reply, got frame %d", typ)
+	}
+	n2.send(frameJobResult, resultFrame(epoch2, "", []byte("ok")))
+
+	r := <-rc
+	if r.err != nil {
+		t.Fatalf("straggler poisoned job 2: %v", r.err)
+	}
+	if len(r.stats.Results) != 1 || string(r.stats.Results[0].Payload) != "ok" {
+		t.Fatalf("job 2 results = %+v, want the survivor's payload", r.stats.Results)
+	}
+}
+
+// TestHubBackToBackJobsAfterNodeLoss: a node dying mid-job yields a
+// typed, retryable NodeLostError, and once the participants re-register
+// the hub serves consecutive jobs over fresh epochs without residue.
+func TestHubBackToBackJobsAfterNodeLoss(t *testing.T) {
+	var killOnce atomic.Bool
+	killOnce.Store(true)
+	hub, stop := startCluster(t, 2, 2, func(job *NodeJob) Program {
+		return ProgramFunc(func(c *Context) error {
+			if c.Superstep() == 1 && job.Lo > 0 && killOnce.CompareAndSwap(true, false) {
+				job.Transport.Close() // the node "dies" mid-barrier
+			}
+			if c.Superstep() >= 3 {
+				c.VoteToHalt()
+			}
+			return nil
+		})
+	})
+	defer stop()
+	spec := JobSpec{NumWorkers: 4, MinNodes: 2, PlanFor: func(lo, hi int) ([]byte, error) { return nil, nil }}
+
+	_, err := hub.RunJob(context.Background(), spec, JobHooks{})
+	if err == nil {
+		t.Fatal("job with a dying node reported success")
+	}
+	var lost *NodeLostError
+	if !errors.As(err, &lost) {
+		t.Fatalf("err = %v (%T), want NodeLostError", err, err)
+	}
+	if !Retryable(err) {
+		t.Fatalf("node loss not classified retryable: %v", err)
+	}
+
+	// Survivor and casualty both redial; then several jobs back-to-back.
+	waitCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hub.WaitNodes(waitCtx, 2); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	okRuns := 0
+	for okRuns < 3 {
+		_, err := hub.RunJob(context.Background(), spec, JobHooks{})
+		if err == nil {
+			okRuns++
+			continue
+		}
+		// A redial racing the job start can still fail it once more.
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster did not recover for back-to-back jobs: %v", err)
+		}
+		okRuns = 0
+		time.Sleep(100 * time.Millisecond)
+		hub.WaitNodes(waitCtx, 2)
+	}
+	if got := hub.NumNodes(); got != 2 {
+		t.Fatalf("live membership = %d, want 2", got)
+	}
+	if lost.Node == 0 || lost.Step < 0 {
+		t.Fatalf("typed error does not name the casualty: %+v", lost)
+	}
+}

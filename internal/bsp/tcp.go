@@ -5,8 +5,29 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"time"
+
+	"repro/internal/faultpoint"
+)
+
+// Fault-injection point names wired into the wire and dial paths (see
+// internal/faultpoint for the arming grammar).  Disarmed they cost one
+// atomic load.
+const (
+	// FaultNodeWire fires in TCPTransport.Exchange before the superstep
+	// frame is written; step-scoped.  drop closes the conn (the node
+	// appears to die mid-superstep), delay stalls the frame, error fails
+	// the exchange outright.
+	FaultNodeWire = "bsp.node.wire"
+	// FaultNodeDial fires in ServeNode before each dial attempt; error
+	// and drop count as a failed dial, delay stalls it.
+	FaultNodeDial = "bsp.node.dial"
+	// FaultHubRead fires in the hub before reading a peer's barrier
+	// frame; step-scoped.  drop closes the peer conn, error reports the
+	// node lost.
+	FaultHubRead = "bsp.hub.read"
 )
 
 // TCPTransport is the node side of the distributed barrier: it speaks
@@ -30,6 +51,16 @@ type TCPTransport struct {
 // Exchange implements Transport: one frameStep out, one frameStepOK back.
 func (t *TCPTransport) Exchange(ex *Exchange) (Delivery, error) {
 	start := time.Now()
+	if o := faultpoint.Eval(FaultNodeWire, ex.Step); o.Fired() {
+		switch o.Act {
+		case faultpoint.Drop:
+			t.conn.Close() // the write below fails; the hub sees the node die
+		case faultpoint.Delay:
+			time.Sleep(o.Sleep)
+		case faultpoint.Error:
+			return Delivery{}, fmt.Errorf("bsp: sending superstep %d: %w", ex.Step, o.Err)
+		}
+	}
 	payload := t.buf[:0]
 	payload = binary.AppendUvarint(payload, t.epoch)
 	payload = binary.AppendUvarint(payload, uint64(ex.Step))
@@ -99,7 +130,8 @@ func (t *TCPTransport) Exchange(ex *Exchange) (Delivery, error) {
 			if epoch < t.epoch {
 				continue
 			}
-			return Delivery{}, fmt.Errorf("bsp: job aborted by hub: %s", r.rest())
+			code, _ := r.byteVal() // absent on malformed frames: AbortUnknown
+			return Delivery{}, &AbortError{Code: AbortReason(code), Reason: string(r.rest())}
 		default:
 			return Delivery{}, fmt.Errorf("bsp: unexpected frame %d during superstep %d", typ, ex.Step)
 		}
@@ -134,8 +166,10 @@ type NodeOptions struct {
 	// sizes the node's worker range proportionally.  Minimum 1.
 	Capacity int
 	// BackoffMin and BackoffMax bound the reconnect backoff (defaults
-	// 250ms and 5s).  The delay doubles per failed dial and resets after
-	// a successful registration.
+	// 250ms and 5s).  The delay doubles per failed dial, is capped at
+	// BackoffMax, and resets after a successful dial.  Every sleep is
+	// jittered to a uniform value in [d/2, 3d/2) so the workers of a
+	// restarted coordinator don't redial as a synchronized herd.
 	BackoffMin, BackoffMax time.Duration
 	// Logf, when set, receives connection lifecycle diagnostics.
 	Logf func(format string, args ...any)
@@ -172,10 +206,28 @@ func ServeNode(ctx context.Context, addr string, h NodeHandler, opts NodeOptions
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		conn, err := d.DialContext(ctx, "tcp", addr)
+		var conn net.Conn
+		var err error
+		if fp := faultpoint.Eval(FaultNodeDial, -1); fp.Fired() {
+			switch fp.Act {
+			case faultpoint.Delay:
+				if !sleepCtx(ctx, fp.Sleep) {
+					return ctx.Err()
+				}
+			default: // error and drop both read as a failed dial
+				err = fp.Err
+				if err == nil {
+					err = fmt.Errorf("faultpoint: injected dial failure at %s", FaultNodeDial)
+				}
+			}
+		}
+		if err == nil {
+			conn, err = d.DialContext(ctx, "tcp", addr)
+		}
 		if err != nil {
-			o.Logf("bsp node: dial %s: %v (retrying in %v)", addr, err, backoff)
-			if !sleepCtx(ctx, backoff) {
+			sleep := jitterBackoff(backoff)
+			o.Logf("bsp node: dial %s: %v (retrying in %v)", addr, err, sleep)
+			if !sleepCtx(ctx, sleep) {
 				return ctx.Err()
 			}
 			if backoff *= 2; backoff > o.BackoffMax {
@@ -189,11 +241,22 @@ func ServeNode(ctx context.Context, addr string, h NodeHandler, opts NodeOptions
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		o.Logf("bsp node: connection to %s lost: %v (redialing)", addr, err)
-		if !sleepCtx(ctx, backoff) {
+		sleep := jitterBackoff(backoff)
+		o.Logf("bsp node: connection to %s lost: %v (redialing in %v)", addr, err, sleep)
+		if !sleepCtx(ctx, sleep) {
 			return ctx.Err()
 		}
 	}
+}
+
+// jitterBackoff spreads d to a uniform duration in [d/2, 3d/2), breaking
+// up the reconnect herd that forms when a coordinator restart drops every
+// worker's conn at the same instant.
+func jitterBackoff(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + rand.N(d)
 }
 
 // serveNodeConn registers over one established conn and serves jobs until
@@ -287,7 +350,12 @@ func serveNodeConn(ctx context.Context, conn net.Conn, h NodeHandler, o NodeOpti
 			}
 		case frameAbort:
 			// An abort for a job this node already finished (or never
-			// started): nothing to do.
+			// started): nothing to run, but log the structured reason.
+			fr := &fieldReader{buf: body}
+			if epoch, err := fr.uvarint(); err == nil {
+				code, _ := fr.byteVal()
+				o.Logf("bsp node: hub aborted job epoch %d [%s]: %s", epoch, AbortReason(code), fr.rest())
+			}
 		default:
 			return fmt.Errorf("unexpected frame %d while idle", typ)
 		}

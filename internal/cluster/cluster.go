@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -32,6 +33,19 @@ type Options struct {
 	// StepTimeout bounds one barrier round-trip before the job is failed
 	// (default 2 minutes; see bsp.HubOptions).
 	StepTimeout time.Duration
+	// JobRetries is how many times a job is re-executed after a
+	// retryable cluster failure (node lost, step timeout).  Each retry
+	// re-waits for quorum and re-plans over the surviving membership.
+	// 0 disables retries.
+	JobRetries int
+	// RetryBackoff is the pause before each retry, giving dropped
+	// participants time to re-register (default 500ms).
+	RetryBackoff time.Duration
+	// DegradedLocal, when set, falls back to the in-process engine when
+	// quorum cannot be reached within WaitNodes — or when retries are
+	// exhausted on a retryable failure — so the job still completes,
+	// flagged degraded, instead of failing the client.
+	DegradedLocal bool
 	// Logf receives lifecycle diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -39,10 +53,17 @@ type Options struct {
 // Coordinator runs the cluster control plane: node registration, job
 // fan-out, barrier/merge scheduling, and result collection.
 type Coordinator struct {
-	hub      *bsp.Hub
-	opts     Options
-	jobsRun  atomic.Int64
-	jobsFail atomic.Int64
+	hub          *bsp.Hub
+	opts         Options
+	jobsRun      atomic.Int64
+	jobsFail     atomic.Int64
+	jobsRetried  atomic.Int64 // jobs that needed at least one retry
+	replans      atomic.Int64 // re-plan events (attempts after the first)
+	degradedRuns atomic.Int64 // jobs completed via the in-process fallback
+
+	errMu     sync.Mutex
+	lastErr   string
+	lastErrAt time.Time
 }
 
 // NewCoordinator listens on addr for worker-node joins.
@@ -57,6 +78,12 @@ func NewCoordinator(addr string, opts Options) (*Coordinator, error) {
 	if opts.WaitNodes <= 0 {
 		opts.WaitNodes = 30 * time.Second
 	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 500 * time.Millisecond
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
 	hub := bsp.NewHub(ln, bsp.HubOptions{StepTimeout: opts.StepTimeout, Logf: opts.Logf})
 	return &Coordinator{hub: hub, opts: opts}, nil
 }
@@ -69,45 +96,198 @@ func (c *Coordinator) Close() error { return c.hub.Close() }
 
 // Status is the /v1/cluster payload.
 type Status struct {
-	Role       string         `json:"role"`
-	Addr       string         `json:"addr"`
-	MinNodes   int            `json:"min_nodes"`
-	Nodes      []bsp.NodeInfo `json:"nodes"`
-	Epoch      uint64         `json:"epoch"`
-	JobsRun    int64          `json:"jobs_run"`
-	JobsFailed int64          `json:"jobs_failed"`
+	Role          string         `json:"role"`
+	Addr          string         `json:"addr"`
+	MinNodes      int            `json:"min_nodes"`
+	Nodes         []bsp.NodeInfo `json:"nodes"`
+	Epoch         uint64         `json:"epoch"`
+	JobsRun       int64          `json:"jobs_run"`
+	JobsFailed    int64          `json:"jobs_failed"`
+	JobsRetried   int64          `json:"jobs_retried"`
+	Replans       int64          `json:"replans"`
+	DegradedRuns  int64          `json:"degraded_runs"`
+	JobRetries    int            `json:"job_retries"`
+	DegradedLocal bool           `json:"degraded_local"`
+	LastError     string         `json:"last_error,omitempty"`
+	LastErrorAt   *time.Time     `json:"last_error_at,omitempty"`
 }
 
 // ClusterStatus implements the httpapi status hook.
 func (c *Coordinator) ClusterStatus() any {
-	return Status{
-		Role:       "coordinator",
-		Addr:       c.hub.Addr().String(),
-		MinNodes:   c.opts.MinNodes,
-		Nodes:      c.hub.Nodes(),
-		Epoch:      c.hub.Epoch(),
-		JobsRun:    c.jobsRun.Load(),
-		JobsFailed: c.jobsFail.Load(),
+	s := Status{
+		Role:          "coordinator",
+		Addr:          c.hub.Addr().String(),
+		MinNodes:      c.opts.MinNodes,
+		Nodes:         c.hub.Nodes(),
+		Epoch:         c.hub.Epoch(),
+		JobsRun:       c.jobsRun.Load(),
+		JobsFailed:    c.jobsFail.Load(),
+		JobsRetried:   c.jobsRetried.Load(),
+		Replans:       c.replans.Load(),
+		DegradedRuns:  c.degradedRuns.Load(),
+		JobRetries:    c.opts.JobRetries,
+		DegradedLocal: c.opts.DegradedLocal,
+	}
+	c.errMu.Lock()
+	s.LastError = c.lastErr
+	if !c.lastErrAt.IsZero() {
+		t := c.lastErrAt
+		s.LastErrorAt = &t
+	}
+	c.errMu.Unlock()
+	return s
+}
+
+// ClusterMetrics implements the optional httpapi metrics hook: the
+// coordinator's counters under the "cluster" key of /v1/metrics.
+func (c *Coordinator) ClusterMetrics() map[string]int64 {
+	return map[string]int64{
+		"jobs_run":      c.jobsRun.Load(),
+		"jobs_failed":   c.jobsFail.Load(),
+		"jobs_retried":  c.jobsRetried.Load(),
+		"replans":       c.replans.Load(),
+		"degraded_runs": c.degradedRuns.Load(),
 	}
 }
 
-// Run executes one circuit computation across the cluster and returns the
-// Result ready for Phase 3 in this process.
-func (c *Coordinator) Run(ctx context.Context, g *graph.Graph, a partition.Assignment, cfg euler.Config) (*euler.Result, error) {
-	waitCtx, cancel := context.WithTimeout(ctx, c.opts.WaitNodes)
-	err := c.hub.WaitNodes(waitCtx, c.opts.MinNodes)
-	cancel()
+// recordError notes a job failure for /v1/cluster's last_error field.
+func (c *Coordinator) recordError(err error) {
+	c.errMu.Lock()
+	c.lastErr = err.Error()
+	c.lastErrAt = time.Now()
+	c.errMu.Unlock()
+}
+
+// RunInfo describes how a cluster job's execution went.
+type RunInfo struct {
+	// Attempts is the number of execution attempts (1 = first try).
+	Attempts int
+	// Replans is how many times the partition plan was rebuilt for a
+	// retry (attempts after the first).
+	Replans int
+	// Degraded marks a job completed through the in-process fallback
+	// after the cluster could not serve it.
+	Degraded bool
+}
+
+// Replanner produces the partition assignment for one attempt.  It is
+// re-invoked on every retry with the current live node count, so the
+// plan is rebuilt against the surviving membership; deterministic
+// planners (LDG with a fixed seed and part count) keep retried runs
+// byte-identical to the first attempt.
+type Replanner func(attempt, liveNodes int) (partition.Assignment, error)
+
+// Run executes one circuit computation across the cluster with a fixed
+// assignment and returns the Result ready for Phase 3 in this process.
+func (c *Coordinator) Run(ctx context.Context, g *graph.Graph, a partition.Assignment, cfg euler.Config) (*euler.Result, RunInfo, error) {
+	return c.RunReplan(ctx, g, cfg, func(int, int) (partition.Assignment, error) { return a, nil })
+}
+
+// RunReplan executes one circuit computation across the cluster under the
+// coordinator's retry policy.  Each attempt waits for quorum, plans via
+// replan, and runs under a fresh hub epoch (the epoch machinery rejects
+// stale frames from aborted attempts).  On a retryable failure — a node
+// lost mid-barrier or a superstep timeout — it backs off, re-waits for
+// quorum, re-plans over the surviving membership, and goes again, up to
+// JobRetries times.  With DegradedLocal set, a job the cluster cannot
+// serve (no quorum, or retries exhausted on a retryable error) falls back
+// to the in-process engine and completes flagged degraded.
+func (c *Coordinator) RunReplan(ctx context.Context, g *graph.Graph, cfg euler.Config, replan Replanner) (*euler.Result, RunInfo, error) {
+	var info RunInfo
+	for attempt := 1; ; attempt++ {
+		info.Attempts = attempt
+		if attempt > 1 {
+			info.Replans++
+			c.replans.Add(1)
+		}
+
+		waitCtx, cancel := context.WithTimeout(ctx, c.opts.WaitNodes)
+		err := c.hub.WaitNodes(waitCtx, c.opts.MinNodes)
+		cancel()
+		quorum := c.opts.MinNodes
+		if err != nil && attempt > 1 {
+			// Retries relax quorum: the job already held MinNodes once,
+			// so finishing on the survivors beats failing the client.
+			if live := c.hub.NumNodes(); live >= 1 {
+				c.opts.Logf("cluster: quorum %d unreachable on retry %d; re-planning over %d survivor(s)", c.opts.MinNodes, attempt-1, live)
+				quorum, err = live, nil
+			}
+		}
+		if err != nil {
+			c.recordError(err)
+			if c.opts.DegradedLocal && ctx.Err() == nil {
+				return c.runDegraded(g, cfg, &info, replan)
+			}
+			c.jobsFail.Add(1)
+			return nil, info, err
+		}
+
+		a, err := replan(attempt, c.hub.NumNodes())
+		if err != nil {
+			c.jobsFail.Add(1)
+			return nil, info, err
+		}
+		attemptCtx, cancelAttempt := context.WithCancel(ctx)
+		res, _, err := euler.RunOverCluster(attemptCtx, c.hub, g, a, cfg, quorum)
+		cancelAttempt()
+		if err == nil {
+			c.jobsRun.Add(1)
+			return res, info, nil
+		}
+		c.recordError(err)
+
+		retryable := bsp.Retryable(err) && ctx.Err() == nil
+		if retryable && attempt <= c.opts.JobRetries {
+			if attempt == 1 {
+				c.jobsRetried.Add(1)
+			}
+			c.opts.Logf("cluster: attempt %d failed (%v); retrying in %v", attempt, err, c.opts.RetryBackoff)
+			if !sleepCtx(ctx, c.opts.RetryBackoff) {
+				c.jobsFail.Add(1)
+				return nil, info, ctx.Err()
+			}
+			continue
+		}
+		if retryable && c.opts.DegradedLocal {
+			return c.runDegraded(g, cfg, &info, replan)
+		}
+		c.jobsFail.Add(1)
+		return nil, info, err
+	}
+}
+
+// runDegraded completes a job the cluster could not serve by running the
+// engine in-process over LocalTransport.  The circuit is identical to
+// what the cluster would have produced for the same plan; only the
+// execution placement degrades.
+func (c *Coordinator) runDegraded(g *graph.Graph, cfg euler.Config, info *RunInfo, replan Replanner) (*euler.Result, RunInfo, error) {
+	a, err := replan(info.Attempts, 0)
 	if err != nil {
 		c.jobsFail.Add(1)
-		return nil, err
+		return nil, *info, err
 	}
-	res, _, err := euler.RunOverCluster(ctx, c.hub, g, a, cfg, c.opts.MinNodes)
+	c.opts.Logf("cluster: falling back to degraded in-process execution")
+	res, err := euler.Run(g, a, cfg)
 	if err != nil {
 		c.jobsFail.Add(1)
-		return nil, err
+		return nil, *info, err
 	}
+	info.Degraded = true
+	c.degradedRuns.Add(1)
 	c.jobsRun.Add(1)
-	return res, nil
+	return res, *info, nil
+}
+
+// sleepCtx sleeps for d, returning false early if ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
 }
 
 // Runner adapts the Coordinator to the httpapi CircuitRunner seam: it
@@ -124,7 +304,7 @@ func (r *Runner) RunCircuit(ctx context.Context, spec job.Spec, dir string, g *g
 	if err != nil {
 		return nil, err
 	}
-	a := partition.LDG(g, parts, euler.ResolveSeed(spec.Seed))
+	seed := euler.ResolveSeed(spec.Seed)
 	mode, err := job.ParseMode(spec.Mode)
 	if err != nil {
 		return nil, err
@@ -138,13 +318,22 @@ func (r *Runner) RunCircuit(ctx context.Context, spec job.Spec, dir string, g *g
 		defer ds.Close()
 		cfg.Store = ds
 	}
-	res, err := r.Coordinator.Run(ctx, g, a, cfg)
+	// The planner runs once per attempt: a retry rebuilds the LDG
+	// assignment and the euler plan from scratch against whatever
+	// membership survived.  Part count and seed come from the spec, so
+	// the rebuilt plan — and therefore the circuit — is byte-identical
+	// across attempts and to a single-process run.
+	res, info, err := r.Coordinator.RunReplan(ctx, g, cfg, func(attempt, liveNodes int) (partition.Assignment, error) {
+		return partition.LDG(g, parts, seed), nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	if err := res.Registry.Unroll(emit); err != nil {
 		return nil, err
 	}
+	res.Report.Attempts = info.Attempts
+	res.Report.Degraded = info.Degraded
 	return res.Report, nil
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/bsp"
 	"repro/internal/euler"
+	"repro/internal/faultpoint"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/partition"
@@ -88,7 +89,7 @@ func TestClusterMatchesLocal(t *testing.T) {
 				}
 				want := collectSteps(t, local)
 
-				res, err := coord.Run(context.Background(), tc.g, a, cfg)
+				res, _, err := coord.Run(context.Background(), tc.g, a, cfg)
 				if err != nil {
 					t.Fatalf("cluster run: %v", err)
 				}
@@ -142,7 +143,7 @@ func TestClusterSequentialNodes(t *testing.T) {
 
 	g := gen.Torus(8, 8)
 	a := partition.LDG(g, 6, 1)
-	res, err := coord.Run(context.Background(), g, a, euler.Config{})
+	res, _, err := coord.Run(context.Background(), g, a, euler.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestClusterKilledWorkerFailsCleanly(t *testing.T) {
 	a := partition.LDG(g, 8, 1)
 	done := make(chan error, 1)
 	go func() {
-		_, err := coord.Run(context.Background(), g, a, euler.Config{})
+		_, _, err := coord.Run(context.Background(), g, a, euler.Config{})
 		done <- err
 	}()
 	select {
@@ -217,7 +218,7 @@ func TestClusterKilledWorkerFailsCleanly(t *testing.T) {
 
 	// The abort must not leave ghost registrations behind: both nodes
 	// re-register and the next job over the healed cluster succeeds.
-	res, err := coord.Run(context.Background(), g, a, euler.Config{})
+	res, _, err := coord.Run(context.Background(), g, a, euler.Config{})
 	if err != nil {
 		t.Fatalf("job after cluster heal: %v", err)
 	}
@@ -237,8 +238,119 @@ func TestClusterNoNodes(t *testing.T) {
 	defer coord.Close()
 	g := gen.Torus(4, 4)
 	a := partition.LDG(g, 2, 1)
-	_, err = coord.Run(context.Background(), g, a, euler.Config{})
+	_, _, err = coord.Run(context.Background(), g, a, euler.Config{})
 	if err == nil || !strings.Contains(err.Error(), "waiting for") {
 		t.Fatalf("err = %v, want waiting-for-nodes error", err)
+	}
+}
+
+// TestClusterRetriesAfterNodeLoss arms a faultpoint that cuts one node's
+// conn mid-superstep and asserts the coordinator's retry policy absorbs
+// the loss: the job succeeds after a re-plan, the circuit is
+// byte-identical to the local run, and the retry counters advance.
+func TestClusterRetriesAfterNodeLoss(t *testing.T) {
+	faultpoint.Reset()
+	if err := faultpoint.Arm("bsp.node.wire=drop,step=1,times=1"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultpoint.Reset)
+
+	coord, err := NewCoordinator("127.0.0.1:0", Options{
+		MinNodes: 2, WaitNodes: 10 * time.Second, StepTimeout: 20 * time.Second,
+		JobRetries: 3, RetryBackoff: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		go RunWorker(ctx, coord.Addr().String(), WorkerOptions{Name: fmt.Sprintf("r%d", i), Capacity: 4})
+	}
+
+	g := gen.Torus(16, 16)
+	a := partition.LDG(g, 8, 1)
+	local, err := euler.Run(g, a, euler.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collectSteps(t, local)
+
+	res, info, err := coord.Run(context.Background(), g, a, euler.Config{})
+	if err != nil {
+		t.Fatalf("job did not survive the node loss: %v", err)
+	}
+	if faultpoint.Hits(bsp.FaultNodeWire) == 0 {
+		t.Fatal("fault never fired; the run proves nothing")
+	}
+	if info.Attempts < 2 || info.Replans < 1 || info.Degraded {
+		t.Fatalf("info = %+v, want >=2 attempts with a re-plan, not degraded", info)
+	}
+	got := collectSteps(t, res)
+	if len(got) != len(want) {
+		t.Fatalf("retried circuit has %d steps, local %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("step %d differs after retry: cluster %+v, local %+v", i, got[i], want[i])
+		}
+	}
+	if err := verify.Circuit(g, got); err != nil {
+		t.Fatal(err)
+	}
+
+	st, ok := coord.ClusterStatus().(Status)
+	if !ok || st.JobsRetried < 1 || st.Replans < 1 {
+		t.Fatalf("status does not record the retry: %+v", st)
+	}
+	if st.JobsFailed != 0 {
+		t.Fatalf("retried job counted as failed: %+v", st)
+	}
+	if st.LastError == "" || st.LastErrorAt == nil {
+		t.Fatalf("status does not record the attempt failure: %+v", st)
+	}
+}
+
+// TestClusterDegradedFallback: quorum is unreachable (no workers join)
+// but DegradedLocal lets the job complete in-process, flagged degraded,
+// with the same circuit a healthy run would produce.
+func TestClusterDegradedFallback(t *testing.T) {
+	coord, err := NewCoordinator("127.0.0.1:0", Options{
+		MinNodes: 2, WaitNodes: 300 * time.Millisecond, DegradedLocal: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	g := gen.Torus(8, 8)
+	a := partition.LDG(g, 4, 1)
+	local, err := euler.Run(g, a, euler.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collectSteps(t, local)
+
+	res, info, err := coord.Run(context.Background(), g, a, euler.Config{})
+	if err != nil {
+		t.Fatalf("degraded fallback failed: %v", err)
+	}
+	if !info.Degraded {
+		t.Fatalf("info = %+v, want degraded", info)
+	}
+	got := collectSteps(t, res)
+	if len(got) != len(want) {
+		t.Fatalf("degraded circuit has %d steps, local %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("step %d differs in degraded run", i)
+		}
+	}
+
+	st := coord.ClusterStatus().(Status)
+	if st.DegradedRuns != 1 || st.JobsRun != 1 || st.JobsFailed != 0 {
+		t.Fatalf("status = %+v, want one degraded completed job", st)
 	}
 }

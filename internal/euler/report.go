@@ -49,6 +49,14 @@ type RunReport struct {
 	Levels     []LevelReport
 	BSP        bsp.Metrics
 	Wall       time.Duration // wall-clock time of the BSP run
+
+	// Attempts is how many cluster execution attempts the run took
+	// (1 = first try; >1 means retries with re-planning).  Zero for
+	// single-process runs, which have no retry machinery.
+	Attempts int `json:"attempts,omitempty"`
+	// Degraded marks a run completed through the coordinator's
+	// in-process fallback after the cluster could not serve it.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // PartsAt returns the part reports for one level.

@@ -378,6 +378,19 @@ func (c *Client) Metrics() (map[string]any, error) {
 	return m, err
 }
 
+// Cluster scrapes GET /v1/cluster as a raw map, so callers can read
+// the coordinator's fault-tolerance counters (jobs_retried, replans,
+// degraded_runs, last_error) without a schema dependency.
+func (c *Client) Cluster() (map[string]any, error) {
+	var m map[string]any
+	req, err := http.NewRequest(http.MethodGet, c.Base+"/v1/cluster", nil)
+	if err != nil {
+		return nil, err
+	}
+	err = c.decodeInto(req, &m)
+	return m, err
+}
+
 // ClusterNodes returns the joined worker-node count from GET
 // /v1/cluster (0 for a standalone server).
 func (c *Client) ClusterNodes() (int, error) {

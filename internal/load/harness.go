@@ -152,7 +152,11 @@ func runScenarioProcs(ctx context.Context, sc Scenario, workDir string, opts Har
 			capacity = 4
 		}
 		for i := 0; i < sc.Workers; i++ {
-			w, err := spawn(sp.StartWorker(fmt.Sprintf("worker-%d", i), clusterAddr, capacity))
+			var extra []string
+			if i < len(sc.WorkerFaults) && sc.WorkerFaults[i] != "" {
+				extra = append(extra, "-faultpoints", sc.WorkerFaults[i])
+			}
+			w, err := spawn(sp.StartWorker(fmt.Sprintf("worker-%d", i), clusterAddr, capacity, extra...))
 			if err != nil {
 				return bench.ScenarioResult{}, err
 			}

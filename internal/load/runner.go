@@ -50,6 +50,8 @@ type jobResult struct {
 	queueWait time.Duration // created → started, from server timestamps
 	exec      time.Duration // started → finished, from server timestamps
 	steps     int64
+	attempts  int  // cluster execution attempts, from the job snapshot
+	degraded  bool // the coordinator fell back to in-process execution
 	executed  bool // the server actually ran it (vs. served from cache)
 	throttled bool // admission-rejected on a MayThrottle template
 	failed    bool // counts against the scenario's error budget
@@ -302,7 +304,76 @@ func RunScenario(ctx context.Context, sc Scenario, env Env) (bench.ScenarioResul
 	if err := checkSchedContracts(sc, results, env, &res); err != nil {
 		return res, err
 	}
+	if err := checkClusterContracts(sc, results, env, &res); err != nil {
+		return res, err
+	}
 	return res, hardFailures(sc, results)
+}
+
+// checkClusterContracts enforces the fault-tolerance scenario
+// assertions (ExpectRetry, ExpectDegraded) against the coordinator's
+// /v1/cluster counters and the per-job snapshots, and folds the
+// counters into the report.
+func checkClusterContracts(sc Scenario, results []jobResult, env Env, res *bench.ScenarioResult) error {
+	if !sc.ExpectRetry && !sc.ExpectDegraded {
+		return nil
+	}
+	m, err := env.Client.Cluster()
+	if err != nil {
+		return fmt.Errorf("scenario %s: scraping cluster status: %w", sc.Name, err)
+	}
+	num := func(key string) (float64, error) {
+		v, ok := m[key].(float64)
+		if !ok {
+			return 0, fmt.Errorf("scenario %s: cluster counter %s missing or non-numeric (%v)", sc.Name, key, m[key])
+		}
+		return v, nil
+	}
+	retried, err := num("jobs_retried")
+	if err != nil {
+		return err
+	}
+	replans, err := num("replans")
+	if err != nil {
+		return err
+	}
+	degraded, err := num("degraded_runs")
+	if err != nil {
+		return err
+	}
+	res.Metrics["cluster_jobs_retried"] = bench.Info(retried, "count")
+	res.Metrics["cluster_replans"] = bench.Info(replans, "count")
+	res.Metrics["cluster_degraded_runs"] = bench.Info(degraded, "count")
+	if sc.ExpectRetry {
+		if retried < 1 {
+			return fmt.Errorf("scenario %s expected at least one retried job, coordinator reports %v", sc.Name, retried)
+		}
+		if replans < 1 {
+			return fmt.Errorf("scenario %s expected at least one re-plan, coordinator reports %v", sc.Name, replans)
+		}
+		// The recovery must also be visible to clients: some done job's
+		// snapshot records more than one attempt.
+		multi := false
+		for i := range results {
+			multi = multi || results[i].attempts > 1
+		}
+		if !multi {
+			return fmt.Errorf("scenario %s: no job snapshot recorded a second attempt", sc.Name)
+		}
+	}
+	if sc.ExpectDegraded {
+		if degraded < 1 {
+			return fmt.Errorf("scenario %s expected a degraded fallback run, coordinator reports %v", sc.Name, degraded)
+		}
+		flagged := false
+		for i := range results {
+			flagged = flagged || results[i].degraded
+		}
+		if !flagged {
+			return fmt.Errorf("scenario %s: no job snapshot carries the degraded flag", sc.Name)
+		}
+	}
+	return nil
 }
 
 // checkSchedContracts enforces the scheduler-specific scenario
@@ -388,6 +459,8 @@ func (r *jobResult) finish(snap job.Snapshot, latency time.Duration) {
 	r.state = snap.State
 	r.latency = latency
 	r.steps = snap.Steps
+	r.attempts = snap.Attempts
+	r.degraded = snap.Degraded
 	if snap.Started != nil {
 		r.executed = true
 		r.queueWait = snap.Started.Sub(snap.Created)

@@ -96,6 +96,20 @@ type Scenario struct {
 	// ChaosKillWorker kills one worker process once roughly a third of
 	// the jobs have finished; requires TopoCluster and Workers >= 2.
 	ChaosKillWorker bool
+	// WorkerFaults arms faultpoint specs on the workers, by index: entry
+	// i is passed to worker i as -faultpoints (empty entries arm
+	// nothing).  Requires TopoCluster; see internal/faultpoint for the
+	// grammar.
+	WorkerFaults []string
+	// ExpectRetry asserts the coordinator's fault-tolerance counters
+	// after the run: at least one job must have been retried and at
+	// least one re-plan must have happened (the chaos actually bit and
+	// the recovery path actually ran).
+	ExpectRetry bool
+	// ExpectDegraded asserts the coordinator fell back to degraded
+	// local execution at least once and that some job snapshot carries
+	// the degraded flag.
+	ExpectDegraded bool
 	// CompareSolo replays every job on a standalone reference server
 	// and requires byte-identical circuit streams (the old
 	// cluster_smoke.sh check).
@@ -162,6 +176,15 @@ func (s Scenario) Validate() error {
 	}
 	if s.Topology == TopoCluster && s.Workers < 1 {
 		return fmt.Errorf("load: cluster scenario %s declares no workers", s.Name)
+	}
+	if len(s.WorkerFaults) > 0 && s.Topology != TopoCluster {
+		return fmt.Errorf("load: scenario %s arms worker faultpoints without a cluster topology", s.Name)
+	}
+	if len(s.WorkerFaults) > s.Workers {
+		return fmt.Errorf("load: scenario %s arms faults for %d workers but spawns %d", s.Name, len(s.WorkerFaults), s.Workers)
+	}
+	if (s.ExpectRetry || s.ExpectDegraded) && s.Topology != TopoCluster {
+		return fmt.Errorf("load: scenario %s asserts cluster fault-tolerance counters without a cluster topology", s.Name)
 	}
 	for i, tpl := range s.Templates {
 		// Validate a deep copy: Spec.Validate writes defaults through the
@@ -462,19 +485,76 @@ func Scenarios() []Scenario {
 		},
 		{
 			Name:        "cluster-chaos-kill-worker",
-			Description: "kill one of two workers mid-run; the survivor must keep completing jobs",
+			Description: "kill one of two workers mid-run; retries must absorb the loss with no client-visible failures",
 			Profiles:    both,
 			Topology:    TopoCluster,
 			Workers:     2, MinNodes: 1, WorkerCapacity: 4,
 			// Cache off: post-chaos jobs must really execute on the
-			// surviving worker, not replay the pre-chaos circuit.
-			ServerArgs:      []string{"-cache-bytes", "0"},
+			// surviving worker, not replay the pre-chaos circuit.  With
+			// retries the job in flight when the worker dies re-plans
+			// onto the survivor, so the budget is zero.
+			ServerArgs:      []string{"-cache-bytes", "0", "-job-retries", "3", "-retry-backoff", "100ms"},
 			ChaosKillWorker: true,
-			// In-flight jobs may die with the worker; later ones must not.
-			ErrorBudget: 0.5,
-			Jobs:        6, Concurrency: 1,
+			ErrorBudget:     0,
+			Jobs:            6, Concurrency: 1,
 			Templates: []JobTemplate{
 				genTpl(cliques(10, 5, 4, "current")),
+			},
+		},
+		{
+			Name:        "kill-worker-retry",
+			Description: "a worker's BSP connection drops mid-superstep; the coordinator must retry, re-plan, and stream a byte-identical circuit",
+			Profiles:    both,
+			Topology:    TopoCluster,
+			Workers:     2, MinNodes: 2, WorkerCapacity: 4,
+			// Cache off so every job crosses the wire; retries on so the
+			// injected node loss is absorbed inside the coordinator.
+			ServerArgs: []string{"-cache-bytes", "0", "-job-retries", "3", "-retry-backoff", "100ms"},
+			// Worker 0 drops its barrier write once at superstep 1 —
+			// the hub sees a lost node mid-job and must recover.
+			WorkerFaults: []string{"bsp.node.wire=drop,step=1,times=1"},
+			ExpectRetry:  true,
+			CompareSolo:  true,
+			ErrorBudget:  0,
+			Jobs:         3, Concurrency: 1,
+			Templates: []JobTemplate{
+				genTpl(torus(24, 24, 4, "current", false)),
+			},
+		},
+		{
+			Name:        "flaky-wire",
+			Description: "slow frames, failed dials, and a dropped connection across both workers; clients must never see a failure",
+			Profiles:    both,
+			Topology:    TopoCluster,
+			Workers:     2, MinNodes: 2, WorkerCapacity: 4,
+			ServerArgs: []string{"-cache-bytes", "0", "-job-retries", "3", "-retry-backoff", "100ms"},
+			WorkerFaults: []string{
+				"bsp.node.wire=delay,ms=40,times=6",
+				"bsp.node.dial=error,times=2;bsp.node.wire=drop,step=2,times=1",
+			},
+			ExpectRetry: true,
+			CompareSolo: true,
+			ErrorBudget: 0,
+			Jobs:        3, Concurrency: 1,
+			Templates: []JobTemplate{
+				genTpl(cliques(10, 5, 4, "current")),
+			},
+		},
+		{
+			Name:        "degraded-local",
+			Description: "quorum never forms (one worker, min-nodes two); jobs must complete in-process, flagged degraded, byte-identical to solo",
+			Profiles:    both,
+			Topology:    TopoCluster,
+			Workers:     1, MinNodes: 2, WorkerCapacity: 4,
+			// The short -wait-nodes overrides the harness default so the
+			// quorum wait fails fast and the degraded fallback fires.
+			ServerArgs:     []string{"-cache-bytes", "0", "-wait-nodes", "1s", "-degraded-local"},
+			ExpectDegraded: true,
+			CompareSolo:    true,
+			ErrorBudget:    0,
+			Jobs:           2, Concurrency: 1,
+			Templates: []JobTemplate{
+				genTpl(cliques(8, 5, 4, "current")),
 			},
 		},
 		{

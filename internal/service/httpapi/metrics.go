@@ -125,7 +125,7 @@ func (s *Server) MetricsSnapshot() map[string]any {
 			"cache_hits": c.cacheHits.Load(),
 		}
 	}
-	return map[string]any{
+	out := map[string]any{
 		"kinds":            kinds,
 		"queue_depth":      s.sched.Depth(),
 		"running":          s.sched.Running(),
@@ -158,4 +158,10 @@ func (s *Server) MetricsSnapshot() map[string]any {
 			"wall":       s.metrics.wallNanos.Load(),
 		},
 	}
+	// A cluster coordinator additionally reports its fault-tolerance
+	// counters (jobs_run/failed/retried, replans, degraded_runs).
+	if cm, ok := s.cluster.(interface{ ClusterMetrics() map[string]int64 }); ok {
+		out["cluster"] = cm.ClusterMetrics()
+	}
+	return out
 }

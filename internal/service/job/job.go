@@ -231,6 +231,11 @@ type Snapshot struct {
 	Finished *time.Time       `json:"finished,omitempty"`
 	Steps    int64            `json:"steps,omitempty"`
 	Report   *euler.RunReport `json:"report,omitempty"`
+	// Attempts and Degraded mirror the report's cluster execution
+	// fields at the top level so clients polling job status can see
+	// retry and fallback outcomes without digging into the report.
+	Attempts int  `json:"attempts,omitempty"`
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Snapshot returns a copy of the job's current state.
@@ -245,6 +250,10 @@ func (j *Job) Snapshot() Snapshot {
 		Created: j.created,
 		Steps:   j.steps,
 		Report:  j.report,
+	}
+	if j.report != nil {
+		s.Attempts = j.report.Attempts
+		s.Degraded = j.report.Degraded
 	}
 	if !j.started.IsZero() {
 		t := j.started
