@@ -98,9 +98,11 @@ func (e *AbortError) Error() string {
 	return fmt.Sprintf("bsp: job aborted by hub [%s]: %s", e.Code, e.Reason)
 }
 
-// Retryable: an abort reaching a healthy node means some *other*
-// participant failed; the job as a whole may succeed on retry.
-func (e *AbortError) Retryable() bool { return true }
+// Retryable: an abort reaching a healthy node usually means some *other*
+// participant failed, so the job as a whole may succeed on retry.  The
+// exception is a protocol abort — a version or framing mismatch is
+// deterministic and a retry would only reproduce it.
+func (e *AbortError) Retryable() bool { return e.Code != AbortProtocol }
 
 // abortReasonFor maps a gathered job failure to the code broadcast to
 // workers when the abort site has no more specific knowledge.

@@ -21,9 +21,11 @@ const (
 )
 
 // protoVersion is bumped whenever the frame layout changes incompatibly;
-// the hub refuses hellos from other versions.  v2 added the machine-
-// readable reason code byte to frameAbort.
-const protoVersion = 2
+// the hub refuses hellos from other versions with a typed frameAbort so
+// the peer can log a structured reason.  v2 added the machine-readable
+// reason code byte to frameAbort; v3 delta+varint-compressed the euler
+// sideband, state, and plan payloads (marker byte 0xE3).
+const protoVersion = 3
 
 // maxFramePayload bounds a single frame so a corrupt length prefix cannot
 // demand gigabytes (1 GiB still comfortably fits a full partition plan).

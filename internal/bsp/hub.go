@@ -187,6 +187,16 @@ func (h *Hub) handshake(conn net.Conn) {
 	proto, err := fr.uvarint()
 	if err != nil || proto != protoVersion {
 		h.opts.Logf("bsp hub: %s speaks protocol %d, want %d", conn.RemoteAddr(), proto, protoVersion)
+		// Tell the peer why before closing: a mixed-version node decodes
+		// this into a typed, non-retryable AbortError instead of seeing a
+		// bare connection reset and redialling forever.
+		msg := binary.AppendUvarint(nil, 0) // no epoch yet: handshake abort
+		msg = append(msg, byte(AbortProtocol))
+		msg = fmt.Appendf(msg, "protocol version %d not supported (hub speaks %d)", proto, protoVersion)
+		w := newBufWriter(conn)
+		if w.writeFrame(frameAbort, msg) == nil {
+			w.flush()
+		}
 		conn.Close()
 		return
 	}

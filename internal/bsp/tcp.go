@@ -286,6 +286,18 @@ func serveNodeConn(ctx context.Context, conn net.Conn, h NodeHandler, o NodeOpti
 	if err != nil {
 		return fmt.Errorf("awaiting welcome: %w", err)
 	}
+	if typ == frameAbort {
+		// The hub refused the handshake (typically a protocol version
+		// mismatch); surface the typed reason instead of a bare frame
+		// number so callers can tell a doomed redial loop from a flake.
+		fr := &fieldReader{buf: body}
+		if _, err := fr.uvarint(); err != nil {
+			return fmt.Errorf("expected welcome frame, got malformed abort: %w", err)
+		}
+		code, _ := fr.byteVal()
+		return fmt.Errorf("hub refused registration: %w",
+			&AbortError{Code: AbortReason(code), Reason: string(fr.rest())})
+	}
 	if typ != frameWelcome {
 		return fmt.Errorf("expected welcome frame, got %d", typ)
 	}

@@ -1,0 +1,84 @@
+package bsp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHubRejectsMixedVersionHello dials the hub with the previous
+// protocol version: instead of a welcome (or a silent reset) the peer
+// must receive a typed frameAbort carrying AbortProtocol and the version
+// numbers, and the connection must then close.
+func TestHubRejectsMixedVersionHello(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := NewHub(ln, HubOptions{})
+	defer hub.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	w := bufio.NewWriter(conn)
+	hello := binary.AppendUvarint(nil, protoVersion-1)
+	hello = binary.AppendUvarint(hello, 1)
+	hello = append(hello, "time-traveller"...)
+	if err := writeFrame(w, frameHello, hello); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	typ, body, err := readFrame(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatalf("reading handshake response: %v", err)
+	}
+	if typ != frameAbort {
+		t.Fatalf("got frame type %d, want frameAbort", typ)
+	}
+	fr := &fieldReader{buf: body}
+	epoch, err := fr.uvarint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 0 {
+		t.Fatalf("handshake abort carries epoch %d, want 0", epoch)
+	}
+	code, err := fr.byteVal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if AbortReason(code) != AbortProtocol {
+		t.Fatalf("abort reason %d, want AbortProtocol", code)
+	}
+	if reason := string(fr.rest()); !strings.Contains(reason, "version") {
+		t.Fatalf("abort reason %q does not mention the version", reason)
+	}
+
+	// The hub hangs up after the abort; the peer must see EOF, not hang.
+	if _, _, err := readFrame(bufio.NewReader(conn)); err != io.EOF && !isClosedNetErr(err) {
+		t.Fatalf("after abort: got %v, want connection close", err)
+	}
+}
+
+func isClosedNetErr(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return false
+	}
+	return strings.Contains(err.Error(), "closed") || strings.Contains(err.Error(), "reset")
+}

@@ -78,6 +78,7 @@ func RunOverCluster(ctx context.Context, hub *bsp.Hub, g *graph.Graph, a partiti
 	metrics := bsp.MergeMetrics(instanceMetrics...)
 
 	report := assembleReport(cfg.Mode, plan.Height, plan.ParkedLongsAt, liveLongs, parts, metrics, wall)
+	report.WireBytes = stats.WireBytes
 	return &Result{Registry: registry, Tree: tree, Report: report}, stats, nil
 }
 

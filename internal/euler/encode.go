@@ -4,12 +4,39 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+
+	"repro/internal/bsp"
 )
 
 // Binary encodings for path bodies (spill store payloads) and partition
-// states (BSP merge transfers).  Varint framing keeps transfer byte counts
+// states (BSP merge transfers).  Since wire v3 every top-level payload
+// leads with the WireV3 marker and delta-encodes its ID streams: vertex
+// and edge IDs within one record stream are near-sorted (Phase 1 walks
+// and LDG assignment keep neighbours close), so the zigzag varints of
+// consecutive differences are mostly one byte where the absolute values
+// were two or more.  Varint framing keeps transfer byte counts
 // proportional to the state's Long count, which is what the cost model
 // charges for shuffle time.
+//
+// A payload without the marker is a legacy (v2) peer's frame; decoders
+// reject it with a typed bsp.AbortProtocol error so a mixed-version
+// cluster aborts the job cleanly instead of mis-parsing state.
+
+// WireV3 is the leading marker byte of every euler wire-v3 payload
+// (bands, visited deltas, bodies, states, remote batches, plan slices).
+// No v2 payload starts with it: v2 bands start with a 'B'/'A' tag and
+// every other v2 payload starts with a count/ID varint small enough in
+// practice to differ.
+const WireV3 byte = 0xE3
+
+// errLegacy builds the typed protocol-abort error v3 decoders return for
+// payloads missing the marker.  bsp.Retryable reports false for it: a
+// version-mismatched peer fails deterministically, so a retry would only
+// reproduce the abort.
+func errLegacy(what string) error {
+	return fmt.Errorf("euler: %s payload lacks the wire v3 marker (legacy v2 peer?): %w", what,
+		&bsp.AbortError{Code: bsp.AbortProtocol, Reason: "v2 " + what + " payload rejected by v3 decoder"})
+}
 
 type decoder struct {
 	buf []byte
@@ -34,12 +61,36 @@ func (d *decoder) varint() (int64, error) {
 	return v, nil
 }
 
+func (d *decoder) byteVal() (byte, error) {
+	if d.off >= len(d.buf) {
+		return 0, fmt.Errorf("euler: truncated byte at offset %d", d.off)
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+// marker consumes the leading WireV3 byte, returning the typed protocol
+// error when it is absent.
+func (d *decoder) marker(what string) error {
+	if d.off >= len(d.buf) || d.buf[d.off] != WireV3 {
+		return errLegacy(what)
+	}
+	d.off++
+	return nil
+}
+
 func (d *decoder) done() error {
 	if d.off != len(d.buf) {
 		return fmt.Errorf("euler: %d trailing bytes", len(d.buf)-d.off)
 	}
 	return nil
 }
+
+// zigzag/unzigzag mirror the transform binary.AppendVarint applies, for
+// streams that fold a flag bit into the delta.
+func zigzag(x int64) uint64   { return uint64(x)<<1 ^ uint64(x>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
 // EncodeBody serialises a path/cycle body for the spill store.  The
 // buffer is allocated at its exact final size, so it can be handed to
@@ -50,9 +101,11 @@ func EncodeBody(items []Item) []byte {
 
 // EncodedBodyLen returns len(EncodeBody(items)) without encoding.
 func EncodedBodyLen(items []Item) int {
-	n := uvarintLen(uint64(len(items)))
+	n := 1 + uvarintLen(uint64(len(items))) + (len(items)+7)/8
+	var prevRef, prevTo int64
 	for _, it := range items {
-		n += 1 + varintLen(it.Ref) + varintLen(it.From) + varintLen(it.To)
+		n += varintLen(it.Ref-prevRef) + varintLen(it.From-prevTo) + varintLen(it.To-it.From)
+		prevRef, prevTo = it.Ref, it.To
 	}
 	return n
 }
@@ -61,17 +114,43 @@ func EncodedBodyLen(items []Item) int {
 func uvarintLen(x uint64) int { return (bits.Len64(x|1) + 6) / 7 }
 
 // varintLen is the byte length of binary.AppendVarint(nil, x).
-func varintLen(x int64) int { return uvarintLen(uint64(x)<<1 ^ uint64(x>>63)) }
+func varintLen(x int64) int { return uvarintLen(zigzag(x)) }
 
 // AppendBody appends the EncodeBody serialisation of items to dst and
 // returns the extended buffer, so hot paths can reuse one encode buffer.
+// Items chain (an item's From is usually the previous item's To), so the
+// per-item fields are the ref delta, the from-vs-previous-to delta
+// (usually zero), and the to-vs-from hop.  Kinds live in a leading
+// bitmap rather than folded into a delta: refs span the full int64
+// range, so a zigzagged ref delta can already need all 64 bits and has
+// no room for a flag bit.
 func AppendBody(dst []byte, items []Item) []byte {
+	dst = append(dst, WireV3)
 	dst = binary.AppendUvarint(dst, uint64(len(items)))
+	dst = appendKindBitmap(dst, items)
+	var prevRef, prevTo int64
 	for _, it := range items {
-		dst = append(dst, byte(it.Kind))
-		dst = binary.AppendVarint(dst, it.Ref)
-		dst = binary.AppendVarint(dst, it.From)
-		dst = binary.AppendVarint(dst, it.To)
+		dst = binary.AppendVarint(dst, it.Ref-prevRef)
+		dst = binary.AppendVarint(dst, it.From-prevTo)
+		dst = binary.AppendVarint(dst, it.To-it.From)
+		prevRef, prevTo = it.Ref, it.To
+	}
+	return dst
+}
+
+// appendKindBitmap packs one bit per item (set for ItemPath) into
+// ceil(n/8) bytes, LSB-first within each byte.
+func appendKindBitmap(dst []byte, items []Item) []byte {
+	var acc byte
+	for i, it := range items {
+		acc |= byte(it.Kind&1) << (i & 7)
+		if i&7 == 7 {
+			dst = append(dst, acc)
+			acc = 0
+		}
+	}
+	if len(items)&7 != 0 {
+		dst = append(dst, acc)
 	}
 	return dst
 }
@@ -79,38 +158,45 @@ func AppendBody(dst []byte, items []Item) []byte {
 // DecodeBody parses a body written by EncodeBody.
 func DecodeBody(buf []byte) ([]Item, error) {
 	d := &decoder{buf: buf}
+	if err := d.marker("body"); err != nil {
+		return nil, err
+	}
 	n, err := d.uvarint()
 	if err != nil {
 		return nil, err
 	}
-	// Each item takes at least 4 bytes (kind + 3 varints); bound the
-	// count before allocating from it.
-	if n > uint64(len(d.buf)-d.off)/4 {
+	// Each item takes at least 3 varint bytes plus a bitmap bit; bound
+	// the count before allocating from it.
+	if n > uint64(len(d.buf)-d.off)/3 {
 		return nil, fmt.Errorf("euler: body item count %d exceeds payload size", n)
 	}
+	nbitmap := (int(n) + 7) / 8
+	if len(d.buf)-d.off < nbitmap {
+		return nil, fmt.Errorf("euler: truncated body kind bitmap at offset %d", d.off)
+	}
+	bitmap := d.buf[d.off : d.off+nbitmap]
+	d.off += nbitmap
 	items := make([]Item, 0, n)
+	var prevRef, prevTo int64
 	for i := uint64(0); i < n; i++ {
-		if d.off >= len(d.buf) {
-			return nil, fmt.Errorf("euler: truncated item %d", i)
-		}
-		kind := ItemKind(d.buf[d.off])
-		d.off++
-		if kind != ItemEdge && kind != ItemPath {
-			return nil, fmt.Errorf("euler: bad item kind %d", kind)
-		}
-		ref, err := d.varint()
+		kind := ItemKind(bitmap[i>>3] >> (i & 7) & 1)
+		dRef, err := d.varint()
 		if err != nil {
 			return nil, err
 		}
-		from, err := d.varint()
+		dFrom, err := d.varint()
 		if err != nil {
 			return nil, err
 		}
-		to, err := d.varint()
+		hop, err := d.varint()
 		if err != nil {
 			return nil, err
 		}
+		ref := prevRef + dRef
+		from := prevTo + dFrom
+		to := from + hop
 		items = append(items, Item{Kind: kind, Ref: ref, From: from, To: to})
+		prevRef, prevTo = ref, to
 	}
 	if err := d.done(); err != nil {
 		return nil, err
@@ -128,30 +214,31 @@ func EncodeState(s *PartState) []byte {
 // state after it into one reused buffer replaces the old
 // append([]byte{tag}, enc...) double copy on the BSP send path.
 func AppendState(dst []byte, s *PartState) []byte {
+	dst = append(dst, WireV3)
 	dst = binary.AppendUvarint(dst, uint64(s.Parent))
 	dst = binary.AppendUvarint(dst, uint64(len(s.Leaves)))
+	prevLeaf := int64(0)
 	for _, l := range s.Leaves {
-		dst = binary.AppendUvarint(dst, uint64(l))
+		dst = binary.AppendVarint(dst, int64(l)-prevLeaf)
+		prevLeaf = int64(l)
 	}
 	dst = binary.AppendUvarint(dst, uint64(len(s.Local)))
+	var prevU, prevRef int64
 	for _, e := range s.Local {
-		dst = append(dst, byte(e.Kind))
-		dst = binary.AppendVarint(dst, e.U)
-		dst = binary.AppendVarint(dst, e.V)
-		dst = binary.AppendVarint(dst, e.Ref)
+		dst = binary.AppendUvarint(dst, zigzag(e.U-prevU)<<1|uint64(e.Kind&1))
+		dst = binary.AppendVarint(dst, e.V-e.U)
+		dst = binary.AppendVarint(dst, e.Ref-prevRef)
+		prevU, prevRef = e.U, e.Ref
 	}
 	dst = binary.AppendUvarint(dst, uint64(len(s.Remote)))
-	for _, r := range s.Remote {
-		dst = binary.AppendVarint(dst, r.Local)
-		dst = binary.AppendVarint(dst, r.Remote)
-		dst = binary.AppendVarint(dst, r.Edge)
-		dst = binary.AppendVarint(dst, int64(r.ConvertLevel))
-	}
+	dst = appendRemoteEdges(dst, s.Remote)
 	dst = binary.AppendUvarint(dst, uint64(len(s.Stubs)))
+	var prevVert int64
 	for _, st := range s.Stubs {
-		dst = binary.AppendVarint(dst, st.Vertex)
+		dst = binary.AppendVarint(dst, st.Vertex-prevVert)
 		dst = binary.AppendVarint(dst, int64(st.ConvertLevel))
 		dst = binary.AppendVarint(dst, st.Count)
+		prevVert = st.Vertex
 	}
 	return dst
 }
@@ -159,6 +246,9 @@ func AppendState(dst []byte, s *PartState) []byte {
 // DecodeState parses a PartState written by EncodeState.
 func DecodeState(buf []byte) (*PartState, error) {
 	d := &decoder{buf: buf}
+	if err := d.marker("state"); err != nil {
+		return nil, err
+	}
 	s := &PartState{}
 	parent, err := d.uvarint()
 	if err != nil {
@@ -169,42 +259,44 @@ func DecodeState(buf []byte) (*PartState, error) {
 	if err != nil {
 		return nil, err
 	}
+	prevLeaf := int64(0)
 	for i := uint64(0); i < nl; i++ {
-		l, err := d.uvarint()
+		dl, err := d.varint()
 		if err != nil {
 			return nil, err
 		}
-		s.Leaves = append(s.Leaves, int(l))
+		prevLeaf += dl
+		s.Leaves = append(s.Leaves, int(prevLeaf))
 	}
 	ne, err := d.uvarint()
 	if err != nil {
 		return nil, err
 	}
-	if ne > uint64(len(d.buf)-d.off)/4 {
+	if ne > uint64(len(d.buf)-d.off)/3 {
 		return nil, fmt.Errorf("euler: local edge count %d exceeds payload size", ne)
 	}
 	if ne > 0 {
 		s.Local = make([]CoarseEdge, 0, ne)
 	}
+	var prevU, prevRef int64
 	for i := uint64(0); i < ne; i++ {
-		if d.off >= len(d.buf) {
-			return nil, fmt.Errorf("euler: truncated local edge %d", i)
-		}
-		kind := ItemKind(d.buf[d.off])
-		d.off++
-		u, err := d.varint()
+		packed, err := d.uvarint()
 		if err != nil {
 			return nil, err
 		}
-		v, err := d.varint()
+		kind := ItemKind(packed & 1)
+		u := prevU + unzigzag(packed>>1)
+		dv, err := d.varint()
 		if err != nil {
 			return nil, err
 		}
-		ref, err := d.varint()
+		dref, err := d.varint()
 		if err != nil {
 			return nil, err
 		}
-		s.Local = append(s.Local, CoarseEdge{U: u, V: v, Kind: kind, Ref: ref})
+		ref := prevRef + dref
+		s.Local = append(s.Local, CoarseEdge{U: u, V: u + dv, Kind: kind, Ref: ref})
+		prevU, prevRef = u, ref
 	}
 	nr, err := d.uvarint()
 	if err != nil {
@@ -213,36 +305,16 @@ func DecodeState(buf []byte) (*PartState, error) {
 	if nr > uint64(len(d.buf)-d.off)/4 {
 		return nil, fmt.Errorf("euler: remote edge count %d exceeds payload size", nr)
 	}
-	if nr > 0 {
-		s.Remote = make([]RemoteEdge, 0, nr)
-	}
-	for i := uint64(0); i < nr; i++ {
-		local, err := d.varint()
-		if err != nil {
-			return nil, err
-		}
-		remote, err := d.varint()
-		if err != nil {
-			return nil, err
-		}
-		edge, err := d.varint()
-		if err != nil {
-			return nil, err
-		}
-		lvl, err := d.varint()
-		if err != nil {
-			return nil, err
-		}
-		s.Remote = append(s.Remote, RemoteEdge{
-			Local: local, Remote: remote, Edge: edge, ConvertLevel: int32(lvl),
-		})
+	if s.Remote, err = decodeRemoteEdges(d, nr); err != nil {
+		return nil, err
 	}
 	ns, err := d.uvarint()
 	if err != nil {
 		return nil, err
 	}
+	var prevVert int64
 	for i := uint64(0); i < ns; i++ {
-		v, err := d.varint()
+		dv, err := d.varint()
 		if err != nil {
 			return nil, err
 		}
@@ -254,7 +326,8 @@ func DecodeState(buf []byte) (*PartState, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.Stubs = append(s.Stubs, Stub{Vertex: v, ConvertLevel: int32(lvl), Count: count})
+		prevVert += dv
+		s.Stubs = append(s.Stubs, Stub{Vertex: prevVert, ConvertLevel: int32(lvl), Count: count})
 	}
 	if err := d.done(); err != nil {
 		return nil, err
@@ -262,23 +335,66 @@ func DecodeState(buf []byte) (*PartState, error) {
 	return s, nil
 }
 
+// appendRemoteEdges delta-encodes one remote-edge stream (no count; the
+// caller frames it).
+func appendRemoteEdges(dst []byte, edges []RemoteEdge) []byte {
+	var prevLocal, prevRemote, prevEdge int64
+	for _, r := range edges {
+		dst = binary.AppendVarint(dst, r.Local-prevLocal)
+		dst = binary.AppendVarint(dst, r.Remote-prevRemote)
+		dst = binary.AppendVarint(dst, r.Edge-prevEdge)
+		dst = binary.AppendVarint(dst, int64(r.ConvertLevel))
+		prevLocal, prevRemote, prevEdge = r.Local, r.Remote, r.Edge
+	}
+	return dst
+}
+
+// decodeRemoteEdges parses n edges written by appendRemoteEdges.
+func decodeRemoteEdges(d *decoder, n uint64) ([]RemoteEdge, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	edges := make([]RemoteEdge, 0, n)
+	var prevLocal, prevRemote, prevEdge int64
+	for i := uint64(0); i < n; i++ {
+		dl, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		dr, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		de, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		lvl, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		prevLocal += dl
+		prevRemote += dr
+		prevEdge += de
+		edges = append(edges, RemoteEdge{
+			Local: prevLocal, Remote: prevRemote, Edge: prevEdge, ConvertLevel: int32(lvl),
+		})
+	}
+	return edges, nil
+}
+
 // EncodeRemoteBatch serialises a parked remote-edge delivery (deferred
 // transfer mode).
 func EncodeRemoteBatch(edges []RemoteEdge) []byte {
-	return AppendRemoteBatch(make([]byte, 0, 4+8*len(edges)), edges)
+	return AppendRemoteBatch(make([]byte, 0, 5+8*len(edges)), edges)
 }
 
 // AppendRemoteBatch appends the EncodeRemoteBatch serialisation of edges
 // to dst and returns the extended buffer.
 func AppendRemoteBatch(dst []byte, edges []RemoteEdge) []byte {
+	dst = append(dst, WireV3)
 	dst = binary.AppendUvarint(dst, uint64(len(edges)))
-	for _, r := range edges {
-		dst = binary.AppendVarint(dst, r.Local)
-		dst = binary.AppendVarint(dst, r.Remote)
-		dst = binary.AppendVarint(dst, r.Edge)
-		dst = binary.AppendVarint(dst, int64(r.ConvertLevel))
-	}
-	return dst
+	return appendRemoteEdges(dst, edges)
 }
 
 // DecodeRemoteBatch parses a batch written by EncodeRemoteBatch.
@@ -298,6 +414,9 @@ func DecodeRemoteBatch(buf []byte) ([]RemoteEdge, error) {
 // slices embed batches mid-stream).
 func decodeRemoteBatchAt(buf []byte, off int) ([]RemoteEdge, int, error) {
 	d := &decoder{buf: buf, off: off}
+	if err := d.marker("remote batch"); err != nil {
+		return nil, 0, err
+	}
 	n, err := d.uvarint()
 	if err != nil {
 		return nil, 0, err
@@ -307,27 +426,9 @@ func decodeRemoteBatchAt(buf []byte, off int) ([]RemoteEdge, int, error) {
 	if n > uint64(len(buf)-d.off)/4 {
 		return nil, 0, fmt.Errorf("euler: remote batch count %d exceeds payload size", n)
 	}
-	edges := make([]RemoteEdge, 0, n)
-	for i := uint64(0); i < n; i++ {
-		local, err := d.varint()
-		if err != nil {
-			return nil, 0, err
-		}
-		remote, err := d.varint()
-		if err != nil {
-			return nil, 0, err
-		}
-		edge, err := d.varint()
-		if err != nil {
-			return nil, 0, err
-		}
-		lvl, err := d.varint()
-		if err != nil {
-			return nil, 0, err
-		}
-		edges = append(edges, RemoteEdge{
-			Local: local, Remote: remote, Edge: edge, ConvertLevel: int32(lvl),
-		})
+	edges, err := decodeRemoteEdges(d, n)
+	if err != nil {
+		return nil, 0, err
 	}
 	return edges, d.off, nil
 }

@@ -73,6 +73,47 @@ func BenchmarkDecodeState(b *testing.B) {
 	}
 }
 
+// benchBodyItems builds a body of n items shaped like a real spilled
+// path: ascending refs, chained endpoints, a sprinkle of path refs.
+func benchBodyItems(n int) []Item {
+	items := make([]Item, n)
+	at := int64(0)
+	for i := range items {
+		kind := ItemEdge
+		if i%7 == 0 {
+			kind = ItemPath
+		}
+		items[i] = Item{Kind: kind, Ref: int64(i * 3), From: at, To: at + int64(i%5) - 2}
+		at = items[i].To
+	}
+	return items
+}
+
+// BenchmarkAppendBody measures spilled-body serialisation alone, the
+// per-path write each Phase 1 walk performs.
+func BenchmarkAppendBody(b *testing.B) {
+	items := benchBodyItems(4096)
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendBody(buf[:0], items)
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+// BenchmarkDecodeBody measures spilled-body deserialisation alone, the
+// per-path read Phase 3 unrolling performs.
+func BenchmarkDecodeBody(b *testing.B) {
+	buf := EncodeBody(benchBodyItems(4096))
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeBody(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRegistryAbsorb measures absorbing one partition's Phase 1 result
 // into the run-wide registry, as every worker does once per superstep.
 func BenchmarkRegistryAbsorb(b *testing.B) {

@@ -139,7 +139,7 @@ func (p *Plan) EncodeSlice(lo, hi int) ([]byte, error) {
 	if lo < p.Lo || hi > p.Hi || lo >= hi {
 		return nil, fmt.Errorf("euler: plan slice [%d, %d) outside held range [%d, %d)", lo, hi, p.Lo, p.Hi)
 	}
-	dst := binary.AppendUvarint(nil, uint64(p.NumWorkers))
+	dst := binary.AppendUvarint([]byte{WireV3}, uint64(p.NumWorkers))
 	dst = binary.AppendUvarint(dst, uint64(p.NumVertices))
 	dst = binary.AppendUvarint(dst, uint64(p.Height))
 	dst = binary.AppendUvarint(dst, uint64(p.Root))
@@ -187,6 +187,9 @@ func (p *Plan) EncodeSlice(lo, hi int) ([]byte, error) {
 // DecodePlanSlice parses a plan slice written by EncodeSlice.
 func DecodePlanSlice(buf []byte) (*Plan, error) {
 	d := &decoder{buf: buf}
+	if err := d.marker("plan slice"); err != nil {
+		return nil, err
+	}
 	p := &Plan{}
 	u := func() (int, error) {
 		v, err := d.uvarint()

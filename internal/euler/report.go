@@ -57,6 +57,10 @@ type RunReport struct {
 	// Degraded marks a run completed through the coordinator's
 	// in-process fallback after the cluster could not serve it.
 	Degraded bool `json:"degraded,omitempty"`
+	// WireBytes is the total frame bytes the hub moved for the job
+	// (hello through result, both directions, across every attempt).
+	// Zero for single-process runs, which touch no wire.
+	WireBytes int64 `json:"wire_bytes,omitempty"`
 }
 
 // PartsAt returns the part reports for one level.

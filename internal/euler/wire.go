@@ -3,6 +3,7 @@ package euler
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,7 +22,9 @@ import (
 // one before the next superstep reads it.  At job end each node ships one
 // worker-result payload with its reports, liveLongs rows, and BSP metrics.
 
-// Band record tags.
+// Band record tags.  A non-empty v3 band leads with the WireV3 marker;
+// v2 bands started straight at a tag byte, which is how a legacy peer's
+// band is recognised and rejected.
 const (
 	bandBody   byte = 'B' // spilled path body: id, payload
 	bandAbsorb byte = 'A' // one worker's Phase 1 absorption
@@ -64,15 +67,27 @@ func (wp *WorkerProgram) isVisited(v graph.VertexID) bool {
 	return wp.visited[v>>5].Load()&(1<<(uint(v)&31)) != 0
 }
 
+// bandStart returns the band buffer ready for appending one more record,
+// stamping the v3 marker on the first record of a superstep.  Callers
+// hold wp.mu.
+func (wp *WorkerProgram) bandStart() []byte {
+	if len(wp.band) == 0 {
+		return append(wp.band, WireV3)
+	}
+	return wp.band
+}
+
 // absorb implements the program's registry seam: mark the visited replica
-// and append the absorption to the current superstep's band.
+// and append the absorption to the current superstep's band.  Record IDs,
+// endpoints, seeds, and visited vertices are near-sorted within one
+// absorption, so each stream is delta-encoded against its previous value.
 func (wp *WorkerProgram) absorb(w int, res *Phase1Result, isRoot bool) error {
 	for _, v := range res.Visited {
 		wp.visited[v>>5].Or(1 << (uint(v) & 31))
 	}
 	wp.mu.Lock()
 	defer wp.mu.Unlock()
-	dst := append(wp.band, bandAbsorb)
+	dst := append(wp.bandStart(), bandAbsorb)
 	dst = binary.AppendUvarint(dst, uint64(w))
 	var flags byte
 	if isRoot {
@@ -80,25 +95,126 @@ func (wp *WorkerProgram) absorb(w int, res *Phase1Result, isRoot bool) error {
 	}
 	dst = append(dst, flags)
 	dst = binary.AppendUvarint(dst, uint64(len(res.Recs)))
+	var prevID, prevSrc int64
 	for _, rec := range res.Recs {
-		dst = binary.AppendVarint(dst, rec.ID)
+		dst = binary.AppendVarint(dst, rec.ID-prevID)
 		dst = append(dst, byte(rec.Type))
-		dst = binary.AppendVarint(dst, rec.Src)
-		dst = binary.AppendVarint(dst, rec.Dst)
+		dst = binary.AppendVarint(dst, rec.Src-prevSrc)
+		dst = binary.AppendVarint(dst, rec.Dst-rec.Src)
 		dst = binary.AppendVarint(dst, int64(rec.Level))
 		dst = binary.AppendVarint(dst, int64(rec.Part))
 		dst = binary.AppendVarint(dst, rec.Items)
+		prevID, prevSrc = rec.ID, rec.Src
 	}
 	dst = binary.AppendUvarint(dst, uint64(len(res.Seeds)))
+	var prevSeed int64
 	for _, s := range res.Seeds {
-		dst = binary.AppendVarint(dst, s)
+		dst = binary.AppendVarint(dst, s-prevSeed)
+		prevSeed = s
 	}
-	dst = binary.AppendUvarint(dst, uint64(len(res.Visited)))
-	for _, v := range res.Visited {
-		dst = binary.AppendVarint(dst, v)
-	}
-	wp.band = dst
+	wp.band = appendVertexSet(dst, res.Visited)
 	return nil
+}
+
+// Vertex-set stream modes.  Visited sets are order-free (receivers only
+// OR bits), so the encoder picks whichever representation is smaller:
+// the delta stream wins for sparse scatters, the span bitmap for the
+// dense sets a clique-heavy superstep produces (one bit per vertex in
+// [min, max] instead of one varint per vertex).
+const (
+	vsetDeltas byte = 0 // count zigzag deltas, original order
+	vsetBitmap byte = 1 // varint min, uvarint nbytes, LSB-first bitmap
+)
+
+// appendVertexSet encodes vs as count, mode, then the mode's payload.
+func appendVertexSet(dst []byte, vs []graph.VertexID) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vs)))
+	if len(vs) == 0 {
+		return dst
+	}
+	lo, hi := vs[0], vs[0]
+	deltaLen, prev := 0, int64(0)
+	for _, v := range vs {
+		lo, hi = min(lo, v), max(hi, v)
+		deltaLen += varintLen(v - prev)
+		prev = v
+	}
+	nbytes := uint64(hi-lo)/8 + 1
+	bitmapLen := 1 + varintLen(lo) + uvarintLen(nbytes) + int(nbytes)
+	if 1+deltaLen <= bitmapLen {
+		dst = append(dst, vsetDeltas)
+		prev = 0
+		for _, v := range vs {
+			dst = binary.AppendVarint(dst, v-prev)
+			prev = v
+		}
+		return dst
+	}
+	dst = append(dst, vsetBitmap)
+	dst = binary.AppendVarint(dst, lo)
+	dst = binary.AppendUvarint(dst, nbytes)
+	bits := make([]byte, nbytes)
+	for _, v := range vs {
+		bit := uint64(v - lo)
+		bits[bit>>3] |= 1 << (bit & 7)
+	}
+	return append(dst, bits...)
+}
+
+// decodeVertexSet parses a set written by appendVertexSet.  Bitmap-mode
+// sets come back in ascending order rather than the encoder's order.
+func decodeVertexSet(d *decoder) ([]graph.VertexID, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if n > uint64(len(d.buf)-d.off)*8 {
+		return nil, fmt.Errorf("euler: vertex set count %d exceeds payload size", n)
+	}
+	mode, err := d.byteVal()
+	if err != nil {
+		return nil, err
+	}
+	vs := make([]graph.VertexID, 0, n)
+	switch mode {
+	case vsetDeltas:
+		var prev int64
+		for i := uint64(0); i < n; i++ {
+			dv, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			prev += dv
+			vs = append(vs, prev)
+		}
+	case vsetBitmap:
+		lo, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		nbytes, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nbytes > uint64(len(d.buf)-d.off) {
+			return nil, fmt.Errorf("euler: vertex set bitmap of %d bytes exceeds payload size", nbytes)
+		}
+		for i, b := range d.buf[d.off : d.off+int(nbytes)] {
+			for ; b != 0; b &= b - 1 {
+				vs = append(vs, lo+int64(i)*8+int64(bits.TrailingZeros8(b)))
+			}
+		}
+		d.off += int(nbytes)
+		if uint64(len(vs)) != n {
+			return nil, fmt.Errorf("euler: vertex set bitmap has %d bits, header says %d", len(vs), n)
+		}
+	default:
+		return nil, fmt.Errorf("euler: unknown vertex set mode %d", mode)
+	}
+	return vs, nil
 }
 
 // EmitSideband implements bsp.BarrierHooks: hand the superstep's band to
@@ -116,19 +232,18 @@ func (wp *WorkerProgram) EmitSideband(step int) ([]byte, error) {
 // ApplySideband implements bsp.BarrierHooks: fold the coordinator's
 // visited delta into the local replica.
 func (wp *WorkerProgram) ApplySideband(step int, data []byte) error {
-	d := &decoder{buf: data}
 	if len(data) == 0 {
 		return nil
 	}
-	n, err := d.uvarint()
+	d := &decoder{buf: data}
+	if err := d.marker("visited delta"); err != nil {
+		return err
+	}
+	vs, err := decodeVertexSet(d)
 	if err != nil {
 		return err
 	}
-	for i := uint64(0); i < n; i++ {
-		v, err := d.varint()
-		if err != nil {
-			return err
-		}
+	for _, v := range vs {
 		if v < 0 || v>>5 >= int64(len(wp.visited)) {
 			return fmt.Errorf("euler: visited delta names vertex %d outside the graph", v)
 		}
@@ -171,7 +286,7 @@ func (s *bandStore) Put(id int64, data []byte) error {
 	wp := s.wp
 	wp.mu.Lock()
 	defer wp.mu.Unlock()
-	dst := append(wp.band, bandBody)
+	dst := append(wp.bandStart(), bandBody)
 	dst = binary.AppendVarint(dst, id)
 	dst = binary.AppendUvarint(dst, uint64(len(data)))
 	dst = append(dst, data...)
@@ -210,7 +325,13 @@ func NewAbsorbSink(reg *Registry, store spill.Store) *AbsorbSink {
 // Apply consumes one node's band for one superstep (the bsp JobHooks
 // OnSideband shape).  data aliases a frame buffer and is not retained.
 func (s *AbsorbSink) Apply(step, lo, hi int, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
 	d := &decoder{buf: data}
+	if err := d.marker("absorb band"); err != nil {
+		return err
+	}
 	for d.off < len(d.buf) {
 		tag := d.buf[d.off]
 		d.off++
@@ -249,22 +370,29 @@ func (s *AbsorbSink) Apply(step, lo, hi int, data []byte) error {
 			if err != nil {
 				return err
 			}
+			var prevID, prevSrc int64
 			for i := uint64(0); i < nRecs; i++ {
 				var rec PathRec
-				if rec.ID, err = d.varint(); err != nil {
+				dID, err := d.varint()
+				if err != nil {
 					return err
 				}
+				rec.ID = prevID + dID
 				if d.off >= len(d.buf) {
 					return fmt.Errorf("euler: truncated pathMap record in band")
 				}
 				rec.Type = PathType(d.buf[d.off])
 				d.off++
-				if rec.Src, err = d.varint(); err != nil {
+				dSrc, err := d.varint()
+				if err != nil {
 					return err
 				}
-				if rec.Dst, err = d.varint(); err != nil {
+				rec.Src = prevSrc + dSrc
+				span, err := d.varint()
+				if err != nil {
 					return err
 				}
+				rec.Dst = rec.Src + span
 				lvl, err := d.varint()
 				if err != nil {
 					return err
@@ -278,29 +406,31 @@ func (s *AbsorbSink) Apply(step, lo, hi int, data []byte) error {
 				if rec.Items, err = d.varint(); err != nil {
 					return err
 				}
+				prevID, prevSrc = rec.ID, rec.Src
 				res.Recs = append(res.Recs, rec)
 			}
 			nSeeds, err := d.uvarint()
 			if err != nil {
 				return err
 			}
+			var prevSeed int64
 			for i := uint64(0); i < nSeeds; i++ {
-				seed, err := d.varint()
+				ds, err := d.varint()
 				if err != nil {
 					return err
 				}
-				res.Seeds = append(res.Seeds, seed)
+				prevSeed += ds
+				res.Seeds = append(res.Seeds, prevSeed)
 			}
-			nVis, err := d.uvarint()
-			if err != nil {
+			if res.Visited, err = decodeVertexSet(d); err != nil {
 				return err
 			}
-			for i := uint64(0); i < nVis; i++ {
-				v, err := d.varint()
-				if err != nil {
-					return err
+			// Registry.Absorb indexes its visited bitset with these, so a
+			// corrupt band must be rejected before it can reach that array.
+			for _, v := range res.Visited {
+				if v < 0 || v >= s.reg.numVerts {
+					return fmt.Errorf("euler: band visited vertex %d outside graph of %d vertices", v, s.reg.numVerts)
 				}
-				res.Visited = append(res.Visited, v)
 			}
 			if err := s.reg.Absorb(int(w), res, flags&1 != 0); err != nil {
 				return err
@@ -314,15 +444,14 @@ func (s *AbsorbSink) Apply(step, lo, hi int, data []byte) error {
 }
 
 // TakeDelta encodes and clears the visited union accumulated since the
-// last call (the bsp JobHooks Broadcast shape).
+// last call (the bsp JobHooks Broadcast shape).  The union of a
+// superstep's visits is usually dense, so the adaptive set codec
+// normally ships it as a span bitmap.
 func (s *AbsorbSink) TakeDelta(step int) ([]byte, error) {
 	if len(s.delta) == 0 {
 		return nil, nil
 	}
-	dst := binary.AppendUvarint(nil, uint64(len(s.delta)))
-	for _, v := range s.delta {
-		dst = binary.AppendVarint(dst, v)
-	}
+	dst := appendVertexSet([]byte{WireV3}, s.delta)
 	s.delta = s.delta[:0]
 	return dst, nil
 }

@@ -1,0 +1,139 @@
+package euler
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/spill"
+)
+
+// bandSeeds are the checked-in corpus for FuzzDecodeBand: every v3
+// payload family the coordinator and nodes decode off the wire — absorb
+// bands (delta and bitmap vertex sets), body/state/remote-batch blobs —
+// plus legacy v2-shaped and truncated inputs.  Refresh testdata/fuzz
+// with WRITE_FUZZ_CORPUS=1 go test ./internal/euler -run TestWriteFuzzCorpus.
+func bandSeeds() [][]byte {
+	var seeds [][]byte
+
+	// A real absorb band, encoded by the node-side writer itself.
+	wp := &WorkerProgram{visited: make([]atomic.Uint32, 8)}
+	res := &Phase1Result{
+		Recs: []PathRec{
+			{ID: 7, Type: OBPath, Src: 3, Dst: 5, Level: 0, Part: 1, Items: 4},
+			{ID: 9, Type: OBPath + 1, Src: 5, Dst: 5, Level: 1, Part: 1, Items: 2},
+		},
+		Seeds:   []PathID{9},
+		Visited: []graph.VertexID{1, 2, 3, 5, 8},
+	}
+	if err := wp.absorb(2, res, true); err != nil {
+		panic(err)
+	}
+	band := wp.band
+
+	// The same band with a spilled body record prepended after the marker.
+	withBody := []byte{WireV3, bandBody}
+	withBody = binary.AppendVarint(withBody, 7)
+	withBody = binary.AppendUvarint(withBody, 3)
+	withBody = append(withBody, 0xAA, 0xBB, 0xCC)
+	withBody = append(withBody, band[1:]...)
+
+	// A dense visited set, so the band carries a span bitmap.
+	dense := make([]graph.VertexID, 200)
+	for i := range dense {
+		dense[i] = graph.VertexID(i)
+	}
+	wpDense := &WorkerProgram{visited: make([]atomic.Uint32, 8)}
+	if err := wpDense.absorb(0, &Phase1Result{Visited: dense}, false); err != nil {
+		panic(err)
+	}
+
+	seeds = append(seeds,
+		nil,
+		band,
+		withBody,
+		wpDense.band,
+		band[:len(band)/2], // truncated mid-record
+		band[1:],           // marker stripped: a v2-shaped legacy band
+		EncodeBody([]Item{{Kind: ItemEdge, Ref: 4, From: 1, To: 2}, {Kind: ItemPath, Ref: 9, From: 2, To: 1}}),
+		EncodeState(&PartState{
+			Parent: 3,
+			Leaves: []int{1, 3},
+			Local:  []CoarseEdge{{Kind: ItemEdge, Ref: 2, U: 0, V: 1}},
+			Remote: []RemoteEdge{{Local: 1, Remote: 9, Edge: 12, ConvertLevel: 1}},
+		}),
+		EncodeRemoteBatch([]RemoteEdge{{Local: 0, Remote: 4, Edge: 7}}),
+	)
+	return seeds
+}
+
+// FuzzDecodeBand drives arbitrary bytes through every euler wire decoder
+// the cluster exposes to a peer: the coordinator's absorb-band sink and
+// the body/state/remote-batch codecs.  Decoders must reject garbage with
+// an error — never panic, never index out of range — and anything they
+// accept must survive an encode/decode round trip.
+func FuzzDecodeBand(f *testing.F) {
+	for _, s := range bandSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Coordinator side: absorb the band into a real registry, then
+		// drain the broadcast delta as the barrier would.
+		reg := NewRegistry(spill.NewMemStore(), 256, 8)
+		sink := NewAbsorbSink(reg, reg.Store())
+		if err := sink.Apply(0, 0, 8, data); err == nil {
+			if _, err := sink.TakeDelta(0); err != nil {
+				t.Fatalf("TakeDelta after successful Apply: %v", err)
+			}
+		}
+
+		if items, err := DecodeBody(data); err == nil {
+			again, err := DecodeBody(EncodeBody(items))
+			if err != nil || !reflect.DeepEqual(items, again) {
+				t.Fatalf("body round trip diverged: %v", err)
+			}
+		}
+		if st, err := DecodeState(data); err == nil {
+			again, err := DecodeState(EncodeState(st))
+			if err != nil || !reflect.DeepEqual(st, again) {
+				t.Fatalf("state round trip diverged: %v", err)
+			}
+		}
+		if edges, err := DecodeRemoteBatch(data); err == nil {
+			again, err := DecodeRemoteBatch(EncodeRemoteBatch(edges))
+			if err != nil || !reflect.DeepEqual(edges, again) {
+				t.Fatalf("remote batch round trip diverged: %v", err)
+			}
+		}
+		_, _ = DecodeWorkerResult(data)
+	})
+}
+
+// TestWriteFuzzCorpus refreshes the checked-in seed corpus from
+// bandSeeds.  Guarded so a normal test run never rewrites testdata.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to refresh testdata/fuzz seeds")
+	}
+	writeFuzzCorpus(t, "FuzzDecodeBand", bandSeeds())
+}
+
+func writeFuzzCorpus(t *testing.T, target string, seeds [][]byte) {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", target)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", s)
+		name := filepath.Join(dir, fmt.Sprintf("seed-%03d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -2,28 +2,62 @@ package graph
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 )
 
-// Step batch codec: a frame is (uvarint count, then per step uvarint
-// edge, from, to).  IDs are non-negative by construction, so the
-// unsigned encoding is loss-free.  The service's circuit sink and the
-// scheduler's result cache share this framing, which keeps their disk
-// payloads interchangeable.
+// Step batch codec, wire v3: a frame is (StepFrameV3 marker, uvarint
+// count, then the first step as absolute uvarint edge/from/to and every
+// later step as three zigzag deltas: edge vs the previous edge, from vs
+// the previous to — zero on a contiguous walk — and to vs from).  Circuit
+// steps chain and edge IDs trend upward, so the deltas are mostly one
+// byte each.  The service's circuit sink and the scheduler's result cache
+// share this framing, which keeps their disk payloads interchangeable.
+//
+// Legacy (pre-v3) frames started with the uvarint step count; a non-empty
+// legacy frame therefore never begins with the 0x00 marker, and decoders
+// reject it with ErrLegacyStepFrame instead of mis-parsing it.
+
+// StepFrameV3 is the leading marker byte of a v3 step frame.
+const StepFrameV3 byte = 0x00
+
+// ErrLegacyStepFrame reports a step frame in the pre-v3 count-first
+// encoding (or an empty legacy frame, whose single 0x00 byte is
+// indistinguishable from a truncated marker).
+var ErrLegacyStepFrame = errors.New("graph: step frame uses the legacy pre-v3 encoding")
+
+func zigzag(x int64) uint64   { return uint64(x)<<1 ^ uint64(x>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
 // AppendSteps frames steps onto dst and returns the extended slice.
 func AppendSteps(dst []byte, steps []Step) []byte {
+	dst = append(dst, StepFrameV3)
 	dst = binary.AppendUvarint(dst, uint64(len(steps)))
-	for _, s := range steps {
-		dst = binary.AppendUvarint(dst, uint64(s.Edge))
-		dst = binary.AppendUvarint(dst, uint64(s.From))
-		dst = binary.AppendUvarint(dst, uint64(s.To))
+	var prevEdge, prevTo int64
+	for i, s := range steps {
+		if i == 0 {
+			dst = binary.AppendUvarint(dst, uint64(s.Edge))
+			dst = binary.AppendUvarint(dst, uint64(s.From))
+			dst = binary.AppendUvarint(dst, uint64(s.To))
+		} else {
+			dst = binary.AppendUvarint(dst, zigzag(s.Edge-prevEdge))
+			dst = binary.AppendUvarint(dst, zigzag(s.From-prevTo))
+			dst = binary.AppendUvarint(dst, zigzag(s.To-s.From))
+		}
+		prevEdge, prevTo = s.Edge, s.To
 	}
 	return dst
 }
 
 // DecodeSteps parses one frame produced by AppendSteps.
 func DecodeSteps(data []byte) ([]Step, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("graph: empty step batch")
+	}
+	if data[0] != StepFrameV3 || len(data) == 1 {
+		return nil, ErrLegacyStepFrame
+	}
+	data = data[1:]
 	next := func() (int64, error) {
 		x, n := binary.Uvarint(data)
 		if n <= 0 {
@@ -36,7 +70,14 @@ func DecodeSteps(data []byte) ([]Step, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A step costs at least three varint bytes; bound the count before
+	// allocating from it (a 64-bit count wraps negative through int64, so
+	// the sign check is load-bearing).
+	if count < 0 || count > int64(len(data)) {
+		return nil, fmt.Errorf("graph: step count %d exceeds payload size", count)
+	}
 	steps := make([]Step, 0, count)
+	var prevEdge, prevTo int64
 	for i := int64(0); i < count; i++ {
 		e, err := next()
 		if err != nil {
@@ -50,7 +91,16 @@ func DecodeSteps(data []byte) ([]Step, error) {
 		if err != nil {
 			return nil, err
 		}
-		steps = append(steps, Step{Edge: e, From: u, To: v})
+		var st Step
+		if i == 0 {
+			st = Step{Edge: e, From: u, To: v}
+		} else {
+			st.Edge = prevEdge + unzigzag(uint64(e))
+			st.From = prevTo + unzigzag(uint64(u))
+			st.To = st.From + unzigzag(uint64(v))
+		}
+		steps = append(steps, st)
+		prevEdge, prevTo = st.Edge, st.To
 	}
 	return steps, nil
 }

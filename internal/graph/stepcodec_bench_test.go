@@ -1,0 +1,39 @@
+package graph
+
+import "testing"
+
+// benchSteps builds a chained circuit batch, the shape every sink flush
+// and cache replay moves.
+func benchSteps(n int) []Step {
+	steps := make([]Step, n)
+	at := int64(0)
+	for i := range steps {
+		next := (at + 7) % 512
+		steps[i] = Step{Edge: int64(i), From: at, To: next}
+		at = next
+	}
+	return steps
+}
+
+// BenchmarkAppendSteps measures step-batch serialisation alone.
+func BenchmarkAppendSteps(b *testing.B) {
+	steps := benchSteps(4096)
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendSteps(buf[:0], steps)
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+// BenchmarkDecodeSteps measures step-batch deserialisation alone.
+func BenchmarkDecodeSteps(b *testing.B) {
+	buf := AppendSteps(nil, benchSteps(4096))
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeSteps(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// stepSeeds are the checked-in corpus for FuzzDecodeSteps: valid v3
+// frames of each shape, the legacy-looking inputs decoders must reject,
+// and truncations.  Refresh testdata/fuzz with
+// WRITE_FUZZ_CORPUS=1 go test ./internal/graph -run TestWriteFuzzCorpus.
+func stepSeeds() [][]byte {
+	return [][]byte{
+		nil,
+		{StepFrameV3},
+		{3}, // legacy count-first frame
+		AppendSteps(nil, nil),
+		AppendSteps(nil, []Step{{Edge: 0, From: 0, To: 1}}),
+		AppendSteps(nil, []Step{
+			{Edge: 5, From: 2, To: 7},
+			{Edge: 6, From: 7, To: 3},
+			{Edge: 4, From: 3, To: 2},
+		}),
+		AppendSteps(nil, []Step{{Edge: 1 << 40, From: -9, To: 1 << 33}}),
+		AppendSteps(nil, []Step{{Edge: 1, From: 2, To: 3}})[:4], // truncated
+	}
+}
+
+// FuzzDecodeSteps asserts the step-batch decoder never panics and that
+// whatever it accepts survives an encode/decode round trip unchanged.
+func FuzzDecodeSteps(f *testing.F) {
+	for _, s := range stepSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		steps, err := DecodeSteps(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeSteps(AppendSteps(nil, steps))
+		if err != nil {
+			t.Fatalf("re-decoding re-encoded steps: %v", err)
+		}
+		if len(again) != len(steps) {
+			t.Fatalf("round trip changed count: %d != %d", len(again), len(steps))
+		}
+		for i := range steps {
+			if steps[i] != again[i] {
+				t.Fatalf("round trip changed step %d: %+v != %+v", i, steps[i], again[i])
+			}
+		}
+	})
+}
+
+// TestWriteFuzzCorpus refreshes the checked-in seed corpus from
+// stepSeeds.  Guarded so a normal test run never rewrites testdata.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("WRITE_FUZZ_CORPUS") == "" {
+		t.Skip("set WRITE_FUZZ_CORPUS=1 to refresh testdata/fuzz seeds")
+	}
+	writeFuzzCorpus(t, "FuzzDecodeSteps", stepSeeds())
+}
+
+func writeFuzzCorpus(t *testing.T, target string, seeds [][]byte) {
+	t.Helper()
+	dir := filepath.Join("testdata", "fuzz", target)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", s)
+		name := filepath.Join(dir, fmt.Sprintf("seed-%03d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"bytes"
+	"errors"
 	"reflect"
 	"testing"
 )
@@ -27,6 +29,31 @@ func TestStepCodecRoundTrip(t *testing.T) {
 	}
 	if len(got) != 0 {
 		t.Fatalf("empty batch decoded to %v", got)
+	}
+}
+
+// TestStepCodecCrossVersion pins the two version invariants: a legacy
+// count-first frame is rejected with the sentinel instead of being
+// misread, and a v3 frame re-encodes byte-identically after decoding,
+// so cache entries and wire payloads stay interchangeable across hops.
+func TestStepCodecCrossVersion(t *testing.T) {
+	legacy := []byte{2, 0, 0, 1, 2, 2, 2} // v2: count first, no marker
+	if _, err := DecodeSteps(legacy); !errors.Is(err, ErrLegacyStepFrame) {
+		t.Fatalf("legacy frame: got %v, want ErrLegacyStepFrame", err)
+	}
+
+	steps := []Step{
+		{Edge: 3, From: 0, To: 4},
+		{Edge: 1, From: 4, To: 0},
+		{Edge: 9, From: 2, To: 2},
+	}
+	enc := AppendSteps(nil, steps)
+	dec, err := DecodeSteps(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again := AppendSteps(nil, dec); !bytes.Equal(again, enc) {
+		t.Fatalf("re-encode is not byte-identical:\n  %x\n  %x", again, enc)
 	}
 }
 

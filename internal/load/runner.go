@@ -307,7 +307,50 @@ func RunScenario(ctx context.Context, sc Scenario, env Env) (bench.ScenarioResul
 	if err := checkClusterContracts(sc, results, env, &res); err != nil {
 		return res, err
 	}
+	if err := recordWireMetrics(sc, env, &res); err != nil {
+		return res, err
+	}
 	return res, hardFailures(sc, results)
+}
+
+// recordWireMetrics folds the server's wire-cost counters into the
+// report: circuit egress bytes for every scenario, and cluster frame
+// bytes when the scenario ran a cluster topology.  Deterministic
+// scenarios gate both lower-is-better, so a codec or egress regression
+// fails the perf gate like a latency regression would; chaos scenarios
+// report them as Info, since retries and fallbacks legitimately move
+// extra bytes.
+func recordWireMetrics(sc Scenario, env Env, res *bench.ScenarioResult) error {
+	m, err := env.Client.Metrics()
+	if err != nil {
+		return fmt.Errorf("scenario %s: scraping wire metrics: %w", sc.Name, err)
+	}
+	num := func(key string) (float64, error) {
+		v, ok := m[key].(float64)
+		if !ok {
+			return 0, fmt.Errorf("scenario %s: metric %s missing or non-numeric (%v)", sc.Name, key, m[key])
+		}
+		return v, nil
+	}
+	gauge := func(v float64) bench.Metric {
+		if sc.ChaosKillWorker || len(sc.WorkerFaults) > 0 || sc.ExpectRetry || sc.ExpectDegraded {
+			return bench.Info(v, "bytes")
+		}
+		return bench.LowerBetter(v, "bytes", 0.15, 2048)
+	}
+	egress, err := num("egress_bytes")
+	if err != nil {
+		return err
+	}
+	res.Metrics["egress_bytes"] = gauge(egress)
+	if sc.Topology == TopoCluster {
+		wire, err := num("cluster_wire_bytes")
+		if err != nil {
+			return err
+		}
+		res.Metrics["cluster_wire_bytes"] = gauge(wire)
+	}
+	return nil
 }
 
 // checkClusterContracts enforces the fault-tolerance scenario

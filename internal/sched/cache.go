@@ -78,21 +78,38 @@ type Reader struct {
 // Steps implements CircuitSource.
 func (r *Reader) Steps() int64 { return r.steps }
 
-// Iterate implements CircuitSource.
+// Iterate implements CircuitSource for binary-framed entries.  NDJSON
+// frames need the job kind's line codec, which the cache does not hold;
+// consumers that may meet them (the HTTP circuit endpoint) must use
+// IterateBatches and dispatch on the frame format themselves.
 func (r *Reader) Iterate(fn func(graph.Step) error) error {
-	for _, rec := range r.recs {
-		data, err := r.store.Get(rec)
-		if err != nil {
-			return fmt.Errorf("sched: cached circuit record %d: %w", rec, err)
+	return r.IterateBatches(func(data []byte) error {
+		if len(data) > 0 && data[0] == '{' {
+			return fmt.Errorf("sched: cached circuit is NDJSON-framed; replay it via IterateBatches with the kind's codec")
 		}
 		steps, err := graph.DecodeSteps(data)
 		if err != nil {
-			return fmt.Errorf("sched: cached circuit record %d: %w", rec, err)
+			return err
 		}
 		for _, s := range steps {
 			if err := fn(s); err != nil {
 				return err
 			}
+		}
+		return nil
+	})
+}
+
+// IterateBatches replays the cached circuit's raw frames in order, the
+// zero-copy path the HTTP layer streams cached NDJSON circuits from.
+func (r *Reader) IterateBatches(fn func(frame []byte) error) error {
+	for _, rec := range r.recs {
+		data, err := r.store.Get(rec)
+		if err != nil {
+			return fmt.Errorf("sched: cached circuit record %d: %w", rec, err)
+		}
+		if err := fn(data); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -254,9 +271,10 @@ func (c *ResultCache) Close() error {
 }
 
 // BatchedCircuitSource is an optional CircuitSource extension for
-// sources whose circuit is already persisted as graph.AppendSteps
-// frames (the job layer's disk sink is one): Commit copies the raw
-// frames instead of decoding and re-encoding every step.
+// sources whose circuit is already persisted as batch frames (the job
+// layer's disk sink is one): Commit copies the raw frames — NDJSON or
+// binary, the cache never looks inside — instead of decoding and
+// re-encoding every step.
 type BatchedCircuitSource interface {
 	CircuitSource
 	// IterateBatches replays the raw frames in circuit order.

@@ -28,6 +28,14 @@ type metrics struct {
 	rejected  atomic.Int64 // admission-control refusals (429/503)
 	steps     atomic.Int64
 
+	// Wire-cost counters: cluster frame bytes aggregated from completed
+	// jobs' RunReports, and circuit response bytes streamed by the
+	// /circuit endpoint.  Both are CI-gated lower-is-better in the load
+	// harness, so wire bloat fails the perf gate like a latency
+	// regression would.
+	clusterWireBytes atomic.Int64
+	egressBytes      atomic.Int64
+
 	// kinds carries per-workload-kind outcome counters, one fixed entry
 	// per registered kind (populated by newKindCounters, then only read
 	// structurally — so the atomic adds need no map lock).
@@ -96,6 +104,7 @@ func (m *metrics) addReport(r *euler.RunReport) {
 	m.createObjNanos.Add(int64(createObj))
 	m.phase1Nanos.Add(int64(phase1))
 	m.wallNanos.Add(int64(r.Wall))
+	m.clusterWireBytes.Add(r.WireBytes)
 }
 
 // MetricsSnapshot returns the current counters as a flat JSON-friendly
@@ -126,30 +135,32 @@ func (s *Server) MetricsSnapshot() map[string]any {
 		}
 	}
 	out := map[string]any{
-		"kinds":            kinds,
-		"queue_depth":      s.sched.Depth(),
-		"running":          s.sched.Running(),
-		"workers":          s.sched.Workers(),
-		"tenants":          tenants,
-		"jobs_retained":    s.jobs.Len(),
-		"jobs_submitted":   s.metrics.submitted.Load(),
-		"jobs_started":     s.metrics.started.Load(),
-		"jobs_completed":   s.metrics.completed.Load(),
-		"jobs_failed":      s.metrics.failed.Load(),
-		"jobs_cancelled":   s.metrics.cancelled.Load(),
-		"jobs_rejected":    s.metrics.rejected.Load(),
-		"circuit_steps":    s.metrics.steps.Load(),
-		"queue_wait_nanos": s.metrics.queueWaitNanos.Load(),
-		"exec_nanos":       s.metrics.execNanos.Load(),
-		"queue_peak_depth": s.metrics.peakQueueDepth.Load(),
-		"cache_hits":       cache.Hits,
-		"cache_misses":     cache.Misses,
-		"coalesced_jobs":   cache.Coalesced,
-		"cache_entries":    cache.Entries,
-		"cache_bytes":      cache.LiveBytes,
-		"cache_log_bytes":  cache.LogBytes,
-		"cache_evictions":  cache.Evictions,
-		"cache_overflows":  cache.Overflows,
+		"kinds":              kinds,
+		"queue_depth":        s.sched.Depth(),
+		"running":            s.sched.Running(),
+		"workers":            s.sched.Workers(),
+		"tenants":            tenants,
+		"jobs_retained":      s.jobs.Len(),
+		"jobs_submitted":     s.metrics.submitted.Load(),
+		"jobs_started":       s.metrics.started.Load(),
+		"jobs_completed":     s.metrics.completed.Load(),
+		"jobs_failed":        s.metrics.failed.Load(),
+		"jobs_cancelled":     s.metrics.cancelled.Load(),
+		"jobs_rejected":      s.metrics.rejected.Load(),
+		"circuit_steps":      s.metrics.steps.Load(),
+		"cluster_wire_bytes": s.metrics.clusterWireBytes.Load(),
+		"egress_bytes":       s.metrics.egressBytes.Load(),
+		"queue_wait_nanos":   s.metrics.queueWaitNanos.Load(),
+		"exec_nanos":         s.metrics.execNanos.Load(),
+		"queue_peak_depth":   s.metrics.peakQueueDepth.Load(),
+		"cache_hits":         cache.Hits,
+		"cache_misses":       cache.Misses,
+		"coalesced_jobs":     cache.Coalesced,
+		"cache_entries":      cache.Entries,
+		"cache_bytes":        cache.LiveBytes,
+		"cache_log_bytes":    cache.LogBytes,
+		"cache_evictions":    cache.Evictions,
+		"cache_overflows":    cache.Overflows,
 		"phase_nanos": map[string]int64{
 			"copy_src":   s.metrics.copySrcNanos.Load(),
 			"copy_sink":  s.metrics.copySinkNanos.Load(),

@@ -610,7 +610,10 @@ func (s *Server) runJob(poolCtx context.Context, j *job.Job, lease *sched.Lease)
 	}
 
 	var err error
-	sink, err = job.NewCircuitSink(filepath.Join(j.Dir, "circuit.log"), 0)
+	// The kind's line codec renders batches to NDJSON at append time, so
+	// the stored frames are exactly the bytes the circuit endpoint
+	// serves (and the result cache copies them frame-for-frame).
+	sink, err = job.NewCircuitSink(filepath.Join(j.Dir, "circuit.log"), 0, kind)
 	if err != nil {
 		fail(fmt.Errorf("creating circuit sink: %w", err))
 		return
@@ -688,11 +691,21 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.Snapshot())
 }
 
+// batchedSource is a circuit source exposing its raw persisted frames;
+// the job sink and the result-cache reader both do.
+type batchedSource interface {
+	IterateBatches(fn func(frame []byte) error) error
+}
+
 // handleCircuit streams a finished job's result as NDJSON in the job
 // kind's line format — {"edge":e,"from":u,"to":v} circuit steps for
 // euler (plus "revisit" markers for postman tours), {"sym":s} and
-// {"base":"A"} for the sequence kinds — reading batches back from the
-// disk sink so the response never materialises in memory.
+// {"base":"A"} for the sequence kinds.  The sink persists batches
+// pre-rendered in that format, so the hot path copies stored frames
+// straight into the response with no decode/re-encode; binary-framed
+// batches (codec-less sinks, pre-upgrade cache entries) fall back to a
+// per-step render.  Bytes served are accounted per job and in the
+// egress_bytes service counter.
 func (s *Server) handleCircuit(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
@@ -709,13 +722,40 @@ func (s *Server) handleCircuit(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Circuit-Steps", strconv.FormatInt(src.Steps(), 10))
 	cw := &countedWriter{w: w}
+	defer func() {
+		j.AddEgress(cw.n)
+		s.metrics.egressBytes.Add(cw.n)
+	}()
 	bw := bufio.NewWriterSize(cw, 1<<16)
-	var buf []byte
-	err := src.Iterate(func(st graph.Step) error {
-		buf = kind.AppendLine(buf[:0], st)
-		_, err := bw.Write(buf)
-		return err
-	})
+	var err error
+	if batched, ok := src.(batchedSource); ok {
+		var buf []byte
+		err = batched.IterateBatches(func(frame []byte) error {
+			if len(frame) > 0 && frame[0] == '{' {
+				// Zero-copy egress: the stored frame is the response body.
+				_, werr := bw.Write(frame)
+				return werr
+			}
+			steps, derr := graph.DecodeSteps(frame)
+			if derr != nil {
+				return derr
+			}
+			for _, st := range steps {
+				buf = kind.AppendLine(buf[:0], st)
+				if _, werr := bw.Write(buf); werr != nil {
+					return werr
+				}
+			}
+			return nil
+		})
+	} else {
+		var buf []byte
+		err = src.Iterate(func(st graph.Step) error {
+			buf = kind.AppendLine(buf[:0], st)
+			_, werr := bw.Write(buf)
+			return werr
+		})
+	}
 	if err != nil {
 		if cw.n == 0 {
 			// Nothing reached the client yet; a real error status can

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/euler"
@@ -56,6 +57,10 @@ type Job struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// egress counts circuit response bytes streamed for this job,
+	// accumulated lock-free by concurrent HTTP streams.
+	egress atomic.Int64
 
 	mu       sync.Mutex
 	state    State
@@ -183,6 +188,12 @@ func (j *Job) Cancel() (State, bool) {
 	return j.state, false
 }
 
+// AddEgress records n bytes of circuit response streamed for this job.
+func (j *Job) AddEgress(n int64) { j.egress.Add(n) }
+
+// EgressBytes returns the circuit response bytes streamed so far.
+func (j *Job) EgressBytes() int64 { return j.egress.Load() }
+
 // Circuit returns the circuit source of a successfully completed job.
 // For sink-backed jobs a reader reference is already held, so a
 // concurrent eviction cannot close the sink before the caller starts
@@ -236,6 +247,9 @@ type Snapshot struct {
 	// retry and fallback outcomes without digging into the report.
 	Attempts int  `json:"attempts,omitempty"`
 	Degraded bool `json:"degraded,omitempty"`
+	// EgressBytes counts circuit response bytes streamed for this job
+	// across all GET /circuit requests so far.
+	EgressBytes int64 `json:"egress_bytes,omitempty"`
 }
 
 // Snapshot returns a copy of the job's current state.
@@ -243,13 +257,14 @@ func (j *Job) Snapshot() Snapshot {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	s := Snapshot{
-		ID:      j.ID,
-		State:   j.state,
-		Spec:    j.Spec,
-		Error:   j.errMsg,
-		Created: j.created,
-		Steps:   j.steps,
-		Report:  j.report,
+		ID:          j.ID,
+		State:       j.state,
+		Spec:        j.Spec,
+		Error:       j.errMsg,
+		Created:     j.created,
+		Steps:       j.steps,
+		Report:      j.report,
+		EgressBytes: j.egress.Load(),
 	}
 	if j.report != nil {
 		s.Attempts = j.report.Attempts

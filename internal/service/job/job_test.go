@@ -12,7 +12,7 @@ import (
 
 func TestSinkRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "circuit.log")
-	sink, err := NewCircuitSink(path, 3)
+	sink, err := NewCircuitSink(path, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestSinkRoundTrip(t *testing.T) {
 // short; the close completes when the reader leaves.
 func TestSinkCloseDeferredDuringIterate(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "circuit.log")
-	sink, err := NewCircuitSink(path, 2)
+	sink, err := NewCircuitSink(path, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestCircuitSurvivesEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	a := s.New(Spec{Generator: &GenSpec{Family: "torus"}}, dir)
-	sink, err := NewCircuitSink(filepath.Join(dir, "circuit.log"), 2)
+	sink, err := NewCircuitSink(filepath.Join(dir, "circuit.log"), 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package job
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 
@@ -13,10 +14,30 @@ import (
 // spill store's 1 MiB write buffer.
 const DefaultBatchSteps = 4096
 
+// LineCodec renders circuit steps to the NDJSON line format a job kind
+// serves over HTTP, and parses them back.  jobkind.Kind satisfies it;
+// the interface is restated here so the job layer does not depend on
+// the kind registry.
+type LineCodec interface {
+	// AppendLine appends one step's NDJSON line (with trailing
+	// newline) to dst.
+	AppendLine(dst []byte, st graph.Step) []byte
+	// ParseLine is AppendLine's inverse over one line without the
+	// newline.
+	ParseLine(line []byte) (graph.Step, error)
+}
+
 // CircuitSink persists a streamed Euler circuit to disk as it is
 // emitted, so the result never has to fit in server memory.  Steps are
 // buffered into fixed-size batches and appended to a spill.DiskStore
 // (record ID = batch index); Iterate replays them in circuit order.
+//
+// With a LineCodec the batches are stored as rendered NDJSON frames —
+// exactly the bytes the HTTP circuit endpoint serves — so egress is a
+// raw frame copy with no decode/re-encode pass.  Without one (codec
+// nil) batches fall back to the binary graph.AppendSteps framing;
+// Iterate dispatches on the frame's first byte ('{' = NDJSON,
+// graph.StepFrameV3 = binary) so mixed logs still replay.
 //
 // Append and Finish are called by the single worker goroutine running
 // the job; Iterate may be called concurrently by any number of HTTP
@@ -24,6 +45,7 @@ const DefaultBatchSteps = 4096
 type CircuitSink struct {
 	mu        sync.Mutex
 	store     *spill.DiskStore
+	codec     LineCodec
 	batchSize int
 	buf       []graph.Step
 	enc       []byte // reusable batch encode buffer
@@ -40,8 +62,9 @@ type CircuitSink struct {
 }
 
 // NewCircuitSink creates the backing log at path.  batchSize <= 0 uses
-// DefaultBatchSteps.
-func NewCircuitSink(path string, batchSize int) (*CircuitSink, error) {
+// DefaultBatchSteps; a non-nil codec stores batches as NDJSON frames
+// in the codec's line format.
+func NewCircuitSink(path string, batchSize int, codec LineCodec) (*CircuitSink, error) {
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSteps
 	}
@@ -51,6 +74,7 @@ func NewCircuitSink(path string, batchSize int) (*CircuitSink, error) {
 	}
 	return &CircuitSink{
 		store:     ds,
+		codec:     codec,
 		batchSize: batchSize,
 		buf:       make([]graph.Step, 0, batchSize),
 	}, nil
@@ -92,7 +116,14 @@ func (c *CircuitSink) flushLocked() error {
 	}
 	// The DiskStore writes the payload through its bufio writer before Put
 	// returns, so one encode buffer serves every batch of the job.
-	c.enc = graph.AppendSteps(c.enc[:0], c.buf)
+	if c.codec != nil {
+		c.enc = c.enc[:0]
+		for _, s := range c.buf {
+			c.enc = c.codec.AppendLine(c.enc, s)
+		}
+	} else {
+		c.enc = graph.AppendSteps(c.enc[:0], c.buf)
+	}
 	if err := c.store.Put(c.records, c.enc); err != nil {
 		return err
 	}
@@ -108,11 +139,12 @@ func (c *CircuitSink) Steps() int64 {
 	return c.steps
 }
 
-// IterateBatches replays the persisted circuit's raw batch frames (as
-// written by graph.AppendSteps) without decoding them, for consumers
-// that re-persist the frames verbatim — the scheduler's result cache
-// copies a multi-million-step circuit this way with no decode/encode
-// pass.  Like Iterate it requires Finish and holds the sink open.
+// IterateBatches replays the persisted circuit's raw batch frames
+// without decoding them, for consumers that move the frames verbatim —
+// the scheduler's result cache copies a multi-million-step circuit
+// log-to-log this way, and the HTTP layer streams NDJSON frames
+// straight into the response.  Like Iterate it requires Finish and
+// holds the sink open.
 func (c *CircuitSink) IterateBatches(fn func(frame []byte) error) error {
 	c.mu.Lock()
 	if !c.finished {
@@ -161,14 +193,44 @@ func (c *CircuitSink) Iterate(fn func(graph.Step) error) error {
 		if err != nil {
 			return err
 		}
-		steps, err := graph.DecodeSteps(data)
-		if err != nil {
+		if err := decodeFrame(data, c.codec, fn); err != nil {
 			return fmt.Errorf("job: circuit batch %d: %w", i, err)
 		}
-		for _, s := range steps {
+	}
+	return nil
+}
+
+// decodeFrame replays one stored batch frame step by step, dispatching
+// on its leading byte: NDJSON frames parse line by line through the
+// codec, anything else is a binary graph.AppendSteps frame.
+func decodeFrame(frame []byte, codec LineCodec, fn func(graph.Step) error) error {
+	if len(frame) > 0 && frame[0] == '{' {
+		if codec == nil {
+			return fmt.Errorf("NDJSON frame but no line codec")
+		}
+		for len(frame) > 0 {
+			line, rest, _ := bytes.Cut(frame, []byte{'\n'})
+			frame = rest
+			if len(line) == 0 {
+				continue
+			}
+			s, err := codec.ParseLine(line)
+			if err != nil {
+				return err
+			}
 			if err := fn(s); err != nil {
 				return err
 			}
+		}
+		return nil
+	}
+	steps, err := graph.DecodeSteps(frame)
+	if err != nil {
+		return err
+	}
+	for _, s := range steps {
+		if err := fn(s); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -223,5 +285,6 @@ func (c *CircuitSink) Close() error {
 	return c.store.Close()
 }
 
-// Batch framing lives in graph.AppendSteps/DecodeSteps, shared with the
-// scheduler's result cache so both speak the same disk payload format.
+// Frames are opaque to the scheduler's result cache: it copies and
+// replays whatever the sink stored (NDJSON or binary), so both layers
+// speak the same disk payload format without sharing a codec.

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# alloc_budget_check.sh — fail if any budgeted benchmark allocated more
+# per op than scripts/alloc_budget.txt allows.
+#
+#   usage: alloc_budget_check.sh <bench-log> [budget-file]
+#
+# <bench-log> is `go test -bench . -benchmem` output (CI's
+# bench-smoke.log).  Budgeted benchmarks must appear in the log with an
+# allocs/op column; a missing benchmark or a missing column fails the
+# check, so a renamed benchmark cannot silently drop its budget.
+set -euo pipefail
+
+log=${1:?usage: alloc_budget_check.sh <bench-log> [budget-file]}
+budget=${2:-$(dirname "$0")/alloc_budget.txt}
+
+fail=0
+while read -r name max _; do
+    case $name in '' | \#*) continue ;; esac
+    # Benchmark lines carry a -GOMAXPROCS suffix; take the last match so
+    # a multi-package log with duplicate names checks the final run.
+    line=$(grep -E "^${name}(-[0-9]+)?[[:space:]]" "$log" | tail -n 1 || true)
+    if [ -z "$line" ]; then
+        echo "alloc budget: benchmark $name not found in $log" >&2
+        fail=1
+        continue
+    fi
+    allocs=$(awk '{for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)}' <<<"$line")
+    if [ -z "$allocs" ]; then
+        echo "alloc budget: $name has no allocs/op column (run with -benchmem)" >&2
+        fail=1
+        continue
+    fi
+    if [ "$allocs" -gt "$max" ]; then
+        echo "alloc budget: $name allocated $allocs/op, budget is $max" >&2
+        fail=1
+    else
+        echo "alloc budget: $name $allocs/op within budget $max"
+    fi
+done <"$budget"
+
+exit $fail
