@@ -34,7 +34,7 @@
 //
 // Endpoints:
 //
-//	POST   /v1/jobs              submit (JSON spec or EULGRPH1 body)
+//	POST   /v1/jobs              submit (JSON spec, EULGRPH1 body, or ?base= edge diff)
 //	GET    /v1/jobs              list jobs
 //	GET    /v1/jobs/{id}         status + report
 //	GET    /v1/jobs/{id}/circuit stream the circuit as NDJSON
@@ -89,6 +89,7 @@ func main() {
 		maxRunTen   = flag.Int("max-running-per-tenant", 0, "fair: default per-tenant concurrency quota (0 = workers)")
 		maxQueueAll = flag.Int("max-queue-total", 1024, "fair: global queued-job backstop across all tenants (0 = unlimited); also caps attached-graph memory at ~4 MiB per queued job")
 		cacheBytes  = flag.Int64("cache-bytes", 256<<20, "result-cache live-entry byte budget; 0 disables dedup and caching (the backing log is append-only: disk is reclaimed on restart, watch cache_log_bytes)")
+		deltaBytes  = flag.Int64("delta-bytes", 64<<20, "retained delta-base replay-state byte budget for edge-diff submissions; 0 disables delta retention (requires the result cache; cluster runs never retain)")
 
 		clusterAddr  = flag.String("cluster", ":9090", "coordinator: cluster listen address for worker joins")
 		minNodes     = flag.Int("min-nodes", 1, "coordinator: worker nodes a job waits for")
@@ -142,6 +143,7 @@ func main() {
 			schedMode: *schedMode, tenants: tenantCfg,
 			maxQueuePerTenant: *maxQueueTen, maxRunningPerTenant: *maxRunTen,
 			maxQueueTotal: *maxQueueAll, cacheBytes: *cacheBytes,
+			deltaBytes: *deltaBytes,
 		})
 	default:
 		fatal(fmt.Errorf("unknown role %q (want standalone, coordinator, or worker)", *role))
@@ -194,6 +196,7 @@ type serverConfig struct {
 	maxRunningPerTenant int
 	maxQueueTotal       int
 	cacheBytes          int64
+	deltaBytes          int64
 }
 
 // runServerRole runs the HTTP job service; as a coordinator it also opens
@@ -233,11 +236,18 @@ func runServerRole(coordinator bool, cfg serverConfig) {
 		}
 		cache = c
 	}
+	var deltas *sched.DeltaStore
+	if cache != nil && cfg.deltaBytes > 0 {
+		// Delta retention rides on the result cache: base fingerprints
+		// are only computed when submissions are content-addressed.
+		deltas = sched.NewDeltaStore(cfg.deltaBytes)
+	}
 	store := job.NewStore(cfg.retention)
 	apiCfg := httpapi.Config{
 		Store:          store,
 		Sched:          scheduler,
 		Cache:          cache,
+		Deltas:         deltas,
 		DataDir:        dir,
 		MaxUploadBytes: cfg.maxUpload,
 	}

@@ -152,7 +152,34 @@ func FindCircuit(g *Graph, opts ...Option) (*Circuit, error) {
 // each step in circuit order, so the circuit never needs to fit in the
 // caller's memory.
 func FindCircuitStream(g *Graph, emit func(Step) error, opts ...Option) (*Report, error) {
-	return findCircuit(g, emit, opts...)
+	report, _, err := findCircuitRetain(g, emit, false, nil, opts)
+	return report, err
+}
+
+// FindCircuitStreamRetain is FindCircuitStream plus delta retention: the
+// second return value is an opaque replay record (the pristine plan and
+// every partition's Phase 1 outcome) that a later FindCircuitStreamDelta
+// call can reuse when solving a slightly different graph.
+func FindCircuitStreamRetain(g *Graph, emit func(Step) error, opts ...Option) (*Report, []byte, error) {
+	return findCircuitRetain(g, emit, true, nil, opts)
+}
+
+// FindCircuitStreamDelta solves g — typically a small edit of a previously
+// solved graph — reusing the retained record of the earlier solve:
+// partitions whose inputs are byte-identical to the base run are replayed
+// instead of re-toured (Report.ReusedParts counts them), and the emitted
+// circuit is byte-identical to a from-scratch FindCircuitStream of g.  The
+// caller must pass the same partitioning options as the base run; retained
+// must come from FindCircuitStreamRetain or an earlier
+// FindCircuitStreamDelta (the second return value, for chaining).
+// Structural drift between the runs degrades to a full recompute, never to
+// a wrong circuit.
+func FindCircuitStreamDelta(g *Graph, emit func(Step) error, retained []byte, opts ...Option) (*Report, []byte, error) {
+	base, err := euler.DecodeRunRecord(retained)
+	if err != nil {
+		return nil, nil, fmt.Errorf("euler: decoding retained record: %w", err)
+	}
+	return findCircuitRetain(g, emit, true, base, opts)
 }
 
 // resolveOptions applies the option defaults, rejects invalid partition
@@ -174,9 +201,14 @@ func resolveOptions(g *Graph, opts []Option) (Options, error) {
 }
 
 func findCircuit(g *Graph, emit func(Step) error, opts ...Option) (*Report, error) {
+	report, _, err := findCircuitRetain(g, emit, false, nil, opts)
+	return report, err
+}
+
+func findCircuitRetain(g *Graph, emit func(Step) error, record bool, replay *euler.RunRecord, opts []Option) (*Report, []byte, error) {
 	o, err := resolveOptions(g, opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var a Assignment
 	if o.assign != nil {
@@ -189,7 +221,7 @@ func findCircuit(g *Graph, emit func(Step) error, opts ...Option) (*Report, erro
 	if o.spillDir != "" {
 		ds, err := spill.NewDiskStore(filepath.Join(o.spillDir, euler.SpillLogName))
 		if err != nil {
-			return nil, fmt.Errorf("euler: opening spill store: %w", err)
+			return nil, nil, fmt.Errorf("euler: opening spill store: %w", err)
 		}
 		defer ds.Close()
 		store = ds
@@ -200,14 +232,20 @@ func findCircuit(g *Graph, emit func(Step) error, opts ...Option) (*Report, erro
 		Store:    store,
 		Cost:     o.cost,
 		Validate: o.validate,
+		Record:   record,
+		Replay:   replay,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := res.Registry.Unroll(emit); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return res.Report, nil
+	var retained []byte
+	if res.Retained != nil {
+		retained = euler.EncodeRunRecord(res.Retained)
+	}
+	return res.Report, retained, nil
 }
 
 // FindCircuitSeq computes an Euler circuit with the sequential Hierholzer

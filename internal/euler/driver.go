@@ -28,6 +28,14 @@ type Config struct {
 	// Sequential runs the BSP workers of each superstep one at a time, for
 	// interference-free per-partition timing (Fig. 7).
 	Sequential bool
+	// Record retains replay material (the pristine plan plus every node's
+	// Phase 1 outcome and spilled bodies) in the result, so a later run on
+	// a slightly different graph can reuse clean partitions.
+	Record bool
+	// Replay supplies a prior run's retained record; nodes whose entire
+	// leaf-group input is byte-identical to the retained run are replayed
+	// instead of re-toured.  Structural drift degrades to full recompute.
+	Replay *RunRecord
 }
 
 // Result is the outcome of Phases 1 and 2: a Registry ready for Phase 3's
@@ -36,6 +44,8 @@ type Result struct {
 	Registry *Registry
 	Tree     *MergeTree
 	Report   *RunReport
+	// Retained is the replay material captured when Config.Record is set.
+	Retained *RunRecord
 }
 
 // message type tags for BSP payloads.
@@ -65,11 +75,38 @@ func Run(g *graph.Graph, a partition.Assignment, cfg Config) (*Result, error) {
 	n := plan.NumWorkers
 
 	registry := NewRegistry(store, g.NumVertices(), n)
-	program := newPartProgram(plan, progDeps{
+	deps := progDeps{
 		store:   store,
 		visited: registry.IsVisited,
 		absorb:  registry.Absorb,
-	})
+	}
+
+	// Retention must snapshot the plan before the engine consumes its
+	// parked pools, and replay must diff against the same pristine view.
+	var retained *RunRecord
+	var recorder *runRecorder
+	if cfg.Record {
+		planBytes, err := plan.EncodeSlice(0, plan.NumWorkers)
+		if err != nil {
+			return nil, err
+		}
+		recorder = &runRecorder{}
+		deps.record = recorder.record
+		retained = &RunRecord{PlanBytes: planBytes}
+	}
+	reused := 0
+	if cfg.Replay != nil {
+		replaySet := buildReplaySet(plan, cfg.Replay)
+		if len(replaySet) > 0 {
+			if err := restoreBodies(store, replaySet, cfg.Replay.Bodies); err != nil {
+				return nil, err
+			}
+			deps.replay = func(w, s int) *NodeRecord { return replaySet[nodeKey{w, s}] }
+			reused = len(replaySet)
+		}
+	}
+
+	program := newPartProgram(plan, deps)
 
 	engineOpts := []bsp.Option{bsp.WithCostModel(cfg.Cost), bsp.WithTransport(bsp.LocalTransport{})}
 	if cfg.Sequential {
@@ -92,7 +129,16 @@ func Run(g *graph.Graph, a partition.Assignment, cfg Config) (*Result, error) {
 	}
 
 	report := assembleReport(cfg.Mode, plan.Height, plan.ParkedLongsAt, program.liveLongs, program.parts(), metrics, wall)
-	return &Result{Registry: registry, Tree: tree, Report: report}, nil
+	report.ReusedParts = reused
+	if recorder != nil {
+		retained.Nodes = recorder.sorted()
+		bodies, err := collectBodies(store, retained.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		retained.Bodies = bodies
+	}
+	return &Result{Registry: registry, Tree: tree, Report: report, Retained: retained}, nil
 }
 
 // assembleReport builds the RunReport from per-worker instrumentation.

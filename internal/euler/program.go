@@ -20,6 +20,12 @@ type progDeps struct {
 	store   spill.Store
 	visited func(graph.VertexID) bool
 	absorb  func(w int, res *Phase1Result, isRoot bool) error
+	// record, when non-nil, snapshots every computing node's Phase 1
+	// outcome for delta retention (see delta.go).
+	record func(w, s int, res *Phase1Result, state *PartState)
+	// replay, when non-nil, returns the retained record to replay for a
+	// node instead of touring it, or nil to compute normally.
+	replay func(w, s int) *NodeRecord
 }
 
 // workerState is the per-worker mutable state of one run.
@@ -76,8 +82,35 @@ func (p *partProgram) Compute(ctx *bsp.Context) error {
 	wc := p.workers[w-plan.Lo]
 	var pr PartReport
 	computing := false
+	replayed := false
 
-	if s == 0 {
+	if p.deps.replay != nil {
+		if rec := p.deps.replay(w, s); rec != nil {
+			// The node's entire leaf-group input is byte-identical to the
+			// retained base run: its recorded post-tour state and registry
+			// contributions stand in for merge + Phase 1.  Received child
+			// states and parked batches are already folded into the
+			// recorded state, so the mail is dropped unread.
+			st, err := DecodeState(rec.State)
+			if err != nil {
+				return fmt.Errorf("worker %d superstep %d: decoding retained state: %w", w, s, err)
+			}
+			wc.state = st
+			res := &Phase1Result{Recs: rec.Recs, Seeds: rec.Seeds, Visited: rec.Visited}
+			isRoot := s == plan.Height && w == plan.Root
+			if err := p.deps.absorb(w, res, isRoot); err != nil {
+				return err
+			}
+			if p.deps.record != nil {
+				p.deps.record(w, s, res, wc.state)
+			}
+			replayed = true
+		}
+	}
+
+	if replayed {
+		// merge + Phase 1 replaced by the retained record above
+	} else if s == 0 {
 		t0 := time.Now()
 		st, err := DecodeState(plan.EncodedInit[w-plan.Lo])
 		if err != nil {
@@ -170,6 +203,9 @@ func (p *partProgram) Compute(ctx *bsp.Context) error {
 		isRoot := s == plan.Height && w == plan.Root
 		if err := p.deps.absorb(w, res, isRoot); err != nil {
 			return err
+		}
+		if p.deps.record != nil {
+			p.deps.record(w, s, res, wc.state)
 		}
 		wc.reports = append(wc.reports, pr)
 	}

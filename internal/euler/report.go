@@ -61,6 +61,9 @@ type RunReport struct {
 	// (hello through result, both directions, across every attempt).
 	// Zero for single-process runs, which touch no wire.
 	WireBytes int64 `json:"wire_bytes,omitempty"`
+	// ReusedParts counts the merge-tree nodes replayed from a retained
+	// base run instead of re-toured; zero for from-scratch runs.
+	ReusedParts int `json:"reused_parts,omitempty"`
 }
 
 // PartsAt returns the part reports for one level.

@@ -17,6 +17,11 @@ type eulerKind struct{}
 func (eulerKind) Name() string     { return "euler" }
 func (eulerKind) NeedsGraph() bool { return true }
 
+// SupportsDelta opts euler into edge-diff submissions: its local solve
+// path retains replay state, so clean partitions of a patched base are
+// replayed instead of re-toured.
+func (eulerKind) SupportsDelta() bool { return true }
+
 func (eulerKind) Normalize(req *Request) error {
 	return normalizeEngineOptions("euler", req)
 }

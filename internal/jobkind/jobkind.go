@@ -113,6 +113,21 @@ type Kind interface {
 	ParseLine(line []byte) (graph.Step, error)
 }
 
+// DeltaCapable is the optional opt-in for edge-diff (delta) submissions:
+// a kind implementing it with a true return accepts a base fingerprint
+// plus diff in place of an input graph.  Only graph-backed kinds whose
+// solve path can retain and replay engine state qualify; everything else
+// is rejected with a structured 400 delta_unsupported.
+type DeltaCapable interface {
+	SupportsDelta() bool
+}
+
+// SupportsDelta reports whether k opted into delta submissions.
+func SupportsDelta(k Kind) bool {
+	dc, ok := k.(DeltaCapable)
+	return ok && dc.SupportsDelta()
+}
+
 var registry = map[string]Kind{
 	"euler":     eulerKind{},
 	"postman":   postmanKind{},

@@ -146,6 +146,17 @@ func (c *Client) SubmitSpecAs(spec job.Spec, opts SubmitOpts) (job.Snapshot, err
 	return snap, err
 }
 
+// SubmitDelta submits an edge diff against a retained base fingerprint.
+// The server patches the base graph it retained for base and re-tours
+// only the partitions the diff touches.
+func (c *Client) SubmitDelta(base string, add, remove [][2]int64, opts SubmitOpts) (job.Snapshot, error) {
+	spec := job.Spec{Base: base}
+	if len(add)+len(remove) > 0 {
+		spec.Diff = &job.DiffSpec{Add: add, Remove: remove}
+	}
+	return c.SubmitSpecAs(spec, opts)
+}
+
 // SubmitUpload submits g as an EULGRPH1 body, carrying the spec's engine
 // options (parts, seed, mode, spill) in the query string.
 func (c *Client) SubmitUpload(g *graph.Graph, spec job.Spec) (job.Snapshot, error) {

@@ -101,6 +101,13 @@ func TestRegistryMeetsCIContract(t *testing.T) {
 	if !dedup {
 		t.Error("ci profile is missing a dedup-storm scenario (ExpectDedup)")
 	}
+	var delta bool
+	for _, sc := range ci {
+		delta = delta || sc.DeltaStorm
+	}
+	if !delta {
+		t.Error("ci profile is missing a delta-storm scenario (DeltaStorm)")
+	}
 	var kindDedup bool
 	for _, sc := range ci {
 		kindDedup = kindDedup || (sc.ExpectDedup && sc.DedupKind != "")
@@ -186,6 +193,8 @@ func newTestServerCfg(t *testing.T, fcfg sched.FairConfig, withCache bool) *Clie
 			t.Fatal(err)
 		}
 		cfg.Cache = cache
+		// Delta retention rides on the cache, as in eulerd.
+		cfg.Deltas = sched.NewDeltaStore(64 << 20)
 		t.Cleanup(func() { cache.Close() })
 	}
 	srv := httpapi.New(cfg)
@@ -520,6 +529,108 @@ func TestRunScenarioTenantThrottle(t *testing.T) {
 	}
 	if greedy, ok := res.Metrics["tenant_greedy_latency_p95_ms"]; ok && greedy.Better != "" {
 		t.Fatalf("throttleable tenant p95 must be informational, got %+v", greedy)
+	}
+}
+
+// TestRunScenarioDeltaStorm drives the delta-submission flow against
+// in-process servers: the base solve retains state, every diff job
+// reuses partitions, verifies on the patched graph, and byte-matches a
+// from-scratch solve on the reference server.
+func TestRunScenarioDeltaStorm(t *testing.T) {
+	client := newTestServer(t, 4)
+	solo := newTestServer(t, 2)
+	sc := Scenario{
+		Name:     "test-delta-storm",
+		Profiles: []string{"test"},
+		Jobs:     6, Concurrency: 2,
+		DeltaStorm:  true,
+		CompareSolo: true,
+		Templates: []JobTemplate{
+			genTpl(cliques(16, 7, 4, "current")),
+		},
+		JobTimeout: 60 * time.Second,
+	}
+	res, err := RunScenario(context.Background(), sc, Env{Client: client, Solo: solo, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	vals := map[string]float64{}
+	for k, m := range res.Metrics {
+		vals[k] = m.Value
+	}
+	if got := mustMetric(t, vals, "jobs_done"); got != 6 {
+		t.Fatalf("jobs_done = %v, want 6", got)
+	}
+	if got := mustMetric(t, vals, "verify_failures"); got != 0 {
+		t.Fatalf("verify_failures = %v, want 0", got)
+	}
+	if got := mustMetric(t, vals, "circuit_diffs"); got != 0 {
+		t.Fatalf("circuit_diffs = %v, want 0", got)
+	}
+	if got := mustMetric(t, vals, "server_delta_jobs"); got < 1 {
+		t.Fatalf("server_delta_jobs = %v, want >= 1", got)
+	}
+	if got := mustMetric(t, vals, "delta_reused_parts_total"); got < 1 {
+		t.Fatalf("delta_reused_parts_total = %v, want >= 1", got)
+	}
+	if m, ok := res.Metrics["delta_exec_p95_ms"]; !ok || m.Better != "lower" {
+		t.Fatalf("delta_exec_p95_ms missing or ungated: %+v", res.Metrics)
+	}
+}
+
+// TestRunScenarioDeltaStormFailsWithoutRetention: against a server with
+// no result cache (so no fingerprints and no retained delta state) the
+// delta contract must fail loudly, not silently degrade.
+func TestRunScenarioDeltaStormFailsWithoutRetention(t *testing.T) {
+	client := newTestServerOpts(t, 2, 64, false)
+	solo := newTestServer(t, 2)
+	sc := Scenario{
+		Name:     "test-delta-nocache",
+		Profiles: []string{"test"},
+		Jobs:     2, Concurrency: 1,
+		DeltaStorm:  true,
+		CompareSolo: true,
+		Templates: []JobTemplate{
+			genTpl(cliques(8, 5, 2, "current")),
+		},
+		JobTimeout: 60 * time.Second,
+	}
+	if _, err := RunScenario(context.Background(), sc, Env{Client: client, Solo: solo}); err == nil {
+		t.Fatal("delta contract passed against a server without retained state")
+	}
+}
+
+// TestScenarioValidateDeltaStorm pins the declaration rules of the
+// delta flow.
+func TestScenarioValidateDeltaStorm(t *testing.T) {
+	good, err := ByName("delta-storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("registry delta-storm invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"no solo comparison", func(s *Scenario) { s.CompareSolo = false }},
+		{"two templates", func(s *Scenario) { s.Templates = append(s.Templates, s.Templates[0]) }},
+		{"uploaded base", func(s *Scenario) { s.Templates[0].Upload = true }},
+		{"cluster topology", func(s *Scenario) { s.Topology = TopoCluster; s.Workers = 2; s.MinNodes = 2 }},
+		{"graphless kind", func(s *Scenario) { s.Templates[0] = JobTemplate{Spec: debruijn(2, 8)} }},
+		{"ratio without delta", func(s *Scenario) { s.DeltaStorm = false; s.CompareSolo = false }},
+		{"negative ratio", func(s *Scenario) { s.DeltaMaxExecRatio = -1 }},
+	}
+	for _, c := range cases {
+		sc := good
+		sc.Templates = append([]JobTemplate(nil), good.Templates...)
+		g := *good.Templates[0].Spec.Generator
+		sc.Templates[0].Spec.Generator = &g
+		c.mutate(&sc)
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid delta scenario", c.name)
+		}
 	}
 }
 

@@ -68,6 +68,9 @@ func RunScenario(ctx context.Context, sc Scenario, env Env) (bench.ScenarioResul
 	if err := sc.Validate(); err != nil {
 		return bench.ScenarioResult{}, err
 	}
+	if sc.DeltaStorm {
+		return runDeltaStorm(ctx, sc, env)
+	}
 	timeout := sc.JobTimeout
 	if timeout <= 0 {
 		timeout = 120 * time.Second

@@ -115,6 +115,21 @@ type Scenario struct {
 	// cluster_smoke.sh check).
 	CompareSolo bool
 
+	// DeltaStorm switches the scenario to the delta-submission flow:
+	// one full solve of the single template establishes a retained base
+	// fingerprint, then every job submits an edge diff against it.  Each
+	// delta must carry the delta flag with reused_parts > 0, verify
+	// against the locally patched graph, and (with CompareSolo, which
+	// DeltaStorm requires) stream byte-identically to a from-scratch
+	// solve of the same patched graph on the reference server.
+	DeltaStorm bool
+	// DeltaMaxExecRatio is a hard ceiling on delta exec p95 divided by
+	// from-scratch exec p95 — the incremental recompute must actually be
+	// cheaper than solving the patched graph from zero.  0 disables the
+	// ceiling (the banded delta_vs_full_exec_p95 metric still records
+	// it).  Only meaningful with DeltaStorm.
+	DeltaMaxExecRatio float64
+
 	// ErrorBudget is the tolerated fraction of jobs that may end failed
 	// (chaos scenarios budget for the jobs the killed worker takes
 	// down); exceeding it fails the run regardless of any baseline.
@@ -215,6 +230,37 @@ func (s Scenario) Validate() error {
 		if !any {
 			return fmt.Errorf("load: scenario %s expects throttling but no template may throttle", s.Name)
 		}
+	}
+	if s.DeltaStorm {
+		if s.Topology != TopoStandalone {
+			return fmt.Errorf("load: delta scenario %s needs a standalone topology (cluster runs retain no delta state)", s.Name)
+		}
+		if len(s.Templates) != 1 {
+			return fmt.Errorf("load: delta scenario %s needs exactly one base template, has %d", s.Name, len(s.Templates))
+		}
+		tpl := s.Templates[0]
+		if tpl.Upload {
+			return fmt.Errorf("load: delta scenario %s must submit its base as a spec, not an upload", s.Name)
+		}
+		spec := tpl.Spec.Clone()
+		if err := spec.Validate(); err != nil {
+			return fmt.Errorf("load: delta scenario %s base spec: %w", s.Name, err)
+		}
+		if k := jobkind.MustGet(spec.Kind); !jobkind.SupportsDelta(k) {
+			return fmt.Errorf("load: delta scenario %s uses kind %s, which does not accept diffs", s.Name, spec.Kind)
+		}
+		if s.Behavior != BehaviorComplete {
+			return fmt.Errorf("load: delta scenario %s only supports the complete behavior", s.Name)
+		}
+		if !s.CompareSolo {
+			return fmt.Errorf("load: delta scenario %s must set CompareSolo — byte-identity against a from-scratch solve is the point", s.Name)
+		}
+	}
+	if s.DeltaMaxExecRatio < 0 {
+		return fmt.Errorf("load: scenario %s has a negative delta exec ratio ceiling", s.Name)
+	}
+	if s.DeltaMaxExecRatio > 0 && !s.DeltaStorm {
+		return fmt.Errorf("load: scenario %s sets DeltaMaxExecRatio without DeltaStorm", s.Name)
 	}
 	if s.ErrorBudget < 0 || s.ErrorBudget > 1 {
 		return fmt.Errorf("load: scenario %s error budget %v outside [0, 1]", s.Name, s.ErrorBudget)
@@ -418,6 +464,28 @@ func Scenarios() []Scenario {
 			CompareSolo: true,
 			Templates: []JobTemplate{
 				genTpl(cliques(32, 7, 6, "current")),
+			},
+		},
+		{
+			Name:        "delta-storm",
+			Description: "edge-diff submissions against a retained base: every delta must reuse partitions, match a from-scratch solve byte for byte, and beat its exec latency",
+			Profiles:    both,
+			// Cache and delta retention stay on (deltas need both); the
+			// roomy job retention keeps every storm job streamable after
+			// the fact under soak multipliers.
+			ServerArgs: []string{"-retention", "1000"},
+			Jobs:       6, Concurrency: 2,
+			DeltaStorm:  true,
+			CompareSolo: true,
+			// Incremental recompute must come in well under the
+			// from-scratch solve of the same patched graph.  The shape
+			// matters: partition tours must be worth skipping, so the base
+			// is a wide ring of cliques over many partitions (on skewed
+			// RMAT graphs the giant hub partition is always dirty and
+			// replay saves almost nothing).
+			DeltaMaxExecRatio: 0.85,
+			Templates: []JobTemplate{
+				genTpl(cliques(2048, 13, 16, "current")),
 			},
 		},
 		{

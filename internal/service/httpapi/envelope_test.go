@@ -1,0 +1,173 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/service/job"
+)
+
+// TestErrorEnvelopes drives one representative request through every
+// error path and checks the uniform {error, code} envelope: every
+// non-2xx answer must carry a non-empty human message and the expected
+// machine-readable code.
+func TestErrorEnvelopes(t *testing.T) {
+	_, ts := newDeltaServer(t, 1)
+
+	// A finished job for the wrong-state cases.
+	done := submitJSON(t, ts, `{"generator":{"family":"torus","width":4,"height":4}}`)
+	waitState(t, ts, done.ID, job.StateDone)
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		{"malformed spec", "POST", "/v1/jobs", `{"generator":`, http.StatusBadRequest, codeBadRequest},
+		{"unknown kind", "POST", "/v1/jobs", `{"kind":"nope","generator":{"family":"torus"}}`, http.StatusBadRequest, "unknown_kind"},
+		{"invalid kind spec", "POST", "/v1/jobs", `{"kind":"debruijn","generator":{"family":"torus"}}`, http.StatusBadRequest, "invalid_kind_spec"},
+		{"delta on sequence kind", "POST", "/v1/jobs", `{"kind":"debruijn","base":"ab","diff":{"add":[[0,1]]}}`, http.StatusBadRequest, codeDeltaUnsupported},
+		{"unknown delta base", "POST", "/v1/jobs", fmt.Sprintf(`{"base":%q,"diff":{"add":[[0,1]]}}`, strings.Repeat("cd", 32)), http.StatusConflict, codeUnknownBase},
+		{"missing job", "GET", "/v1/jobs/doesnotexist", "", http.StatusNotFound, codeNotFound},
+		{"missing job circuit", "GET", "/v1/jobs/doesnotexist/circuit", "", http.StatusNotFound, codeNotFound},
+		{"missing job cancel", "DELETE", "/v1/jobs/doesnotexist", "", http.StatusNotFound, codeNotFound},
+		{"cancel finished job", "DELETE", "/v1/jobs/" + done.ID, "", http.StatusConflict, codeWrongState},
+		{"bad list state", "GET", "/v1/jobs?state=zombie", "", http.StatusBadRequest, codeBadRequest},
+		{"bad list limit", "GET", "/v1/jobs?limit=-3", "", http.StatusBadRequest, codeBadRequest},
+		{"bad page token", "GET", "/v1/jobs?page_token=%21%21", "", http.StatusBadRequest, codeBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var body io.Reader
+			if tc.body != "" {
+				body = strings.NewReader(tc.body)
+			}
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.body != "" {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			var e errorBody
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+				t.Fatalf("error body is not the JSON envelope: %v", err)
+			}
+			if e.Error == "" {
+				t.Fatal("envelope must carry a human-readable error")
+			}
+			if e.Code != tc.wantCode {
+				t.Fatalf("code %q, want %q (error: %s)", e.Code, tc.wantCode, e.Error)
+			}
+		})
+	}
+}
+
+// listPage fetches one page of GET /v1/jobs with the given raw query.
+func listPage(t *testing.T, ts *httptest.Server, query string) ([]job.Snapshot, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list %q: status %d", query, resp.StatusCode)
+	}
+	var page struct {
+		Jobs          []job.Snapshot `json:"jobs"`
+		NextPageToken string         `json:"next_page_token"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	return page.Jobs, page.NextPageToken
+}
+
+// TestListPaginationAndFilters walks the paginated list end to end: a
+// full page walk visits every job exactly once in creation order, and
+// the state/tenant filters compose with it.
+func TestListPaginationAndFilters(t *testing.T) {
+	_, ts := newTestServer(t, 2, 16)
+
+	var ids []string
+	for i := 0; i < 5; i++ {
+		snap := submitJSON(t, ts, `{"generator":{"family":"torus","width":4,"height":4}}`)
+		ids = append(ids, snap.ID)
+	}
+	// One job under a named tenant for the filter case.
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/jobs",
+		strings.NewReader(`{"generator":{"family":"torus","width":4,"height":4}}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", "acme")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acme job.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&acme); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ids = append(ids, acme.ID)
+	for _, id := range ids {
+		waitState(t, ts, id, job.StateDone)
+	}
+
+	// Page walk with limit=2: every job exactly once, creation order.
+	var walked []string
+	query := "?limit=2"
+	for pages := 0; ; pages++ {
+		if pages > 10 {
+			t.Fatal("page walk did not terminate")
+		}
+		jobs, next := listPage(t, ts, query)
+		if len(jobs) > 2 {
+			t.Fatalf("page has %d jobs, limit is 2", len(jobs))
+		}
+		for _, snap := range jobs {
+			walked = append(walked, snap.ID)
+		}
+		if next == "" {
+			break
+		}
+		query = "?limit=2&page_token=" + next
+	}
+	if len(walked) != len(ids) {
+		t.Fatalf("walk visited %d jobs, want %d", len(walked), len(ids))
+	}
+	for i, id := range ids {
+		if walked[i] != id {
+			t.Fatalf("walk position %d is %s, want %s (creation order)", i, walked[i], id)
+		}
+	}
+
+	if jobs, _ := listPage(t, ts, "?state=done"); len(jobs) != len(ids) {
+		t.Fatalf("state=done lists %d jobs, want %d", len(jobs), len(ids))
+	}
+	if jobs, _ := listPage(t, ts, "?state=queued"); len(jobs) != 0 {
+		t.Fatalf("state=queued lists %d jobs, want 0", len(jobs))
+	}
+	if jobs, _ := listPage(t, ts, "?tenant=acme"); len(jobs) != 1 || jobs[0].ID != acme.ID {
+		t.Fatalf("tenant=acme lists %d jobs, want just %s", len(jobs), acme.ID)
+	}
+	if jobs, _ := listPage(t, ts, "?tenant=acme&state=done&limit=5"); len(jobs) != 1 {
+		t.Fatalf("composed filters list %d jobs, want 1", len(jobs))
+	}
+}

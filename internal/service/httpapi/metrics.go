@@ -28,6 +28,12 @@ type metrics struct {
 	rejected  atomic.Int64 // admission-control refusals (429/503)
 	steps     atomic.Int64
 
+	// Delta counters: completed delta (edge-diff) jobs, and the total
+	// merge-tree nodes they replayed from retained base state instead of
+	// re-touring.
+	deltaJobs        atomic.Int64
+	deltaReusedParts atomic.Int64
+
 	// Wire-cost counters: cluster frame bytes aggregated from completed
 	// jobs' RunReports, and circuit response bytes streamed by the
 	// /circuit endpoint.  Both are CI-gated lower-is-better in the load
@@ -126,6 +132,10 @@ func (s *Server) MetricsSnapshot() map[string]any {
 	if s.cache != nil {
 		cache = s.cache.Stats()
 	}
+	var deltas sched.DeltaStats
+	if s.deltas != nil {
+		deltas = s.deltas.Stats()
+	}
 	kinds := make(map[string]map[string]int64, len(s.metrics.kinds))
 	for name, c := range s.metrics.kinds {
 		kinds[name] = map[string]int64{
@@ -161,6 +171,13 @@ func (s *Server) MetricsSnapshot() map[string]any {
 		"cache_log_bytes":    cache.LogBytes,
 		"cache_evictions":    cache.Evictions,
 		"cache_overflows":    cache.Overflows,
+		"delta_jobs":         s.metrics.deltaJobs.Load(),
+		"delta_reused_parts": s.metrics.deltaReusedParts.Load(),
+		"delta_entries":      int64(deltas.Entries),
+		"delta_bytes":        deltas.LiveBytes,
+		"delta_hits":         deltas.Hits,
+		"delta_misses":       deltas.Misses,
+		"delta_evictions":    deltas.Evictions,
 		"phase_nanos": map[string]int64{
 			"copy_src":   s.metrics.copySrcNanos.Load(),
 			"copy_sink":  s.metrics.copySinkNanos.Load(),

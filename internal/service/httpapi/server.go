@@ -14,6 +14,7 @@ import (
 	"bufio"
 	"context"
 	"crypto/sha256"
+	"encoding/base64"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -25,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	euler "repro"
@@ -72,6 +74,7 @@ type Server struct {
 	jobs    *job.Store
 	sched   sched.Scheduler
 	cache   *sched.ResultCache
+	deltas  *sched.DeltaStore
 	dataDir string
 	runner  CircuitRunner
 	cluster ClusterStatus
@@ -111,6 +114,10 @@ type Config struct {
 	// Cache, when set, coalesces duplicate submissions and serves
 	// completed circuits by content address.
 	Cache *sched.ResultCache
+	// Deltas, when set (and Cache is too), retains replay state of
+	// locally solved euler jobs so clients can submit edge diffs against
+	// a base fingerprint instead of a full graph.
+	Deltas *sched.DeltaStore
 }
 
 // New returns a Server for the given configuration.
@@ -131,6 +138,7 @@ func New(cfg Config) *Server {
 		jobs:           cfg.Store,
 		sched:          cfg.Sched,
 		cache:          cfg.Cache,
+		deltas:         cfg.Deltas,
 		dataDir:        cfg.DataDir,
 		runner:         runner,
 		cluster:        cfg.Cluster,
@@ -141,17 +149,51 @@ func New(cfg Config) *Server {
 	return s
 }
 
+// Route is one registered endpoint.  The table behind Handler is also
+// exported through Routes so the OpenAPI sync check can diff the spec
+// against what the server actually serves.
+type Route struct {
+	Method  string
+	Pattern string
+}
+
+// routeTable is the single source of truth for the mux: every endpoint
+// is declared here exactly once.
+func (s *Server) routeTable() []struct {
+	Route
+	handler http.HandlerFunc
+} {
+	return []struct {
+		Route
+		handler http.HandlerFunc
+	}{
+		{Route{"POST", "/v1/jobs"}, s.handleSubmit},
+		{Route{"GET", "/v1/jobs"}, s.handleList},
+		{Route{"GET", "/v1/jobs/{id}"}, s.handleGet},
+		{Route{"GET", "/v1/jobs/{id}/circuit"}, s.handleCircuit},
+		{Route{"DELETE", "/v1/jobs/{id}"}, s.handleCancel},
+		{Route{"GET", "/v1/healthz"}, s.handleHealthz},
+		{Route{"GET", "/v1/metrics"}, s.handleMetrics},
+		{Route{"GET", "/v1/cluster"}, s.handleCluster},
+	}
+}
+
+// Routes lists every endpoint the server registers, in route-table order.
+func (s *Server) Routes() []Route {
+	table := s.routeTable()
+	routes := make([]Route, len(table))
+	for i, rt := range table {
+		routes[i] = rt.Route
+	}
+	return routes
+}
+
 // Handler returns the service's route table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
-	mux.HandleFunc("GET /v1/jobs/{id}/circuit", s.handleCircuit)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
-	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	for _, rt := range s.routeTable() {
+		mux.HandleFunc(rt.Method+" "+rt.Pattern, rt.handler)
+	}
 	return mux
 }
 
@@ -176,17 +218,30 @@ func (localRunner) RunCircuit(ctx context.Context, spec job.Spec, dir string, g 
 	return euler.FindCircuitStream(g, emit, opts...)
 }
 
-// errorBody is the uniform error response shape.  Code, Tenant, and
-// RetryAfterSeconds are set on scheduler refusals (429/503); Code and
-// Kind are set on workload-kind spec rejections (400) — so clients can
-// branch programmatically.  The schema is documented in README.
+// errorBody is the uniform error response shape: every non-2xx answer
+// carries a human-readable Error plus a machine-readable Code.  Kind is
+// set on workload-kind spec rejections; Tenant and RetryAfterSeconds on
+// scheduler refusals (429/503) — so clients can branch
+// programmatically.  The schema is documented in README.
 type errorBody struct {
 	Error             string `json:"error"`
-	Code              string `json:"code,omitempty"`
+	Code              string `json:"code"`
 	Kind              string `json:"kind,omitempty"`
 	Tenant            string `json:"tenant,omitempty"`
 	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
 }
+
+// Error codes shared by the plain writeError paths.  The structured
+// producers add their own ("unknown_kind", "invalid_kind_spec",
+// "delta_unsupported", "throttled", "draining").
+const (
+	codeBadRequest       = "bad_request"       // malformed spec, body, or query
+	codeNotFound         = "not_found"         // no job with that ID
+	codeWrongState       = "wrong_state"       // job exists but is in the wrong lifecycle state
+	codeInternal         = "internal"          // server-side failure
+	codeUnknownBase      = "unknown_base"      // delta base fingerprint has no retained state
+	codeDeltaUnsupported = "delta_unsupported" // job kind does not accept deltas
+)
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -194,13 +249,23 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+// codeForStatus maps a status to the fallback code for errors that
+// carry no structured code of their own.
+func codeForStatus(status int) string {
+	if status >= 500 {
+		return codeInternal
+	}
+	return codeBadRequest
 }
 
 // writeSpecError renders a submission rejection: workload-kind spec
 // errors answer with their structured code/kind body ("unknown_kind",
-// "invalid_kind_spec"); everything else keeps the plain error shape.
+// "invalid_kind_spec", "delta_unsupported"); everything else gets the
+// status-derived fallback code.
 func writeSpecError(w http.ResponseWriter, status int, err error) {
 	var spec *jobkind.SpecError
 	if errors.As(err, &spec) {
@@ -211,7 +276,7 @@ func writeSpecError(w http.ResponseWriter, status int, err error) {
 		})
 		return
 	}
-	writeError(w, status, "%v", err)
+	writeError(w, status, codeForStatus(status), "%v", err)
 }
 
 // writeSchedError maps a scheduler refusal onto the wire: admission
@@ -240,7 +305,7 @@ func writeSchedError(w http.ResponseWriter, err error) {
 			RetryAfterSeconds: 1,
 		})
 	default:
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, http.StatusInternalServerError, codeInternal, "%v", err)
 	}
 }
 
@@ -276,7 +341,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	tenant := tenantOf(r)
 	class, err := sched.ParseClass(r.Header.Get("X-Class"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "X-Class: %v", err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, "X-Class: %v", err)
 		return
 	}
 	// Refuse over-quota tenants before the request does any heavy
@@ -289,7 +354,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	dir, err := os.MkdirTemp(s.dataDir, "job-")
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "creating job dir: %v", err)
+		writeError(w, http.StatusInternalServerError, codeInternal, "creating job dir: %v", err)
 		return
 	}
 	spec, status, err := s.decodeSubmission(r, dir)
@@ -298,13 +363,36 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeSpecError(w, status, err)
 		return
 	}
+	// Delta submissions resolve their base before a job exists: every
+	// failure mode (unknown base, bad diff, non-Eulerian patch) is a
+	// client error with nothing to retain.
+	var deltaEntry *sched.DeltaEntry
+	var deltaGraph *graph.Graph
+	if spec.IsDelta() {
+		deltaEntry, deltaGraph, status, err = s.resolveDelta(tenant, &spec)
+		if err != nil {
+			os.RemoveAll(dir)
+			if status == http.StatusTooManyRequests {
+				s.metrics.rejected.Add(1)
+				writeSchedError(w, err)
+				return
+			}
+			code := codeForStatus(status)
+			if status == http.StatusConflict {
+				code = codeUnknownBase
+			}
+			writeError(w, status, code, "%v", err)
+			return
+		}
+	}
 	j := s.jobs.New(spec, dir)
+	j.SetTenant(tenant)
 
 	var lease *sched.Lease
 	if s.cache != nil {
 		kind := jobkind.MustGet(spec.Kind) // canonical since Validate
-		var g *graph.Graph
-		if kind.NeedsGraph() {
+		g := deltaGraph
+		if kind.NeedsGraph() && !spec.IsDelta() {
 			// The input graph is built at submission time only on the
 			// cached path: the scheduler needs its content address before
 			// queueing.  Without a cache the worker builds it as before,
@@ -335,7 +423,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				<-s.buildSem
 				s.jobs.Remove(j.ID)
-				writeError(w, http.StatusBadRequest, "building input graph: %v", err)
+				writeError(w, http.StatusBadRequest, codeBadRequest, "building input graph: %v", err)
 				return
 			}
 			// Small graphs stay attached for the worker to reuse; big ones
@@ -346,13 +434,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				j.AttachGraph(g)
 			}
 		}
+		if spec.IsDelta() {
+			// A delta job's graph cannot be rebuilt from its spec (the
+			// base lives only in the delta store), so the patched graph
+			// stays attached regardless of size and the base's replay
+			// state rides along for the worker.
+			j.AttachGraph(g)
+			j.SetDeltaState(deltaEntry.State)
+		}
 		fp := sched.FingerprintGraph(g, sched.SolveOptions{
 			Parts: spec.Parts, Mode: spec.Mode, Seed: spec.Seed,
 			Kind: spec.Kind, KindMaterial: kind.Material(spec.KindRequest()),
 		})
-		if kind.NeedsGraph() {
+		if kind.NeedsGraph() && !spec.IsDelta() {
 			<-s.buildSem
 		}
+		// The fingerprint a client would use as a delta base is the one
+		// the snapshot reports, whether or not this job leads.
+		j.SetFingerprint(fp.String())
 		outcome, reader, l := s.cache.Acquire(fp, &sched.Follower{OnReady: s.followerReady(j, tenant, class)})
 		switch outcome {
 		case sched.OutcomeHit:
@@ -370,8 +469,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			// the leader's commit without consuming queue quota or a
 			// worker.  Drop its graph now — N coalesced duplicates must
 			// not pin N copies while one leader computes; the rare
-			// promoted follower rebuilds from its spec in runJob.
-			j.AttachGraph(nil)
+			// promoted follower rebuilds from its spec in runJob.  Delta
+			// jobs keep theirs: a promoted delta follower has no spec to
+			// rebuild from.
+			if !spec.IsDelta() {
+				j.AttachGraph(nil)
+			}
 			s.metrics.submitted.Add(1)
 			writeJSON(w, http.StatusAccepted, j.Snapshot())
 			return
@@ -442,6 +545,77 @@ func (s *Server) followerReady(j *job.Job, tenant string, class sched.Class) fun
 	}
 }
 
+// resolveDelta looks up a delta submission's base run and materialises
+// the patched graph.  It returns the retained entry and patched graph,
+// writing the base's engine options through into the spec (they are
+// part of the base fingerprint, so the patched job must solve under the
+// same ones).  Error statuses: 409 when the base has no retained state
+// (including when retention is off entirely), 429 when graph-build
+// capacity is saturated, 400 for everything else.
+func (s *Server) resolveDelta(tenant string, spec *job.Spec) (*sched.DeltaEntry, *graph.Graph, int, error) {
+	if s.cache == nil || s.deltas == nil {
+		return nil, nil, http.StatusConflict,
+			fmt.Errorf("no retained state for base %q: delta retention is disabled on this server; submit the full graph instead", spec.Base)
+	}
+	fp, err := sched.ParseFingerprint(spec.Base)
+	if err != nil {
+		return nil, nil, http.StatusBadRequest, fmt.Errorf("base: %v", err)
+	}
+	entry, ok := s.deltas.Get(fp)
+	if !ok {
+		return nil, nil, http.StatusConflict,
+			fmt.Errorf("no retained state for base %s; submit the full graph instead", spec.Base)
+	}
+	if entry.Opts.Kind != spec.Kind {
+		return nil, nil, http.StatusBadRequest,
+			fmt.Errorf("base %s is a %s job, not %s", spec.Base, entry.Opts.Kind, spec.Kind)
+	}
+	// Applying the diff rebuilds the whole patched graph, so it takes a
+	// build slot like any other submission-time graph build.
+	select {
+	case s.buildSem <- struct{}{}:
+	case <-time.After(buildSlotWait):
+		return nil, nil, http.StatusTooManyRequests, &sched.Rejected{
+			Tenant: tenant, Reason: "graph-build capacity saturated", RetryAfter: time.Second,
+		}
+	}
+	defer func() { <-s.buildSem }()
+	g, err := entry.Apply(spec.Diff.Add, spec.Diff.Remove)
+	if err != nil {
+		return nil, nil, http.StatusBadRequest, err
+	}
+	// The patched graph must still be solvable.  Checking here gives the
+	// client — at submit time — exactly the error a full submission of
+	// the patched graph would fail with at run time.
+	if err := euler.CheckInput(g); err != nil {
+		return nil, nil, http.StatusBadRequest, err
+	}
+	spec.Parts, spec.Mode, spec.Seed = entry.Opts.Parts, entry.Opts.Mode, entry.Opts.Seed
+	return entry, g, 0, nil
+}
+
+// parseDiffPairs parses a query-form edge list: comma-separated "u-v"
+// pairs, e.g. "1-2,7-3".
+func parseDiffPairs(param, s string) ([][2]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var pairs [][2]int64
+	for _, item := range strings.Split(s, ",") {
+		u, v, ok := strings.Cut(item, "-")
+		if !ok {
+			return nil, fmt.Errorf("%s: %q is not a u-v edge pair", param, item)
+		}
+		uu, err1 := strconv.ParseInt(u, 10, 64)
+		vv, err2 := strconv.ParseInt(v, 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("%s: %q is not a u-v edge pair", param, item)
+		}
+		pairs = append(pairs, [2]int64{uu, vv})
+	}
+	return pairs, nil
+}
+
 // decodeSubmission parses the request into a validated Spec, writing
 // uploaded graph bodies into dir.
 func (s *Server) decodeSubmission(r *http.Request, dir string) (job.Spec, int, error) {
@@ -450,6 +624,23 @@ func (s *Server) decodeSubmission(r *http.Request, dir string) (job.Spec, int, e
 	if mediaType == "application/json" {
 		if err := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20)).Decode(&spec); err != nil {
 			return spec, http.StatusBadRequest, fmt.Errorf("decoding spec: %v", err)
+		}
+	} else if base := r.URL.Query().Get("base"); base != "" {
+		// Query-form delta: no body, the base fingerprint and the edge
+		// diff ride entirely in the query string.
+		q := r.URL.Query()
+		spec.Kind = q.Get("kind")
+		spec.Base = base
+		add, err := parseDiffPairs("add", q.Get("add"))
+		if err != nil {
+			return spec, http.StatusBadRequest, err
+		}
+		remove, err := parseDiffPairs("remove", q.Get("remove"))
+		if err != nil {
+			return spec, http.StatusBadRequest, err
+		}
+		if add != nil || remove != nil {
+			spec.Diff = &job.DiffSpec{Add: add, Remove: remove}
 		}
 	} else {
 		// Anything else is an EULGRPH1 upload; the workload kind and
@@ -584,6 +775,12 @@ func (s *Server) runJob(poolCtx context.Context, j *job.Job, lease *sched.Lease)
 	// Graphless kinds carry their whole input in the spec.
 	g := j.Graph()
 	if g == nil && kind.NeedsGraph() {
+		if j.Spec.IsDelta() {
+			// The patched graph exists only while attached: the spec holds
+			// a diff, not an input, and the base may have been evicted.
+			fail(fmt.Errorf("delta job lost its patched input graph"))
+			return
+		}
 		var err error
 		g, err = j.Spec.BuildGraph()
 		if err != nil {
@@ -631,6 +828,21 @@ func (s *Server) runJob(poolCtx context.Context, j *job.Job, lease *sched.Lease)
 	run := func(ctx context.Context, rg *graph.Graph, emit func(graph.Step) error) (*euler.Report, error) {
 		return s.runner.RunCircuit(ctx, j.Spec, j.Dir, rg, emit)
 	}
+	// Local euler runs additionally retain replay state when delta
+	// retention is on, so this job's result can serve as a delta base;
+	// delta jobs themselves solve against their base's retained state.
+	// Cluster runners never retain: the engine state lives on the
+	// workers, not the coordinator.
+	var retained []byte
+	if s.deltas != nil && j.Fingerprint() != "" && kind.Name() == jobkind.DefaultName {
+		if _, local := s.runner.(localRunner); local {
+			run = func(ctx context.Context, rg *graph.Graph, emit func(graph.Step) error) (*euler.Report, error) {
+				rep, ret, err := runRetained(j, rg, emit)
+				retained = ret
+				return rep, err
+			}
+		}
+	}
 	report, err := kind.Solve(ctx, j.Spec.KindRequest(), g, run, emit)
 	if err != nil {
 		sink.Close()
@@ -658,14 +870,84 @@ func (s *Server) runJob(poolCtx context.Context, j *job.Job, lease *sched.Lease)
 	s.metrics.kind(j.Spec.Kind).completed.Add(1)
 	s.metrics.steps.Add(sink.Steps())
 	s.metrics.addReport(report)
+	if j.Spec.IsDelta() {
+		s.metrics.deltaJobs.Add(1)
+		if report != nil {
+			s.metrics.deltaReusedParts.Add(int64(report.ReusedParts))
+		}
+	}
+	// Retain this run as a delta base under its own fingerprint; the
+	// store's LRU budget decides how long it survives.
+	if retained != nil && s.deltas != nil {
+		if fp, perr := sched.ParseFingerprint(j.Fingerprint()); perr == nil {
+			s.deltas.Put(fp, &sched.DeltaEntry{
+				Opts: sched.SolveOptions{
+					Parts: j.Spec.Parts, Mode: j.Spec.Mode, Seed: j.Spec.Seed,
+					Kind: j.Spec.Kind, KindMaterial: kind.Material(j.Spec.KindRequest()),
+				},
+				NumVertices: g.NumVertices(),
+				Edges:       sched.EdgePairs(g),
+				State:       retained,
+			})
+		}
+	}
 	sink = nil // owned by the job now; keep the panic path off it
 }
 
-// handleList returns the retained jobs, optionally filtered to one
-// workload kind with ?kind=; unknown kinds get the structured 400.
+// runRetained is the localRunner solve path with replay-state retention:
+// delta jobs solve against their base's retained record, everything else
+// records a fresh one.  Engine options mirror localRunner.RunCircuit.
+func runRetained(j *job.Job, g *graph.Graph, emit func(graph.Step) error) (*euler.Report, []byte, error) {
+	spec := j.Spec
+	var opts []euler.Option
+	if spec.Parts > 0 {
+		opts = append(opts, euler.WithPartitions(spec.Parts))
+	}
+	if spec.Seed != 0 {
+		opts = append(opts, euler.WithSeed(spec.Seed))
+	}
+	mode, _ := job.ParseMode(spec.Mode) // validated at submit
+	opts = append(opts, euler.WithMode(mode))
+	if spec.Spill {
+		opts = append(opts, euler.WithSpillDir(j.Dir))
+	}
+	if state := j.DeltaState(); state != nil {
+		return euler.FindCircuitStreamDelta(g, emit, state, opts...)
+	}
+	return euler.FindCircuitStreamRetain(g, emit, opts...)
+}
+
+// pageTokenPrefix versions the list endpoint's pagination tokens.  The
+// token encodes the last-seen creation sequence number, but clients
+// must treat it as opaque: the encoding may change between versions.
+const pageTokenPrefix = "jt1:"
+
+func encodePageToken(seq int64) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(pageTokenPrefix + strconv.FormatInt(seq, 10)))
+}
+
+func decodePageToken(tok string) (int64, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(tok)
+	if err == nil {
+		if rest, ok := strings.CutPrefix(string(raw), pageTokenPrefix); ok {
+			if seq, perr := strconv.ParseInt(rest, 10, 64); perr == nil && seq >= 0 {
+				return seq, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("invalid page_token %q", tok)
+}
+
+// handleList returns the retained jobs, oldest first, filtered by any
+// of ?kind=, ?state=, and ?tenant=, and paginated with ?limit= plus the
+// opaque ?page_token= from the previous page's next_page_token.  Tokens
+// encode the creation order, so a page walk is stable under concurrent
+// submissions and retention evictions (new jobs only appear after the
+// cursor; evicted jobs just leave gaps).
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
 	jobs := s.jobs.List()
-	if want := r.URL.Query().Get("kind"); want != "" {
+	if want := q.Get("kind"); want != "" {
 		k, err := jobkind.Get(want)
 		if err != nil {
 			writeSpecError(w, http.StatusBadRequest, err)
@@ -679,13 +961,67 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		}
 		jobs = kept
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
+	if want := q.Get("state"); want != "" {
+		switch job.State(want) {
+		case job.StateQueued, job.StateRunning, job.StateDone, job.StateFailed, job.StateCancelled:
+		default:
+			writeError(w, http.StatusBadRequest, codeBadRequest,
+				"unknown state %q (want queued, running, done, failed, or cancelled)", want)
+			return
+		}
+		kept := jobs[:0]
+		for _, snap := range jobs {
+			if snap.State == job.State(want) {
+				kept = append(kept, snap)
+			}
+		}
+		jobs = kept
+	}
+	if want := q.Get("tenant"); want != "" {
+		kept := jobs[:0]
+		for _, snap := range jobs {
+			if snap.Tenant == want {
+				kept = append(kept, snap)
+			}
+		}
+		jobs = kept
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, codeBadRequest, "limit must be a positive integer")
+			return
+		}
+		limit = n
+	}
+	if tok := q.Get("page_token"); tok != "" {
+		after, err := decodePageToken(tok)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeBadRequest, "%v", err)
+			return
+		}
+		kept := jobs[:0]
+		for _, snap := range jobs {
+			if snap.Seq > after {
+				kept = append(kept, snap)
+			}
+		}
+		jobs = kept
+	}
+	resp := map[string]any{}
+	if limit > 0 && len(jobs) > limit {
+		jobs = jobs[:limit]
+		resp["next_page_token"] = encodePageToken(jobs[limit-1].Seq)
+	}
+	resp["jobs"] = jobs
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such job")
+		writeError(w, http.StatusNotFound, codeNotFound, "no such job")
 		return
 	}
 	writeJSON(w, http.StatusOK, j.Snapshot())
@@ -709,12 +1045,12 @@ type batchedSource interface {
 func (s *Server) handleCircuit(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such job")
+		writeError(w, http.StatusNotFound, codeNotFound, "no such job")
 		return
 	}
 	src, release, ok := j.Circuit()
 	if !ok {
-		writeError(w, http.StatusConflict, "job is %s, circuit available only when done", j.State())
+		writeError(w, http.StatusConflict, codeWrongState, "job is %s, circuit available only when done", j.State())
 		return
 	}
 	defer release()
@@ -760,7 +1096,7 @@ func (s *Server) handleCircuit(w http.ResponseWriter, r *http.Request) {
 		if cw.n == 0 {
 			// Nothing reached the client yet; a real error status can
 			// still go out.
-			writeError(w, http.StatusInternalServerError, "streaming circuit: %v", err)
+			writeError(w, http.StatusInternalServerError, codeInternal, "streaming circuit: %v", err)
 			return
 		}
 		// Mid-stream failure: the status is gone, cut the body short.
@@ -785,7 +1121,7 @@ func (c *countedWriter) Write(p []byte) (int, error) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such job")
+		writeError(w, http.StatusNotFound, codeNotFound, "no such job")
 		return
 	}
 	state, transitioned := j.Cancel()
@@ -800,7 +1136,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		// emitted step.
 		writeJSON(w, http.StatusAccepted, j.Snapshot())
 	default:
-		writeError(w, http.StatusConflict, "job already %s", state)
+		writeError(w, http.StatusConflict, codeWrongState, "job already %s", state)
 	}
 }
 

@@ -62,6 +62,10 @@ type Job struct {
 	// accumulated lock-free by concurrent HTTP streams.
 	egress atomic.Int64
 
+	// seq is the store-assigned creation sequence number backing the
+	// list endpoint's stable pagination tokens.
+	seq int64
+
 	mu       sync.Mutex
 	state    State
 	errMsg   string
@@ -72,10 +76,17 @@ type Job struct {
 	report   *euler.RunReport
 	sink     *CircuitSink
 	cached   CircuitSource
+	tenant   string
+	// fingerprint is the job's content address (hex), recorded when the
+	// scheduler fingerprints the input; clients use it as a delta base.
+	fingerprint string
 	// graph is the input graph, built at submission time (where the
 	// scheduler fingerprints it) and dropped at the first terminal
 	// transition so retained jobs do not pin graph memory.
 	graph *graph.Graph
+	// deltaState is the base run's encoded replay record for delta
+	// jobs, resolved at submission and dropped with the graph.
+	deltaState []byte
 }
 
 // AttachGraph stores the prebuilt input graph for the worker to pick
@@ -93,6 +104,48 @@ func (j *Job) Graph() *graph.Graph {
 	defer j.mu.Unlock()
 	return j.graph
 }
+
+// SetTenant records the submitting tenant for the list endpoint's
+// filter; the HTTP layer calls it right after registration.
+func (j *Job) SetTenant(t string) {
+	j.mu.Lock()
+	j.tenant = t
+	j.mu.Unlock()
+}
+
+// SetFingerprint records the job's content address (hex form).
+func (j *Job) SetFingerprint(fp string) {
+	j.mu.Lock()
+	j.fingerprint = fp
+	j.mu.Unlock()
+}
+
+// Fingerprint returns the job's content address, or "" when the server
+// runs without a result cache (nothing fingerprints inputs then).
+func (j *Job) Fingerprint() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.fingerprint
+}
+
+// SetDeltaState stores the resolved base replay record a delta job's
+// worker will solve against.
+func (j *Job) SetDeltaState(state []byte) {
+	j.mu.Lock()
+	j.deltaState = state
+	j.mu.Unlock()
+}
+
+// DeltaState returns the base replay record, or nil once the job reached
+// a terminal state (or for non-delta jobs).
+func (j *Job) DeltaState() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.deltaState
+}
+
+// Seq returns the store-assigned creation sequence number.
+func (j *Job) Seq() int64 { return j.seq }
 
 // Context returns the job's cancellation context; the worker threads it
 // through the streaming emit path so DELETE aborts the unroll.
@@ -123,6 +176,7 @@ func (j *Job) Finish(report *euler.RunReport, sink *CircuitSink) {
 	j.sink = sink
 	j.steps = sink.Steps()
 	j.graph = nil
+	j.deltaState = nil
 }
 
 // FinishCached completes a still-queued job straight from a cached or
@@ -144,6 +198,7 @@ func (j *Job) FinishCached(src CircuitSource) bool {
 	j.cached = src
 	j.steps = src.Steps()
 	j.graph = nil
+	j.deltaState = nil
 	j.mu.Unlock()
 	if j.Dir != "" {
 		os.RemoveAll(j.Dir) // cleanup at eviction is a no-op on the missing dir
@@ -165,6 +220,7 @@ func (j *Job) Fail(err error) State {
 	j.errMsg = err.Error()
 	j.finished = time.Now()
 	j.graph = nil
+	j.deltaState = nil
 	return j.state
 }
 
@@ -183,6 +239,7 @@ func (j *Job) Cancel() (State, bool) {
 		j.finished = time.Now()
 		j.errMsg = "cancelled before running"
 		j.graph = nil
+		j.deltaState = nil
 		return j.state, true
 	}
 	return j.state, false
@@ -250,6 +307,19 @@ type Snapshot struct {
 	// EgressBytes counts circuit response bytes streamed for this job
 	// across all GET /circuit requests so far.
 	EgressBytes int64 `json:"egress_bytes,omitempty"`
+	// Tenant is the submitting tenant (empty when tenancy is off).
+	Tenant string `json:"tenant,omitempty"`
+	// Fingerprint is the job's content address in hex, usable as the
+	// base of a later delta submission.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Delta marks jobs submitted as an edge diff against a base, and
+	// ReusedParts counts the merge-tree nodes replayed from the base's
+	// retained state instead of re-toured.
+	Delta       bool `json:"delta,omitempty"`
+	ReusedParts int  `json:"reused_parts,omitempty"`
+	// Seq backs the list endpoint's pagination tokens; it is not part
+	// of the wire shape.
+	Seq int64 `json:"-"`
 }
 
 // Snapshot returns a copy of the job's current state.
@@ -265,10 +335,15 @@ func (j *Job) Snapshot() Snapshot {
 		Steps:       j.steps,
 		Report:      j.report,
 		EgressBytes: j.egress.Load(),
+		Tenant:      j.tenant,
+		Fingerprint: j.fingerprint,
+		Delta:       j.Spec.IsDelta(),
+		Seq:         j.seq,
 	}
 	if j.report != nil {
 		s.Attempts = j.report.Attempts
 		s.Degraded = j.report.Degraded
+		s.ReusedParts = j.report.ReusedParts
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -296,6 +371,9 @@ type Store struct {
 	jobs        map[string]*Job
 	order       []*Job // insertion order, for retention scans
 	maxTerminal int
+	// nextSeq is the monotonic creation counter backing pagination
+	// tokens; it never resets, so tokens stay stable across evictions.
+	nextSeq int64
 }
 
 // NewStore returns a registry retaining at most maxTerminal finished
@@ -321,6 +399,8 @@ func (s *Store) New(spec Spec, dir string) *Job {
 		created: time.Now(),
 	}
 	s.mu.Lock()
+	s.nextSeq++
+	j.seq = s.nextSeq
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j)
 	evicted := s.evictLocked()

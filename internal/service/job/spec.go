@@ -188,7 +188,29 @@ type Spec struct {
 	// matching kind may carry one.
 	DeBruijn  *jobkind.DeBruijnSpec  `json:"debruijn,omitempty"`
 	Superwalk *jobkind.SuperwalkSpec `json:"superwalk,omitempty"`
+
+	// Base and Diff make the submission a delta: the input graph is the
+	// cached base identified by its fingerprint, patched by the diff.
+	// Delta jobs carry no generator/upload and inherit the base's engine
+	// options (parts, mode, seed are part of the base fingerprint).
+	Base string    `json:"base,omitempty"`
+	Diff *DiffSpec `json:"diff,omitempty"`
 }
+
+// DiffSpec is an edge diff against a base graph: pairs to append and
+// pairs to remove (one copy per listed pair, matched unordered).
+type DiffSpec struct {
+	Add    [][2]int64 `json:"add,omitempty"`
+	Remove [][2]int64 `json:"remove,omitempty"`
+}
+
+// MaxDiffEdges bounds one diff's size: a diff approaching the graph size
+// is a full submit wearing a trench coat, and the engine would not reuse
+// anything anyway.
+const MaxDiffEdges = 4096
+
+// IsDelta reports whether the spec is a delta submission.
+func (s *Spec) IsDelta() bool { return s.Base != "" || s.Diff != nil }
 
 // KindRequest projects the spec onto the kind registry's request form.
 // The kind-spec pointers are shared, so jobkind.Kind.Normalize writes
@@ -218,6 +240,13 @@ func (s Spec) Clone() Spec {
 		sw.Reads = append([]string(nil), sw.Reads...)
 		s.Superwalk = &sw
 	}
+	if s.Diff != nil {
+		d := DiffSpec{
+			Add:    append([][2]int64(nil), s.Diff.Add...),
+			Remove: append([][2]int64(nil), s.Diff.Remove...),
+		}
+		s.Diff = &d
+	}
 	return s
 }
 
@@ -230,6 +259,9 @@ func (s *Spec) Validate() error {
 		return err
 	}
 	s.Kind = k.Name()
+	if s.IsDelta() {
+		return s.validateDelta(k)
+	}
 	if k.NeedsGraph() {
 		if (s.Generator == nil) == (s.GraphFile == "") {
 			return fmt.Errorf("exactly one of generator spec or uploaded graph is required")
@@ -250,6 +282,47 @@ func (s *Spec) Validate() error {
 		return err
 	}
 	s.DeBruijn, s.Superwalk = req.DeBruijn, req.Superwalk
+	return nil
+}
+
+// validateDelta checks the delta-specific rules: per-kind opt-in, no
+// other input source, no engine-option overrides (deltas inherit the
+// base's, which its fingerprint already pins), and a well-formed diff.
+func (s *Spec) validateDelta(k jobkind.Kind) error {
+	if !jobkind.SupportsDelta(k) {
+		return &jobkind.SpecError{
+			Code: "delta_unsupported", Kind: s.Kind,
+			Msg: fmt.Sprintf("%s jobs do not accept delta submissions", s.Kind),
+		}
+	}
+	if s.Base == "" {
+		return fmt.Errorf("delta submission requires a base fingerprint")
+	}
+	if s.Diff == nil || len(s.Diff.Add)+len(s.Diff.Remove) == 0 {
+		return fmt.Errorf("delta submission requires a non-empty diff")
+	}
+	if s.Generator != nil || s.GraphFile != "" {
+		return fmt.Errorf("delta submission takes no generator or uploaded graph")
+	}
+	if s.Parts != 0 || s.Mode != "" || s.Seed != 0 {
+		return fmt.Errorf("delta submission inherits parts/mode/seed from its base")
+	}
+	if s.DeBruijn != nil || s.Superwalk != nil {
+		return fmt.Errorf("delta submission takes no kind-specific spec")
+	}
+	if n := len(s.Diff.Add) + len(s.Diff.Remove); n > MaxDiffEdges {
+		return fmt.Errorf("diff lists %d edges, cap is %d", n, MaxDiffEdges)
+	}
+	for _, pairs := range [][][2]int64{s.Diff.Add, s.Diff.Remove} {
+		for _, p := range pairs {
+			if p[0] < 0 || p[1] < 0 {
+				return fmt.Errorf("diff edge [%d %d] has a negative endpoint", p[0], p[1])
+			}
+			if p[0] == p[1] {
+				return fmt.Errorf("diff edge [%d %d] is a self loop", p[0], p[1])
+			}
+		}
+	}
 	return nil
 }
 

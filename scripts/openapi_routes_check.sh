@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# Fails when api/openapi.yaml and the HTTP routes registered by
+# httpapi.New drift apart (either direction).  The comparison itself
+# lives in TestOpenAPIRouteSync, which diffs the spec's paths+methods
+# against Server.Routes(), the table behind the mux.
+set -eu
+cd "$(dirname "$0")/.."
+exec go test ./internal/service/httpapi/ -run 'TestOpenAPIRouteSync' -count=1 "$@"
