@@ -163,9 +163,15 @@ func BenchmarkPartitionLDG(b *testing.B) {
 func BenchmarkStateEncode(b *testing.B) {
 	g := benchGraph(b)
 	a := partition.LDG(g, 4, 1)
-	meta := euler.BuildMetaGraph(g, a)
+	meta, err := euler.BuildMetaGraph(g, a)
+	if err != nil {
+		b.Fatal(err)
+	}
 	tree := euler.BuildMergeTree(meta, euler.GreedyMaxWeight)
-	states, _ := euler.BuildLeafStates(g, a, tree, euler.ModeCurrent)
+	states, _, err := euler.BuildLeafStates(g, a, tree, euler.ModeCurrent)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		buf := euler.EncodeState(states[0])

@@ -57,11 +57,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"syscall"
 	"time"
 
@@ -90,6 +92,11 @@ func main() {
 		maxQueueAll = flag.Int("max-queue-total", 1024, "fair: global queued-job backstop across all tenants (0 = unlimited); also caps attached-graph memory at ~4 MiB per queued job")
 		cacheBytes  = flag.Int64("cache-bytes", 256<<20, "result-cache live-entry byte budget; 0 disables dedup and caching (the backing log is append-only: disk is reclaimed on restart, watch cache_log_bytes)")
 		deltaBytes  = flag.Int64("delta-bytes", 64<<20, "retained delta-base replay-state byte budget for edge-diff submissions; 0 disables delta retention (requires the result cache; cluster runs never retain)")
+
+		oocEdges     = flag.Int64("ooc-edges", 0, "solve uploaded euler jobs with at least this many edges out of core (paged disk CSR bounded by -graph-mem-bytes); 0 disables")
+		graphMem     = flag.Int64("graph-mem-bytes", 0, "resident adjacency-page budget for out-of-core solves (default: 64 MiB, or GOMEMLIMIT/4 when that is smaller)")
+		batchWorkers = flag.Int("batch-lane-workers", 0, "dedicated worker pool for jobs at or over -batch-lane-edges; 0 disables the batch lane")
+		batchEdges   = flag.Int64("batch-lane-edges", 1<<22, "estimated-edge floor for batch-lane routing (with -batch-lane-workers > 0)")
 
 		clusterAddr  = flag.String("cluster", ":9090", "coordinator: cluster listen address for worker joins")
 		minNodes     = flag.Int("min-nodes", 1, "coordinator: worker nodes a job waits for")
@@ -144,6 +151,8 @@ func main() {
 			maxQueuePerTenant: *maxQueueTen, maxRunningPerTenant: *maxRunTen,
 			maxQueueTotal: *maxQueueAll, cacheBytes: *cacheBytes,
 			deltaBytes: *deltaBytes,
+			oocEdges:   *oocEdges, graphMemBytes: *graphMem,
+			batchWorkers: *batchWorkers, batchEdges: *batchEdges,
 		})
 	default:
 		fatal(fmt.Errorf("unknown role %q (want standalone, coordinator, or worker)", *role))
@@ -197,6 +206,25 @@ type serverConfig struct {
 	maxQueueTotal       int
 	cacheBytes          int64
 	deltaBytes          int64
+
+	oocEdges      int64
+	graphMemBytes int64
+	batchWorkers  int
+	batchEdges    int64
+}
+
+// resolveGraphMem picks the out-of-core page budget: the flag verbatim
+// when set, else 64 MiB capped at a quarter of GOMEMLIMIT so a
+// memory-limited deployment leaves headroom for the engine's own state.
+func resolveGraphMem(flagVal int64) int64 {
+	if flagVal > 0 {
+		return flagVal
+	}
+	budget := int64(64 << 20)
+	if limit := debug.SetMemoryLimit(-1); limit < math.MaxInt64 && limit/4 < budget {
+		budget = limit / 4
+	}
+	return budget
 }
 
 // runServerRole runs the HTTP job service; as a coordinator it also opens
@@ -242,14 +270,30 @@ func runServerRole(coordinator bool, cfg serverConfig) {
 		// are only computed when submissions are content-addressed.
 		deltas = sched.NewDeltaStore(cfg.deltaBytes)
 	}
+	// The batch lane is a second scheduler with its own worker pool;
+	// big jobs (estimated edges >= batchEdges) queue there so they
+	// cannot starve interactive submissions.
+	var batchSched sched.Scheduler
+	if cfg.batchWorkers > 0 && cfg.batchEdges > 0 {
+		batchSched = sched.NewFair(sched.FairConfig{
+			Workers:           cfg.batchWorkers,
+			MaxQueuePerTenant: cfg.maxQueuePerTenant,
+			MaxQueueTotal:     cfg.maxQueueTotal,
+			Tenants:           cfg.tenants,
+		})
+	}
 	store := job.NewStore(cfg.retention)
 	apiCfg := httpapi.Config{
-		Store:          store,
-		Sched:          scheduler,
-		Cache:          cache,
-		Deltas:         deltas,
-		DataDir:        dir,
-		MaxUploadBytes: cfg.maxUpload,
+		Store:              store,
+		Sched:              scheduler,
+		Cache:              cache,
+		Deltas:             deltas,
+		DataDir:            dir,
+		MaxUploadBytes:     cfg.maxUpload,
+		BatchSched:         batchSched,
+		BatchEdgeThreshold: cfg.batchEdges,
+		OOCEdgeThreshold:   cfg.oocEdges,
+		GraphMemBytes:      resolveGraphMem(cfg.graphMemBytes),
 	}
 
 	var coord *cluster.Coordinator
@@ -312,6 +356,11 @@ func runServerRole(coordinator bool, cfg serverConfig) {
 	}
 	if err := scheduler.Drain(graceCtx); err != nil && !errors.Is(err, context.Canceled) {
 		fmt.Fprintf(os.Stderr, "eulerd: scheduler drain: %v\n", err)
+	}
+	if batchSched != nil {
+		if err := batchSched.Drain(graceCtx); err != nil && !errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "eulerd: batch-lane drain: %v\n", err)
+		}
 	}
 	if cache != nil {
 		if err := cache.Close(); err != nil {

@@ -8,6 +8,13 @@
 //	eulergen -out graph.bin -vertices 200000 -degree 5 -seed 42
 //	eulergen -out torus.bin -family torus -width 500 -height 400
 //	eulergen -out cliques.bin -family cliques -k 64 -c 9
+//	eulergen -o huge.bin -stream -family torus -width 20000 -height 20000
+//
+// With -stream the deterministic families (torus, cliques) are emitted
+// straight to disk through a buffered edge stream — the graph is never
+// materialised in memory, so outputs can be far larger than RAM.  The
+// bytes written are identical to the in-memory path.  RMAT cannot
+// stream: eulerisation needs the whole graph.
 package main
 
 import (
@@ -23,6 +30,8 @@ import (
 func main() {
 	var (
 		out      = flag.String("out", "", "output file (required)")
+		outAlias = flag.String("o", "", "alias for -out")
+		stream   = flag.Bool("stream", false, "emit edges straight to disk without building the graph in memory (torus and cliques only)")
 		family   = flag.String("family", "rmat", "graph family: rmat, torus, cliques")
 		vertices = flag.Int64("vertices", 100_000, "rmat: vertex count")
 		degree   = flag.Int("degree", 5, "rmat: average undirected degree")
@@ -34,9 +43,21 @@ func main() {
 	)
 	flag.Parse()
 	if *out == "" {
+		*out = *outAlias
+	}
+	if *out == "" {
 		fmt.Fprintln(os.Stderr, "eulergen: -out is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *stream {
+		if err := streamFamily(*out, *family, *width, *height, *k, *c); err != nil {
+			fmt.Fprintf(os.Stderr, "eulergen: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %s\n", *out)
+		return
 	}
 
 	var g *graph.Graph
@@ -69,4 +90,43 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// streamFamily writes a deterministic family straight to disk through a
+// StreamWriter; edge order (and therefore the file bytes) matches the
+// in-memory generators exactly.  The families are Eulerian by
+// construction, so no whole-graph verification pass is needed — which is
+// the point: nothing here is O(graph) in memory.
+func streamFamily(out, family string, width, height, k, c int64) error {
+	var vertices, edges uint64
+	var emit func(func(u, v graph.VertexID) error) error
+	switch family {
+	case "torus":
+		if width < 3 || height < 3 {
+			return fmt.Errorf("torus requires -width and -height >= 3")
+		}
+		vertices, edges = uint64(width*height), uint64(2*width*height)
+		emit = func(fn func(u, v graph.VertexID) error) error { return gen.StreamTorus(width, height, fn) }
+		fmt.Printf("torus (streamed): %dx%d, %d edges\n", width, height, edges)
+	case "cliques":
+		if k < 2 || c < 3 || c%2 == 0 {
+			return fmt.Errorf("cliques requires -k >= 2 and odd -c >= 3")
+		}
+		vertices, edges = uint64(k*(c-1)), uint64(k*c*(c-1)/2)
+		emit = func(fn func(u, v graph.VertexID) error) error { return gen.StreamRingOfCliques(k, c, fn) }
+		fmt.Printf("ring of cliques (streamed): %d x K%d, %d edges\n", k, c, edges)
+	case "rmat":
+		return fmt.Errorf("-stream does not support rmat: eulerisation needs the whole graph in memory")
+	default:
+		return fmt.Errorf("unknown family %q", family)
+	}
+	sw, err := graph.NewStreamWriter(out, vertices, edges)
+	if err != nil {
+		return err
+	}
+	if err := emit(sw.Append); err != nil {
+		sw.Close()
+		return err
+	}
+	return sw.Close()
 }

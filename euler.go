@@ -20,6 +20,7 @@ package euler
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"time"
 
@@ -188,11 +189,15 @@ func FindCircuitStreamDelta(g *Graph, emit func(Step) error, retained []byte, op
 // (euler.ResolveParts/ResolveSeed) is shared with the cluster runner so
 // the two execution paths cannot drift.
 func resolveOptions(g *Graph, opts []Option) (Options, error) {
+	return resolveOptionsN(g.NumVertices(), opts)
+}
+
+func resolveOptionsN(vertices int64, opts []Option) (Options, error) {
 	o := Options{parts: euler.DefaultParts, seed: euler.DefaultSeed}
 	for _, opt := range opts {
 		opt(&o)
 	}
-	parts, err := euler.ClampParts(o.parts, g.NumVertices())
+	parts, err := euler.ClampParts(o.parts, vertices)
 	if err != nil {
 		return o, err
 	}
@@ -247,6 +252,79 @@ func findCircuitRetain(g *Graph, emit func(Step) error, record bool, replay *eul
 	}
 	return res.Report, retained, nil
 }
+
+// GraphSource is the read seam an out-of-core graph implements: vertex and
+// edge counts, a degree oracle, adjacency, and a streaming edge scan.  The
+// in-memory Graph satisfies it, as does a paged disk-backed CSR (see
+// internal/oocgraph and the eulerd out-of-core mode).
+type GraphSource = graph.Source
+
+// FindCircuitStreamSource is FindCircuitStream over a GraphSource: the
+// out-of-core solve path for graphs larger than memory.  The run forces
+// the semi-external configuration — leaf partition states spill to disk
+// under spillDir and load lazily one superstep at a time, path bodies
+// spill to the same directory, and BSP workers run sequentially so only
+// one partition's state is resident at once.  The emitted circuit is
+// byte-identical to FindCircuitStream over the equivalent in-memory graph.
+// spillDir "" uses a fresh OS temp directory removed when the call
+// returns.  Record/Replay (delta retention) are not supported on this
+// path.
+func FindCircuitStreamSource(g GraphSource, spillDir string, emit func(Step) error, opts ...Option) (*Report, error) {
+	o, err := resolveOptionsN(g.NumVertices(), opts)
+	if err != nil {
+		return nil, err
+	}
+	dir := spillDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "eulerooc-")
+		if err != nil {
+			return nil, fmt.Errorf("euler: creating spill dir: %w", err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("euler: creating spill dir: %w", err)
+	}
+	var a Assignment
+	if o.assign != nil {
+		a = *o.assign
+	} else {
+		a = partition.LDG(g, o.parts, o.seed)
+	}
+	store, err := spill.NewDiskStore(filepath.Join(dir, euler.SpillLogName))
+	if err != nil {
+		return nil, fmt.Errorf("euler: opening spill store: %w", err)
+	}
+	defer store.Close()
+	initStore, err := spill.NewDiskStore(filepath.Join(dir, "leaf-init.log"))
+	if err != nil {
+		return nil, fmt.Errorf("euler: opening leaf-state store: %w", err)
+	}
+	defer initStore.Close()
+
+	res, err := euler.Run(g, a, euler.Config{
+		Mode:       o.mode,
+		Store:      store,
+		Cost:       o.cost,
+		Validate:   o.validate,
+		Sequential: true,
+		InitStore:  initStore,
+		ScratchDir: dir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Registry.Unroll(emit); err != nil {
+		return nil, err
+	}
+	return res.Report, nil
+}
+
+// CheckInputSource is CheckInput over a GraphSource: the even-degree scan
+// uses the degree oracle and connectivity a union-find over one streaming
+// edge pass, so larger-than-memory graphs are checked without
+// materialising adjacency.
+func CheckInputSource(g GraphSource) error { return verify.EulerianSource(g) }
 
 // FindCircuitSeq computes an Euler circuit with the sequential Hierholzer
 // baseline (O(|V|+|E|)), starting at the given vertex.

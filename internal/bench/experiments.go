@@ -36,13 +36,20 @@ func Fig2MergeTree(o Options) (string, error) {
 	var b strings.Builder
 	g, part := gen.PaperFigure1()
 	a := partition.Assignment{Parts: 4, Of: part}
-	meta := euler.BuildMetaGraph(g, a)
+	meta, err := euler.BuildMetaGraph(g, a)
+	if err != nil {
+		return "", err
+	}
 	tree := euler.BuildMergeTree(meta, euler.GreedyMaxWeight)
 	fmt.Fprintf(&b, "paper Fig. 1 example (4 partitions):\n%s\n", tree)
 
 	cfg, _ := ConfigByName("G40/P8")
 	g8, a8, _ := cfg.Build(o)
-	tree8 := euler.BuildMergeTree(euler.BuildMetaGraph(g8, a8), euler.GreedyMaxWeight)
+	meta8, err := euler.BuildMetaGraph(g8, a8)
+	if err != nil {
+		return "", err
+	}
+	tree8 := euler.BuildMergeTree(meta8, euler.GreedyMaxWeight)
 	fmt.Fprintf(&b, "G40/P8 at scale %.3f:\n%s", o.ScaleFactor, tree8)
 	return b.String(), nil
 }
@@ -306,7 +313,10 @@ func Ablations(o Options) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		meta := euler.BuildMetaGraph(g, a)
+		meta, err := euler.BuildMetaGraph(g, a)
+		if err != nil {
+			return "", err
+		}
 		var w0 int64
 		for _, p := range res.Tree.Levels[0] {
 			w0 += meta.Weight(p.Child, p.Parent)

@@ -20,6 +20,10 @@ type Spawner struct {
 	Binary string
 	// WorkDir receives per-process scratch and log files (required).
 	WorkDir string
+	// Env is appended to the inherited environment of every process this
+	// spawner starts (e.g. "GOMEMLIMIT=24MiB" for memory-constrained
+	// scenarios); empty means plain os.Environ().
+	Env []string
 	// Logf receives lifecycle diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -102,6 +106,9 @@ func (s *Spawner) start(name string, args ...string) (*Proc, error) {
 	cmd := exec.Command(s.Binary, args...)
 	cmd.Stdout = logFile
 	cmd.Stderr = logFile
+	if len(s.Env) > 0 {
+		cmd.Env = append(os.Environ(), s.Env...)
+	}
 	if err := cmd.Start(); err != nil {
 		logFile.Close()
 		return nil, fmt.Errorf("cluster: starting %s: %w", name, err)

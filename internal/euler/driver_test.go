@@ -64,7 +64,10 @@ func TestPaperFigure1MergeTree(t *testing.T) {
 	// the survivors into P4 (largest ID is the parent).
 	g, part := gen.PaperFigure1()
 	a := partition.Assignment{Parts: 4, Of: part}
-	meta := BuildMetaGraph(g, a)
+	meta, err := BuildMetaGraph(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if w := meta.Weight(2, 3); w != 2 {
 		t.Fatalf("ω(P3,P4) = %d, want 2", w)
 	}

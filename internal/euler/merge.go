@@ -22,23 +22,54 @@ import (
 // (keyed by convert level), to be shipped from the leaf host directly to
 // the merging ancestor at the right superstep (deferred transfer).
 // Parked edges are likewise stub-covered in the state.
-func BuildLeafStates(g *graph.Graph, a partition.Assignment, tree *MergeTree, mode Mode) ([]*PartState, []map[int32][]RemoteEdge) {
+func BuildLeafStates(g graph.Source, a partition.Assignment, tree *MergeTree, mode Mode) ([]*PartState, []map[int32][]RemoteEdge, error) {
 	n := int(a.Parts)
 	states := make([]*PartState, n)
-	parked := make([]map[int32][]RemoteEdge, n)
 	for i := 0; i < n; i++ {
 		states[i] = &PartState{Parent: i, Leaves: []int{i}}
+	}
+	parked, err := buildLeafStates(g, a, tree, mode, func(p int32, e graph.Edge) error {
+		states[p].Local = append(states[p].Local,
+			CoarseEdge{U: e.U, V: e.V, Kind: ItemEdge, Ref: e.ID})
+		return nil
+	}, func(p int32, remote []RemoteEdge, stubs []Stub) error {
+		states[p].Remote = remote
+		states[p].Stubs = stubs
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return states, parked, nil
+}
+
+// buildLeafStates is the shared leaf-state scan behind BuildLeafStates
+// (in-memory states) and BuildSpilledLeafStates (states encoded to a
+// store one partition at a time).  local is called for every
+// same-partition edge in EdgeID order; finish once per partition with
+// its remote edges and stubs.  It returns the parked pools.
+func buildLeafStates(g graph.Source, a partition.Assignment, tree *MergeTree, mode Mode,
+	local func(p int32, e graph.Edge) error,
+	finish func(p int32, remote []RemoteEdge, stubs []Stub) error) ([]map[int32][]RemoteEdge, error) {
+	n := int(a.Parts)
+	parked := make([]map[int32][]RemoteEdge, n)
+	remotes := make([][]RemoteEdge, n)
+	for i := 0; i < n; i++ {
 		parked[i] = make(map[int32][]RemoteEdge)
 	}
 
 	// Cut-edge loads decide the keeper side per partition pair (Sec. 5:
 	// the heavier partition drops its copies).
 	load := make([]int64, n)
-	for _, e := range g.Edges() {
+	err := g.ForEachEdge(func(e graph.Edge) error {
 		if a.Of[e.U] != a.Of[e.V] {
 			load[a.Of[e.U]]++
 			load[a.Of[e.V]]++
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	keeperOf := func(pu, pv int32) int32 {
 		if load[pu] != load[pv] {
@@ -58,20 +89,18 @@ func BuildLeafStates(g *graph.Graph, a partition.Assignment, tree *MergeTree, mo
 		stubCount[i] = make(map[[2]int64]int64)
 	}
 
-	for _, e := range g.Edges() {
+	err = g.ForEachEdge(func(e graph.Edge) error {
 		pu, pv := a.Of[e.U], a.Of[e.V]
 		if pu == pv {
-			states[pu].Local = append(states[pu].Local,
-				CoarseEdge{U: e.U, V: e.V, Kind: ItemEdge, Ref: e.ID})
-			continue
+			return local(pu, e)
 		}
 		lvl := tree.ConvertLevel(int(pu), int(pv))
 		if mode == ModeCurrent {
-			states[pu].Remote = append(states[pu].Remote,
+			remotes[pu] = append(remotes[pu],
 				RemoteEdge{Local: e.U, Remote: e.V, Edge: e.ID, ConvertLevel: lvl})
-			states[pv].Remote = append(states[pv].Remote,
+			remotes[pv] = append(remotes[pv],
 				RemoteEdge{Local: e.V, Remote: e.U, Edge: e.ID, ConvertLevel: lvl})
-			continue
+			return nil
 		}
 		keeper := keeperOf(pu, pv)
 		kLocal, kRemote, other, oLocal := e.U, e.V, pv, e.V
@@ -83,15 +112,21 @@ func BuildLeafStates(g *graph.Graph, a partition.Assignment, tree *MergeTree, mo
 			parked[keeper][lvl] = append(parked[keeper][lvl], re)
 			stubCount[keeper][[2]int64{kLocal, int64(lvl)}]++
 		} else {
-			states[keeper].Remote = append(states[keeper].Remote, re)
+			remotes[keeper] = append(remotes[keeper], re)
 		}
 		stubCount[other][[2]int64{oLocal, int64(lvl)}]++
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	for i := 0; i < n; i++ {
-		states[i].Stubs = stubsFromMap(stubCount[i])
+		if err := finish(int32(i), remotes[i], stubsFromMap(stubCount[i])); err != nil {
+			return nil, err
+		}
 	}
-	return states, parked
+	return parked, nil
 }
 
 func stubsFromMap(m map[[2]int64]int64) []Stub {

@@ -12,9 +12,15 @@ func figure1Setup(t *testing.T, mode Mode) ([]*PartState, *MergeTree, []map[int3
 	t.Helper()
 	g, part := gen.PaperFigure1()
 	a := partition.Assignment{Parts: 4, Of: part}
-	meta := BuildMetaGraph(g, a)
+	meta, err := BuildMetaGraph(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tree := BuildMergeTree(meta, GreedyMaxWeight)
-	states, parked := BuildLeafStates(g, a, tree, mode)
+	states, parked, err := BuildLeafStates(g, a, tree, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return states, tree, parked
 }
 

@@ -28,17 +28,24 @@ func NewMetaGraph(n int) *MetaGraph {
 	return &MetaGraph{N: n, w: w}
 }
 
-// BuildMetaGraph counts cut edges between every partition pair.
-func BuildMetaGraph(g *graph.Graph, a partition.Assignment) *MetaGraph {
+// BuildMetaGraph counts cut edges between every partition pair.  The
+// edge scan goes through graph.Source so a disk-backed graph streams
+// here instead of materialising its edge list (whence the error: a
+// paged source's scan can fail on I/O).
+func BuildMetaGraph(g graph.Source, a partition.Assignment) (*MetaGraph, error) {
 	m := NewMetaGraph(int(a.Parts))
-	for _, e := range g.Edges() {
+	err := g.ForEachEdge(func(e graph.Edge) error {
 		pu, pv := a.Of[e.U], a.Of[e.V]
 		if pu != pv {
 			m.w[pu][pv]++
 			m.w[pv][pu]++
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return m
+	return m, nil
 }
 
 // Weight returns ω(m_ij).

@@ -26,9 +26,15 @@ func benchLeafState(b *testing.B, scale int, parts int32) *PartState {
 	b.Helper()
 	g, _ := gen.EulerianRMAT(gen.DefaultRMAT(scale, 7))
 	a := partition.LDG(g, parts, 1)
-	meta := BuildMetaGraph(g, a)
+	meta, err := BuildMetaGraph(g, a)
+	if err != nil {
+		b.Fatal(err)
+	}
 	tree := BuildMergeTree(meta, GreedyMaxWeight)
-	states, _ := BuildLeafStates(g, a, tree, ModeCurrent)
+	states, _, err := BuildLeafStates(g, a, tree, ModeCurrent)
+	if err != nil {
+		b.Fatal(err)
+	}
 	return states[0]
 }
 

@@ -13,9 +13,15 @@ import (
 // ModeCurrent, for direct phase1 testing.
 func leafState(t *testing.T, g *graph.Graph, a partition.Assignment, part int) *PartState {
 	t.Helper()
-	meta := BuildMetaGraph(g, a)
+	meta, err := BuildMetaGraph(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tree := BuildMergeTree(meta, GreedyMaxWeight)
-	states, _ := BuildLeafStates(g, a, tree, ModeCurrent)
+	states, _, err := BuildLeafStates(g, a, tree, ModeCurrent)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return states[part]
 }
 
@@ -87,9 +93,15 @@ func TestPhase1Figure1PartitionP2(t *testing.T) {
 func TestPhase1ConsumesAllLocalEdges(t *testing.T) {
 	g, _ := gen.EulerianRMAT(gen.DefaultRMAT(9, 41))
 	a := partition.LDG(g, 4, 1)
-	meta := BuildMetaGraph(g, a)
+	meta, err := BuildMetaGraph(g, a)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tree := BuildMergeTree(meta, GreedyMaxWeight)
-	states, _ := BuildLeafStates(g, a, tree, ModeCurrent)
+	states, _, err := BuildLeafStates(g, a, tree, ModeCurrent)
+	if err != nil {
+		t.Fatal(err)
+	}
 	store := spill.NewMemStore()
 	for p, st := range states {
 		res, err := phase1(st, 0, store, nil, nil)

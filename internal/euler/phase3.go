@@ -65,26 +65,42 @@ func (r *Registry) Unroll(emit func(Step) error) error {
 			u.consumed, r.NumPaths())
 	}
 
-	circuit, err := stitch(streams)
-	if err != nil {
-		return err
-	}
-	for _, s := range circuit {
-		if err := emit(s); err != nil {
-			return err
-		}
-	}
-	return nil
+	return stitchEmit(streams, emit)
 }
 
 // stitch merges edge-disjoint closed walks into one closed walk by
 // inserting each pool walk, rotated appropriately, at the first shared
-// vertex encountered along the growing circuit.
+// vertex encountered along the growing circuit.  Kept for tests; large
+// runs stream through stitchEmit without materialising the result.
 func stitch(streams [][]Step) ([]Step, error) {
+	var out []Step
+	if err := stitchEmit(streams, func(s Step) error { out = append(out, s); return nil }); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// stitchEmit emits the stitched circuit without building it: it walks
+// the first stream and, at each step, splices every not-yet-used pool
+// walk that passes through the step's source vertex — rotated to start
+// there, emitted recursively so walks that only touch the circuit
+// transitively still merge.  The emission order is exactly the order
+// the old copy-based stitch produced (walks found at one position
+// splice in reverse discovery order, because each insertion landed in
+// front of the previous one), so circuits stay byte-identical; what
+// changed is the cost — the copy-based version re-copied the growing
+// circuit once per spliced walk, O(total²) bytes of churn on
+// floating-cycle-heavy graphs.
+func stitchEmit(streams [][]Step, emit func(Step) error) error {
 	merged := streams[0]
 	pool := streams[1:]
 	if len(pool) == 0 {
-		return merged, nil
+		for _, s := range merged {
+			if err := emit(s); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	// Index every pool walk by the vertices it passes through.
 	type ref struct{ stream, pos int }
@@ -96,35 +112,43 @@ func stitch(streams [][]Step) ([]Step, error) {
 	}
 	used := make([]bool, len(pool))
 	remaining := len(pool)
-	for i := 0; i < len(merged) && remaining > 0; i++ {
-		v := merged[i].From
-		refs := index[v]
-		if len(refs) == 0 {
-			continue
-		}
-		for _, rf := range refs {
-			if used[rf.stream] {
-				continue
+	var emitSeq func(steps []Step) error
+	emitSeq = func(steps []Step) error {
+		for i := range steps {
+			st := steps[i]
+			if remaining > 0 {
+				var picked []ref
+				for _, rf := range index[st.From] {
+					if used[rf.stream] {
+						continue
+					}
+					used[rf.stream] = true
+					remaining--
+					picked = append(picked, rf)
+				}
+				for j := len(picked) - 1; j >= 0; j-- {
+					s := pool[picked[j].stream]
+					if err := emitSeq(s[picked[j].pos:]); err != nil {
+						return err
+					}
+					if err := emitSeq(s[:picked[j].pos]); err != nil {
+						return err
+					}
+				}
 			}
-			used[rf.stream] = true
-			remaining--
-			s := pool[rf.stream]
-			// Rotate the closed walk to start at its occurrence of v and
-			// splice it in before position i; the inserted steps are
-			// scanned in later iterations, so chains of walks that only
-			// touch each other transitively still merge.
-			rotated := make([]Step, 0, len(s)+len(merged))
-			rotated = append(rotated, merged[:i]...)
-			rotated = append(rotated, s[rf.pos:]...)
-			rotated = append(rotated, s[:rf.pos]...)
-			rotated = append(rotated, merged[i:]...)
-			merged = rotated
+			if err := emit(st); err != nil {
+				return err
+			}
 		}
+		return nil
+	}
+	if err := emitSeq(merged); err != nil {
+		return err
 	}
 	if remaining > 0 {
-		return nil, fmt.Errorf("euler: %d closed walks share no vertex with the circuit: input graph is disconnected", remaining)
+		return fmt.Errorf("euler: %d closed walks share no vertex with the circuit: input graph is disconnected", remaining)
 	}
-	return merged, nil
+	return nil
 }
 
 type unroller struct {

@@ -51,7 +51,7 @@ type Plan struct {
 // merge tree, leaf states, and the dense per-level lookup tables the BSP
 // program reads.  The returned tree is the schedule's source (kept for
 // reporting); the plan is self-contained.
-func BuildPlan(g *graph.Graph, a partition.Assignment, cfg Config) (*Plan, *MergeTree, error) {
+func BuildPlan(g graph.Source, a partition.Assignment, cfg Config) (*Plan, *MergeTree, error) {
 	if err := a.Validate(g); err != nil {
 		return nil, nil, err
 	}
@@ -59,9 +59,18 @@ func BuildPlan(g *graph.Graph, a partition.Assignment, cfg Config) (*Plan, *Merg
 		return nil, nil, fmt.Errorf("euler: graph has no edges")
 	}
 	// One degree scan decides Eulerian-ness and names the evidence; the
-	// previous IsEulerian-then-OddVertices pair walked the graph twice.
-	if odd := g.OddVertices(); len(odd) > 0 {
-		return nil, nil, fmt.Errorf("euler: graph is not Eulerian: %d odd-degree vertices (first: %d)", len(odd), odd[0])
+	// Source seam keeps it an O(V) pass with no edge materialisation.
+	odd, firstOdd := int64(0), graph.VertexID(-1)
+	for v := int64(0); v < g.NumVertices(); v++ {
+		if g.Degree(v)%2 == 1 {
+			if odd == 0 {
+				firstOdd = v
+			}
+			odd++
+		}
+	}
+	if odd > 0 {
+		return nil, nil, fmt.Errorf("euler: graph is not Eulerian: %d odd-degree vertices (first: %d)", odd, firstOdd)
 	}
 	strat := cfg.Strategy
 	if strat == nil {
@@ -69,10 +78,12 @@ func BuildPlan(g *graph.Graph, a partition.Assignment, cfg Config) (*Plan, *Merg
 	}
 
 	n := int(a.Parts)
-	meta := BuildMetaGraph(g, a)
+	meta, err := BuildMetaGraph(g, a)
+	if err != nil {
+		return nil, nil, err
+	}
 	tree := BuildMergeTree(meta, strat)
 	height := tree.Height()
-	states, parkedPools := BuildLeafStates(g, a, tree, cfg.Mode)
 
 	p := &Plan{
 		NumWorkers:  n,
@@ -83,14 +94,28 @@ func BuildPlan(g *graph.Graph, a partition.Assignment, cfg Config) (*Plan, *Merg
 		Validate:    cfg.Validate,
 		Lo:          0,
 		Hi:          n,
-		Parked:      parkedPools,
 	}
 
-	// Pre-encode leaf states: decoding them at superstep 0 is the paper's
-	// "create partition object from its storage format".
-	p.EncodedInit = make([][]byte, n)
-	for i, s := range states {
-		p.EncodedInit[i] = EncodeState(s)
+	if cfg.InitStore != nil {
+		// Out-of-core: leaf states spill to the store one partition at a
+		// time; EncodedInit stays nil and workers load lazily.
+		parkedPools, err := BuildSpilledLeafStates(g, a, tree, cfg.Mode, cfg.ScratchDir, cfg.InitStore)
+		if err != nil {
+			return nil, nil, err
+		}
+		p.Parked = parkedPools
+	} else {
+		states, parkedPools, err := BuildLeafStates(g, a, tree, cfg.Mode)
+		if err != nil {
+			return nil, nil, err
+		}
+		p.Parked = parkedPools
+		// Pre-encode leaf states: decoding them at superstep 0 is the
+		// paper's "create partition object from its storage format".
+		p.EncodedInit = make([][]byte, n)
+		for i, s := range states {
+			p.EncodedInit[i] = EncodeState(s)
+		}
 	}
 
 	// Per-level schedule lookups, dense over the worker IDs.
@@ -121,7 +146,7 @@ func BuildPlan(g *graph.Graph, a partition.Assignment, cfg Config) (*Plan, *Merg
 	// Static parked-volume series for the Fig. 8 report: parked[l] leaves
 	// leaf memory during superstep l.
 	p.ParkedLongsAt = make([]int64, height+1)
-	for _, pool := range parkedPools {
+	for _, pool := range p.Parked {
 		for lvl, edges := range pool {
 			for s := 0; int32(s) <= lvl && s <= height; s++ {
 				p.ParkedLongsAt[s] += 2 * int64(len(edges))
@@ -138,6 +163,9 @@ func BuildPlan(g *graph.Graph, a partition.Assignment, cfg Config) (*Plan, *Merg
 func (p *Plan) EncodeSlice(lo, hi int) ([]byte, error) {
 	if lo < p.Lo || hi > p.Hi || lo >= hi {
 		return nil, fmt.Errorf("euler: plan slice [%d, %d) outside held range [%d, %d)", lo, hi, p.Lo, p.Hi)
+	}
+	if p.EncodedInit == nil {
+		return nil, fmt.Errorf("euler: out-of-core plan (spilled leaf states) cannot be sliced for shipment")
 	}
 	dst := binary.AppendUvarint([]byte{WireV3}, uint64(p.NumWorkers))
 	dst = binary.AppendUvarint(dst, uint64(p.NumVertices))

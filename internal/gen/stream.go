@@ -1,0 +1,57 @@
+package gen
+
+import "repro/internal/graph"
+
+// Streaming twins of the deterministic generator families: they emit
+// edges one at a time in exactly the order the in-memory builders add
+// them, so a graph.StreamWriter fed by one produces a byte-identical
+// EULGRPH1 file to graph.WriteFile of the built graph — without ever
+// holding the edge list.  cmd/eulergen uses them to generate inputs far
+// larger than RAM; RMAT has no streaming twin (eulerisation needs the
+// whole graph).
+
+// StreamTorus emits the w×h torus edges in Torus's order.  The emitted
+// graph has w*h vertices and 2*w*h edges.
+func StreamTorus(w, h int64, emit func(u, v graph.VertexID) error) error {
+	if w < 3 || h < 3 {
+		panic("gen: torus requires w, h >= 3")
+	}
+	id := func(x, y int64) graph.VertexID { return y*w + x }
+	for y := int64(0); y < h; y++ {
+		for x := int64(0); x < w; x++ {
+			if err := emit(id(x, y), id((x+1)%w, y)); err != nil {
+				return err
+			}
+			if err := emit(id(x, y), id(x, (y+1)%h)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// StreamRingOfCliques emits the k-ring of K_c edges in RingOfCliques's
+// order.  The emitted graph has k*(c-1) vertices and k*c*(c-1)/2 edges.
+func StreamRingOfCliques(k, c int64, emit func(u, v graph.VertexID) error) error {
+	if k < 2 || c < 3 || c%2 == 0 {
+		panic("gen: RingOfCliques requires k >= 2 and odd c >= 3")
+	}
+	n := k * (c - 1)
+	members := make([]graph.VertexID, 0, c)
+	for i := int64(0); i < k; i++ {
+		members = members[:0]
+		base := i * (c - 1)
+		for j := int64(0); j < c-1; j++ {
+			members = append(members, base+j)
+		}
+		members = append(members, ((i+1)*(c-1))%n)
+		for a := 0; a < len(members); a++ {
+			for b := a + 1; b < len(members); b++ {
+				if err := emit(members[a], members[b]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package gen
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestStreamFamiliesByteIdentity: each streaming generator fed through a
+// StreamWriter must produce the exact bytes graph.WriteFile produces for
+// the in-memory builder of the same family — that identity is what lets
+// eulergen -stream emit huge inputs without building them.
+func TestStreamFamiliesByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name     string
+		build    func() *graph.Graph
+		vertices uint64
+		edges    uint64
+		stream   func(emit func(u, v graph.VertexID) error) error
+	}{
+		{
+			name:     "torus",
+			build:    func() *graph.Graph { return Torus(9, 7) },
+			vertices: 9 * 7, edges: 2 * 9 * 7,
+			stream: func(emit func(u, v graph.VertexID) error) error { return StreamTorus(9, 7, emit) },
+		},
+		{
+			name:     "cliques",
+			build:    func() *graph.Graph { return RingOfCliques(5, 7) },
+			vertices: 5 * 6, edges: 5 * 7 * 6 / 2,
+			stream: func(emit func(u, v graph.VertexID) error) error { return StreamRingOfCliques(5, 7, emit) },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			memPath := filepath.Join(dir, tc.name+"-mem.bin")
+			if err := graph.WriteFile(memPath, tc.build()); err != nil {
+				t.Fatal(err)
+			}
+			streamPath := filepath.Join(dir, tc.name+"-stream.bin")
+			sw, err := graph.NewStreamWriter(streamPath, tc.vertices, tc.edges)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.stream(sw.Append); err != nil {
+				t.Fatal(err)
+			}
+			if err := sw.Close(); err != nil {
+				t.Fatal(err)
+			}
+			mem, err := os.ReadFile(memPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			streamed, err := os.ReadFile(streamPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(mem, streamed) {
+				t.Fatalf("streamed %s differs from in-memory encoding (%d vs %d bytes)", tc.name, len(streamed), len(mem))
+			}
+		})
+	}
+}

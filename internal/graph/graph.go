@@ -50,6 +50,31 @@ type Half struct {
 	Edge EdgeID
 }
 
+// Source is the read seam the partitioner and the engine's plan-time
+// passes consume instead of a concrete *Graph: degree and adjacency
+// lookups plus a sequential edge scan in EdgeID order.  *Graph satisfies
+// it trivially; oocgraph.PagedGraph satisfies it with disk-backed
+// adjacency pages so plans can be built over graphs larger than RAM.
+//
+// Adj may return a slice that is only valid until the next Adj call on
+// the same Source (a paged implementation reuses page buffers), so
+// callers must not retain it across calls.  Implementations are not
+// required to be safe for concurrent use.
+type Source interface {
+	// NumVertices returns the vertex count (IDs 0..NumVertices-1).
+	NumVertices() int64
+	// NumEdges returns the undirected edge count.
+	NumEdges() int64
+	// Degree returns the undirected degree of v, counting parallel edges.
+	Degree(v VertexID) int64
+	// Adj returns the adjacency halves of v in EdgeID order.  Callers
+	// must not modify or retain the returned slice.
+	Adj(v VertexID) []Half
+	// ForEachEdge calls fn for every undirected edge in EdgeID order,
+	// stopping at the first error and returning it.
+	ForEachEdge(fn func(Edge) error) error
+}
+
 // Graph is an immutable undirected multigraph in CSR form.
 type Graph struct {
 	n      int64  // number of vertices
@@ -74,6 +99,17 @@ func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
 
 // Edges returns the full edge slice.  Callers must not modify it.
 func (g *Graph) Edges() []Edge { return g.edges }
+
+// ForEachEdge calls fn for every edge in EdgeID order, stopping at the
+// first error.  It satisfies Source for in-memory graphs.
+func (g *Graph) ForEachEdge(fn func(Edge) error) error {
+	for _, e := range g.edges {
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Degree returns the undirected degree of v, counting parallel edges.
 func (g *Graph) Degree(v VertexID) int64 { return g.offs[v+1] - g.offs[v] }
@@ -115,6 +151,8 @@ func (g *Graph) IsEulerian() bool {
 	}
 	return true
 }
+
+var _ Source = (*Graph)(nil)
 
 // Builder accumulates edges for a Graph.  The zero value is not usable; call
 // NewBuilder.

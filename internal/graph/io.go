@@ -102,6 +102,71 @@ func Read(r io.Reader) (*Graph, error) {
 	return b.Build(), nil
 }
 
+// StreamWriter emits an EULGRPH1 file one edge at a time, so generators
+// can write graphs far larger than RAM without ever materialising an
+// edge slice.  The declared counts are written up front; Close fails if
+// the appended edge count does not match the declaration.
+type StreamWriter struct {
+	w        io.WriteCloser
+	bw       *bufio.Writer
+	vertices uint64
+	edges    uint64
+	written  uint64
+	buf      [2 * binary.MaxVarintLen64]byte
+}
+
+// NewStreamWriter creates (or truncates) path and writes the EULGRPH1
+// header for the declared counts.
+func NewStreamWriter(path string, vertices, edges uint64) (*StreamWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	sw := &StreamWriter{w: f, bw: bufio.NewWriterSize(f, 1<<20), vertices: vertices, edges: edges}
+	if _, err := sw.bw.Write(AppendHeader(nil, vertices, edges)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return sw, nil
+}
+
+// Append writes one undirected edge.  Edges receive IDs in append order,
+// exactly as Builder.AddEdge would assign them.
+func (sw *StreamWriter) Append(u, v VertexID) error {
+	if u == v {
+		return fmt.Errorf("graph: self loop at vertex %d", u)
+	}
+	if u < 0 || uint64(u) >= sw.vertices || v < 0 || uint64(v) >= sw.vertices {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, sw.vertices)
+	}
+	if sw.written >= sw.edges {
+		return fmt.Errorf("graph: more edges than the declared %d", sw.edges)
+	}
+	n := binary.PutUvarint(sw.buf[:], uint64(u))
+	n += binary.PutUvarint(sw.buf[n:], uint64(v))
+	if _, err := sw.bw.Write(sw.buf[:n]); err != nil {
+		return err
+	}
+	sw.written++
+	return nil
+}
+
+// Close flushes and closes the file, verifying the declared edge count.
+func (sw *StreamWriter) Close() error {
+	flushErr := sw.bw.Flush()
+	closeErr := sw.w.Close()
+	if flushErr != nil {
+		return flushErr
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	if sw.written != sw.edges {
+		return fmt.Errorf("graph: wrote %d edges, declared %d", sw.written, sw.edges)
+	}
+	return nil
+}
+
 // WriteFile writes g to the named file, creating or truncating it.
 func WriteFile(path string, g *Graph) error {
 	f, err := os.Create(path)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -104,6 +105,7 @@ func runScenarioProcs(ctx context.Context, sc Scenario, workDir string, opts Har
 
 	var procs []*cluster.Proc
 	var workerProcs []*cluster.Proc
+	var serverProc *cluster.Proc
 	defer func() {
 		for _, p := range procs {
 			p.Stop(5 * time.Second)
@@ -126,9 +128,15 @@ func runScenarioProcs(ctx context.Context, sc Scenario, workDir string, opts Har
 		if err != nil {
 			return bench.ScenarioResult{}, err
 		}
-		if _, err := spawn(sp.StartStandalone("server", addr, sc.ServerArgs...)); err != nil {
+		// ServerEnv constrains only the serving process; the spawner's
+		// env is reset before any other process starts.
+		sp.Env = sc.ServerEnv
+		p, err := spawn(sp.StartStandalone("server", addr, sc.ServerArgs...))
+		sp.Env = nil
+		if err != nil {
 			return bench.ScenarioResult{}, err
 		}
+		serverProc = p
 		env.Client = NewClient("http://" + addr)
 		if err := env.Client.WaitHealthy(setupCtx); err != nil {
 			return bench.ScenarioResult{}, tailLogs(err, procs)
@@ -144,9 +152,13 @@ func runScenarioProcs(ctx context.Context, sc Scenario, workDir string, opts Har
 			return bench.ScenarioResult{}, err
 		}
 		coordArgs := append([]string{"-wait-nodes", "60s", "-step-timeout", "15s"}, sc.ServerArgs...)
-		if _, err := spawn(sp.StartCoordinator("coordinator", httpAddr, clusterAddr, sc.MinNodes, coordArgs...)); err != nil {
+		sp.Env = sc.ServerEnv
+		p, err := spawn(sp.StartCoordinator("coordinator", httpAddr, clusterAddr, sc.MinNodes, coordArgs...))
+		sp.Env = nil
+		if err != nil {
 			return bench.ScenarioResult{}, err
 		}
+		serverProc = p
 		capacity := sc.WorkerCapacity
 		if capacity < 1 {
 			capacity = 4
@@ -206,7 +218,48 @@ func runScenarioProcs(ctx context.Context, sc Scenario, workDir string, opts Har
 			result.Metrics["alloc_mb_per_job"] = bench.Info(mb, "MiB/job")
 		}
 	}
+	// Peak-RSS probe: the serving process is still alive here (the
+	// deferred Stop has not run), so its VmHWM is readable.  Off-Linux
+	// the probe reports !ok and any ceiling is skipped rather than
+	// failed.
+	if serverProc != nil {
+		if mb, ok := peakRSSMB(serverProc.Pid()); ok {
+			if result.Metrics != nil {
+				result.Metrics["server_peak_rss_mb"] = bench.Info(mb, "MiB")
+			}
+			if sc.MaxRSSMB > 0 && mb > float64(sc.MaxRSSMB) {
+				return result, fmt.Errorf("scenario %s: server peak RSS %.1f MiB exceeds the %d MiB ceiling", sc.Name, mb, sc.MaxRSSMB)
+			}
+		} else if sc.MaxRSSMB > 0 {
+			opts.logf("%s: RSS ceiling declared but /proc VmHWM is unavailable on this platform; skipping", sc.Name)
+		}
+	}
 	return result, nil
+}
+
+// peakRSSMB reads the process's peak resident set (VmHWM) from
+// /proc/<pid>/status.  ok is false where /proc is absent (non-Linux) or
+// the process is gone.
+func peakRSSMB(pid int) (float64, bool) {
+	data, err := os.ReadFile(fmt.Sprintf("/proc/%d/status", pid))
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0, false
+		}
+		kb, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return 0, false
+		}
+		return kb / 1024, true
+	}
+	return 0, false
 }
 
 // tailLogs decorates err with the last lines of every process log so CI

@@ -346,6 +346,12 @@ func recordWireMetrics(sc Scenario, env Env, res *bench.ScenarioResult) error {
 		return err
 	}
 	res.Metrics["egress_bytes"] = gauge(egress)
+	// Pager activity is workload-shaped (constrained-memory scenarios
+	// fault on purpose; everything else reads zero), so it records as
+	// Info in every scenario rather than gating.
+	if faults, err := num("graph_page_faults"); err == nil {
+		res.Metrics["graph_page_faults"] = bench.Info(faults, "count")
+	}
 	if sc.Topology == TopoCluster {
 		wire, err := num("cluster_wire_bytes")
 		if err != nil {

@@ -11,6 +11,7 @@ package load
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/jobkind"
@@ -82,6 +83,15 @@ type Scenario struct {
 	// ServerArgs are extra eulerd flags for the HTTP-serving process
 	// (e.g. a deliberately small -workers for backpressure scenarios).
 	ServerArgs []string
+	// ServerEnv is extra environment for the HTTP-serving process only
+	// ("KEY=value" entries, e.g. GOMEMLIMIT for out-of-core scenarios);
+	// workers and the CompareSolo reference server run unconstrained.
+	ServerEnv []string
+	// MaxRSSMB caps the serving process's peak resident set (VmHWM from
+	// /proc, so Linux-only; elsewhere the probe is skipped).  0 disables
+	// the ceiling; the probed value is always recorded as
+	// server_peak_rss_mb when available.
+	MaxRSSMB int
 
 	// Jobs is the total job count (scaled by the profile multiplier).
 	Jobs int
@@ -185,6 +195,14 @@ func (s Scenario) Validate() error {
 	}
 	if len(s.Profiles) == 0 {
 		return fmt.Errorf("load: scenario %s belongs to no profile", s.Name)
+	}
+	if s.MaxRSSMB < 0 {
+		return fmt.Errorf("load: scenario %s has a negative RSS ceiling", s.Name)
+	}
+	for _, e := range s.ServerEnv {
+		if !strings.Contains(e, "=") {
+			return fmt.Errorf("load: scenario %s server env entry %q is not KEY=value", s.Name, e)
+		}
 	}
 	if s.ChaosKillWorker && (s.Topology != TopoCluster || s.Workers < 2) {
 		return fmt.Errorf("load: chaos scenario %s needs a cluster with >= 2 workers", s.Name)
@@ -381,6 +399,40 @@ func Scenarios() []Scenario {
 			Templates: []JobTemplate{
 				uploadTpl(torus(32, 32, 4, "current", false)),
 				uploadTpl(cliques(8, 5, 4, "dedup")),
+			},
+		},
+		{
+			Name:        "euler-outofcore",
+			Description: "a larger-than-budget EULGRPH1 upload solved through the paged-CSR out-of-core path under a hard GOMEMLIMIT, byte-identical to the unconstrained solo solve",
+			Profiles:    both,
+			// The graph's in-memory solve footprint (CSR halves plus the
+			// parallel engine's tour state, ~250 MiB for this torus) is
+			// roughly 10x the serving process's GOMEMLIMIT; the only way
+			// it completes under the RSS ceiling is the out-of-core path:
+			// streamed submit fingerprinting, paged CSR reads under
+			// -graph-mem-bytes, and spilled partition state.  The solo
+			// reference runs unconstrained and in memory, so the byte
+			// identity check proves the paged path changes nothing.
+			ServerArgs: []string{
+				"-cache-bytes", "0",
+				"-workers", "1",
+				"-ooc-edges", "65536",
+				"-graph-mem-bytes", "6291456",
+			},
+			ServerEnv: []string{"GOMEMLIMIT=24MiB"},
+			// Observed peak is ~147 MiB (Phase 3's master walk buffer plus
+			// GC-pacing overshoot above GOMEMLIMIT); the unconstrained
+			// in-memory solve peaks at ~264 MiB, so 192 still asserts the
+			// paged path's footprint while leaving CI headroom.
+			MaxRSSMB: 192,
+			Jobs:     2, Concurrency: 1,
+			CompareSolo: true,
+			ErrorBudget: 0,
+			// The paged solve is deliberately I/O-bound; give each job
+			// generous headroom on slow CI runners.
+			JobTimeout: 240 * time.Second,
+			Templates: []JobTemplate{
+				uploadTpl(torus(768, 768, 64, "current", false)),
 			},
 		},
 		{

@@ -1,0 +1,172 @@
+package oocgraph
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"slices"
+)
+
+// sorterChunkKeys is the in-memory run size of the external sorter:
+// 512Ki uint64 keys = 4 MiB, the peak sorter memory regardless of how
+// many keys flow through it.
+const sorterChunkKeys = 512 << 10
+
+// PairSorter is an external merge sort over uint64 keys: keys
+// accumulate in a fixed-size chunk, full chunks are sorted and spilled
+// to run files in dir, and Sorted k-way-merges the runs.  Graphs small
+// enough to fit one chunk never touch the disk.
+type PairSorter struct {
+	dir   string
+	chunk []uint64
+	runs  []*os.File
+	count int64
+}
+
+// NewPairSorter returns a sorter spilling its runs into dir (which
+// must exist; run files are removed by Close).
+func NewPairSorter(dir string) (*PairSorter, error) {
+	if fi, err := os.Stat(dir); err != nil {
+		return nil, err
+	} else if !fi.IsDir() {
+		return nil, fmt.Errorf("oocgraph: sorter dir %s is not a directory", dir)
+	}
+	return &PairSorter{dir: dir, chunk: make([]uint64, 0, sorterChunkKeys)}, nil
+}
+
+// Add appends one key, spilling a sorted run when the chunk fills.
+func (ps *PairSorter) Add(k uint64) error {
+	ps.chunk = append(ps.chunk, k)
+	ps.count++
+	if len(ps.chunk) == cap(ps.chunk) {
+		return ps.flushRun()
+	}
+	return nil
+}
+
+// Len returns the number of keys added so far.
+func (ps *PairSorter) Len() int64 { return ps.count }
+
+func (ps *PairSorter) flushRun() error {
+	slices.Sort(ps.chunk)
+	f, err := os.CreateTemp(ps.dir, "fpsort-*.run")
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 256<<10)
+	var rec [8]byte
+	for _, k := range ps.chunk {
+		binary.LittleEndian.PutUint64(rec[:], k)
+		if _, err := bw.Write(rec[:]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	ps.runs = append(ps.runs, f)
+	ps.chunk = ps.chunk[:0]
+	return nil
+}
+
+// Sorted emits every added key in ascending order.  It may be called
+// once; the sorter is exhausted afterwards.
+func (ps *PairSorter) Sorted(fn func(k uint64) error) error {
+	if len(ps.runs) == 0 {
+		// Everything fit in one chunk: sort and emit from memory.
+		slices.Sort(ps.chunk)
+		for _, k := range ps.chunk {
+			if err := fn(k); err != nil {
+				return err
+			}
+		}
+		ps.chunk = nil
+		return nil
+	}
+	if len(ps.chunk) > 0 {
+		if err := ps.flushRun(); err != nil {
+			return err
+		}
+	}
+	ps.chunk = nil
+
+	h := make(runHeap, 0, len(ps.runs))
+	for _, f := range ps.runs {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+		rr := &runReader{br: bufio.NewReaderSize(f, 256<<10)}
+		ok, err := rr.advance()
+		if err != nil {
+			return err
+		}
+		if ok {
+			h = append(h, rr)
+		}
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		rr := h[0]
+		if err := fn(rr.head); err != nil {
+			return err
+		}
+		ok, err := rr.advance()
+		if err != nil {
+			return err
+		}
+		if ok {
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return nil
+}
+
+// Close removes the run files.
+func (ps *PairSorter) Close() error {
+	var firstErr error
+	for _, f := range ps.runs {
+		name := f.Name()
+		if err := f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := os.Remove(name); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	ps.runs = nil
+	return firstErr
+}
+
+// runReader streams one sorted run during the merge.
+type runReader struct {
+	br   *bufio.Reader
+	head uint64
+}
+
+// advance loads the run's next key into head, reporting false at EOF.
+func (rr *runReader) advance() (bool, error) {
+	var rec [8]byte
+	if _, err := io.ReadFull(rr.br, rec[:]); err != nil {
+		if err == io.EOF {
+			return false, nil
+		}
+		return false, err
+	}
+	rr.head = binary.LittleEndian.Uint64(rec[:])
+	return true, nil
+}
+
+type runHeap []*runReader
+
+func (h runHeap) Len() int           { return len(h) }
+func (h runHeap) Less(i, j int) bool { return h[i].head < h[j].head }
+func (h runHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x any)        { *h = append(*h, x.(*runReader)) }
+func (h *runHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }

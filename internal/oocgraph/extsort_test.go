@@ -1,0 +1,65 @@
+package oocgraph
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// TestPairSorterSpills pushes enough keys to force multiple on-disk runs
+// and checks the k-way merge emits the exact sorted multiset.
+func TestPairSorterSpills(t *testing.T) {
+	const n = sorterChunkKeys*2 + 12345 // three runs: two full, one partial
+	ps, err := NewPairSorter(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	rng := rand.New(rand.NewSource(5))
+	want := make([]uint64, n)
+	for i := range want {
+		want[i] = rng.Uint64() % (1 << 48)
+		if err := ps.Add(want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	slices.Sort(want)
+	if ps.Len() != n {
+		t.Fatalf("Len = %d, want %d", ps.Len(), n)
+	}
+	i := 0
+	err = ps.Sorted(func(k uint64) error {
+		if k != want[i] {
+			t.Fatalf("key %d = %d, want %d", i, k, want[i])
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != n {
+		t.Fatalf("emitted %d keys, want %d", i, n)
+	}
+}
+
+// TestPairSorterInMemory covers the no-spill fast path.
+func TestPairSorterInMemory(t *testing.T) {
+	ps, err := NewPairSorter(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	for _, k := range []uint64{5, 1, 9, 1, 3} {
+		if err := ps.Add(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []uint64
+	if err := ps.Sorted(func(k uint64) error { got = append(got, k); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(got, []uint64{1, 1, 3, 5, 9}) {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,77 @@
+package oocgraph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// FuzzBlockReader throws arbitrary bytes at the chunked EULGRPH1 parser —
+// the component trusted with untrusted upload bodies.  Two properties:
+// the parser must never panic, and whenever it accepts an input the
+// trusted in-memory reader must parse the same bytes into the same edge
+// list (the block parser is the stricter of the two; graph.Read panics on
+// inputs the block parser rejects, so the comparison only runs on
+// accepted inputs).
+func FuzzBlockReader(f *testing.F) {
+	seed := func(g *graph.Graph) []byte {
+		var buf bytes.Buffer
+		if err := graph.Write(&buf, g); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(gen.Cycle(5)))
+	f.Add(seed(gen.Torus(3, 3)))
+	f.Add(seed(gen.RingOfCliques(2, 3)))
+	// Header-only, truncated body, trailing garbage, oversized varint.
+	hdr := graph.AppendHeader(nil, 4, 2)
+	f.Add(append([]byte{}, hdr...))
+	f.Add(append(append([]byte{}, hdr...), 0x00))
+	f.Add(append(append([]byte{}, seed(gen.Cycle(3))...), 0xff, 0xff))
+	over := append([]byte{}, hdr...)
+	over = append(over, binary.AppendUvarint(nil, 1<<40)...)
+	f.Add(over)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br, err := NewBlockReader(bytes.NewReader(data), 64)
+		if err != nil {
+			return
+		}
+		var edges []graph.Edge
+		for {
+			blk, err := br.Next()
+			edges = append(edges, blk...)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return
+			}
+		}
+		if br.NumVertices() > 1<<20 {
+			// Within the block parser's plausibility cap but large
+			// enough that graph.Read's O(V) allocation would dominate
+			// the fuzz run; the parser itself was still exercised.
+			return
+		}
+		// Accepted: the trusted reader must agree byte-for-byte.
+		g, err := graph.Read(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("block parser accepted input graph.Read rejects: %v", err)
+		}
+		want := g.Edges()
+		if len(edges) != len(want) {
+			t.Fatalf("block parser found %d edges, graph.Read %d", len(edges), len(want))
+		}
+		for i := range edges {
+			if edges[i] != want[i] {
+				t.Fatalf("edge %d: block parser %+v, graph.Read %+v", i, edges[i], want[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,19 @@
+package oocgraph
+
+import "sync/atomic"
+
+// Package-level paging gauges, aggregated across every live PagedGraph
+// in the process so the service can expose them from one scrape:
+// cumulative page faults, currently resident pages, and the bytes those
+// pages hold.  Updated on fault, eviction, and Close.
+var (
+	pageFaults    atomic.Int64
+	pagesResident atomic.Int64
+	liveBytes     atomic.Int64
+)
+
+// Stats returns the process-wide paging counters: cumulative page
+// faults, resident page count, and resident page bytes.
+func Stats() (faults, resident, live int64) {
+	return pageFaults.Load(), pagesResident.Load(), liveBytes.Load()
+}

@@ -25,7 +25,7 @@ type Assignment struct {
 
 // Validate checks that the assignment covers exactly the vertices of g with
 // in-range partition IDs and that every partition is non-empty.
-func (a Assignment) Validate(g *graph.Graph) error {
+func (a Assignment) Validate(g graph.Source) error {
 	if int64(len(a.Of)) != g.NumVertices() {
 		return fmt.Errorf("partition: assignment covers %d vertices, graph has %d",
 			len(a.Of), g.NumVertices())
@@ -57,7 +57,7 @@ func (a Assignment) Sizes() []int64 {
 // Hash assigns vertices to partitions by a multiplicative hash of their ID.
 // It is the quality floor for the partitioner ablation: edge cuts approach
 // (k-1)/k of all edges.
-func Hash(g *graph.Graph, k int32) Assignment {
+func Hash(g graph.Source, k int32) Assignment {
 	a := Assignment{Parts: k, Of: make([]int32, g.NumVertices())}
 	for v := int64(0); v < g.NumVertices(); v++ {
 		h := uint64(v) * 0x9e3779b97f4a7c15
@@ -69,7 +69,7 @@ func Hash(g *graph.Graph, k int32) Assignment {
 
 // Range assigns contiguous vertex-ID blocks to partitions.  For generators
 // with ID locality (torus, ring of cliques) this yields low edge cuts.
-func Range(g *graph.Graph, k int32) Assignment {
+func Range(g graph.Source, k int32) Assignment {
 	n := g.NumVertices()
 	a := Assignment{Parts: k, Of: make([]int32, n)}
 	for v := int64(0); v < n; v++ {
@@ -86,7 +86,7 @@ func Range(g *graph.Graph, k int32) Assignment {
 // The BFS order makes neighbour information available early, which is what
 // gives streaming partitioners their edge-cut advantage on power-law
 // graphs.
-func LDG(g *graph.Graph, k int32, seed int64) Assignment {
+func LDG(g graph.Source, k int32, seed int64) Assignment {
 	n := g.NumVertices()
 	a := Assignment{Parts: k, Of: make([]int32, n)}
 	for i := range a.Of {
@@ -129,7 +129,7 @@ func LDG(g *graph.Graph, k int32, seed int64) Assignment {
 
 // bfsOrder returns all vertices in BFS order from a seeded random root,
 // restarting at the lowest unvisited vertex for other components.
-func bfsOrder(g *graph.Graph, seed int64) []graph.VertexID {
+func bfsOrder(g graph.Source, seed int64) []graph.VertexID {
 	n := g.NumVertices()
 	order := make([]graph.VertexID, 0, n)
 	visited := make([]bool, n)
@@ -169,7 +169,7 @@ func bfsOrder(g *graph.Graph, seed int64) []graph.VertexID {
 // fixEmpty moves one vertex into any empty partition so downstream code can
 // assume every part is populated.  Only tiny graphs with k close to n ever
 // trigger it.
-func fixEmpty(a *Assignment, g *graph.Graph) {
+func fixEmpty(a *Assignment, g graph.Source) {
 	sizes := a.Sizes()
 	for p := int32(0); p < a.Parts; p++ {
 		if sizes[p] > 0 {

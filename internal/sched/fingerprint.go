@@ -4,10 +4,14 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
 	"slices"
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/oocgraph"
 )
 
 // Fingerprint is the content address of one circuit computation: a
@@ -48,6 +52,67 @@ type SolveOptions struct {
 	KindMaterial []byte
 }
 
+// fingerprintHasher feeds the canonical byte stream into SHA-256
+// incrementally: version + counts up front, then sorted normalised edge
+// pairs one at a time, then the option suffix.  FingerprintGraph and
+// the streaming FingerprintUpload produce byte-identical digests
+// because both route every write through this type.
+type fingerprintHasher struct {
+	h   hash.Hash
+	buf [4 * binary.MaxVarintLen64]byte
+}
+
+// newFingerprintHasher starts a hash over a graph with the given counts.
+func newFingerprintHasher(vertices, edges int64) *fingerprintHasher {
+	fh := &fingerprintHasher{h: sha256.New()}
+	n := copy(fh.buf[:], fingerprintVersion)
+	n += binary.PutUvarint(fh.buf[n:], uint64(vertices))
+	n += binary.PutUvarint(fh.buf[n:], uint64(edges))
+	fh.h.Write(fh.buf[:n])
+	return fh
+}
+
+// addPacked hashes one normalised edge pair packed as min<<32|max.
+// Pairs must arrive in ascending packed order.
+func (fh *fingerprintHasher) addPacked(p uint64) {
+	n := binary.PutUvarint(fh.buf[:], p>>32)
+	n += binary.PutUvarint(fh.buf[n:], p&0xffffffff)
+	fh.h.Write(fh.buf[:n])
+}
+
+// addPair hashes one normalised (min, max) pair for graphs whose vertex
+// IDs exceed the packed range.  Pairs must arrive in sorted order.
+func (fh *fingerprintHasher) addPair(lo, hi int64) {
+	n := binary.PutUvarint(fh.buf[:], uint64(lo))
+	n += binary.PutUvarint(fh.buf[n:], uint64(hi))
+	fh.h.Write(fh.buf[:n])
+}
+
+// finish hashes the option suffix and returns the fingerprint.
+func (fh *fingerprintHasher) finish(opts SolveOptions) Fingerprint {
+	mode := opts.Mode
+	if mode == "" {
+		mode = "current"
+	}
+	kind := opts.Kind
+	if kind == "" {
+		kind = "euler"
+	}
+	n := binary.PutVarint(fh.buf[:], int64(opts.Parts))
+	n += binary.PutVarint(fh.buf[n:], opts.Seed)
+	fh.h.Write(fh.buf[:n])
+	// Length-prefix the variable-length trailing fields so no two
+	// (mode, kind, material) triples can concatenate to the same bytes.
+	for _, field := range [][]byte{[]byte(mode), []byte(kind), opts.KindMaterial} {
+		n = binary.PutUvarint(fh.buf[:], uint64(len(field)))
+		fh.h.Write(fh.buf[:n])
+		fh.h.Write(field)
+	}
+	var fp Fingerprint
+	fh.h.Sum(fp[:0])
+	return fp
+}
+
 // FingerprintGraph computes the canonical fingerprint of g under opts.
 //
 // Canonical graph form: vertex count, edge count, then the multiset of
@@ -66,19 +131,13 @@ type SolveOptions struct {
 // Graphless workload kinds (whose input is entirely kind material, e.g.
 // a de Bruijn spec) pass g == nil, which hashes as the empty graph.
 func FingerprintGraph(g *graph.Graph, opts SolveOptions) Fingerprint {
-	h := sha256.New()
-	var buf [4 * binary.MaxVarintLen64]byte
-
 	var vertices, numEdges int64
 	var edges []graph.Edge
 	if g != nil {
 		vertices, numEdges = g.NumVertices(), g.NumEdges()
 		edges = g.Edges()
 	}
-	n := copy(buf[:], fingerprintVersion)
-	n += binary.PutUvarint(buf[n:], uint64(vertices))
-	n += binary.PutUvarint(buf[n:], uint64(numEdges))
-	h.Write(buf[:n])
+	fh := newFingerprintHasher(vertices, numEdges)
 
 	if vertices <= 1<<31 {
 		// Pack each normalised pair into one uint64 for a fast sort.
@@ -92,9 +151,7 @@ func FingerprintGraph(g *graph.Graph, opts SolveOptions) Fingerprint {
 		}
 		slices.Sort(packed)
 		for _, p := range packed {
-			n = binary.PutUvarint(buf[:], p>>32)
-			n += binary.PutUvarint(buf[n:], p&0xffffffff)
-			h.Write(buf[:n])
+			fh.addPacked(p)
 		}
 	} else {
 		pairs := make([][2]int64, len(edges))
@@ -112,32 +169,61 @@ func FingerprintGraph(g *graph.Graph, opts SolveOptions) Fingerprint {
 			return pairs[i][1] < pairs[j][1]
 		})
 		for _, p := range pairs {
-			n = binary.PutUvarint(buf[:], uint64(p[0]))
-			n += binary.PutUvarint(buf[n:], uint64(p[1]))
-			h.Write(buf[:n])
+			fh.addPair(p[0], p[1])
 		}
 	}
+	return fh.finish(opts)
+}
 
-	mode := opts.Mode
-	if mode == "" {
-		mode = "current"
-	}
-	kind := opts.Kind
-	if kind == "" {
-		kind = "euler"
-	}
-	n = binary.PutVarint(buf[:], int64(opts.Parts))
-	n += binary.PutVarint(buf[n:], opts.Seed)
-	h.Write(buf[:n])
-	// Length-prefix the variable-length trailing fields so no two
-	// (mode, kind, material) triples can concatenate to the same bytes.
-	for _, field := range [][]byte{[]byte(mode), []byte(kind), opts.KindMaterial} {
-		n = binary.PutUvarint(buf[:], uint64(len(field)))
-		h.Write(buf[:n])
-		h.Write(field)
-	}
-
+// FingerprintUpload computes the same canonical fingerprint as
+// FingerprintGraph over a saved EULGRPH1 upload without ever building
+// the graph in memory: the file is scanned in blocks, the normalised
+// pairs go through an external merge sort in tmpDir, and the sorted
+// stream feeds the incremental hasher.  Peak memory is one sort chunk
+// (a few MiB) regardless of graph size.
+//
+// The upload caps guarantee vertex IDs fit the packed-pair range; a
+// file declaring more than 2^31 vertices is rejected here rather than
+// silently hashed under a different scheme.
+func FingerprintUpload(path, tmpDir string, opts SolveOptions) (Fingerprint, error) {
 	var fp Fingerprint
-	h.Sum(fp[:0])
-	return fp
+	br, closeFile, err := oocgraph.OpenBlockFile(path, oocgraph.DefaultBlockSize)
+	if err != nil {
+		return fp, err
+	}
+	defer closeFile()
+	if br.NumVertices() > 1<<31 {
+		return fp, fmt.Errorf("sched: %d vertices exceed the packed fingerprint range", br.NumVertices())
+	}
+	sorter, err := oocgraph.NewPairSorter(tmpDir)
+	if err != nil {
+		return fp, err
+	}
+	defer sorter.Close()
+	for {
+		block, err := br.Next()
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			return fp, err
+		}
+		for _, e := range block {
+			lo, hi := e.U, e.V
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if err := sorter.Add(uint64(lo)<<32 | uint64(hi)); err != nil {
+				return fp, err
+			}
+		}
+	}
+	fh := newFingerprintHasher(br.NumVertices(), br.NumEdges())
+	if err := sorter.Sorted(func(p uint64) error {
+		fh.addPacked(p)
+		return nil
+	}); err != nil {
+		return fp, err
+	}
+	return fh.finish(opts), nil
 }

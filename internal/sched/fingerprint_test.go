@@ -3,6 +3,8 @@ package sched
 import (
 	"bytes"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/gen"
@@ -85,5 +87,48 @@ func TestFingerprintCanonicalization(t *testing.T) {
 	edges = append(edges, edges[0])
 	if got := FingerprintGraph(graph.FromEdges(generated.NumVertices(), edges), opts); got == base {
 		t.Error("adding a parallel edge did not change the fingerprint")
+	}
+}
+
+// TestFingerprintUploadMatchesGraph: the streaming upload fingerprint
+// (chunked parse + external sort) must equal the in-memory fingerprint of
+// the same file, including when the edge set overflows a single sorter
+// chunk... exercised separately in TestFingerprintUploadSpills.
+func TestFingerprintUploadMatchesGraph(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"torus", gen.Torus(9, 7)},
+		{"cliques", gen.RingOfCliques(5, 7)},
+		{"walks", gen.RandomEulerian(120, 5, 30, rand.New(rand.NewSource(2)))},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "g.bin")
+			if err := graph.WriteFile(path, tc.g); err != nil {
+				t.Fatal(err)
+			}
+			opts := SolveOptions{Parts: 4, Seed: 9, Mode: "proposed"}
+			want := FingerprintGraph(tc.g, opts)
+			got, err := FingerprintUpload(path, dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("upload fingerprint %s, in-memory %s", got, want)
+			}
+		})
+	}
+}
+
+func TestFingerprintUploadRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.bin")
+	if err := os.WriteFile(path, []byte("EULGRPH1\x04"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FingerprintUpload(path, dir, SolveOptions{Parts: 1, Seed: 1}); err == nil {
+		t.Fatal("truncated upload fingerprinted without error")
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/euler"
 	"repro/internal/jobkind"
+	"repro/internal/oocgraph"
 	"repro/internal/sched"
 )
 
@@ -144,40 +145,52 @@ func (s *Server) MetricsSnapshot() map[string]any {
 			"cache_hits": c.cacheHits.Load(),
 		}
 	}
+	// Out-of-core graph gauges are process-wide (the pager's atomics),
+	// zero when nothing solves out of core; batch_lane_depth is likewise
+	// always present so scrapers need no schema branching.
+	graphFaults, graphResident, graphLive := oocgraph.Stats()
+	var batchDepth int64
+	if s.batchSched != nil {
+		batchDepth = int64(s.batchSched.Depth())
+	}
 	out := map[string]any{
-		"kinds":              kinds,
-		"queue_depth":        s.sched.Depth(),
-		"running":            s.sched.Running(),
-		"workers":            s.sched.Workers(),
-		"tenants":            tenants,
-		"jobs_retained":      s.jobs.Len(),
-		"jobs_submitted":     s.metrics.submitted.Load(),
-		"jobs_started":       s.metrics.started.Load(),
-		"jobs_completed":     s.metrics.completed.Load(),
-		"jobs_failed":        s.metrics.failed.Load(),
-		"jobs_cancelled":     s.metrics.cancelled.Load(),
-		"jobs_rejected":      s.metrics.rejected.Load(),
-		"circuit_steps":      s.metrics.steps.Load(),
-		"cluster_wire_bytes": s.metrics.clusterWireBytes.Load(),
-		"egress_bytes":       s.metrics.egressBytes.Load(),
-		"queue_wait_nanos":   s.metrics.queueWaitNanos.Load(),
-		"exec_nanos":         s.metrics.execNanos.Load(),
-		"queue_peak_depth":   s.metrics.peakQueueDepth.Load(),
-		"cache_hits":         cache.Hits,
-		"cache_misses":       cache.Misses,
-		"coalesced_jobs":     cache.Coalesced,
-		"cache_entries":      cache.Entries,
-		"cache_bytes":        cache.LiveBytes,
-		"cache_log_bytes":    cache.LogBytes,
-		"cache_evictions":    cache.Evictions,
-		"cache_overflows":    cache.Overflows,
-		"delta_jobs":         s.metrics.deltaJobs.Load(),
-		"delta_reused_parts": s.metrics.deltaReusedParts.Load(),
-		"delta_entries":      int64(deltas.Entries),
-		"delta_bytes":        deltas.LiveBytes,
-		"delta_hits":         deltas.Hits,
-		"delta_misses":       deltas.Misses,
-		"delta_evictions":    deltas.Evictions,
+		"kinds":                kinds,
+		"queue_depth":          s.sched.Depth(),
+		"running":              s.sched.Running(),
+		"workers":              s.sched.Workers(),
+		"tenants":              tenants,
+		"jobs_retained":        s.jobs.Len(),
+		"jobs_submitted":       s.metrics.submitted.Load(),
+		"jobs_started":         s.metrics.started.Load(),
+		"jobs_completed":       s.metrics.completed.Load(),
+		"jobs_failed":          s.metrics.failed.Load(),
+		"jobs_cancelled":       s.metrics.cancelled.Load(),
+		"jobs_rejected":        s.metrics.rejected.Load(),
+		"circuit_steps":        s.metrics.steps.Load(),
+		"cluster_wire_bytes":   s.metrics.clusterWireBytes.Load(),
+		"egress_bytes":         s.metrics.egressBytes.Load(),
+		"queue_wait_nanos":     s.metrics.queueWaitNanos.Load(),
+		"exec_nanos":           s.metrics.execNanos.Load(),
+		"queue_peak_depth":     s.metrics.peakQueueDepth.Load(),
+		"cache_hits":           cache.Hits,
+		"cache_misses":         cache.Misses,
+		"coalesced_jobs":       cache.Coalesced,
+		"cache_entries":        cache.Entries,
+		"cache_bytes":          cache.LiveBytes,
+		"cache_log_bytes":      cache.LogBytes,
+		"cache_evictions":      cache.Evictions,
+		"cache_overflows":      cache.Overflows,
+		"delta_jobs":           s.metrics.deltaJobs.Load(),
+		"delta_reused_parts":   s.metrics.deltaReusedParts.Load(),
+		"delta_entries":        int64(deltas.Entries),
+		"delta_bytes":          deltas.LiveBytes,
+		"delta_hits":           deltas.Hits,
+		"delta_misses":         deltas.Misses,
+		"delta_evictions":      deltas.Evictions,
+		"graph_live_bytes":     graphLive,
+		"graph_pages_resident": graphResident,
+		"graph_page_faults":    graphFaults,
+		"batch_lane_depth":     batchDepth,
 		"phase_nanos": map[string]int64{
 			"copy_src":   s.metrics.copySrcNanos.Load(),
 			"copy_sink":  s.metrics.copySinkNanos.Load(),

@@ -32,6 +32,7 @@ import (
 	euler "repro"
 	"repro/internal/graph"
 	"repro/internal/jobkind"
+	"repro/internal/oocgraph"
 	"repro/internal/sched"
 	"repro/internal/service/job"
 )
@@ -79,6 +80,18 @@ type Server struct {
 	runner  CircuitRunner
 	cluster ClusterStatus
 
+	// batchSched, when non-nil, is the second admission lane: jobs whose
+	// estimated input size reaches batchEdges queue here, with their own
+	// worker pool and quotas, so one huge solve cannot starve the
+	// interactive lane.
+	batchSched sched.Scheduler
+	batchEdges int64
+	// oocEdges routes uploaded euler jobs with at least this many
+	// declared edges to the out-of-core engine (0 = never); graphMemBytes
+	// bounds their resident adjacency pages.
+	oocEdges      int64
+	graphMemBytes int64
+
 	maxUploadBytes int64
 	metrics        metrics
 	// buildSem bounds concurrent submission-time graph builds to the
@@ -118,6 +131,23 @@ type Config struct {
 	// locally solved euler jobs so clients can submit edge diffs against
 	// a base fingerprint instead of a full graph.
 	Deltas *sched.DeltaStore
+	// BatchSched, when set with BatchEdgeThreshold > 0, is a dedicated
+	// scheduler lane for big jobs: submissions whose estimated edge
+	// count reaches the threshold queue here instead of on Sched.  The
+	// caller owns both schedulers' lifecycles (drain order included).
+	BatchSched sched.Scheduler
+	// BatchEdgeThreshold is the estimated-edge floor for BatchSched
+	// routing; ignored when BatchSched is nil.
+	BatchEdgeThreshold int64
+	// OOCEdgeThreshold makes uploaded euler jobs with at least this many
+	// declared edges solve out of core (paged disk CSR, spilled
+	// partition states, sequential workers) instead of materialising the
+	// graph in memory; 0 disables.  Results are byte-identical to the
+	// in-memory path.
+	OOCEdgeThreshold int64
+	// GraphMemBytes bounds the resident adjacency pages of out-of-core
+	// solves; 0 means the engine default.
+	GraphMemBytes int64
 }
 
 // New returns a Server for the given configuration.
@@ -144,6 +174,12 @@ func New(cfg Config) *Server {
 		cluster:        cfg.Cluster,
 		maxUploadBytes: max,
 		buildSem:       make(chan struct{}, builds),
+		oocEdges:       cfg.OOCEdgeThreshold,
+		graphMemBytes:  cfg.GraphMemBytes,
+	}
+	if cfg.BatchSched != nil && cfg.BatchEdgeThreshold > 0 {
+		s.batchSched = cfg.BatchSched
+		s.batchEdges = cfg.BatchEdgeThreshold
 	}
 	s.metrics.kinds = newKindCounters()
 	return s
@@ -241,6 +277,7 @@ const (
 	codeInternal         = "internal"          // server-side failure
 	codeUnknownBase      = "unknown_base"      // delta base fingerprint has no retained state
 	codeDeltaUnsupported = "delta_unsupported" // job kind does not accept deltas
+	codePayloadTooLarge  = "payload_too_large" // upload body or declared counts over the caps
 )
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -276,8 +313,19 @@ func writeSpecError(w http.ResponseWriter, status int, err error) {
 		})
 		return
 	}
+	if status == http.StatusRequestEntityTooLarge {
+		writeError(w, status, codePayloadTooLarge, "%v", err)
+		return
+	}
 	writeError(w, status, codeForStatus(status), "%v", err)
 }
+
+// errTooLarge marks upload rejections that answer 413 with the
+// payload_too_large code: bodies over the byte cap and headers whose
+// declared counts exceed what one server will host.
+type errTooLarge struct{ msg string }
+
+func (e *errTooLarge) Error() string { return e.msg }
 
 // writeSchedError maps a scheduler refusal onto the wire: admission
 // rejections are 429 with a Retry-After hint, a draining scheduler is
@@ -346,11 +394,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	// Refuse over-quota tenants before the request does any heavy
 	// lifting (saving the upload, building the graph); Submit below
-	// remains the authoritative check.
-	if err := s.sched.Admit(tenant); err != nil {
-		s.metrics.rejected.Add(1)
-		writeSchedError(w, err)
-		return
+	// remains the authoritative check.  With a batch lane configured
+	// the early check is skipped — the lane is only known once the spec
+	// is decoded, and gating a batch job on the interactive lane's
+	// quota would reject it spuriously; the post-decode check below
+	// covers both configurations.
+	if s.batchSched == nil {
+		if err := s.sched.Admit(tenant); err != nil {
+			s.metrics.rejected.Add(1)
+			writeSchedError(w, err)
+			return
+		}
 	}
 	dir, err := os.MkdirTemp(s.dataDir, "job-")
 	if err != nil {
@@ -361,6 +415,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		os.RemoveAll(dir)
 		writeSpecError(w, status, err)
+		return
+	}
+	if err := s.schedFor(&spec).Admit(tenant); err != nil {
+		os.RemoveAll(dir)
+		s.metrics.rejected.Add(1)
+		writeSchedError(w, err)
 		return
 	}
 	// Delta submissions resolve their base before a job exists: every
@@ -391,7 +451,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var lease *sched.Lease
 	if s.cache != nil {
 		kind := jobkind.MustGet(spec.Kind) // canonical since Validate
+		fpOpts := sched.SolveOptions{
+			Parts: spec.Parts, Mode: spec.Mode, Seed: spec.Seed,
+			Kind: spec.Kind, KindMaterial: kind.Material(spec.KindRequest()),
+		}
 		g := deltaGraph
+		var fp sched.Fingerprint
+		// Uploads too big to keep attached are fingerprinted straight off
+		// the on-disk file — block reads plus an external-memory edge
+		// sort — so submission never materialises their CSR at all.  This
+		// is the submit half of the out-of-core path; the worker side
+		// decides separately (runJob) whether to solve in memory or paged.
+		bigUpload := kind.NeedsGraph() && !spec.IsDelta() &&
+			spec.Uploaded && spec.DeclaredEdges > keepGraphMaxEdges
 		if kind.NeedsGraph() && !spec.IsDelta() {
 			// The input graph is built at submission time only on the
 			// cached path: the scheduler needs its content address before
@@ -419,19 +491,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				s.jobs.Remove(j.ID)
 				return // client gone; nothing to answer
 			}
-			g, err = spec.BuildGraph()
-			if err != nil {
-				<-s.buildSem
-				s.jobs.Remove(j.ID)
-				writeError(w, http.StatusBadRequest, codeBadRequest, "building input graph: %v", err)
-				return
-			}
-			// Small graphs stay attached for the worker to reuse; big ones
-			// are rebuilt there instead, so a deep queue pins at most
-			// quota × keepGraphMaxEdges of graph memory, not quota ×
-			// upload cap.
-			if g.NumEdges() <= keepGraphMaxEdges {
-				j.AttachGraph(g)
+			if bigUpload {
+				fp, err = sched.FingerprintUpload(spec.GraphFile, dir, fpOpts)
+				if err != nil {
+					<-s.buildSem
+					s.jobs.Remove(j.ID)
+					writeError(w, http.StatusBadRequest, codeBadRequest, "fingerprinting uploaded graph: %v", err)
+					return
+				}
+			} else {
+				g, err = spec.BuildGraph()
+				if err != nil {
+					<-s.buildSem
+					s.jobs.Remove(j.ID)
+					writeError(w, http.StatusBadRequest, codeBadRequest, "building input graph: %v", err)
+					return
+				}
+				// Small graphs stay attached for the worker to reuse; big
+				// ones are rebuilt there instead, so a deep queue pins at
+				// most quota × keepGraphMaxEdges of graph memory, not
+				// quota × upload cap.
+				if g.NumEdges() <= keepGraphMaxEdges {
+					j.AttachGraph(g)
+				}
 			}
 		}
 		if spec.IsDelta() {
@@ -442,10 +524,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			j.AttachGraph(g)
 			j.SetDeltaState(deltaEntry.State)
 		}
-		fp := sched.FingerprintGraph(g, sched.SolveOptions{
-			Parts: spec.Parts, Mode: spec.Mode, Seed: spec.Seed,
-			Kind: spec.Kind, KindMaterial: kind.Material(spec.KindRequest()),
-		})
+		if !bigUpload {
+			fp = sched.FingerprintGraph(g, fpOpts)
+		}
 		if kind.NeedsGraph() && !spec.IsDelta() {
 			<-s.buildSem
 		}
@@ -503,13 +584,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.submitted.Add(1)
-	s.metrics.observeDepth(int64(s.sched.Depth()))
+	s.metrics.observeDepth(int64(s.schedFor(&j.Spec).Depth()))
 	writeJSON(w, http.StatusAccepted, j.Snapshot())
 }
 
-// enqueue submits the job's execution task under the tenant's quota.
+// schedFor picks the admission lane for a spec: big jobs (estimated
+// edges at or over the batch threshold) go to the batch lane when one
+// is configured, everything else to the interactive scheduler.  Jobs do
+// not carry their lane, so every decision point (submit, promotion)
+// recomputes it from the same spec and lands on the same answer.
+func (s *Server) schedFor(spec *job.Spec) sched.Scheduler {
+	if s.batchSched != nil && spec.EstimatedEdges() >= s.batchEdges {
+		return s.batchSched
+	}
+	return s.sched
+}
+
+// enqueue submits the job's execution task under the tenant's quota on
+// the job's size-selected lane.
 func (s *Server) enqueue(tenant string, class sched.Class, j *job.Job, lease *sched.Lease) error {
-	return s.sched.Submit(tenant, class, func(ctx context.Context) { s.runJob(ctx, j, lease) })
+	return s.schedFor(&j.Spec).Submit(tenant, class, func(ctx context.Context) { s.runJob(ctx, j, lease) })
 }
 
 // followerReady builds the callback a coalesced job hands the cache:
@@ -530,8 +624,11 @@ func (s *Server) followerReady(j *job.Job, tenant string, class sched.Class) fun
 		// Resubmit, not Submit: this job was already accepted (202)
 		// when it attached as a follower, so tenant back-pressure at
 		// promotion time must not convert it into a failure.  Only a
-		// draining scheduler can refuse.
-		err := s.sched.Resubmit(tenant, class, func(ctx context.Context) { s.runJob(ctx, j, promoted) })
+		// draining scheduler can refuse.  The lane is recomputed from
+		// the job's own spec — a promoted big-graph follower must land
+		// on the batch lane even though its leader carried the queue
+		// slot until now.
+		err := s.schedFor(&j.Spec).Resubmit(tenant, class, func(ctx context.Context) { s.runJob(ctx, j, promoted) })
 		if err != nil {
 			promoted.Abort()
 			if !j.State().Terminal() {
@@ -664,11 +761,17 @@ func (s *Server) decodeSubmission(r *http.Request, dir string) (job.Spec, int, e
 		spec.Mode = q.Get("mode")
 		spec.Spill = q.Get("spill") == "true"
 		path := filepath.Join(dir, "graph.bin")
-		if err := saveUpload(path, http.MaxBytesReader(nil, r.Body, s.maxUploadBytes)); err != nil {
+		edges, err := saveUpload(path, http.MaxBytesReader(nil, r.Body, s.maxUploadBytes))
+		if err != nil {
+			var tl *errTooLarge
+			if errors.As(err, &tl) {
+				return spec, http.StatusRequestEntityTooLarge, err
+			}
 			return spec, http.StatusBadRequest, err
 		}
 		spec.Uploaded = true
 		spec.GraphFile = path
+		spec.DeclaredEdges = edges
 	}
 	if err := spec.Validate(); err != nil {
 		return spec, http.StatusBadRequest, err
@@ -676,42 +779,49 @@ func (s *Server) decodeSubmission(r *http.Request, dir string) (job.Spec, int, e
 	return spec, 0, nil
 }
 
-// saveUpload copies an uploaded graph body to path.  It rejects bodies
-// without the EULGRPH1 magic and bounds the declared vertex/edge counts
-// before anything downstream allocates from them, so a 20-byte body
-// cannot demand a terabyte graph at run time.
-func saveUpload(path string, body io.Reader) error {
+// saveUpload streams an uploaded graph body to path in 64 KiB chunks —
+// the body is never resident — and returns the header's declared edge
+// count.  It rejects bodies without the EULGRPH1 magic, bounds the
+// declared vertex/edge counts before anything downstream allocates from
+// them (so a 20-byte body cannot demand a terabyte graph at run time),
+// and classifies over-cap counts and over-limit bodies as errTooLarge
+// so the handler answers 413 rather than a generic 400.
+func saveUpload(path string, body io.Reader) (int64, error) {
 	br := bufio.NewReaderSize(body, 1<<16)
 	vertices, edges, err := graph.ReadHeader(br)
 	if err != nil {
-		return fmt.Errorf("upload is not an EULGRPH1 graph file: %v", err)
+		return 0, fmt.Errorf("upload is not an EULGRPH1 graph file: %v", err)
 	}
 	if err := job.ValidateUploadCounts(vertices, edges); err != nil {
-		return err
+		return 0, &errTooLarge{msg: err.Error()}
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		return fmt.Errorf("saving upload: %v", err)
+		return 0, fmt.Errorf("saving upload: %v", err)
 	}
 	// Re-frame the consumed header (uvarint re-encoding is
 	// value-preserving) and stream the rest through.
 	if _, err := f.Write(graph.AppendHeader(nil, vertices, edges)); err != nil {
 		f.Close()
-		return fmt.Errorf("saving upload: %v", err)
+		return 0, fmt.Errorf("saving upload: %v", err)
 	}
 	bodyBytes, err := io.Copy(f, br)
 	if err != nil {
 		f.Close()
-		return fmt.Errorf("saving upload: %v", err)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return 0, &errTooLarge{msg: fmt.Sprintf("upload body exceeds the %d-byte limit", mbe.Limit)}
+		}
+		return 0, fmt.Errorf("saving upload: %v", err)
 	}
 	// An edge is at least two varint bytes, so a tiny body cannot
 	// claim a huge edge count and force the builder's up-front
 	// allocation at run time.
 	if edges > uint64(bodyBytes)/2 {
 		f.Close()
-		return fmt.Errorf("uploaded graph declares %d edges but the body has only %d bytes", edges, bodyBytes)
+		return 0, fmt.Errorf("uploaded graph declares %d edges but the body has only %d bytes", edges, bodyBytes)
 	}
-	return f.Close()
+	return int64(edges), f.Close()
 }
 
 // runJob executes one job on a pool worker: stream the circuit into a
@@ -769,12 +879,26 @@ func (s *Server) runJob(poolCtx context.Context, j *job.Job, lease *sched.Lease)
 
 	kind := jobkind.MustGet(j.Spec.Kind) // canonical since Validate
 
+	// Uploaded euler jobs at or over the out-of-core threshold never
+	// materialise their CSR in heap: the on-disk file is scattered into a
+	// paged CSR whose resident pages are bounded by graphMemBytes, and
+	// the engine runs sequentially with spilled partition states.  Only
+	// the local runner can do this — a cluster coordinator ships CSR
+	// slices to workers, which requires the in-memory build.
+	ooc := s.oocEdges > 0 && kind.Name() == jobkind.DefaultName &&
+		j.Spec.Uploaded && !j.Spec.IsDelta() && j.Spec.DeclaredEdges >= s.oocEdges
+	if ooc {
+		if _, local := s.runner.(localRunner); !local {
+			ooc = false
+		}
+	}
+
 	// Small cached-path graphs arrive prebuilt from submission-time
 	// fingerprinting; everything else (no cache, big graphs, promoted
 	// followers) is built here on the worker, bounded by the pool.
 	// Graphless kinds carry their whole input in the spec.
 	g := j.Graph()
-	if g == nil && kind.NeedsGraph() {
+	if g == nil && kind.NeedsGraph() && !ooc {
 		if j.Spec.IsDelta() {
 			// The patched graph exists only while attached: the spec holds
 			// a diff, not an input, and the base may have been evicted.
@@ -795,12 +919,30 @@ func (s *Server) runJob(poolCtx context.Context, j *job.Job, lease *sched.Lease)
 		fail(err)
 		return
 	}
+	var pg *oocgraph.PagedGraph
+	if ooc {
+		var err error
+		pg, err = oocgraph.BuildPaged(j.Spec.GraphFile, oocgraph.BuildOptions{
+			Dir:      j.Dir,
+			MemBytes: s.graphMemBytes,
+		})
+		if err != nil {
+			fail(fmt.Errorf("building paged graph: %w", err))
+			return
+		}
+		defer pg.Close()
+	}
 	if j.Spec.Uploaded && j.Spec.Kind == jobkind.DefaultName {
 		// Generated inputs are Eulerian by construction; uploads get
 		// the explicit precondition check for a clear client error.
 		// (Postman uploads are allowed odd degrees — covering them is
 		// the job — and the kind reports imbalance itself if any.)
-		if err := euler.CheckInput(g); err != nil {
+		if ooc {
+			if err := euler.CheckInputSource(pg); err != nil {
+				fail(err)
+				return
+			}
+		} else if err := euler.CheckInput(g); err != nil {
 			fail(err)
 			return
 		}
@@ -828,13 +970,32 @@ func (s *Server) runJob(poolCtx context.Context, j *job.Job, lease *sched.Lease)
 	run := func(ctx context.Context, rg *graph.Graph, emit func(graph.Step) error) (*euler.Report, error) {
 		return s.runner.RunCircuit(ctx, j.Spec, j.Dir, rg, emit)
 	}
+	if ooc {
+		// The kind passes whatever graph it holds (often nil here) straight
+		// through to run; the out-of-core run reads adjacency from the
+		// paged CSR instead and is byte-identical to the in-memory solve.
+		run = func(ctx context.Context, _ *graph.Graph, emit func(graph.Step) error) (*euler.Report, error) {
+			var opts []euler.Option
+			if j.Spec.Parts > 0 {
+				opts = append(opts, euler.WithPartitions(j.Spec.Parts))
+			}
+			if j.Spec.Seed != 0 {
+				opts = append(opts, euler.WithSeed(j.Spec.Seed))
+			}
+			mode, _ := job.ParseMode(j.Spec.Mode) // validated at submit
+			opts = append(opts, euler.WithMode(mode))
+			return euler.FindCircuitStreamSource(pg, j.Dir, emit, opts...)
+		}
+	}
 	// Local euler runs additionally retain replay state when delta
 	// retention is on, so this job's result can serve as a delta base;
 	// delta jobs themselves solve against their base's retained state.
 	// Cluster runners never retain: the engine state lives on the
-	// workers, not the coordinator.
+	// workers, not the coordinator.  Out-of-core runs never retain
+	// either — a delta base pins the full edge list in memory, exactly
+	// what this path exists to avoid.
 	var retained []byte
-	if s.deltas != nil && j.Fingerprint() != "" && kind.Name() == jobkind.DefaultName {
+	if !ooc && s.deltas != nil && j.Fingerprint() != "" && kind.Name() == jobkind.DefaultName {
 		if _, local := s.runner.(localRunner); local {
 			run = func(ctx context.Context, rg *graph.Graph, emit func(graph.Step) error) (*euler.Report, error) {
 				rep, ret, err := runRetained(j, rg, emit)

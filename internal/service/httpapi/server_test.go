@@ -519,12 +519,12 @@ func TestBadRequests(t *testing.T) {
 		t.Fatalf("bad magic: status %d", code)
 	}
 	// A tiny body declaring absurd counts must be rejected up front,
-	// not allocated at run time.
+	// not allocated at run time; over-cap counts are a 413, not a 400.
 	huge := make([]byte, 8, 24)
 	copy(huge, "EULGRPH1")
 	huge = binary.AppendUvarint(huge, 1<<40) // vertices
 	huge = binary.AppendUvarint(huge, 0)     // edges
-	if code := post(string(huge), "application/octet-stream"); code != http.StatusBadRequest {
+	if code := post(string(huge), "application/octet-stream"); code != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized declared counts: status %d", code)
 	}
 	// Counts at the cap but a body far too small to hold them must

@@ -172,6 +172,10 @@ type Spec struct {
 	// GraphFile is the server-side path of the uploaded graph; never
 	// serialised to clients.
 	GraphFile string `json:"-"`
+	// DeclaredEdges is the edge count an uploaded body declared in its
+	// header, recorded at submit so lane routing and out-of-core
+	// admission never reopen the file; never serialised to clients.
+	DeclaredEdges int64 `json:"-"`
 
 	// Parts is the partition count (0 = engine default).
 	Parts int32 `json:"parts,omitempty"`
@@ -337,6 +341,28 @@ func (s *Spec) BuildGraph() (*graph.Graph, error) {
 		return graph.ReadFile(s.GraphFile)
 	}
 	return nil, nil
+}
+
+// EstimatedEdges estimates the input size in edges for admission
+// decisions (batch-lane routing, out-of-core thresholds): uploads
+// report the header count recorded at submit, generator specs a
+// closed-form estimate, deltas and graphless kinds 0.  Estimates are
+// cheap and approximate on purpose — they pick a queue, nothing else.
+func (s *Spec) EstimatedEdges() int64 {
+	if s.Uploaded {
+		return s.DeclaredEdges
+	}
+	if g := s.Generator; g != nil {
+		switch g.Family {
+		case "rmat":
+			return g.Vertices * int64(g.Degree) / 2
+		case "torus", "grid":
+			return 2 * g.Width * g.Height
+		case "cliques":
+			return g.K * g.C * (g.C - 1) / 2
+		}
+	}
+	return 0
 }
 
 // ParseMode maps the wire name of a remote-edge strategy to the engine

@@ -97,3 +97,42 @@ func EulerianInput(g *graph.Graph) error {
 	}
 	return nil
 }
+
+// EulerianSource is EulerianInput over the graph.Source seam: degrees come
+// from the O(V) oracle and connectivity from a union-find over one edge
+// scan, so a disk-backed graph is checked without materialising adjacency.
+func EulerianSource(g graph.Source) error {
+	var odd int64
+	firstOdd := graph.VertexID(-1)
+	for v := int64(0); v < g.NumVertices(); v++ {
+		if g.Degree(v)%2 == 1 {
+			if odd == 0 {
+				firstOdd = v
+			}
+			odd++
+		}
+	}
+	if odd > 0 {
+		return fmt.Errorf("verify: %d vertices have odd degree (first: %d)", odd, firstOdd)
+	}
+	uf := graph.NewUnionFind(g.NumVertices())
+	if err := g.ForEachEdge(func(e graph.Edge) error {
+		uf.Union(e.U, e.V)
+		return nil
+	}); err != nil {
+		return err
+	}
+	root := graph.VertexID(-1)
+	for v := int64(0); v < g.NumVertices(); v++ {
+		if g.Degree(v) == 0 {
+			continue
+		}
+		r := uf.Find(v)
+		if root < 0 {
+			root = r
+		} else if r != root {
+			return fmt.Errorf("verify: graph's edges span multiple connected components")
+		}
+	}
+	return nil
+}
